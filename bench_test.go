@@ -1,0 +1,222 @@
+package ugs_test
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (each regenerates the experiment at CI scale —
+// run `go run ./cmd/ugs-exp -full <id>` for paper-scale numbers), plus the
+// ablation benchmarks called out in DESIGN.md and micro-benchmarks of the
+// hot paths.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"ugs"
+	"ugs/internal/core"
+	"ugs/internal/exp"
+	"ugs/internal/mc"
+	"ugs/internal/queries"
+	"ugs/internal/ugraph"
+)
+
+// benchExperiment regenerates one table/figure per iteration.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	ctx := exp.NewContext(exp.Config{Seed: 42})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Datasets(b *testing.B)          { benchExperiment(b, "table1") }
+func BenchmarkTable2DegreeDiscrepancy(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig4CutDiscrepancy(b *testing.B)      { benchExperiment(b, "fig4a") }
+func BenchmarkFig4bTime(b *testing.B)               { benchExperiment(b, "fig4b") }
+func BenchmarkFig5EntropyParam(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkFig6Benchmarks(b *testing.B)          { benchExperiment(b, "fig6") }
+func BenchmarkFig7Density(b *testing.B)             { benchExperiment(b, "fig7") }
+func BenchmarkFig8Entropy(b *testing.B)             { benchExperiment(b, "fig8") }
+func BenchmarkFig9Time(b *testing.B)                { benchExperiment(b, "fig9") }
+func BenchmarkFig10Queries(b *testing.B)            { benchExperiment(b, "fig10") }
+func BenchmarkFig11QueriesDensity(b *testing.B)     { benchExperiment(b, "fig11") }
+func BenchmarkFig12Variance(b *testing.B)           { benchExperiment(b, "fig12") }
+
+// benchGraph is the shared fixture for the method and ablation benchmarks.
+func benchGraph(b *testing.B) *ugs.Graph {
+	b.Helper()
+	return ugs.FlickrLike(300, 42)
+}
+
+// ---- Ablation benchmarks (design choices called out in DESIGN.md) ----
+
+// BenchmarkAblationBackbone compares the two backbone constructions feeding
+// the same GDB optimizer at small α, where the paper observes the spanning
+// backbone's connectivity guarantee trading against degree accuracy.
+func BenchmarkAblationBackbone(b *testing.B) {
+	g := benchGraph(b)
+	for _, bb := range []struct {
+		name string
+		kind ugs.Backbone
+	}{{"spanning", ugs.BackboneSpanning}, {"random", ugs.BackboneRandom}} {
+		b.Run(bb.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := ugs.Sparsify(g, 0.08, ugs.Options{
+					Method:   ugs.MethodGDB,
+					Backbone: bb.kind,
+					Seed:     int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHeap compares EMD's vertex-heap E-phase against the
+// naive global-scan formulation (Section 4.3's cost analysis).
+func BenchmarkAblationHeap(b *testing.B) {
+	g := benchGraph(b)
+	backbone, err := core.SpanningBackbone(g, 0.2, core.BGIOptions{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range []struct {
+		name  string
+		naive bool
+	}{{"vertex-heap", false}, {"naive-scan", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := core.EMD(g, backbone, core.EMDOptions{
+					H: 0.05, MaxRounds: 2, NaiveEPhase: v.naive,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEntropyParam sweeps h, isolating the cost/benefit of the
+// entropy cap (Figure 5's design knob; runtime is roughly h-independent,
+// accuracy is not).
+func BenchmarkAblationEntropyParam(b *testing.B) {
+	g := benchGraph(b)
+	for _, h := range []struct {
+		name string
+		val  float64
+	}{{"h0", ugs.HZero}, {"h05", 0.05}, {"h1", 1}} {
+		b.Run(h.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := ugs.Sparsify(g, 0.16, ugs.Options{Method: ugs.MethodGDB, H: h.val, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Micro-benchmarks of the hot paths ----
+
+func BenchmarkWorldSampling(b *testing.B) {
+	g := benchGraph(b)
+	rng := rand.New(rand.NewSource(1))
+	w := ugraph.NewWorld(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SampleWorldInto(rng, w)
+	}
+}
+
+func BenchmarkSparsifyGDB(b *testing.B) {
+	g := benchGraph(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ugs.Sparsify(g, 0.16, ugs.Options{Method: ugs.MethodGDB, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSparsifyEMD(b *testing.B) {
+	g := benchGraph(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ugs.Sparsify(g, 0.16, ugs.Options{Method: ugs.MethodEMD, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSparsifyNI(b *testing.B) {
+	g := benchGraph(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := ugs.NISparsify(g, 0.16, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSparsifySS(b *testing.B) {
+	g := benchGraph(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := ugs.SSSparsify(g, 0.16, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageRankPerWorld(b *testing.B) {
+	g := benchGraph(b)
+	w := g.SampleWorld(rand.New(rand.NewSource(1)))
+	out := make([]float64, g.NumVertices())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		queries.WorldPageRank(w, 0.85, 30, out)
+	}
+}
+
+func BenchmarkClusteringPerWorld(b *testing.B) {
+	g := benchGraph(b)
+	w := g.SampleWorld(rand.New(rand.NewSource(1)))
+	out := make([]float64, g.NumVertices())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		queries.WorldClusteringCoefficients(w, out)
+	}
+}
+
+func BenchmarkReliabilityMC(b *testing.B) {
+	g := benchGraph(b)
+	pairs := ugs.RandomPairs(g.NumVertices(), 50, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ugs.Reliability(g, pairs, mc.Options{Samples: 50, Seed: int64(i)})
+	}
+}
+
+// BenchmarkAblationStratified compares plain and stratified Monte-Carlo at
+// an equal sample budget (the paper's [23]-style variance-reduction
+// extension; same wall-clock order, lower variance).
+func BenchmarkAblationStratified(b *testing.B) {
+	g := benchGraph(b)
+	pred := func(w *ugs.World) bool { return w.Reachable(0, g.NumVertices()-1) }
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ugs.ConnectedProbability(g, mc.Options{Samples: 200, Seed: int64(i)})
+		}
+	})
+	b.Run("stratified", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ugs.StratifiedProbabilityOf(g, ugs.StratifiedOptions{Samples: 200, Seed: int64(i)}, pred)
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package ugs_test
+
+// End-to-end CLI tests: build the three binaries and drive the full
+// generate → sparsify → experiment pipeline through their flag interfaces.
+
+import (
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"ugs"
+)
+
+var (
+	cliOnce sync.Once
+	cliDir  string
+	cliErr  error
+)
+
+// buildCLIs compiles the commands once per test process.
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	cliOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "ugs-cli")
+		if err != nil {
+			cliErr = err
+			return
+		}
+		for _, tool := range []string{"ugs", "ugs-gen", "ugs-exp"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+			cmd.Env = os.Environ()
+			if out, err := cmd.CombinedOutput(); err != nil {
+				cliErr = err
+				t.Logf("go build %s: %s", tool, out)
+				return
+			}
+		}
+		cliDir = dir
+	})
+	if cliErr != nil {
+		t.Fatalf("building CLIs: %v", cliErr)
+	}
+	return cliDir
+}
+
+func runCLI(t *testing.T, dir, tool string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestCLIGenerateAndSparsify(t *testing.T) {
+	dir := buildCLIs(t)
+	work := t.TempDir()
+	graphFile := filepath.Join(work, "g.txt")
+	sparseFile := filepath.Join(work, "s.txt")
+
+	out, err := runCLI(t, dir, "ugs-gen", "-kind", "twitter", "-n", "120", "-seed", "3", "-out", graphFile)
+	if err != nil {
+		t.Fatalf("ugs-gen: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("ugs-gen output: %q", out)
+	}
+	g, err := ugs.ReadGraphFile(graphFile)
+	if err != nil {
+		t.Fatalf("generated file unreadable: %v", err)
+	}
+
+	for _, method := range []string{"gdb", "emd", "ni", "ss"} {
+		out, err := runCLI(t, dir, "ugs",
+			"-in", graphFile, "-out", sparseFile,
+			"-alpha", "0.3", "-method", method, "-seed", "1")
+		if err != nil {
+			t.Fatalf("ugs -method %s: %v\n%s", method, err, out)
+		}
+		sparse, err := ugs.ReadGraphFile(sparseFile)
+		if err != nil {
+			t.Fatalf("%s: sparsified file unreadable: %v", method, err)
+		}
+		want := int(math.Round(0.3 * float64(g.NumEdges())))
+		if sparse.NumEdges() != want {
+			t.Errorf("%s: %d edges, want %d", method, sparse.NumEdges(), want)
+		}
+		if !strings.Contains(out, "degree discrepancy") {
+			t.Errorf("%s: missing stats in output:\n%s", method, out)
+		}
+	}
+}
+
+func TestCLISparsifyErrors(t *testing.T) {
+	dir := buildCLIs(t)
+	if out, err := runCLI(t, dir, "ugs"); err == nil {
+		t.Errorf("missing -in accepted:\n%s", out)
+	}
+	work := t.TempDir()
+	graphFile := filepath.Join(work, "g.txt")
+	if out, err := runCLI(t, dir, "ugs-gen", "-kind", "social", "-n", "30", "-avgdeg", "4", "-out", graphFile); err != nil {
+		t.Fatalf("ugs-gen: %v\n%s", err, out)
+	}
+	if out, err := runCLI(t, dir, "ugs", "-in", graphFile, "-method", "bogus"); err == nil {
+		t.Errorf("bogus method accepted:\n%s", out)
+	}
+	if out, err := runCLI(t, dir, "ugs", "-in", graphFile, "-alpha", "7"); err == nil {
+		t.Errorf("alpha 7 accepted:\n%s", out)
+	}
+	if out, err := runCLI(t, dir, "ugs", "-in", filepath.Join(work, "missing.txt")); err == nil {
+		t.Errorf("missing input accepted:\n%s", out)
+	}
+}
+
+func TestCLIGenErrors(t *testing.T) {
+	dir := buildCLIs(t)
+	if out, err := runCLI(t, dir, "ugs-gen"); err == nil {
+		t.Errorf("missing -out accepted:\n%s", out)
+	}
+	if out, err := runCLI(t, dir, "ugs-gen", "-kind", "bogus", "-out", filepath.Join(t.TempDir(), "x.txt")); err == nil {
+		t.Errorf("bogus kind accepted:\n%s", out)
+	}
+}
+
+func TestCLIExperiments(t *testing.T) {
+	dir := buildCLIs(t)
+	out, err := runCLI(t, dir, "ugs-exp", "-list")
+	if err != nil {
+		t.Fatalf("ugs-exp -list: %v\n%s", err, out)
+	}
+	for _, id := range []string{"table1", "table2", "fig10", "fig12"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list missing %q:\n%s", id, out)
+		}
+	}
+
+	out, err = runCLI(t, dir, "ugs-exp", "table1")
+	if err != nil {
+		t.Fatalf("ugs-exp table1: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "Flickr-like") || !strings.Contains(out, "completed") {
+		t.Errorf("table1 output unexpected:\n%s", out)
+	}
+
+	if out, err := runCLI(t, dir, "ugs-exp", "nope"); err == nil {
+		t.Errorf("unknown experiment accepted:\n%s", out)
+	}
+	if out, err := runCLI(t, dir, "ugs-exp"); err == nil {
+		t.Errorf("no-args accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,66 @@
+// Command ugs-exp regenerates the tables and figures of the paper's
+// evaluation section on the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	ugs-exp -list              # show available experiments
+//	ugs-exp all                # run everything at CI scale
+//	ugs-exp table2 fig10       # run selected experiments
+//	ugs-exp -full fig6         # paper-scale parameters (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ugs/internal/exp"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments")
+		full    = flag.Bool("full", false, "paper-scale parameters (slow)")
+		seed    = flag.Int64("seed", 42, "random seed")
+		workers = flag.Int("workers", 0, "Monte-Carlo parallelism (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "ugs-exp: specify experiment ids or \"all\" (see -list)")
+		os.Exit(2)
+	}
+
+	ctx := exp.NewContext(exp.Config{Full: *full, Seed: *seed, Workers: *workers})
+	var experiments []exp.Experiment
+	if len(ids) == 1 && ids[0] == "all" {
+		experiments = exp.All()
+	} else {
+		for _, id := range ids {
+			e, ok := exp.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ugs-exp: unknown experiment %q (see -list)\n", id)
+				os.Exit(2)
+			}
+			experiments = append(experiments, e)
+		}
+	}
+
+	for _, e := range experiments {
+		start := time.Now()
+		if err := e.Run(os.Stdout, ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "ugs-exp: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,72 @@
+// Netreliability demonstrates sparsification for communication-network
+// reliability analysis — the paper's motivating application where each link
+// carries a probability of not failing.
+//
+// A router mesh is generated, sparsified to a quarter of its links with EMD,
+// and two-terminal reliability (the probability that a route exists between
+// endpoints) is estimated on both graphs. The example also shows the
+// variance payoff: the sparsified graph's estimator needs fewer Monte-Carlo
+// samples for the same confidence width.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ugs"
+)
+
+func main() {
+	// A mesh-like network: power-law core with redundant links, fairly
+	// reliable channels (E[p] ≈ 0.7 after clipping).
+	net, err := ugs.GenerateSocial(ugs.SocialConfig{
+		N: 300, AvgDegree: 12, MeanProb: 0.7, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network:    %v  entropy=%.1f bits\n", net, net.Entropy())
+
+	sparse, _, err := ugs.Sparsify(net, 0.25, ugs.Options{
+		Method:      ugs.MethodEMD,
+		Discrepancy: ugs.Relative,
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sparsified: %v  entropy=%.1f bits (%.0f%%)\n\n",
+		sparse, sparse.Entropy(), 100*ugs.RelativeEntropy(sparse, net))
+
+	// Two-terminal reliability on 8 random endpoint pairs.
+	rng := rand.New(rand.NewSource(7))
+	pairs := ugs.RandomPairs(net.NumVertices(), 8, rng)
+	opts := ugs.MCOptions{Samples: 2000, Seed: 11}
+	rOrig := ugs.Reliability(net, pairs, opts)
+	rSparse := ugs.Reliability(sparse, pairs, opts)
+
+	fmt.Println("two-terminal reliability (2000-sample MC):")
+	fmt.Println("  pair          original  sparsified")
+	for i, p := range pairs {
+		fmt.Printf("  %4d -> %-4d   %.3f     %.3f\n", p.S, p.T, rOrig[i], rSparse[i])
+	}
+
+	// Variance payoff: repeat a 200-sample estimator 20 times on each
+	// graph and compare the sample counts needed for a ±0.01 confidence
+	// width on mean reliability.
+	estimate := func(g *ugs.Graph) func(run int) float64 {
+		return func(run int) float64 {
+			r := ugs.Reliability(g, pairs, ugs.MCOptions{Samples: 200, Seed: int64(run) * 101})
+			var sum float64
+			for _, x := range r {
+				sum += x
+			}
+			return sum / float64(len(r))
+		}
+	}
+	_, varOrig := ugs.EstimatorVariance(20, estimate(net))
+	_, varSparse := ugs.EstimatorVariance(20, estimate(sparse))
+	fmt.Printf("\nestimator variance: original=%.3g sparsified=%.3g (ratio %.2f)\n",
+		varOrig, varSparse, varSparse/varOrig)
+}

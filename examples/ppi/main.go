@@ -1,0 +1,67 @@
+// PPI demonstrates sparsification of a protein–protein interaction style
+// network, where edge probabilities reflect the confidence of error-prone
+// laboratory measurements (the paper's biological-database motivation).
+//
+// The analysis task is the expected local clustering coefficient, a proxy
+// for protein-complex membership. The example compares how well each
+// sparsifier — the paper's EMD and GDB versus the deterministic-adaptation
+// benchmarks NI and SS — preserves it at α = 25%.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ugs"
+)
+
+func main() {
+	// Interaction networks are mid-density with moderately confident
+	// edges; clustering into complexes is the salient structure.
+	ppi, err := ugs.GenerateSocial(ugs.SocialConfig{
+		N: 350, AvgDegree: 18, MeanProb: 0.4, Exponent: 2.2, Seed: 13,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %v\n\n", ppi)
+
+	opts := ugs.MCOptions{Samples: 200, Seed: 17}
+	ccBase := ugs.ExpectedClusteringCoefficients(ppi, opts)
+
+	const alpha = 0.25
+	type result struct {
+		name string
+		g    *ugs.Graph
+		err  error
+	}
+	var results []result
+
+	emd, _, err := ugs.Sparsify(ppi, alpha, ugs.Options{Method: ugs.MethodEMD, Discrepancy: ugs.Relative, Seed: 13})
+	results = append(results, result{"EMD", emd, err})
+	gdb, _, err := ugs.Sparsify(ppi, alpha, ugs.Options{Method: ugs.MethodGDB, Seed: 13})
+	results = append(results, result{"GDB", gdb, err})
+	nig, err := ugs.NISparsify(ppi, alpha, 13)
+	results = append(results, result{"NI", nig, err})
+	ssg, err := ugs.SSSparsify(ppi, alpha, 13)
+	results = append(results, result{"SS", ssg, err})
+
+	fmt.Printf("clustering-coefficient preservation at α = %.0f%%:\n", alpha*100)
+	fmt.Println("  method  D_em(CC)   MAE(CC)    rel.entropy")
+	for _, r := range results {
+		if r.err != nil {
+			log.Fatalf("%s: %v", r.name, r.err)
+		}
+		cc := ugs.ExpectedClusteringCoefficients(r.g, opts)
+		fmt.Printf("  %-6s  %.4g   %.4g   %.3f\n",
+			r.name,
+			ugs.EarthMovers(ccBase, cc),
+			ugs.MAE(ccBase, cc),
+			ugs.RelativeEntropy(r.g, ppi))
+	}
+	fmt.Println("\nlower is better in all three columns. CC is the benchmarks'")
+	fmt.Println("best case (the paper notes NI approximates CC well); the decisive")
+	fmt.Println("column is relative entropy — EMD/GDB retain a fraction of the")
+	fmt.Println("uncertainty, so their Monte-Carlo estimates need far fewer samples")
+	fmt.Println("for the same confidence (σ²-proportional, Section 6.3).")
+}

@@ -1,0 +1,59 @@
+// Socialrank demonstrates influence analysis on an uncertain social network:
+// edge probabilities model influence between users (as in the paper's
+// Twitter dataset), and expected PageRank ranks the most influential users.
+//
+// The network is sparsified to 20% of its edges and the example shows that
+// the top-influencer ranking survives — while every Monte-Carlo sample
+// costs a fifth as much.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"ugs"
+)
+
+func main() {
+	soc := ugs.TwitterLike(400, 3)
+	fmt.Printf("network:    %v\n", soc)
+
+	sparse, _, err := ugs.Sparsify(soc, 0.2, ugs.Options{
+		Method: ugs.MethodEMD,
+		Seed:   3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sparsified: %v\n\n", sparse)
+
+	opts := ugs.MCOptions{Samples: 300, Seed: 5}
+	prOrig := ugs.ExpectedPageRank(soc, opts, ugs.PageRankOptions{})
+	prSparse := ugs.ExpectedPageRank(sparse, opts, ugs.PageRankOptions{})
+
+	fmt.Println("top-10 users by expected PageRank:")
+	fmt.Println("  rank  user  PR(original)  PR(sparsified)  rank(sparsified)")
+	origOrder := ranked(prOrig)
+	sparseRank := make(map[int]int)
+	for r, v := range ranked(prSparse) {
+		sparseRank[v] = r + 1
+	}
+	for r, v := range origOrder[:10] {
+		fmt.Printf("  %4d  %4d  %.5f       %.5f         %d\n",
+			r+1, v, prOrig[v], prSparse[v], sparseRank[v])
+	}
+
+	// Distribution-level agreement: earth mover's distance between the
+	// PageRank distributions (the paper's Figure 10 metric).
+	fmt.Printf("\nD_em(PageRank) = %.3g\n", ugs.EarthMovers(prOrig, prSparse))
+}
+
+func ranked(scores []float64) []int {
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	return order
+}

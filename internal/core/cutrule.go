@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/big"
+	"sync"
+)
+
+// This file implements the cut-preservation update rules of Section 5.
+//
+// The general rule (Equation 14) moves an edge's probability by
+//
+//	stp = [ (n−3 ¦ k−1)_Σ · (δA(u0) + δA(v0)) + 4·(n−4 ¦ k−2)_Σ · Δ̂(e) ]
+//	      / ( 2·(n−2 ¦ k−1)_Σ )
+//
+// where (n ¦ k)_Σ = Σ_{i=0..k} C(n, i) is the paper's enumeration function
+// (0 for k < 0, 1 for k = 0 so that the rule degenerates to the degree rule
+// at k = 1), and Δ̂(e) is the missing probability mass over edges incident
+// to neither endpoint of e.
+//
+// The binomial sums overflow float64 almost immediately, so coefficients are
+// evaluated exactly with math/big and only their *ratios* — which are
+// bounded — are converted to float64. Ratios depend only on (n, k) and are
+// cached.
+
+// cutCoeffs are the float64 ratios of the Equation (14) rule:
+// stp = degreeCoef·(δA(u0)+δA(v0)) + aroundCoef·Δ̂(e).
+type cutCoeffs struct {
+	degreeCoef float64
+	aroundCoef float64
+}
+
+var (
+	cutCoeffMu    sync.Mutex
+	cutCoeffCache = map[[2]int]cutCoeffs{}
+)
+
+// binomSum returns (n ¦ k)_Σ = Σ_{i=0..k} C(n, i) as a big.Int, with the
+// conventions (n ¦ k)_Σ = 0 for k < 0 and C(n, i) = 0 for i > n. n must be
+// non-negative.
+func binomSum(n, k int) *big.Int {
+	sum := new(big.Int)
+	if k < 0 {
+		return sum
+	}
+	if k > n {
+		k = n
+	}
+	term := big.NewInt(1) // C(n, 0)
+	sum.Set(term)
+	for i := 1; i <= k; i++ {
+		// C(n, i) = C(n, i−1) · (n−i+1) / i
+		term.Mul(term, big.NewInt(int64(n-i+1)))
+		term.Div(term, big.NewInt(int64(i)))
+		sum.Add(sum, term)
+	}
+	return sum
+}
+
+// cutRuleCoeffs returns the cached Equation (14) coefficient ratios for a
+// graph with n vertices and cut order k (2 ≤ k < n).
+func cutRuleCoeffs(n, k int) cutCoeffs {
+	key := [2]int{n, k}
+	cutCoeffMu.Lock()
+	defer cutCoeffMu.Unlock()
+	if c, ok := cutCoeffCache[key]; ok {
+		return c
+	}
+	denom := new(big.Float).SetInt(binomSum(n-2, k-1))
+	denom.Mul(denom, big.NewFloat(2))
+	deg := new(big.Float).SetInt(binomSum(n-3, k-1))
+	around := new(big.Float).SetInt(binomSum(n-4, k-2))
+	around.Mul(around, big.NewFloat(4))
+	var c cutCoeffs
+	c.degreeCoef, _ = new(big.Float).Quo(deg, denom).Float64()
+	c.aroundCoef, _ = new(big.Float).Quo(around, denom).Float64()
+	cutCoeffCache[key] = c
+	return c
+}
+
+// KAll requests the k = n update rule (Equation 16), which redistributes the
+// cumulative missing probability of eliminated edges over all remaining
+// ones.
+//
+// Note on the formula: Equation (16) as printed sums p_{e1} − p̂_{e1} over
+// e1 ∈ E′\{e}, which is identically zero at initialization (backbone edges
+// start at their original probabilities) and would leave the graph
+// untouched. The behaviors the paper describes — "distributes the
+// cumulative probability of eliminated edges", "assigns the maximum
+// probability p = 1 to all available edges" at small α, and by far the
+// worst accuracy at larger α — all require the sum to range over E\{e},
+// where eliminated edges contribute their full probability. That reading is
+// implemented here.
+const KAll = -1
+
+// step computes the optimal (unclamped) probability change for backbone edge
+// id under the requested discrepancy type and cut order k:
+//
+//   - k = 1: Equation (8), the degree-preservation step, with π weighting
+//     for the relative variant;
+//   - 2 ≤ k < n: Equation (13)/(14) via cached coefficient ratios;
+//   - k = KAll (or k ≥ n): Equation (16).
+//
+// The caller applies the ⌊0·⌉1 clamp and the entropy cap of Equation (9).
+func (t *tracker) step(id int, dt Discrepancy, k int) float64 {
+	e := t.g.Edge(id)
+	n := t.g.NumVertices()
+	if k >= n {
+		k = KAll
+	}
+	switch {
+	case k == 1:
+		pu, pv := t.pi(e.U, dt), t.pi(e.V, dt)
+		return (pv*t.deltaA(e.U) + pu*t.deltaA(e.V)) / (pu + pv)
+	case k == KAll:
+		// Σ_{e1∈E\{e}} (p_G(e1) − p_cur(e1)): the total missing mass,
+		// excluding e's own deficit (see the KAll doc comment).
+		return t.missing - (t.g.Prob(id) - t.cur[id])
+	case k >= 2:
+		c := cutRuleCoeffs(n, k)
+		return c.degreeCoef*(t.deltaA(e.U)+t.deltaA(e.V)) + c.aroundCoef*t.missingAround(id)
+	default:
+		panic("core: cut order k must be ≥ 1 or KAll")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomSum(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{5, -1, 0},
+		{5, 0, 1},
+		{5, 1, 6},  // 1 + 5
+		{5, 2, 16}, // 1 + 5 + 10
+		{5, 5, 32}, // 2^5
+		{5, 9, 32}, // clamped at n
+		{0, 0, 1},
+		{10, 3, 176}, // 1 + 10 + 45 + 120
+	}
+	for _, tc := range cases {
+		if got := binomSum(tc.n, tc.k); got.Cmp(big.NewInt(tc.want)) != 0 {
+			t.Errorf("binomSum(%d,%d) = %v, want %d", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestBinomSumFullRangeIsPowerOfTwo(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw % 60)
+		want := new(big.Int).Lsh(big.NewInt(1), uint(n))
+		return binomSum(n, n).Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCutRuleCoeffsK2MatchesEquation15(t *testing.T) {
+	// Equation (15): stp = [(n−2)(δu+δv) + 4Δ] / (2n−2).
+	for _, n := range []int{5, 10, 100, 2000} {
+		c := cutRuleCoeffs(n, 2)
+		wantDeg := float64(n-2) / float64(2*n-2)
+		wantAround := 4.0 / float64(2*n-2)
+		if math.Abs(c.degreeCoef-wantDeg) > 1e-12 {
+			t.Errorf("n=%d: degreeCoef = %v, want %v", n, c.degreeCoef, wantDeg)
+		}
+		if math.Abs(c.aroundCoef-wantAround) > 1e-12 {
+			t.Errorf("n=%d: aroundCoef = %v, want %v", n, c.aroundCoef, wantAround)
+		}
+	}
+}
+
+func TestCutRuleCoeffsLargeKStable(t *testing.T) {
+	// Coefficient ratios must stay finite and sane even when the raw
+	// binomial sums overflow float64 (n = 400, k = 200: C(400,200) ≈ 1e119).
+	c := cutRuleCoeffs(400, 200)
+	if !(c.degreeCoef > 0 && c.degreeCoef < 1) {
+		t.Errorf("degreeCoef = %v, want in (0,1)", c.degreeCoef)
+	}
+	if !(c.aroundCoef > 0 && c.aroundCoef < 4) {
+		t.Errorf("aroundCoef = %v, want in (0,4)", c.aroundCoef)
+	}
+}
+
+func TestCutRuleCoeffsCached(t *testing.T) {
+	a := cutRuleCoeffs(50, 3)
+	b := cutRuleCoeffs(50, 3)
+	if a != b {
+		t.Error("cache returned different values")
+	}
+}
+
+// TestGeneralRuleReducesToDegreeRuleAtK1 checks that Equation (14) with
+// k = 1 produces exactly the Equation (9) absolute step, i.e. the
+// coefficient ratios are (1/2, 0).
+func TestGeneralRuleReducesToDegreeRuleAtK1(t *testing.T) {
+	for _, n := range []int{5, 50, 1000} {
+		denom := new(big.Float).SetInt(binomSum(n-2, 0))
+		denom.Mul(denom, big.NewFloat(2))
+		deg := new(big.Float).SetInt(binomSum(n-3, 0))
+		ratio, _ := new(big.Float).Quo(deg, denom).Float64()
+		if ratio != 0.5 {
+			t.Errorf("n=%d: k=1 degree ratio = %v, want 0.5", n, ratio)
+		}
+		if binomSum(n-4, -1).Sign() != 0 {
+			t.Errorf("n=%d: k=1 around term nonzero", n)
+		}
+	}
+}

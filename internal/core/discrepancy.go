@@ -1,0 +1,226 @@
+// Package core implements the paper's uncertain-graph sparsification
+// framework: Backbone Graph Initialization (Algorithm 1), Gradient Descent
+// Backbone (Algorithm 2), Expectation-Maximization Degree (Algorithm 3), the
+// optimal LP probability assignment (Theorem 1), and the k-cut update rules
+// (Equations 13–16).
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"ugs/internal/ugraph"
+)
+
+// Discrepancy selects which discrepancy a sparsifier minimizes.
+type Discrepancy int
+
+const (
+	// Absolute minimizes δA(u) = d_u(G) − d_u(G'), emphasizing
+	// high-degree vertices.
+	Absolute Discrepancy = iota
+	// Relative minimizes δR(u) = δA(u) / d_u(G), treating all degrees
+	// equally.
+	Relative
+)
+
+// String implements fmt.Stringer.
+func (d Discrepancy) String() string {
+	switch d {
+	case Absolute:
+		return "absolute"
+	case Relative:
+		return "relative"
+	}
+	return "unknown"
+}
+
+// tracker maintains the sparsifier's incremental state over the original
+// graph's edge identifiers: current probabilities (0 for edges outside the
+// backbone), current expected degrees, and the global missing probability
+// mass Σ_e (p_G(e) − p_cur(e)) needed by the k-cut rules.
+type tracker struct {
+	g          *ugraph.Graph
+	origDeg    []float64 // d_u(G)
+	curDeg     []float64 // d_u(G') under current probabilities
+	cur        []float64 // current probability per original edge id
+	inBackbone []bool
+	missing    float64 // Σ_e p_G(e) − p_cur(e) over all original edges
+}
+
+func newTracker(g *ugraph.Graph, backbone []int) *tracker {
+	t := &tracker{
+		g:          g,
+		origDeg:    g.ExpectedDegrees(),
+		curDeg:     make([]float64, g.NumVertices()),
+		cur:        make([]float64, g.NumEdges()),
+		inBackbone: make([]bool, g.NumEdges()),
+		missing:    g.TotalProb(),
+	}
+	for _, id := range backbone {
+		t.inBackbone[id] = true
+		t.setProb(id, g.Prob(id))
+	}
+	return t
+}
+
+// setProb changes the current probability of edge id, updating degrees and
+// the missing-mass accumulator.
+func (t *tracker) setProb(id int, p float64) {
+	e := t.g.Edge(id)
+	dp := p - t.cur[id]
+	t.curDeg[e.U] += dp
+	t.curDeg[e.V] += dp
+	t.missing -= dp
+	t.cur[id] = p
+}
+
+// deltaA returns the absolute degree discrepancy of u under the current
+// probabilities.
+func (t *tracker) deltaA(u int) float64 { return t.origDeg[u] - t.curDeg[u] }
+
+// delta returns the discrepancy of u of the requested type. For vertices
+// isolated in G the relative discrepancy is defined as 0 (they have no
+// incident probability mass to preserve).
+func (t *tracker) delta(u int, dt Discrepancy) float64 {
+	dA := t.deltaA(u)
+	if dt == Relative {
+		if t.origDeg[u] == 0 {
+			return 0
+		}
+		return dA / t.origDeg[u]
+	}
+	return dA
+}
+
+// pi returns the π(u) normalizer of Equation (7): 1 for absolute
+// discrepancy, C_G(u) (the expected degree in G) for relative.
+func (t *tracker) pi(u int, dt Discrepancy) float64 {
+	if dt == Relative {
+		if d := t.origDeg[u]; d > 0 {
+			return d
+		}
+	}
+	return 1
+}
+
+// objectiveD1 evaluates D1 = Σ_u δ²(u), the squared-discrepancy objective of
+// GDB and EMD.
+func (t *tracker) objectiveD1(dt Discrepancy) float64 {
+	var sum float64
+	for u := 0; u < t.g.NumVertices(); u++ {
+		d := t.delta(u, dt)
+		sum += d * d
+	}
+	return sum
+}
+
+// missingAround returns Δ̂(e) of Equation (13): the probability deficit
+// p_G(e1) − p̂(e1) summed over ALL original edges e1 with neither endpoint
+// in {u0, v0}; eliminated edges contribute their full probability (p̂ = 0),
+// exactly as a k-cut's discrepancy counts them. Edges incident to either
+// endpoint contribute δA(u0) + δA(v0), with the doubly counted edge e added
+// back.
+//
+// Note that the Δ̂ weight in Equation (14) decays as Θ(1/n), so on very
+// small dense graphs the rule is dominated by the global deficit and can
+// saturate probabilities; this is inherent to the published rule, not an
+// implementation artifact.
+func (t *tracker) missingAround(id int) float64 {
+	e := t.g.Edge(id)
+	own := t.g.Prob(id) - t.cur[id]
+	return t.missing - t.deltaA(e.U) - t.deltaA(e.V) + own
+}
+
+// finalize materializes the sparsified uncertain graph from the current
+// backbone membership and probabilities.
+func (t *tracker) finalize() (*ugraph.Graph, error) {
+	var ids []int
+	for id, in := range t.inBackbone {
+		if in {
+			ids = append(ids, id)
+		}
+	}
+	sub, err := t.g.EdgeSubgraph(ids)
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range ids {
+		sub.SetProb(i, t.cur[id])
+	}
+	return sub, nil
+}
+
+// DegreeDiscrepancies returns δ(u) for every vertex, comparing the expected
+// degrees of sparse against those of orig. Both graphs must share the vertex
+// set. Used by the evaluation harness.
+func DegreeDiscrepancies(orig, sparse *ugraph.Graph, dt Discrepancy) []float64 {
+	d0 := orig.ExpectedDegrees()
+	d1 := sparse.ExpectedDegrees()
+	out := make([]float64, len(d0))
+	for u := range d0 {
+		delta := d0[u] - d1[u]
+		if dt == Relative {
+			if d0[u] == 0 {
+				delta = 0
+			} else {
+				delta /= d0[u]
+			}
+		}
+		out[u] = delta
+	}
+	return out
+}
+
+// MAEDegreeDiscrepancy returns the mean absolute error of the degree
+// discrepancy over all vertices (the metric of Table 2 and Figure 6).
+func MAEDegreeDiscrepancy(orig, sparse *ugraph.Graph, dt Discrepancy) float64 {
+	ds := DegreeDiscrepancies(orig, sparse, dt)
+	var sum float64
+	for _, d := range ds {
+		sum += math.Abs(d)
+	}
+	return sum / float64(len(ds))
+}
+
+// ExpectedCut returns the expected cut size of the vertex set S (given as a
+// membership mask) in g: the sum of probabilities of edges with exactly one
+// endpoint in S (Definition 1).
+func ExpectedCut(g *ugraph.Graph, inS []bool) float64 {
+	var c float64
+	for _, e := range g.Edges() {
+		if inS[e.U] != inS[e.V] {
+			c += e.P
+		}
+	}
+	return c
+}
+
+// MAECutDiscrepancy estimates the mean absolute cut discrepancy between orig
+// and sparse by sampling, for each k = 1..maxK, cutsPerK uniformly random
+// vertex sets of cardinality k (the protocol of Figure 4(a)). The discrepancy
+// of each sampled cut is |C_G(S) − C_G'(S)|; the result is the grand mean.
+func MAECutDiscrepancy(orig, sparse *ugraph.Graph, maxK, cutsPerK int, rng *rand.Rand) float64 {
+	n := orig.NumVertices()
+	if maxK > n {
+		maxK = n
+	}
+	inS := make([]bool, n)
+	var sum float64
+	var count int
+	for k := 1; k <= maxK; k++ {
+		for c := 0; c < cutsPerK; c++ {
+			perm := rng.Perm(n)
+			for _, v := range perm[:k] {
+				inS[v] = true
+			}
+			d := ExpectedCut(orig, inS) - ExpectedCut(sparse, inS)
+			sum += math.Abs(d)
+			count++
+			for _, v := range perm[:k] {
+				inS[v] = false
+			}
+		}
+	}
+	return sum / float64(count)
+}

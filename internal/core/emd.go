@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math"
+
+	"ugs/internal/ds"
+	"ugs/internal/ugraph"
+)
+
+// EMDOptions tunes Expectation-Maximization Degree (Algorithm 3).
+//
+// EMD preserves expected degrees only (k = 1): the edge-gain definition of
+// Equation (10) would require enumerating all k-cuts containing an edge for
+// k > 1, which is intractable (Section 5).
+type EMDOptions struct {
+	// Discrepancy selects the δA or δR objective. Default Absolute.
+	Discrepancy Discrepancy
+	// H is the entropy parameter shared with the inner GDB (see
+	// GDBOptions.H). Default 0.05.
+	H float64
+	// Tau is the convergence threshold on the improvement of D1 between
+	// EM rounds. Default 1e-9·|V|.
+	Tau float64
+	// MaxRounds bounds the number of E+M rounds. Default 30.
+	MaxRounds int
+	// MPhaseIters bounds the GDB sweeps inside each M-phase. Default 50.
+	MPhaseIters int
+	// NaiveEPhase switches the E-phase to the paper's "intuitive
+	// approach": instead of consulting the vertex heap Hv, every
+	// candidate edge in E\E_b is scanned for the globally best gain.
+	// It is asymptotically slower — Θ((1−α)|E|) work per backbone edge
+	// versus O(deg(v_H) + log|V|) — and exists for the heap-ablation
+	// benchmark (Section 4.3 cost analysis).
+	NaiveEPhase bool
+}
+
+func (o *EMDOptions) defaults(n int) {
+	if o.H == 0 {
+		o.H = 0.05
+	}
+	if o.Tau == 0 {
+		o.Tau = 1e-9 * float64(n)
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 30
+	}
+	if o.MPhaseIters == 0 {
+		o.MPhaseIters = 50
+	}
+}
+
+// EMD runs Expectation-Maximization Degree over the given backbone of g:
+// each round swaps backbone edges for higher-gain edges from E\E_b (E-phase,
+// driven by the vertex max-heap Hv) and then re-optimizes probabilities with
+// GDB (M-phase). It returns the sparsified graph and run statistics.
+func EMD(g *ugraph.Graph, backbone []int, opts EMDOptions) (*ugraph.Graph, *RunStats, error) {
+	opts.defaults(g.NumVertices())
+	t := newTracker(g, backbone)
+	bb := append([]int(nil), backbone...)
+	h := effectiveH(opts.H)
+
+	mOpts := GDBOptions{
+		Discrepancy: opts.Discrepancy,
+		K:           1,
+		H:           opts.H,
+		Tau:         opts.Tau,
+		MaxIters:    opts.MPhaseIters,
+	}
+	mOpts.defaults(g.NumVertices())
+
+	stats := &RunStats{}
+	prev := t.objectiveD1(opts.Discrepancy)
+	for stats.Iterations < opts.MaxRounds {
+		if opts.NaiveEPhase {
+			stats.Swaps += ePhaseNaive(t, &bb, opts.Discrepancy, h)
+		} else {
+			stats.Swaps += ePhase(t, &bb, opts.Discrepancy, h)
+		}
+		// M-phase re-optimizes from the original probabilities of the new
+		// backbone, exactly as GDB(G, G'_b, h) would (Algorithm 2, lines
+		// 1–3).
+		for _, id := range bb {
+			t.setProb(id, g.Prob(id))
+		}
+		gdbSweeps(t, bb, mOpts)
+		stats.Iterations++
+		d1 := t.objectiveD1(opts.Discrepancy)
+		if math.Abs(prev-d1) <= opts.Tau {
+			prev = d1
+			break
+		}
+		prev = d1
+	}
+	stats.ObjectiveD1 = prev
+	out, err := t.finalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, stats, nil
+}
+
+// ePhase is the E-phase of Algorithm 3 (lines 6–20): for every backbone
+// edge, tentatively remove it, and re-insert either it or the best-gain edge
+// incident to the vertex of maximum |δ| (the top of the heap Hv). It updates
+// the tracker and the backbone id list in place and reports the number of
+// actual swaps.
+func ePhase(t *tracker, bb *[]int, dt Discrepancy, h float64) int {
+	g := t.g
+	n := g.NumVertices()
+	hv := ds.NewIndexedMaxHeap(n)
+	for u := 0; u < n; u++ {
+		hv.Push(u, math.Abs(t.delta(u, dt)))
+	}
+	refresh := func(u, v int) {
+		hv.Update(u, math.Abs(t.delta(u, dt)))
+		hv.Update(v, math.Abs(t.delta(v, dt)))
+	}
+
+	swaps := 0
+	snapshot := append([]int(nil), *bb...)
+	for _, id := range snapshot {
+		if !t.inBackbone[id] {
+			continue // already swapped back in and processed
+		}
+		e := g.Edge(id)
+		t.setProb(id, 0)
+		t.inBackbone[id] = false
+		refresh(e.U, e.V)
+
+		vH, _ := hv.Top()
+
+		bestID := id
+		bestP, bestGain := t.candidate(id, dt, h)
+		for _, a := range g.Neighbors(vH) {
+			if t.inBackbone[a.ID] || a.ID == id {
+				continue
+			}
+			p, gain := t.candidate(a.ID, dt, h)
+			if gain > bestGain {
+				bestID, bestP, bestGain = a.ID, p, gain
+			}
+		}
+
+		t.setProb(bestID, bestP)
+		t.inBackbone[bestID] = true
+		be := g.Edge(bestID)
+		refresh(be.U, be.V)
+		if bestID != id {
+			swaps++
+		}
+	}
+
+	// Rebuild the backbone id list from membership (ascending, hence
+	// deterministic).
+	*bb = (*bb)[:0]
+	for id, in := range t.inBackbone {
+		if in {
+			*bb = append(*bb, id)
+		}
+	}
+	return swaps
+}
+
+// ePhaseNaive is the E-phase without the vertex heap: every non-backbone
+// edge competes for each slot, taking the globally maximal gain. Quadratic
+// in the edge count; benchmark ablation only.
+func ePhaseNaive(t *tracker, bb *[]int, dt Discrepancy, h float64) int {
+	g := t.g
+	swaps := 0
+	snapshot := append([]int(nil), *bb...)
+	for _, id := range snapshot {
+		if !t.inBackbone[id] {
+			continue
+		}
+		t.setProb(id, 0)
+		t.inBackbone[id] = false
+
+		bestID := id
+		bestP, bestGain := t.candidate(id, dt, h)
+		for cand := 0; cand < g.NumEdges(); cand++ {
+			if t.inBackbone[cand] || cand == id {
+				continue
+			}
+			p, gain := t.candidate(cand, dt, h)
+			if gain > bestGain {
+				bestID, bestP, bestGain = cand, p, gain
+			}
+		}
+
+		t.setProb(bestID, bestP)
+		t.inBackbone[bestID] = true
+		if bestID != id {
+			swaps++
+		}
+	}
+	*bb = (*bb)[:0]
+	for id, in := range t.inBackbone {
+		if in {
+			*bb = append(*bb, id)
+		}
+	}
+	return swaps
+}
+
+// candidate evaluates an absent edge (current probability 0) as an insertion
+// candidate: its best probability under the Equation (9) rule and the
+// resulting gain of Equation (10),
+//
+//	g(e) = δ̂²(u0)|₀ − δ̂²(u0)|_p + δ̂²(v0)|₀ − δ̂²(v0)|_p.
+func (t *tracker) candidate(id int, dt Discrepancy, h float64) (p, gain float64) {
+	e := t.g.Edge(id)
+	pu, pv := t.pi(e.U, dt), t.pi(e.V, dt)
+	stp := (pv*t.deltaA(e.U) + pu*t.deltaA(e.V)) / (pu + pv)
+	p = stp // from p̂ = 0
+	switch {
+	case p < 0:
+		p = 0
+	case p > 1:
+		p = 1
+	case ugraph.EdgeEntropy(p) > 0:
+		// H(0) = 0, so any positive probability raises entropy: cap.
+		p = h * stp
+	}
+	du0, dv0 := t.delta(e.U, dt), t.delta(e.V, dt)
+	duP := (t.deltaA(e.U) - p) / pu
+	dvP := (t.deltaA(e.V) - p) / pv
+	if dt == Absolute {
+		duP, dvP = t.deltaA(e.U)-p, t.deltaA(e.V)-p
+	}
+	gain = du0*du0 - duP*duP + dv0*dv0 - dvP*dvP
+	return p, gain
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+
+	"ugs/internal/ugraph"
+)
+
+// GDBOptions tunes Gradient Descent Backbone (Algorithm 2).
+type GDBOptions struct {
+	// Discrepancy selects the δA or δR objective. Default Absolute.
+	Discrepancy Discrepancy
+	// K is the cut order to preserve: 1 preserves expected degrees
+	// (Equation 9), values in [2, n) preserve expected k-cuts
+	// (Equation 14), and KAll applies the k = n redistribution rule
+	// (Equation 16). Default 1.
+	K int
+	// H ∈ [0, 1] is the entropy parameter: when the optimal step would
+	// increase an edge's entropy, only the fraction H of the step is
+	// applied. Default 0.05 (the paper's recommended balanced setting).
+	H float64
+	// Tau is the convergence threshold on the improvement of the
+	// objective D1 between iterations. Default 1e-9·|V|.
+	Tau float64
+	// MaxIters bounds the number of full sweeps. Default 200.
+	MaxIters int
+}
+
+func (o *GDBOptions) defaults(n int) {
+	if o.K == 0 {
+		o.K = 1
+	}
+	if o.H == 0 {
+		o.H = 0.05
+	}
+	if o.Tau == 0 {
+		o.Tau = 1e-9 * float64(n)
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 200
+	}
+}
+
+// hExplicitZero lets callers request a true h = 0 (discard any
+// entropy-increasing step), which the zero-value default of GDBOptions.H
+// would otherwise turn into 0.05.
+const hExplicitZero = -1
+
+func effectiveH(h float64) float64 {
+	if h == hExplicitZero {
+		return 0
+	}
+	return h
+}
+
+// GDB runs Gradient Descent Backbone over the given backbone edge set of g
+// and returns the sparsified uncertain graph together with run statistics.
+// The backbone structure is not modified; only edge probabilities are.
+func GDB(g *ugraph.Graph, backbone []int, opts GDBOptions) (*ugraph.Graph, *RunStats, error) {
+	opts.defaults(g.NumVertices())
+	t := newTracker(g, backbone)
+	stats := gdbSweeps(t, backbone, opts)
+	out, err := t.finalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, stats, nil
+}
+
+// RunStats reports a sparsifier run.
+type RunStats struct {
+	Iterations  int     // full sweeps (GDB) or EM rounds (EMD)
+	ObjectiveD1 float64 // final D1 = Σ_u δ²(u)
+	Swaps       int     // EMD only: total E-phase edge swaps
+}
+
+// gdbSweeps is the iterative core of Algorithm 2, shared with EMD's M-phase.
+// It mutates the tracker in place.
+func gdbSweeps(t *tracker, backbone []int, opts GDBOptions) *RunStats {
+	h := effectiveH(opts.H)
+	prev := t.objectiveD1(opts.Discrepancy)
+	iters := 0
+	for iters < opts.MaxIters {
+		for _, id := range backbone {
+			gdbUpdateEdge(t, id, opts.Discrepancy, opts.K, h)
+		}
+		iters++
+		d1 := t.objectiveD1(opts.Discrepancy)
+		if math.Abs(prev-d1) <= opts.Tau {
+			prev = d1
+			break
+		}
+		prev = d1
+	}
+	return &RunStats{Iterations: iters, ObjectiveD1: prev}
+}
+
+// gdbUpdateEdge applies the Equation (9) update to a single edge: take the
+// optimal step, clamp to [0, 1], and if the (unclamped) assignment would
+// increase the edge's entropy apply only the fraction h of the step.
+func gdbUpdateEdge(t *tracker, id int, dt Discrepancy, k int, h float64) {
+	old := t.cur[id]
+	stp := t.step(id, dt, k)
+	p := old + stp
+	switch {
+	case p < 0:
+		p = 0
+	case p > 1:
+		p = 1
+	case ugraph.EdgeEntropy(p) > ugraph.EdgeEntropy(old):
+		p = old + h*stp
+	}
+	if p != old {
+		t.setProb(id, p)
+	}
+}

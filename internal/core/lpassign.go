@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"ugs/internal/lp"
+	"ugs/internal/ugraph"
+)
+
+// LPAssign computes the optimal probability assignment for the given
+// backbone by solving the linear program of Theorem 1:
+//
+//	maximize   Σ_e p'_e
+//	subject to A_b·p' ≤ d,  p'_e ∈ [0, 1]
+//
+// where A_b is the incidence matrix of the backbone and d the expected
+// degree vector of g. The optimum minimizes the total absolute degree
+// discrepancy Δ1 (with entropy parameter h = 0, i.e. no entropy control).
+//
+// The solver is a dense simplex: memory is Θ(|V|·(|E_b|+|V|)) and time grows
+// quickly with size, mirroring the paper's observation that LP "fails to
+// terminate within reasonable time" on large graphs. Use GDB or EMD beyond a
+// few thousand backbone edges.
+func LPAssign(g *ugraph.Graph, backbone []int) (*ugraph.Graph, *RunStats, error) {
+	n := g.NumVertices()
+	m := len(backbone)
+	if m == 0 {
+		return nil, nil, fmt.Errorf("core: empty backbone")
+	}
+
+	prob := &lp.Problem{
+		C:     make([]float64, m),
+		A:     make([][]float64, n),
+		B:     g.ExpectedDegrees(),
+		Upper: make([]float64, m),
+	}
+	for j := 0; j < m; j++ {
+		prob.C[j] = 1
+		prob.Upper[j] = 1
+	}
+	for u := 0; u < n; u++ {
+		prob.A[u] = make([]float64, m)
+	}
+	for j, id := range backbone {
+		e := g.Edge(id)
+		prob.A[e.U][j] = 1
+		prob.A[e.V][j] = 1
+	}
+
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: LP probability assignment: %w", err)
+	}
+
+	t := newTracker(g, backbone)
+	for j, id := range backbone {
+		t.setProb(id, sol.X[j])
+	}
+	out, err := t.finalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, &RunStats{Iterations: sol.Iterations, ObjectiveD1: t.objectiveD1(Absolute)}, nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ugs/internal/ugraph"
+)
+
+func TestSparsifyAllMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	g := randomConnectedGraph(rng, 25, 0.4)
+	for _, m := range []Method{MethodGDB, MethodEMD, MethodLP} {
+		t.Run(m.String(), func(t *testing.T) {
+			out, stats, err := Sparsify(g, 0.4, Options{Method: m, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.NumVertices() != g.NumVertices() {
+				t.Errorf("vertex set changed: %d", out.NumVertices())
+			}
+			if want := TargetEdges(g, 0.4); out.NumEdges() != want {
+				t.Errorf("edge count %d, want %d", out.NumEdges(), want)
+			}
+			if stats == nil {
+				t.Error("nil stats")
+			}
+			for _, e := range out.Edges() {
+				if !g.HasEdge(e.U, e.V) {
+					t.Errorf("edge (%d,%d) not in original graph", e.U, e.V)
+				}
+			}
+			// Sparsification must reduce entropy (the framework's second
+			// objective).
+			if out.Entropy() >= g.Entropy() {
+				t.Errorf("entropy not reduced: %v -> %v", g.Entropy(), out.Entropy())
+			}
+		})
+	}
+}
+
+func TestSparsifyDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	g := randomConnectedGraph(rng, 30, 0.3)
+	a, _, err := Sparsify(g, 0.3, Options{Method: MethodEMD, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Sparsify(g, 0.3, Options{Method: MethodEMD, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("same seed produced different sparsifications")
+	}
+}
+
+func TestSparsifyErrors(t *testing.T) {
+	g := ugraph.MustNew(3, []ugraph.Edge{
+		{U: 0, V: 1, P: 0.5},
+		{U: 1, V: 2, P: 0.5},
+		{U: 0, V: 2, P: 0.5},
+	})
+	if _, _, err := Sparsify(g, 1.2, Options{}); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+	if _, _, err := Sparsify(g, 0.5, Options{Method: Method(99)}); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if _, _, err := Sparsify(g, 0.5, Options{Method: MethodEMD, K: 2}); err == nil {
+		t.Error("EMD with k=2 accepted")
+	}
+	if _, _, err := Sparsify(g, 0.5, Options{Backbone: Backbone(99)}); err == nil {
+		t.Error("unknown backbone accepted")
+	}
+}
+
+func TestSparsifyRandomBackboneVariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	g := randomConnectedGraph(rng, 30, 0.3)
+	out, _, err := Sparsify(g, 0.3, Options{
+		Method:      MethodGDB,
+		Backbone:    BackboneRandom,
+		Discrepancy: Relative,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := TargetEdges(g, 0.3); out.NumEdges() != want {
+		t.Errorf("edge count %d, want %d", out.NumEdges(), want)
+	}
+}
+
+func TestMAECutDiscrepancyIdenticalGraphsIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	g := randomConnectedGraph(rng, 20, 0.3)
+	if mae := MAECutDiscrepancy(g, g, 5, 50, rng); mae != 0 {
+		t.Errorf("MAE between identical graphs = %v, want 0", mae)
+	}
+}
+
+func TestExpectedCut(t *testing.T) {
+	g := ugraph.MustNew(4, []ugraph.Edge{
+		{U: 0, V: 1, P: 0.5},
+		{U: 1, V: 2, P: 0.25},
+		{U: 2, V: 3, P: 0.125},
+	})
+	inS := []bool{true, true, false, false}
+	if got := ExpectedCut(g, inS); got != 0.25 {
+		t.Errorf("ExpectedCut = %v, want 0.25", got)
+	}
+	// Complement must give the same cut.
+	comp := []bool{false, false, true, true}
+	if got := ExpectedCut(g, comp); got != 0.25 {
+		t.Errorf("complement cut = %v, want 0.25", got)
+	}
+	// Singleton cut equals expected degree.
+	single := []bool{false, true, false, false}
+	if got := ExpectedCut(g, single); got != g.ExpectedDegree(1) {
+		t.Errorf("singleton cut = %v, want %v", got, g.ExpectedDegree(1))
+	}
+}

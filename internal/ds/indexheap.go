@@ -1,0 +1,141 @@
+package ds
+
+// IndexedMaxHeap is a binary max-heap over the fixed item set 0..n-1 keyed
+// by float64 priorities, supporting O(log n) in-place priority updates. It
+// backs the vertex heap Hv of the EMD algorithm, which repeatedly reads the
+// vertex of maximum |discrepancy| and adjusts priorities as edges are
+// swapped.
+//
+// Items may be absent from the heap (after Pop or before Push); Contains
+// distinguishes membership.
+type IndexedMaxHeap struct {
+	items []int     // heap order: items[i] is the item at heap position i
+	pos   []int     // pos[item] = heap position, or -1 if absent
+	prio  []float64 // prio[item] = current priority
+}
+
+// NewIndexedMaxHeap returns an empty heap over the item universe 0..n-1.
+func NewIndexedMaxHeap(n int) *IndexedMaxHeap {
+	h := &IndexedMaxHeap{
+		items: make([]int, 0, n),
+		pos:   make([]int, n),
+		prio:  make([]float64, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len reports the number of items currently in the heap.
+func (h *IndexedMaxHeap) Len() int { return len(h.items) }
+
+// Contains reports whether item is currently in the heap.
+func (h *IndexedMaxHeap) Contains(item int) bool { return h.pos[item] >= 0 }
+
+// Priority returns the priority last assigned to item (meaningful only if
+// the item is or was in the heap).
+func (h *IndexedMaxHeap) Priority(item int) float64 { return h.prio[item] }
+
+// Push inserts item with the given priority. It panics if the item is
+// already present.
+func (h *IndexedMaxHeap) Push(item int, priority float64) {
+	if h.pos[item] >= 0 {
+		panic("ds: Push of item already in heap")
+	}
+	h.prio[item] = priority
+	h.pos[item] = len(h.items)
+	h.items = append(h.items, item)
+	h.up(len(h.items) - 1)
+}
+
+// Top returns the item with maximum priority without removing it. It panics
+// on an empty heap.
+func (h *IndexedMaxHeap) Top() (item int, priority float64) {
+	if len(h.items) == 0 {
+		panic("ds: Top of empty heap")
+	}
+	it := h.items[0]
+	return it, h.prio[it]
+}
+
+// Pop removes and returns the item with maximum priority. It panics on an
+// empty heap.
+func (h *IndexedMaxHeap) Pop() (item int, priority float64) {
+	it, pr := h.Top()
+	h.Remove(it)
+	return it, pr
+}
+
+// Remove deletes item from the heap. It panics if the item is absent.
+func (h *IndexedMaxHeap) Remove(item int) {
+	i := h.pos[item]
+	if i < 0 {
+		panic("ds: Remove of item not in heap")
+	}
+	last := len(h.items) - 1
+	h.swap(i, last)
+	h.items = h.items[:last]
+	h.pos[item] = -1
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+}
+
+// Update changes the priority of item, restoring heap order. If the item is
+// absent it is inserted instead, so Update doubles as upsert.
+func (h *IndexedMaxHeap) Update(item int, priority float64) {
+	i := h.pos[item]
+	if i < 0 {
+		h.Push(item, priority)
+		return
+	}
+	old := h.prio[item]
+	h.prio[item] = priority
+	if priority > old {
+		h.up(i)
+	} else if priority < old {
+		h.down(i)
+	}
+}
+
+func (h *IndexedMaxHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i]] = i
+	h.pos[h.items[j]] = j
+}
+
+func (h *IndexedMaxHeap) less(i, j int) bool {
+	return h.prio[h.items[i]] > h.prio[h.items[j]] // max-heap
+}
+
+func (h *IndexedMaxHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *IndexedMaxHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(l, best) {
+			best = l
+		}
+		if r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}

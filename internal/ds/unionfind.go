@@ -1,0 +1,72 @@
+// Package ds provides the core data structures shared by the sparsification
+// algorithms: a disjoint-set union (union-find) and an indexed binary heap
+// with in-place priority updates.
+package ds
+
+// UnionFind is a disjoint-set forest with union by rank and path halving.
+// Elements are dense integers 0..n-1.
+type UnionFind struct {
+	parent []int
+	rank   []byte
+	sets   int
+}
+
+// NewUnionFind returns a union-find over n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int, n),
+		rank:   make([]byte, n),
+		sets:   n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+// Find returns the canonical representative of x's set.
+func (uf *UnionFind) Find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// happened (false if they were already in the same set).
+func (uf *UnionFind) Union(x, y int) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	uf.sets--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (uf *UnionFind) Connected(x, y int) bool {
+	return uf.Find(x) == uf.Find(y)
+}
+
+// Sets reports the current number of disjoint sets.
+func (uf *UnionFind) Sets() int { return uf.sets }
+
+// Len reports the number of elements.
+func (uf *UnionFind) Len() int { return len(uf.parent) }
+
+// Reset returns every element to its own singleton set, reusing storage.
+func (uf *UnionFind) Reset() {
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.rank[i] = 0
+	}
+	uf.sets = len(uf.parent)
+}

@@ -1,0 +1,94 @@
+package ds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasic(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Sets() != 5 || uf.Len() != 5 {
+		t.Fatalf("new union-find: sets=%d len=%d", uf.Sets(), uf.Len())
+	}
+	if uf.Connected(0, 1) {
+		t.Error("fresh elements connected")
+	}
+	if !uf.Union(0, 1) {
+		t.Error("first union returned false")
+	}
+	if uf.Union(1, 0) {
+		t.Error("repeated union returned true")
+	}
+	if !uf.Connected(0, 1) {
+		t.Error("union did not connect")
+	}
+	uf.Union(2, 3)
+	uf.Union(1, 3)
+	if uf.Sets() != 2 {
+		t.Errorf("sets = %d, want 2", uf.Sets())
+	}
+	if !uf.Connected(0, 2) {
+		t.Error("transitive connectivity broken")
+	}
+	if uf.Connected(0, 4) {
+		t.Error("4 should remain isolated")
+	}
+}
+
+func TestUnionFindReset(t *testing.T) {
+	uf := NewUnionFind(4)
+	uf.Union(0, 1)
+	uf.Union(2, 3)
+	uf.Reset()
+	if uf.Sets() != 4 || uf.Connected(0, 1) || uf.Connected(2, 3) {
+		t.Error("Reset did not restore singletons")
+	}
+}
+
+// TestUnionFindAgainstNaive checks union-find against a naive
+// component-labeling model under random union sequences.
+func TestUnionFindAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		uf := NewUnionFind(n)
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range label {
+				if label[i] == from {
+					label[i] = to
+				}
+			}
+		}
+		for k := 0; k < 3*n; k++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			if x == y {
+				continue
+			}
+			naiveConnected := label[x] == label[y]
+			if uf.Connected(x, y) != naiveConnected {
+				return false
+			}
+			merged := uf.Union(x, y)
+			if merged == naiveConnected {
+				return false
+			}
+			if !naiveConnected {
+				relabel(label[y], label[x])
+			}
+		}
+		// Final set count must agree.
+		distinct := map[int]bool{}
+		for _, l := range label {
+			distinct[l] = true
+		}
+		return uf.Sets() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

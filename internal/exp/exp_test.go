@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testContext() *Context {
+	return NewContext(Config{Seed: 42})
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2",
+		"fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12",
+	}
+	all := All()
+	got := map[string]bool{}
+	for _, e := range all {
+		if got[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		got[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+		if _, ok := ByID(id); !ok {
+			t.Errorf("ByID(%q) failed", id)
+		}
+	}
+	if len(all) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+func TestDatasetsCachedAndShaped(t *testing.T) {
+	ctx := testContext()
+	f1 := ctx.Flickr()
+	f2 := ctx.Flickr()
+	if f1 != f2 {
+		t.Error("dataset not cached")
+	}
+	tw := ctx.Twitter()
+	if float64(f1.NumEdges())/float64(f1.NumVertices()) <= float64(tw.NumEdges())/float64(tw.NumVertices()) {
+		t.Error("Flickr-like must be denser than Twitter-like")
+	}
+	fr := ctx.FlickrReduced()
+	if !fr.IsConnected() {
+		t.Error("Flickr-reduced must be connected")
+	}
+	fam := ctx.DensityFamily()
+	if len(fam) != 4 {
+		t.Fatalf("density family size %d", len(fam))
+	}
+	for i := 1; i < len(fam); i++ {
+		if fam[i].G.NumEdges() <= fam[i-1].G.NumEdges() {
+			t.Error("density family not increasing")
+		}
+	}
+}
+
+// TestRunAllExperiments executes every experiment at CI scale and checks
+// that each produces a non-empty table mentioning its methods.
+func TestRunAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipping in -short mode")
+	}
+	ctx := testContext()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, ctx); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+			if !strings.Contains(out, "==") {
+				t.Errorf("%s output missing table header:\n%s", e.ID, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,242 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"ugs/internal/mc"
+	"ugs/internal/queries"
+	"ugs/internal/stats"
+	"ugs/internal/ugraph"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Figure 10: earth mover's distance of PR, SP, RL, CC vs α (real-like datasets)",
+		Run:   runFig10,
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Figure 11: earth mover's distance of PR and SP vs density (synthetic, α=16%)",
+		Run:   runFig11,
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Figure 12: relative variance of MC estimators for PR, SP, RL, CC",
+		Run:   runFig12,
+	})
+}
+
+var queryNames = []string{"PR", "SP", "RL", "CC"}
+
+// observations holds, for each query, the per-entity outcome distribution:
+// expected PageRank and clustering coefficient per vertex, and expected
+// conditional shortest-path distance and reliability per sampled pair.
+type observations [4][]float64
+
+// evalQueries evaluates the four queries on g. Pairs are shared between G
+// and its sparsifications so the distributions are comparable.
+func evalQueries(g *ugraph.Graph, pairs []queries.Pair, opts mc.Options) observations {
+	var obs observations
+	obs[0] = queries.ExpectedPageRank(g, opts, queries.PageRankOptions{})
+	sp, rl := queries.ShortestDistanceAndReliability(g, pairs, opts)
+	obs[1] = sp
+	obs[2] = rl
+	obs[3] = queries.ExpectedClusteringCoefficients(g, opts)
+	return obs
+}
+
+func (c *Context) mcOptions(samples int) mc.Options {
+	return mc.Options{Samples: samples, Seed: c.Cfg.Seed + 1000, Workers: c.Cfg.Workers}
+}
+
+func runFig10(w io.Writer, ctx *Context) error {
+	s := ctx.Cfg.scale()
+	for _, ds := range realLikeDatasets(ctx) {
+		rng := rand.New(rand.NewSource(ctx.Cfg.Seed + 400))
+		pairs := queries.RandomPairs(ds.g.NumVertices(), s.pairs, rng)
+		base := evalQueries(ds.g, pairs, ctx.mcOptions(s.mcSamples))
+
+		for q, qn := range queryNames {
+			t := &table{
+				title: fmt.Sprintf("Figure 10: D_em of %s vs α (%s)", qn, ds.name),
+				cols:  append([]string{"method"}, alphaCols(s.alphas)...),
+			}
+			// One sparsification per (method, α), reused across queries via
+			// caching below; evaluate lazily per query to keep memory low.
+			for _, spec := range comparisonMethods() {
+				row := []string{displayName(spec)}
+				for _, alpha := range s.alphas {
+					obs, err := ctx.sparseObservations(ds.name, ds.g, spec, alpha, pairs, s.mcSamples)
+					if err != nil {
+						return err
+					}
+					row = append(row, e3(stats.EarthMovers(base[q], obs[q])))
+				}
+				t.add(row...)
+			}
+			if err := t.fprint(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sparseObservations caches query observations per (dataset, method, α) so
+// the four per-query tables of Figure 10 reuse one sparsification + MC run.
+func (c *Context) sparseObservations(dsName string, g *ugraph.Graph, spec MethodSpec, alpha float64, pairs []queries.Pair, samples int) (observations, error) {
+	key := fmt.Sprintf("obs/%s/%s/%g", dsName, spec.Name, alpha)
+	c.mu.Lock()
+	if c.obsCache == nil {
+		c.obsCache = make(map[string]observations)
+	}
+	if obs, ok := c.obsCache[key]; ok {
+		c.mu.Unlock()
+		return obs, nil
+	}
+	c.mu.Unlock()
+
+	sparse, err := spec.Run(g, alpha, c.Cfg.Seed)
+	if err != nil {
+		return observations{}, err
+	}
+	obs := evalQueries(sparse, pairs, c.mcOptions(samples))
+
+	c.mu.Lock()
+	c.obsCache[key] = obs
+	c.mu.Unlock()
+	return obs, nil
+}
+
+func runFig11(w io.Writer, ctx *Context) error {
+	s := ctx.Cfg.scale()
+	const alpha = 0.16
+	family := ctx.DensityFamily()
+	densCols := make([]string, len(family))
+	for i, di := range family {
+		densCols[i] = fmt.Sprintf("%.0f%%", di.Density*100)
+	}
+	prT := &table{
+		title: "Figure 11(a): D_em of PR vs density (synthetic, α=16%)",
+		cols:  append([]string{"method"}, densCols...),
+	}
+	spT := &table{
+		title: "Figure 11(b): D_em of SP vs density (synthetic, α=16%)",
+		cols:  append([]string{"method"}, densCols...),
+	}
+	for _, spec := range comparisonMethods() {
+		prRow := []string{displayName(spec)}
+		spRow := []string{displayName(spec)}
+		for _, di := range family {
+			rng := rand.New(rand.NewSource(ctx.Cfg.Seed + 500))
+			pairs := queries.RandomPairs(di.G.NumVertices(), s.pairs, rng)
+			base := evalQueries(di.G, pairs, ctx.mcOptions(s.mcSamples))
+			obs, err := ctx.sparseObservations(fmt.Sprintf("density-%g", di.Density), di.G, spec, alpha, pairs, s.mcSamples)
+			if err != nil {
+				return err
+			}
+			prRow = append(prRow, e3(stats.EarthMovers(base[0], obs[0])))
+			spRow = append(spRow, e3(stats.EarthMovers(base[1], obs[1])))
+		}
+		prT.add(prRow...)
+		spT.add(spRow...)
+	}
+	if err := prT.fprint(w); err != nil {
+		return err
+	}
+	return spT.fprint(w)
+}
+
+// scalarEstimators returns the Φ(G) summaries whose run-to-run variance
+// Figure 12 reports: the PageRank of the highest-expected-degree vertex,
+// the mean conditional SP distance and mean reliability over fixed pairs,
+// and the mean clustering coefficient.
+func scalarEstimators(g *ugraph.Graph, pairs []queries.Pair, samples, workers int) [4]func(run int) float64 {
+	hub := 0
+	d := g.ExpectedDegrees()
+	for v, dv := range d {
+		if dv > d[hub] {
+			hub = v
+		}
+	}
+	opts := func(run int) mc.Options {
+		return mc.Options{Samples: samples, Seed: int64(run)*7919 + 13, Workers: workers}
+	}
+	return [4]func(run int) float64{
+		func(run int) float64 {
+			return queries.ExpectedPageRank(g, opts(run), queries.PageRankOptions{})[hub]
+		},
+		func(run int) float64 {
+			sp, _ := queries.ShortestDistanceAndReliability(g, pairs, opts(run))
+			return nanMean(sp)
+		},
+		func(run int) float64 {
+			_, rl := queries.ShortestDistanceAndReliability(g, pairs, opts(run))
+			return stats.Mean(rl)
+		},
+		func(run int) float64 {
+			return stats.Mean(queries.ExpectedClusteringCoefficients(g, opts(run)))
+		},
+	}
+}
+
+func nanMean(xs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sum += x
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+func runFig12(w io.Writer, ctx *Context) error {
+	s := ctx.Cfg.scale()
+	for _, ds := range realLikeDatasets(ctx) {
+		rng := rand.New(rand.NewSource(ctx.Cfg.Seed + 600))
+		// Fewer pairs than fig10: each estimator runs varianceRuns times.
+		pairs := queries.RandomPairs(ds.g.NumVertices(), s.pairs/2, rng)
+
+		baseVar := [4]float64{}
+		baseEst := scalarEstimators(ds.g, pairs, s.varianceSamples, ctx.Cfg.Workers)
+		for q := range baseEst {
+			_, v := stats.EstimatorVariance(s.varianceRuns, baseEst[q])
+			baseVar[q] = v
+		}
+
+		t := &table{
+			title: fmt.Sprintf("Figure 12: relative variance σ̂(G')/σ̂(G) at α=16%% (%s)", ds.name),
+			cols:  append([]string{"method"}, queryNames...),
+		}
+		for _, spec := range comparisonMethods() {
+			sparse, err := spec.Run(ds.g, 0.16, ctx.Cfg.Seed)
+			if err != nil {
+				return err
+			}
+			est := scalarEstimators(sparse, pairs, s.varianceSamples, ctx.Cfg.Workers)
+			row := []string{displayName(spec)}
+			for q := range est {
+				_, v := stats.EstimatorVariance(s.varianceRuns, est[q])
+				if baseVar[q] == 0 {
+					row = append(row, "n/a")
+				} else {
+					row = append(row, e3(v/baseVar[q]))
+				}
+			}
+			t.add(row...)
+		}
+		if err := t.fprint(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"io"
+	"math/rand"
+	"time"
+
+	"ugs/internal/core"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig4a",
+		Title: "Figure 4(a): MAE of cut-size discrepancy δA(S) vs α (Flickr reduced)",
+		Run:   runFig4a,
+	})
+	register(Experiment{
+		ID:    "fig4b",
+		Title: "Figure 4(b): execution time of LP, GDB, EMD vs α (Flickr reduced)",
+		Run:   runFig4b,
+	})
+}
+
+func runFig4a(w io.Writer, ctx *Context) error {
+	s := ctx.Cfg.scale()
+	g := ctx.FlickrReduced()
+	variants := []MethodSpec{
+		proposedVariant(core.MethodEMD, core.Relative, 1, true),
+		proposedVariant(core.MethodEMD, core.Absolute, 1, false),
+		proposedVariant(core.MethodGDB, core.Relative, 1, true),
+		proposedVariant(core.MethodGDB, core.Absolute, 1, false),
+		proposedVariant(core.MethodGDB, core.Absolute, 2, false),
+		proposedVariant(core.MethodGDB, core.Absolute, core.KAll, false),
+	}
+	t := &table{
+		title: "Figure 4(a): MAE of sampled cut discrepancy δA(S) (Flickr reduced)",
+		cols:  append([]string{"variant"}, alphaCols(s.alphas)...),
+	}
+	for _, spec := range variants {
+		row := []string{spec.Name}
+		for _, alpha := range s.alphas {
+			sparse, err := spec.Run(g, alpha, ctx.Cfg.Seed)
+			if err != nil {
+				return err
+			}
+			rng := rand.New(rand.NewSource(ctx.Cfg.Seed + 100))
+			row = append(row, e3(core.MAECutDiscrepancy(g, sparse, s.cutMaxK, s.cutSamplesPerK, rng)))
+		}
+		t.add(row...)
+	}
+	return t.fprint(w)
+}
+
+func runFig4b(w io.Writer, ctx *Context) error {
+	s := ctx.Cfg.scale()
+	g := ctx.FlickrReduced()
+	variants := []MethodSpec{
+		{Name: "LP", Run: proposedVariant(core.MethodLP, core.Absolute, 1, true).Run},
+		{Name: "GDB", Run: proposedVariant(core.MethodGDB, core.Absolute, 1, true).Run},
+		{Name: "EMD", Run: proposedVariant(core.MethodEMD, core.Relative, 1, true).Run},
+	}
+	t := &table{
+		title: "Figure 4(b): execution time in seconds (Flickr reduced)",
+		cols:  append([]string{"method"}, alphaCols(s.alphas)...),
+	}
+	for _, spec := range variants {
+		row := []string{spec.Name}
+		for _, alpha := range s.alphas {
+			start := time.Now()
+			if _, err := spec.Run(g, alpha, ctx.Cfg.Seed); err != nil {
+				return err
+			}
+			row = append(row, f4(time.Since(start).Seconds()))
+		}
+		t.add(row...)
+	}
+	return t.fprint(w)
+}

@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"ugs/internal/core"
+	"ugs/internal/ugraph"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Figure 5: effect of entropy parameter h on GDB (Flickr reduced)",
+		Run:   runFig5,
+	})
+}
+
+func runFig5(w io.Writer, ctx *Context) error {
+	s := ctx.Cfg.scale()
+	g := ctx.FlickrReduced()
+	hs := []float64{core.HZero, 0.01, 0.05, 0.1, 0.5, 1}
+	hName := func(h float64) string {
+		if h == core.HZero {
+			return "h=0"
+		}
+		return fmt.Sprintf("h=%g", h)
+	}
+
+	mae := &table{
+		title: "Figure 5(a): MAE of δA(u) vs α for entropy parameter h (GDB, Flickr reduced)",
+		cols:  append([]string{"h"}, alphaCols(s.alphas)...),
+	}
+	ent := &table{
+		title: "Figure 5(b): relative entropy H(G')/H(G) vs α for entropy parameter h",
+		cols:  append([]string{"h"}, alphaCols(s.alphas)...),
+	}
+	for _, h := range hs {
+		maeRow := []string{hName(h)}
+		entRow := []string{hName(h)}
+		for _, alpha := range s.alphas {
+			out, _, err := core.Sparsify(g, alpha, core.Options{
+				Method:   core.MethodGDB,
+				Backbone: core.BackboneSpanning,
+				H:        h,
+				Seed:     ctx.Cfg.Seed,
+			})
+			if err != nil {
+				return err
+			}
+			maeRow = append(maeRow, e3(core.MAEDegreeDiscrepancy(g, out, core.Absolute)))
+			entRow = append(entRow, e3(ugraph.RelativeEntropy(out, g)))
+		}
+		mae.add(maeRow...)
+		ent.add(entRow...)
+	}
+	if err := mae.fprint(w); err != nil {
+		return err
+	}
+	return ent.fprint(w)
+}

@@ -1,0 +1,197 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"ugs/internal/core"
+	"ugs/internal/ugraph"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Figure 6: MAE of δA(u) and δA(S) vs α, methods vs benchmarks (real-like datasets)",
+		Run:   runFig6,
+	})
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Figure 7: MAE of δA(u) and δA(S) vs graph density (synthetic, α=16%)",
+		Run:   runFig7,
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Figure 8: relative entropy H(G')/H(G) vs α and density",
+		Run:   runFig8,
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Figure 9: execution time of NI, GDB, EMD vs α (real-like datasets)",
+		Run:   runFig9,
+	})
+}
+
+func realLikeDatasets(ctx *Context) []struct {
+	name string
+	g    *ugraph.Graph
+} {
+	return []struct {
+		name string
+		g    *ugraph.Graph
+	}{
+		{"Flickr-like", ctx.Flickr()},
+		{"Twitter-like", ctx.Twitter()},
+	}
+}
+
+func runFig6(w io.Writer, ctx *Context) error {
+	s := ctx.Cfg.scale()
+	for _, ds := range realLikeDatasets(ctx) {
+		deg := &table{
+			title: fmt.Sprintf("Figure 6: MAE of δA(u) (%s)", ds.name),
+			cols:  append([]string{"method"}, alphaCols(s.alphas)...),
+		}
+		cut := &table{
+			title: fmt.Sprintf("Figure 6: MAE of δA(S) (%s)", ds.name),
+			cols:  append([]string{"method"}, alphaCols(s.alphas)...),
+		}
+		for _, spec := range comparisonMethods() {
+			degRow := []string{displayName(spec)}
+			cutRow := []string{displayName(spec)}
+			for _, alpha := range s.alphas {
+				sparse, err := spec.Run(ds.g, alpha, ctx.Cfg.Seed)
+				if err != nil {
+					return err
+				}
+				degRow = append(degRow, e3(core.MAEDegreeDiscrepancy(ds.g, sparse, core.Absolute)))
+				rng := rand.New(rand.NewSource(ctx.Cfg.Seed + 200))
+				cutRow = append(cutRow, e3(core.MAECutDiscrepancy(ds.g, sparse, s.cutMaxK, s.cutSamplesPerK, rng)))
+			}
+			deg.add(degRow...)
+			cut.add(cutRow...)
+		}
+		if err := deg.fprint(w); err != nil {
+			return err
+		}
+		if err := cut.fprint(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig7(w io.Writer, ctx *Context) error {
+	s := ctx.Cfg.scale()
+	const alpha = 0.16
+	family := ctx.DensityFamily()
+	densCols := make([]string, len(family))
+	for i, di := range family {
+		densCols[i] = fmt.Sprintf("%.0f%%", di.Density*100)
+	}
+	deg := &table{
+		title: "Figure 7(a): MAE of δA(u) vs density (synthetic, α=16%)",
+		cols:  append([]string{"method"}, densCols...),
+	}
+	cut := &table{
+		title: "Figure 7(b): MAE of δA(S) vs density (synthetic, α=16%)",
+		cols:  append([]string{"method"}, densCols...),
+	}
+	for _, spec := range comparisonMethods() {
+		degRow := []string{displayName(spec)}
+		cutRow := []string{displayName(spec)}
+		for _, di := range family {
+			sparse, err := spec.Run(di.G, alpha, ctx.Cfg.Seed)
+			if err != nil {
+				return err
+			}
+			degRow = append(degRow, e3(core.MAEDegreeDiscrepancy(di.G, sparse, core.Absolute)))
+			rng := rand.New(rand.NewSource(ctx.Cfg.Seed + 300))
+			cutRow = append(cutRow, e3(core.MAECutDiscrepancy(di.G, sparse, s.cutMaxK, s.cutSamplesPerK, rng)))
+		}
+		deg.add(degRow...)
+		cut.add(cutRow...)
+	}
+	if err := deg.fprint(w); err != nil {
+		return err
+	}
+	return cut.fprint(w)
+}
+
+func runFig8(w io.Writer, ctx *Context) error {
+	s := ctx.Cfg.scale()
+	for _, ds := range realLikeDatasets(ctx) {
+		t := &table{
+			title: fmt.Sprintf("Figure 8: relative entropy H(G')/H(G) vs α (%s)", ds.name),
+			cols:  append([]string{"method"}, alphaCols(s.alphas)...),
+		}
+		for _, spec := range comparisonMethods() {
+			row := []string{displayName(spec)}
+			for _, alpha := range s.alphas {
+				sparse, err := spec.Run(ds.g, alpha, ctx.Cfg.Seed)
+				if err != nil {
+					return err
+				}
+				row = append(row, e3(ugraph.RelativeEntropy(sparse, ds.g)))
+			}
+			t.add(row...)
+		}
+		if err := t.fprint(w); err != nil {
+			return err
+		}
+	}
+
+	// Figure 8(c): entropy vs density at fixed α = 16%.
+	family := ctx.DensityFamily()
+	densCols := make([]string, len(family))
+	for i, di := range family {
+		densCols[i] = fmt.Sprintf("%.0f%%", di.Density*100)
+	}
+	t := &table{
+		title: "Figure 8(c): relative entropy vs density (synthetic, α=16%)",
+		cols:  append([]string{"method"}, densCols...),
+	}
+	for _, spec := range comparisonMethods() {
+		row := []string{displayName(spec)}
+		for _, di := range family {
+			sparse, err := spec.Run(di.G, 0.16, ctx.Cfg.Seed)
+			if err != nil {
+				return err
+			}
+			row = append(row, e3(ugraph.RelativeEntropy(sparse, di.G)))
+		}
+		t.add(row...)
+	}
+	return t.fprint(w)
+}
+
+func runFig9(w io.Writer, ctx *Context) error {
+	s := ctx.Cfg.scale()
+	methods := []MethodSpec{
+		benchmarkNI(),
+		proposedVariant(core.MethodGDB, core.Absolute, 1, false),
+		proposedVariant(core.MethodEMD, core.Relative, 1, true),
+	}
+	for _, ds := range realLikeDatasets(ctx) {
+		t := &table{
+			title: fmt.Sprintf("Figure 9: execution time in seconds (%s)", ds.name),
+			cols:  append([]string{"method"}, alphaCols(s.alphas)...),
+		}
+		for _, spec := range methods {
+			row := []string{displayName(spec)}
+			for _, alpha := range s.alphas {
+				start := time.Now()
+				if _, err := spec.Run(ds.g, alpha, ctx.Cfg.Seed); err != nil {
+					return err
+				}
+				row = append(row, f4(time.Since(start).Seconds()))
+			}
+			t.add(row...)
+		}
+		if err := t.fprint(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+
+	"ugs/internal/core"
+	"ugs/internal/ni"
+	"ugs/internal/spanner"
+	"ugs/internal/ugraph"
+)
+
+// MethodSpec names a sparsifier configuration used by the experiments.
+type MethodSpec struct {
+	Name string
+	Run  func(g *ugraph.Graph, alpha float64, seed int64) (*ugraph.Graph, error)
+}
+
+// proposedVariant builds a GDB/EMD/LP variant runner in the paper's
+// naming scheme: superscript A/R (discrepancy), subscript k, suffix -t
+// (spanning backbone).
+func proposedVariant(method core.Method, dt core.Discrepancy, k int, spanning bool) MethodSpec {
+	name := method.String()
+	switch dt {
+	case core.Absolute:
+		name += "^A"
+	case core.Relative:
+		name += "^R"
+	}
+	if k == core.KAll {
+		name += "_n"
+	} else if k > 1 {
+		name += fmt.Sprintf("_%d", k)
+	}
+	backbone := core.BackboneRandom
+	if spanning {
+		name += "-t"
+		backbone = core.BackboneSpanning
+	}
+	return MethodSpec{
+		Name: name,
+		Run: func(g *ugraph.Graph, alpha float64, seed int64) (*ugraph.Graph, error) {
+			out, _, err := core.Sparsify(g, alpha, core.Options{
+				Method:      method,
+				Discrepancy: dt,
+				Backbone:    backbone,
+				K:           k,
+				Seed:        seed,
+			})
+			return out, err
+		},
+	}
+}
+
+// benchmarkNI is the cut-sparsifier benchmark.
+func benchmarkNI() MethodSpec {
+	return MethodSpec{
+		Name: "NI",
+		Run: func(g *ugraph.Graph, alpha float64, seed int64) (*ugraph.Graph, error) {
+			res, err := ni.Sparsify(g, alpha, ni.Options{Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			return res.Graph, nil
+		},
+	}
+}
+
+// benchmarkSS is the spanner benchmark.
+func benchmarkSS() MethodSpec {
+	return MethodSpec{
+		Name: "SS",
+		Run: func(g *ugraph.Graph, alpha float64, seed int64) (*ugraph.Graph, error) {
+			res, err := spanner.Sparsify(g, alpha, spanner.Options{Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			return res.Graph, nil
+		},
+	}
+}
+
+// comparisonMethods returns the four methods of the benchmark comparisons
+// (Figures 6–12): NI, SS, and the paper's representative variants GDB
+// (= GDB^A, random backbone) and EMD (= EMD^R-t, spanning backbone).
+func comparisonMethods() []MethodSpec {
+	return []MethodSpec{
+		benchmarkNI(),
+		benchmarkSS(),
+		proposedVariant(core.MethodGDB, core.Absolute, 1, false),
+		proposedVariant(core.MethodEMD, core.Relative, 1, true),
+	}
+}
+
+// displayName maps the representative variants to their short paper names.
+func displayName(spec MethodSpec) string {
+	switch spec.Name {
+	case "GDB^A":
+		return "GDB"
+	case "EMD^R-t":
+		return "EMD"
+	}
+	return spec.Name
+}

@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"ugs/internal/ugraph"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Table 1: characteristics of datasets",
+		Run:   runTable1,
+	})
+}
+
+func runTable1(w io.Writer, ctx *Context) error {
+	t := &table{
+		title: "Table 1: characteristics of datasets (synthetic stand-ins)",
+		cols:  []string{"dataset", "vertices", "edges", "|E|/|V|", "E[p_e]", "E[d_u]"},
+	}
+	row := func(name string, g *ugraph.Graph) {
+		d := g.ExpectedDegrees()
+		var sum float64
+		for _, x := range d {
+			sum += x
+		}
+		t.add(name,
+			fmt.Sprintf("%d", g.NumVertices()),
+			fmt.Sprintf("%d", g.NumEdges()),
+			f2(float64(g.NumEdges())/float64(g.NumVertices())),
+			f2(g.MeanProb()),
+			f2(sum/float64(g.NumVertices())),
+		)
+	}
+	row("Flickr-like", ctx.Flickr())
+	row("Twitter-like", ctx.Twitter())
+	row("Flickr-reduced", ctx.FlickrReduced())
+	for _, di := range ctx.DensityFamily() {
+		row(fmt.Sprintf("Synthetic %.0f%%", di.Density*100), di.G)
+	}
+	return t.fprint(w)
+}

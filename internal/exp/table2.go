@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"io"
+
+	"ugs/internal/core"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table2",
+		Title: "Table 2: MAE of absolute degree discrepancy δA(u), all variants (Flickr reduced)",
+		Run:   runTable2,
+	})
+}
+
+// table2Variants are the twelve rows of Table 2: LP and the GDB/EMD variants
+// on random backbones, then the same on spanning (-t) backbones.
+func table2Variants() []MethodSpec {
+	lp := func(spanning bool) MethodSpec {
+		return proposedVariant(core.MethodLP, core.Absolute, 1, spanning)
+	}
+	lpRand := lp(false)
+	lpRand.Name = "LP"
+	lpSpan := lp(true)
+	lpSpan.Name = "LP-t"
+	return []MethodSpec{
+		lpRand,
+		proposedVariant(core.MethodGDB, core.Absolute, 1, false),
+		proposedVariant(core.MethodGDB, core.Relative, 1, false),
+		proposedVariant(core.MethodGDB, core.Absolute, 2, false),
+		proposedVariant(core.MethodGDB, core.Absolute, core.KAll, false),
+		proposedVariant(core.MethodEMD, core.Absolute, 1, false),
+		proposedVariant(core.MethodEMD, core.Relative, 1, false),
+		lpSpan,
+		proposedVariant(core.MethodGDB, core.Absolute, 1, true),
+		proposedVariant(core.MethodGDB, core.Relative, 1, true),
+		proposedVariant(core.MethodEMD, core.Absolute, 1, true),
+		proposedVariant(core.MethodEMD, core.Relative, 1, true),
+	}
+}
+
+func runTable2(w io.Writer, ctx *Context) error {
+	s := ctx.Cfg.scale()
+	g := ctx.FlickrReduced()
+	t := &table{
+		title: "Table 2: MAE of absolute degree discrepancy δA(u) (Flickr reduced)",
+		cols:  append([]string{"variant"}, alphaCols(s.alphas)...),
+	}
+	for _, spec := range table2Variants() {
+		row := []string{spec.Name}
+		for _, alpha := range s.alphas {
+			sparse, err := spec.Run(g, alpha, ctx.Cfg.Seed)
+			if err != nil {
+				return err
+			}
+			row = append(row, e3(core.MAEDegreeDiscrepancy(g, sparse, core.Absolute)))
+		}
+		t.add(row...)
+	}
+	return t.fprint(w)
+}
+
+func alphaCols(alphas []float64) []string {
+	out := make([]string, len(alphas))
+	for i, a := range alphas {
+		out[i] = f2(a*100) + "%"
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+// Package gen generates the synthetic uncertain graphs used by the
+// experiment harness in place of the paper's proprietary datasets:
+//
+//   - Social: a Chung–Lu power-law graph with an uncertain-edge probability
+//     mixture, standing in for the Flickr and Twitter datasets (the paper's
+//     findings depend on density, degree skew and mean edge probability,
+//     all of which are matched — see DESIGN.md §3);
+//   - Densify: the paper's own synthetic construction (Table 1): an induced
+//     base graph plus uniform random edges up to a target density;
+//   - ForestFire: the subgraph-sampling procedure of Leskovec & Faloutsos
+//     used by the paper to build the reduced Flickr instance.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ugs/internal/ugraph"
+)
+
+// SocialConfig parameterizes the Chung–Lu social-network generator.
+type SocialConfig struct {
+	// N is the number of vertices.
+	N int
+	// AvgDegree is the target average structural degree |E|·2/|V|.
+	AvgDegree float64
+	// Exponent is the power-law exponent of the expected-degree sequence
+	// (default 2.5, typical for social networks).
+	Exponent float64
+	// MeanProb is the target mean edge probability (Flickr ≈ 0.09,
+	// Twitter ≈ 0.15). Probabilities follow a clipped exponential
+	// mixture: most mass near zero with a long tail, as in real uncertain
+	// social graphs.
+	MeanProb float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c SocialConfig) withDefaults() SocialConfig {
+	if c.N == 0 {
+		c.N = 1000
+	}
+	if c.AvgDegree == 0 {
+		c.AvgDegree = 20
+	}
+	if c.Exponent == 0 {
+		c.Exponent = 2.5
+	}
+	if c.MeanProb == 0 {
+		c.MeanProb = 0.09
+	}
+	return c
+}
+
+// FlickrLike returns a scaled-down analog of the paper's Flickr dataset:
+// dense (high average degree), low mean edge probability.
+func FlickrLike(n int, seed int64) *ugraph.Graph {
+	g, err := Social(SocialConfig{N: n, AvgDegree: 40, MeanProb: 0.09, Seed: seed})
+	if err != nil {
+		panic(err) // static config cannot fail
+	}
+	return g
+}
+
+// TwitterLike returns a scaled-down analog of the paper's Twitter dataset:
+// sparser than Flickr with higher mean edge probability.
+func TwitterLike(n int, seed int64) *ugraph.Graph {
+	g, err := Social(SocialConfig{N: n, AvgDegree: 15, MeanProb: 0.15, Seed: seed})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Social generates a connected uncertain graph with a power-law degree
+// distribution via the Chung–Lu model: vertices receive expected-degree
+// weights w_i ∝ (i+i₀)^(−1/(γ−1)) and each pair (i,j) is linked with
+// probability min(1, w_i·w_j/Σw). Pair enumeration is O(N²).
+func Social(cfg SocialConfig) (*ugraph.Graph, error) {
+	cfg = cfg.withDefaults()
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("gen: need at least 2 vertices, got %d", cfg.N)
+	}
+	if cfg.AvgDegree <= 0 || cfg.AvgDegree >= float64(cfg.N) {
+		return nil, fmt.Errorf("gen: average degree %v out of range", cfg.AvgDegree)
+	}
+	if !(cfg.MeanProb > 0 && cfg.MeanProb <= 1) {
+		return nil, fmt.Errorf("gen: mean probability %v outside (0,1]", cfg.MeanProb)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Power-law weights, shifted to avoid a degenerate hub, scaled to the
+	// requested total degree.
+	n := cfg.N
+	w := make([]float64, n)
+	var sum float64
+	beta := 1 / (cfg.Exponent - 1)
+	const i0 = 3
+	for i := range w {
+		w[i] = math.Pow(float64(i+i0), -beta)
+		sum += w[i]
+	}
+	scale := cfg.AvgDegree * float64(n) / sum
+	for i := range w {
+		w[i] *= scale
+	}
+	total := cfg.AvgDegree * float64(n) // = Σw after scaling
+
+	b := ugraph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pLink := w[i] * w[j] / total
+			if pLink > 1 {
+				pLink = 1
+			}
+			if rng.Float64() < pLink {
+				if err := b.AddEdge(i, j, drawProb(rng, cfg.MeanProb)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	g := b.Graph()
+	return connect(g, cfg.MeanProb, rng)
+}
+
+// drawProb samples an edge probability from a clipped exponential with the
+// given mean: mass concentrates near zero with a long tail, clipped to
+// [0.01, 1].
+func drawProb(rng *rand.Rand, mean float64) float64 {
+	p := rng.ExpFloat64() * mean
+	if p < 0.01 {
+		p = 0.01
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// connect joins the components of g by adding uncertain edges between a
+// random representative of each component and a random vertex of the
+// largest, yielding a connected graph as the sparsification framework
+// assumes.
+func connect(g *ugraph.Graph, meanProb float64, rng *rand.Rand) (*ugraph.Graph, error) {
+	comp, k := g.Components()
+	if k <= 1 {
+		return g, nil
+	}
+	members := make([][]int, k)
+	for v, c := range comp {
+		members[c] = append(members[c], v)
+	}
+	sort.Slice(members, func(a, b int) bool { return len(members[a]) > len(members[b]) })
+
+	b := ugraph.NewBuilder(g.NumVertices())
+	for _, e := range g.Edges() {
+		if err := b.AddEdge(e.U, e.V, e.P); err != nil {
+			return nil, err
+		}
+	}
+	main := members[0]
+	for _, comp := range members[1:] {
+		u := comp[rng.Intn(len(comp))]
+		v := main[rng.Intn(len(main))]
+		if err := b.AddEdge(u, v, drawProb(rng, meanProb)); err != nil {
+			return nil, err
+		}
+	}
+	return b.Graph(), nil
+}
+
+// Densify implements the paper's synthetic construction (Table 1): starting
+// from base, random vertex pairs are connected until the edge count reaches
+// density·N(N−1)/2, with new probabilities drawn from the same clipped
+// exponential mixture.
+func Densify(base *ugraph.Graph, density, meanProb float64, seed int64) (*ugraph.Graph, error) {
+	if !(density > 0 && density <= 1) {
+		return nil, fmt.Errorf("gen: density %v outside (0,1]", density)
+	}
+	n := base.NumVertices()
+	target := int(math.Round(density * float64(n) * float64(n-1) / 2))
+	if target < base.NumEdges() {
+		return nil, fmt.Errorf("gen: base already has %d edges, above target %d", base.NumEdges(), target)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := ugraph.NewBuilder(n)
+	for _, e := range base.Edges() {
+		if err := b.AddEdge(e.U, e.V, e.P); err != nil {
+			return nil, err
+		}
+	}
+	have := base.NumEdges()
+	exists := make(map[[2]int]bool, target)
+	for _, e := range base.Edges() {
+		exists[[2]int{e.U, e.V}] = true
+	}
+	for have < target {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if exists[[2]int{u, v}] {
+			continue
+		}
+		exists[[2]int{u, v}] = true
+		if err := b.AddEdge(u, v, drawProb(rng, meanProb)); err != nil {
+			return nil, err
+		}
+		have++
+	}
+	return b.Graph(), nil
+}
+
+// ForestFire samples an induced subgraph with targetVertices vertices by the
+// forest-fire process of Leskovec & Faloutsos: repeatedly pick a random
+// unburned ambassador and spread fire to geometric numbers of unburned
+// neighbors (forward-burning probability pf). It returns the induced
+// subgraph and the original vertex identifiers.
+func ForestFire(g *ugraph.Graph, targetVertices int, pf float64, seed int64) (*ugraph.Graph, []int, error) {
+	n := g.NumVertices()
+	if targetVertices < 1 || targetVertices > n {
+		return nil, nil, fmt.Errorf("gen: target %d outside [1,%d]", targetVertices, n)
+	}
+	if !(pf > 0 && pf < 1) {
+		return nil, nil, fmt.Errorf("gen: forward-burning probability %v outside (0,1)", pf)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	burned := make([]bool, n)
+	var order []int
+	burn := func(v int) {
+		burned[v] = true
+		order = append(order, v)
+	}
+
+	var queue []int
+	for len(order) < targetVertices {
+		// New ambassador.
+		amb := rng.Intn(n)
+		for burned[amb] {
+			amb = rng.Intn(n)
+		}
+		burn(amb)
+		queue = append(queue[:0], amb)
+		for len(queue) > 0 && len(order) < targetVertices {
+			u := queue[0]
+			queue = queue[1:]
+			// Geometric number of links to follow: mean pf/(1−pf).
+			x := 0
+			for rng.Float64() < pf {
+				x++
+			}
+			if x == 0 {
+				continue
+			}
+			// Burn up to x random unburned neighbors.
+			var cand []int
+			for _, a := range g.Neighbors(u) {
+				if !burned[a.To] {
+					cand = append(cand, a.To)
+				}
+			}
+			rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+			if x > len(cand) {
+				x = len(cand)
+			}
+			for _, v := range cand[:x] {
+				if len(order) >= targetVertices {
+					break
+				}
+				burn(v)
+				queue = append(queue, v)
+			}
+		}
+	}
+	sub, orig, err := g.InducedSubgraph(order)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, orig, nil
+}

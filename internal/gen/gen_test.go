@@ -1,0 +1,173 @@
+package gen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"ugs/internal/ugraph"
+)
+
+func TestSocialBasicShape(t *testing.T) {
+	g, err := Social(SocialConfig{N: 500, AvgDegree: 12, MeanProb: 0.09, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 500 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	avgDeg := 2 * float64(g.NumEdges()) / float64(g.NumVertices())
+	if avgDeg < 6 || avgDeg > 20 {
+		t.Errorf("average degree %v far from target 12", avgDeg)
+	}
+	if mp := g.MeanProb(); mp < 0.05 || mp > 0.14 {
+		t.Errorf("mean probability %v far from target 0.09", mp)
+	}
+	if !g.IsConnected() {
+		t.Error("generator must return a connected graph")
+	}
+	for _, e := range g.Edges() {
+		if !(e.P > 0 && e.P <= 1) {
+			t.Fatalf("invalid probability %v", e.P)
+		}
+	}
+}
+
+func TestSocialDegreeSkew(t *testing.T) {
+	g, err := Social(SocialConfig{N: 800, AvgDegree: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degs := make([]int, g.NumVertices())
+	for v := range degs {
+		degs[v] = g.Degree(v)
+	}
+	sort.Ints(degs)
+	median := degs[len(degs)/2]
+	max := degs[len(degs)-1]
+	if max < 4*median {
+		t.Errorf("degree distribution not skewed: max %d, median %d", max, median)
+	}
+}
+
+func TestFlickrAndTwitterPresets(t *testing.T) {
+	f := FlickrLike(300, 3)
+	tw := TwitterLike(300, 3)
+	fDens := float64(f.NumEdges()) / float64(f.NumVertices())
+	tDens := float64(tw.NumEdges()) / float64(tw.NumVertices())
+	if fDens <= tDens {
+		t.Errorf("Flickr-like density %v not above Twitter-like %v", fDens, tDens)
+	}
+	if f.MeanProb() >= tw.MeanProb() {
+		t.Errorf("Flickr-like E[p] %v not below Twitter-like %v", f.MeanProb(), tw.MeanProb())
+	}
+}
+
+func TestSocialDeterministic(t *testing.T) {
+	a, err := Social(SocialConfig{N: 200, AvgDegree: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Social(SocialConfig{N: 200, AvgDegree: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("same seed produced different graphs")
+	}
+}
+
+func TestSocialErrors(t *testing.T) {
+	if _, err := Social(SocialConfig{N: 1}); err == nil {
+		t.Error("N=1 accepted")
+	}
+	if _, err := Social(SocialConfig{N: 10, AvgDegree: 100}); err == nil {
+		t.Error("average degree above N accepted")
+	}
+	if _, err := Social(SocialConfig{N: 10, AvgDegree: 2, MeanProb: 2}); err == nil {
+		t.Error("mean probability above 1 accepted")
+	}
+}
+
+func TestDensify(t *testing.T) {
+	base, err := Social(SocialConfig{N: 100, AvgDegree: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, density := range []float64{0.15, 0.3} {
+		g, err := Densify(base, density, 0.09, 6)
+		if err != nil {
+			t.Fatalf("density %v: %v", density, err)
+		}
+		want := int(math.Round(density * 100 * 99 / 2))
+		if g.NumEdges() != want {
+			t.Errorf("density %v: %d edges, want %d", density, g.NumEdges(), want)
+		}
+		// All base edges must survive with their probabilities.
+		for _, e := range base.Edges() {
+			id, ok := g.EdgeID(e.U, e.V)
+			if !ok || g.Prob(id) != e.P {
+				t.Fatalf("base edge (%d,%d) lost or changed", e.U, e.V)
+			}
+		}
+	}
+}
+
+func TestDensifyErrors(t *testing.T) {
+	base, err := Social(SocialConfig{N: 50, AvgDegree: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Densify(base, 0.05, 0.09, 1); err == nil {
+		t.Error("target below base edge count accepted")
+	}
+	if _, err := Densify(base, 1.5, 0.09, 1); err == nil {
+		t.Error("density above 1 accepted")
+	}
+}
+
+func TestForestFire(t *testing.T) {
+	g, err := Social(SocialConfig{N: 400, AvgDegree: 12, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, orig, err := ForestFire(g, 120, 0.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 120 || len(orig) != 120 {
+		t.Fatalf("sample has %d vertices, want 120", sub.NumVertices())
+	}
+	// Induced-subgraph property: every sampled edge maps to an original
+	// edge with the same probability.
+	for _, e := range sub.Edges() {
+		id, ok := g.EdgeID(orig[e.U], orig[e.V])
+		if !ok {
+			t.Fatalf("edge (%d,%d) not present in original", orig[e.U], orig[e.V])
+		}
+		if g.Prob(id) != e.P {
+			t.Fatalf("edge probability changed")
+		}
+	}
+	// Distinct vertices.
+	seen := map[int]bool{}
+	for _, v := range orig {
+		if seen[v] {
+			t.Fatal("duplicate vertex in sample")
+		}
+		seen[v] = true
+	}
+}
+
+func TestForestFireErrors(t *testing.T) {
+	g := ugraph.MustNew(3, []ugraph.Edge{{U: 0, V: 1, P: 0.5}})
+	if _, _, err := ForestFire(g, 0, 0.5, 1); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, _, err := ForestFire(g, 5, 0.5, 1); err == nil {
+		t.Error("target above N accepted")
+	}
+	if _, _, err := ForestFire(g, 2, 1.5, 1); err == nil {
+		t.Error("pf out of range accepted")
+	}
+}

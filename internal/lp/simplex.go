@@ -1,0 +1,316 @@
+// Package lp implements a dense primal simplex solver for linear programs
+// with bounded variables:
+//
+//	maximize    c·x
+//	subject to  A·x ≤ b,   0 ≤ x ≤ u,   b ≥ 0
+//
+// This is exactly the shape of the optimal probability-assignment LP of the
+// paper (Theorem 1): maximize Σ p'_e subject to A_b·p' ≤ d and p' ∈ [0,1],
+// where A_b is the incidence matrix of the backbone graph and d the expected
+// degree vector of the original graph.
+//
+// The solver handles variable upper bounds natively (nonbasic variables rest
+// at either bound; bound flips avoid pivots), uses Dantzig pricing with an
+// automatic switch to Bland's rule under prolonged degeneracy, and requires
+// b ≥ 0 so that x = 0 is an initial basic feasible solution — a property the
+// probability-assignment LP always satisfies. Passing a negative b entry
+// returns ErrInfeasibleStart.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by Solve.
+var (
+	ErrInfeasibleStart = errors.New("lp: b has a negative entry; x = 0 is not feasible")
+	ErrUnbounded       = errors.New("lp: objective is unbounded")
+	ErrIterationLimit  = errors.New("lp: iteration limit exceeded")
+	ErrBadShape        = errors.New("lp: inconsistent problem dimensions")
+)
+
+// Problem is a bounded-variable LP in the canonical form documented at the
+// package level. A is dense, row-major: A[i] is the i-th constraint row and
+// must have len(A[i]) == len(C). Upper[j] may be math.Inf(1) for an
+// unbounded-above variable.
+type Problem struct {
+	C     []float64   // objective coefficients, length n
+	A     [][]float64 // m×n constraint matrix
+	B     []float64   // right-hand side, length m, non-negative
+	Upper []float64   // variable upper bounds, length n
+}
+
+// Solution is an optimal solution of a Problem.
+type Solution struct {
+	X          []float64 // optimal variable values, length n
+	Objective  float64   // c·x at the optimum
+	Iterations int       // simplex pivots + bound flips performed
+}
+
+const (
+	tol  = 1e-9 // general feasibility/pricing tolerance
+	tiny = 1e-12
+)
+
+type varStatus uint8
+
+const (
+	atLower varStatus = iota
+	atUpper
+	inBasis
+)
+
+// Solve optimizes the problem with the primal simplex method. The iteration
+// limit scales with the problem size; ErrIterationLimit indicates a likely
+// numerical cycling pathology rather than a valid unbounded/infeasible
+// verdict.
+func Solve(p *Problem) (*Solution, error) {
+	m, n := len(p.B), len(p.C)
+	if len(p.A) != m || len(p.Upper) != n {
+		return nil, ErrBadShape
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return nil, fmt.Errorf("%w: row %d has %d entries, want %d", ErrBadShape, i, len(row), n)
+		}
+	}
+	for i, bi := range p.B {
+		if bi < -tol {
+			return nil, fmt.Errorf("%w: b[%d] = %v", ErrInfeasibleStart, i, bi)
+		}
+	}
+	for j, uj := range p.Upper {
+		if uj < 0 || math.IsNaN(uj) {
+			return nil, fmt.Errorf("%w: upper[%d] = %v", ErrBadShape, j, uj)
+		}
+	}
+
+	s := newState(p)
+	maxIter := 200 * (m + s.total)
+	if maxIter < 2000 {
+		maxIter = 2000
+	}
+	degenerate := 0
+	bland := false
+
+	for iter := 0; iter < maxIter; iter++ {
+		j, sigma := s.chooseEntering(bland)
+		if j < 0 {
+			return s.solution(iter), nil // optimal
+		}
+		step, leaving, leavingToUpper := s.ratioTest(j, sigma, bland)
+		if math.IsInf(step, 1) {
+			return nil, ErrUnbounded
+		}
+		if step < tiny {
+			degenerate++
+			if degenerate > 2*(m+s.total) {
+				bland = true // anti-cycling fallback
+			}
+		} else {
+			degenerate = 0
+		}
+		s.applyStep(j, sigma, step, leaving, leavingToUpper)
+	}
+	return nil, ErrIterationLimit
+}
+
+// state holds the simplex working data. Variables 0..n-1 are structural;
+// n..n+m-1 are slacks for the ≤ constraints.
+type state struct {
+	m, n, total int
+	tab         [][]float64 // m × total current tableau (B⁻¹[A|I])
+	red         []float64   // reduced costs, length total
+	bval        []float64   // current values of basic variables, per row
+	basic       []int       // basic[i] = variable basic in row i
+	status      []varStatus // per variable
+	upper       []float64   // per variable (slacks: +Inf)
+	cost        []float64   // per variable (slacks: 0)
+}
+
+func newState(p *Problem) *state {
+	m, n := len(p.B), len(p.C)
+	total := n + m
+	s := &state{
+		m: m, n: n, total: total,
+		tab:    make([][]float64, m),
+		red:    make([]float64, total),
+		bval:   make([]float64, m),
+		basic:  make([]int, m),
+		status: make([]varStatus, total),
+		upper:  make([]float64, total),
+		cost:   make([]float64, total),
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, total)
+		copy(row, p.A[i])
+		row[n+i] = 1
+		s.tab[i] = row
+		s.bval[i] = p.B[i]
+		s.basic[i] = n + i
+		s.status[n+i] = inBasis
+	}
+	for j := 0; j < n; j++ {
+		s.status[j] = atLower
+		s.upper[j] = p.Upper[j]
+		s.cost[j] = p.C[j]
+		s.red[j] = p.C[j] // c_B = 0 initially (slack basis)
+	}
+	for j := n; j < total; j++ {
+		s.upper[j] = math.Inf(1)
+	}
+	return s
+}
+
+// chooseEntering returns the entering variable and its direction sign
+// (+1: increase from lower bound, −1: decrease from upper bound), or (−1, 0)
+// at optimality.
+func (s *state) chooseEntering(bland bool) (j int, sigma float64) {
+	bestJ, bestSigma, bestScore := -1, 0.0, tol
+	for v := 0; v < s.total; v++ {
+		var score, sg float64
+		switch s.status[v] {
+		case atLower:
+			score, sg = s.red[v], 1
+		case atUpper:
+			score, sg = -s.red[v], -1
+		default:
+			continue
+		}
+		if score <= tol {
+			continue
+		}
+		if bland {
+			return v, sg // first improving index
+		}
+		if score > bestScore {
+			bestJ, bestSigma, bestScore = v, sg, score
+		}
+	}
+	return bestJ, bestSigma
+}
+
+// ratioTest determines how far the entering variable j can move in direction
+// sigma. It returns the step length, the leaving row (−1 for a bound flip of
+// j itself), and whether the leaving basic variable exits at its upper
+// bound.
+func (s *state) ratioTest(j int, sigma float64, bland bool) (step float64, leaving int, leavingToUpper bool) {
+	step = s.upper[j] // bound-flip distance (lower→upper or upper→lower)
+	leaving = -1
+	for i := 0; i < s.m; i++ {
+		coef := sigma * s.tab[i][j]
+		var limit float64
+		var toUpper bool
+		switch {
+		case coef > tol:
+			limit = s.bval[i] / coef // basic variable drops to 0
+		case coef < -tol:
+			ub := s.upper[s.basic[i]]
+			if math.IsInf(ub, 1) {
+				continue
+			}
+			limit = (ub - s.bval[i]) / -coef // basic variable rises to ub
+			toUpper = true
+		default:
+			continue
+		}
+		if limit < 0 {
+			limit = 0 // numerical guard: never step backwards
+		}
+		if limit < step-tiny || (bland && leaving >= 0 && math.Abs(limit-step) <= tiny && s.basic[i] < s.basic[leaving]) {
+			step, leaving, leavingToUpper = limit, i, toUpper
+		}
+	}
+	return step, leaving, leavingToUpper
+}
+
+// applyStep moves the entering variable by step·sigma, updating basic values
+// and, unless the move is a pure bound flip, pivoting the tableau.
+func (s *state) applyStep(j int, sigma, step float64, leaving int, leavingToUpper bool) {
+	for i := 0; i < s.m; i++ {
+		s.bval[i] -= sigma * step * s.tab[i][j]
+	}
+	if leaving < 0 {
+		// Bound flip: j swaps bounds without entering the basis.
+		if s.status[j] == atLower {
+			s.status[j] = atUpper
+		} else {
+			s.status[j] = atLower
+		}
+		return
+	}
+
+	// Entering variable's new value.
+	enterVal := sigma * step
+	if s.status[j] == atUpper {
+		enterVal += s.upper[j]
+	}
+
+	lv := s.basic[leaving]
+	if leavingToUpper {
+		s.status[lv] = atUpper
+	} else {
+		s.status[lv] = atLower
+	}
+
+	// Pivot row normalization.
+	prow := s.tab[leaving]
+	piv := prow[j]
+	inv := 1 / piv
+	for k := range prow {
+		prow[k] *= inv
+	}
+	for i := 0; i < s.m; i++ {
+		if i == leaving {
+			continue
+		}
+		f := s.tab[i][j]
+		if f == 0 {
+			continue
+		}
+		row := s.tab[i]
+		for k := range row {
+			row[k] -= f * prow[k]
+		}
+	}
+	rf := s.red[j]
+	if rf != 0 {
+		for k := range s.red {
+			s.red[k] -= rf * prow[k]
+		}
+	}
+
+	s.basic[leaving] = j
+	s.status[j] = inBasis
+	s.bval[leaving] = enterVal
+}
+
+// solution extracts variable values and recomputes the objective from
+// scratch for accuracy.
+func (s *state) solution(iters int) *Solution {
+	x := make([]float64, s.n)
+	for j := 0; j < s.n; j++ {
+		if s.status[j] == atUpper {
+			x[j] = s.upper[j]
+		}
+	}
+	for i, v := range s.basic {
+		if v < s.n {
+			x[v] = s.bval[i]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < s.n; j++ {
+		// Clamp small negative noise from pivoting.
+		if x[j] < 0 && x[j] > -1e-7 {
+			x[j] = 0
+		}
+		if ub := s.upper[j]; x[j] > ub && x[j] < ub+1e-7 {
+			x[j] = ub
+		}
+		obj += s.cost[j] * x[j]
+	}
+	return &Solution{X: x, Objective: obj, Iterations: iters}
+}

@@ -1,0 +1,360 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	checkFeasible(t, p, s.X)
+	return s
+}
+
+func checkFeasible(t *testing.T, p *Problem, x []float64) {
+	t.Helper()
+	const eps = 1e-6
+	for j, xj := range x {
+		if xj < -eps || xj > p.Upper[j]+eps {
+			t.Errorf("x[%d] = %v violates bounds [0,%v]", j, xj, p.Upper[j])
+		}
+	}
+	for i, row := range p.A {
+		lhs := 0.0
+		for j, a := range row {
+			lhs += a * x[j]
+		}
+		if lhs > p.B[i]+eps {
+			t.Errorf("constraint %d violated: %v > %v", i, lhs, p.B[i])
+		}
+	}
+}
+
+func TestKnownLPs(t *testing.T) {
+	cases := []struct {
+		name    string
+		p       Problem
+		wantObj float64
+	}{
+		{
+			name: "shared capacity",
+			p: Problem{
+				C:     []float64{1, 1},
+				A:     [][]float64{{1, 1}},
+				B:     []float64{1.5},
+				Upper: []float64{1, 1},
+			},
+			wantObj: 1.5,
+		},
+		{
+			name: "weighted",
+			p: Problem{
+				C:     []float64{2, 1},
+				A:     [][]float64{{1, 2}},
+				B:     []float64{2},
+				Upper: []float64{1, 1},
+			},
+			wantObj: 2.5, // x=1, y=0.5
+		},
+		{
+			name: "all at upper bound",
+			p: Problem{
+				C:     []float64{1, 1, 1},
+				A:     [][]float64{{1, 1, 1}},
+				B:     []float64{10},
+				Upper: []float64{1, 1, 1},
+			},
+			wantObj: 3,
+		},
+		{
+			name: "binding zero rhs",
+			p: Problem{
+				C:     []float64{1, 1},
+				A:     [][]float64{{1, 0}, {0, 1}},
+				B:     []float64{0, 0.5},
+				Upper: []float64{1, 1},
+			},
+			wantObj: 0.5,
+		},
+		{
+			name: "negative costs ignored",
+			p: Problem{
+				C:     []float64{-1, 2},
+				A:     [][]float64{{1, 1}},
+				B:     []float64{1},
+				Upper: []float64{1, 1},
+			},
+			wantObj: 2, // y=1, x=0
+		},
+		{
+			name: "no constraints bind",
+			p: Problem{
+				C:     []float64{3, 4},
+				A:     [][]float64{{1, 1}},
+				B:     []float64{100},
+				Upper: []float64{2, 2},
+			},
+			wantObj: 14,
+		},
+		{
+			name: "zero upper bound variable",
+			p: Problem{
+				C:     []float64{5, 1},
+				A:     [][]float64{{1, 1}},
+				B:     []float64{3},
+				Upper: []float64{0, 1},
+			},
+			wantObj: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := solveOK(t, &tc.p)
+			if math.Abs(s.Objective-tc.wantObj) > 1e-6 {
+				t.Errorf("objective = %v, want %v (x=%v)", s.Objective, tc.wantObj, s.X)
+			}
+		})
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		C:     []float64{1},
+		A:     [][]float64{{-1}},
+		B:     []float64{1},
+		Upper: []float64{math.Inf(1)},
+	}
+	if _, err := Solve(p); err != ErrUnbounded {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := Solve(&Problem{
+		C: []float64{1}, A: [][]float64{{1}}, B: []float64{-1}, Upper: []float64{1},
+	}); err == nil {
+		t.Error("negative b accepted")
+	}
+	if _, err := Solve(&Problem{
+		C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}, Upper: []float64{1},
+	}); err == nil {
+		t.Error("ragged A accepted")
+	}
+	if _, err := Solve(&Problem{
+		C: []float64{1}, A: [][]float64{{1}}, B: []float64{1}, Upper: []float64{-1},
+	}); err == nil {
+		t.Error("negative upper bound accepted")
+	}
+	if _, err := Solve(&Problem{
+		C: []float64{1, 1}, A: [][]float64{{1}}, B: []float64{1}, Upper: []float64{1, 1},
+	}); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+// bruteForceOpt enumerates candidate vertices of the feasible polytope
+// {Ax ≤ b, 0 ≤ x ≤ u} by intersecting every choice of n active hyperplanes
+// (constraint rows, lower bounds, upper bounds) and returns the best
+// feasible objective. Exponential; only for n ≤ 3, m small.
+type plane struct {
+	a []float64
+	b float64
+}
+
+func bruteForceOpt(p *Problem) float64 {
+	n := len(p.C)
+	var planes []plane
+	for i, row := range p.A {
+		planes = append(planes, plane{row, p.B[i]})
+	}
+	for j := 0; j < n; j++ {
+		lo := make([]float64, n)
+		lo[j] = 1
+		planes = append(planes, plane{lo, 0})
+		if !math.IsInf(p.Upper[j], 1) {
+			hi := make([]float64, n)
+			hi[j] = 1
+			planes = append(planes, plane{hi, p.Upper[j]})
+		}
+	}
+	best := math.Inf(-1)
+	idx := make([]int, n)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == n {
+			x, ok := solveSquare(planes, idx, n)
+			if !ok {
+				return
+			}
+			// Feasibility check.
+			for j := 0; j < n; j++ {
+				if x[j] < -1e-9 || x[j] > p.Upper[j]+1e-9 {
+					return
+				}
+			}
+			for i, row := range p.A {
+				lhs := 0.0
+				for j := range row {
+					lhs += row[j] * x[j]
+				}
+				if lhs > p.B[i]+1e-9 {
+					return
+				}
+			}
+			obj := 0.0
+			for j := 0; j < n; j++ {
+				obj += p.C[j] * x[j]
+			}
+			if obj > best {
+				best = obj
+			}
+			return
+		}
+		for i := start; i < len(planes); i++ {
+			idx[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// solveSquare solves the n×n system given by the selected planes via
+// Gaussian elimination with partial pivoting.
+func solveSquare(planes []plane, idx []int, n int) ([]float64, bool) {
+	m := make([][]float64, n)
+	for r := 0; r < n; r++ {
+		row := make([]float64, n+1)
+		copy(row, planes[idx[r]].a)
+		row[n] = planes[idx[r]].b
+		m[r] = row
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, false // singular
+		}
+		m[col], m[piv] = m[piv], m[col]
+		inv := 1 / m[col][col]
+		for k := col; k <= n; k++ {
+			m[col][k] *= inv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col]
+			for k := col; k <= n; k++ {
+				m[r][k] -= f * m[col][k]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for r := 0; r < n; r++ {
+		x[r] = m[r][n]
+	}
+	return x, true
+}
+
+func TestSolveAgainstVertexEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		m := 1 + rng.Intn(3)
+		p := &Problem{
+			C:     make([]float64, n),
+			A:     make([][]float64, m),
+			B:     make([]float64, m),
+			Upper: make([]float64, n),
+		}
+		for j := 0; j < n; j++ {
+			p.C[j] = rng.NormFloat64()
+			p.Upper[j] = rng.Float64() * 2
+		}
+		for i := 0; i < m; i++ {
+			p.A[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				// Mostly non-negative coefficients keep problems bounded and
+				// mirror the incidence-matrix structure of the target LP.
+				p.A[i][j] = rng.Float64()
+			}
+			p.B[i] = rng.Float64() * 2
+		}
+		s, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		want := bruteForceOpt(p)
+		return math.Abs(s.Objective-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBMatchingIdentity: with the backbone equal to the full graph, the
+// probability-assignment LP has optimum Σ p_e (Lemma 1 corollary: the
+// original probabilities are optimal and the per-vertex constraints cap the
+// doubled sum at Σ d_u = 2 Σ p_e).
+func TestBMatchingIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n, m = 12, 30
+	type edge struct{ u, v int }
+	var edges []edge
+	seen := map[[2]int]bool{}
+	for len(edges) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		edges = append(edges, edge{u, v})
+	}
+	prob := make([]float64, m)
+	deg := make([]float64, n)
+	for i, e := range edges {
+		prob[i] = rng.Float64()*0.9 + 0.05
+		deg[e.u] += prob[i]
+		deg[e.v] += prob[i]
+	}
+	p := &Problem{
+		C:     make([]float64, m),
+		A:     make([][]float64, n),
+		B:     deg,
+		Upper: make([]float64, m),
+	}
+	total := 0.0
+	for i := range prob {
+		p.C[i] = 1
+		p.Upper[i] = 1
+		total += prob[i]
+	}
+	for u := 0; u < n; u++ {
+		p.A[u] = make([]float64, m)
+	}
+	for i, e := range edges {
+		p.A[e.u][i] = 1
+		p.A[e.v][i] = 1
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-total) > 1e-6 {
+		t.Errorf("b-matching objective = %v, want Σp = %v", s.Objective, total)
+	}
+}

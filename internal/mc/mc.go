@@ -1,0 +1,150 @@
+// Package mc is the Monte-Carlo engine for possible-world query evaluation
+// on uncertain graphs (Equation 1 of the paper). It samples worlds in
+// parallel with deterministic per-sample seeding, so results are independent
+// of the worker count, and provides exact exhaustive evaluation for tiny
+// graphs as a testing oracle.
+package mc
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"ugs/internal/ugraph"
+)
+
+// Options configures a Monte-Carlo run.
+type Options struct {
+	// Samples is the number of possible worlds to draw. Default 500 (the
+	// paper's query-evaluation setting).
+	Samples int
+	// Seed makes runs reproducible. Sample i is always drawn from a
+	// deterministic function of (Seed, i), so results do not depend on
+	// scheduling or Workers.
+	Seed int64
+	// Workers is the parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Samples == 0 {
+		o.Samples = 500
+	}
+	if o.Workers <= 0 {
+		o.Workers = defaultWorkers()
+	}
+	return o
+}
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// sampleSeed derives the rng seed for sample i using a splitmix64-style
+// scramble, avoiding correlation between consecutive samples.
+func sampleSeed(base int64, i int) int64 {
+	z := uint64(base) + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// ForEachWorld draws opts.Samples possible worlds of g and invokes fn for
+// each, in parallel. fn receives the sample index and a World that is reused
+// by the calling goroutine: it must not be retained. fn must be safe for
+// concurrent invocation on distinct indices.
+func ForEachWorld(g *ugraph.Graph, opts Options, fn func(i int, w *ugraph.World)) {
+	opts = opts.withDefaults()
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for k := 0; k < opts.Workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := ugraph.NewWorld(g)
+			for i := range next {
+				rng := rand.New(rand.NewSource(sampleSeed(opts.Seed, i)))
+				g.SampleWorldInto(rng, w)
+				fn(i, w)
+			}
+		}()
+	}
+	for i := 0; i < opts.Samples; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// MeanVector runs fn over sampled worlds, where fn writes a per-entity
+// vector of dim values for its world into out, and returns the element-wise
+// mean across samples. It is the workhorse for vector-valued queries
+// (PageRank, clustering coefficient).
+func MeanVector(g *ugraph.Graph, opts Options, dim int, fn func(w *ugraph.World, out []float64)) []float64 {
+	opts = opts.withDefaults()
+	mean := make([]float64, dim)
+	var mu sync.Mutex
+	scratchPool := sync.Pool{New: func() interface{} { return make([]float64, dim) }}
+
+	ForEachWorld(g, opts, func(i int, w *ugraph.World) {
+		out := scratchPool.Get().([]float64)
+		for j := range out {
+			out[j] = 0
+		}
+		fn(w, out)
+		mu.Lock()
+		for j, v := range out {
+			mean[j] += v
+		}
+		mu.Unlock()
+		scratchPool.Put(out)
+	})
+
+	inv := 1 / float64(opts.Samples)
+	for j := range mean {
+		mean[j] *= inv
+	}
+	return mean
+}
+
+// ProbabilityOf estimates Pr[pred(world)] by Monte-Carlo sampling.
+func ProbabilityOf(g *ugraph.Graph, opts Options, pred func(w *ugraph.World) bool) float64 {
+	opts = opts.withDefaults()
+	var total int64
+	var mu sync.Mutex
+	ForEachWorld(g, opts, func(i int, w *ugraph.World) {
+		if pred(w) {
+			mu.Lock()
+			total++
+			mu.Unlock()
+		}
+	})
+	return float64(total) / float64(opts.Samples)
+}
+
+// ExactProbabilityOf computes Pr[pred(world)] by exhaustive possible-world
+// enumeration (Equation 1). Exponential in |E|; tiny graphs only.
+func ExactProbabilityOf(g *ugraph.Graph, pred func(w *ugraph.World) bool) float64 {
+	var pr float64
+	ugraph.EnumerateWorlds(g, func(w *ugraph.World, p float64) {
+		if pred(w) {
+			pr += p
+		}
+	})
+	return pr
+}
+
+// ExactMeanVector computes the exact expectation of a vector-valued
+// per-world function by exhaustive enumeration. Tiny graphs only.
+func ExactMeanVector(g *ugraph.Graph, dim int, fn func(w *ugraph.World, out []float64)) []float64 {
+	mean := make([]float64, dim)
+	out := make([]float64, dim)
+	ugraph.EnumerateWorlds(g, func(w *ugraph.World, p float64) {
+		for j := range out {
+			out[j] = 0
+		}
+		fn(w, out)
+		for j, v := range out {
+			mean[j] += p * v
+		}
+	})
+	return mean
+}

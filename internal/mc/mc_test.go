@@ -1,0 +1,130 @@
+package mc
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"ugs/internal/ugraph"
+)
+
+func triangle() *ugraph.Graph {
+	return ugraph.MustNew(3, []ugraph.Edge{
+		{U: 0, V: 1, P: 0.5},
+		{U: 1, V: 2, P: 0.25},
+		{U: 0, V: 2, P: 0.75},
+	})
+}
+
+func TestForEachWorldCountsAndIndependenceFromWorkers(t *testing.T) {
+	g := triangle()
+	run := func(workers int) []int {
+		edgeCounts := make([]int, g.NumEdges())
+		var mu sync.Mutex
+		ForEachWorld(g, Options{Samples: 400, Seed: 1, Workers: workers}, func(i int, w *ugraph.World) {
+			mu.Lock()
+			for id, p := range w.Present {
+				if p {
+					edgeCounts[id]++
+				}
+			}
+			mu.Unlock()
+		})
+		return edgeCounts
+	}
+	a := run(1)
+	b := run(8)
+	for id := range a {
+		if a[id] != b[id] {
+			t.Errorf("edge %d: counts differ across worker counts: %d vs %d", id, a[id], b[id])
+		}
+	}
+	// Frequencies must track probabilities.
+	for id, e := range g.Edges() {
+		freq := float64(a[id]) / 400
+		if math.Abs(freq-e.P) > 0.08 {
+			t.Errorf("edge %d frequency %.3f, want ≈%.2f", id, freq, e.P)
+		}
+	}
+}
+
+func TestProbabilityOfAgainstExact(t *testing.T) {
+	g := triangle()
+	pred := func(w *ugraph.World) bool { return w.IsConnected() }
+	exact := ExactProbabilityOf(g, pred)
+	est := ProbabilityOf(g, Options{Samples: 20000, Seed: 2}, pred)
+	if math.Abs(exact-est) > 0.02 {
+		t.Errorf("MC estimate %.4f vs exact %.4f", est, exact)
+	}
+}
+
+func TestExactProbabilityGoldenFigure1(t *testing.T) {
+	b := ugraph.NewBuilder(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			if err := b.AddEdge(u, v, 0.3); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g := b.Graph()
+	pr := ExactProbabilityOf(g, func(w *ugraph.World) bool { return w.IsConnected() })
+	if math.Abs(pr-0.2186) > 0.0005 {
+		t.Errorf("Pr[connected] = %.4f, want ≈0.2186 (paper: 0.219)", pr)
+	}
+}
+
+func TestMeanVectorAgainstExact(t *testing.T) {
+	g := triangle()
+	// Per-world vector: degree of each vertex. Exact expectation is the
+	// expected degree.
+	degFn := func(w *ugraph.World, out []float64) {
+		gg := w.Graph()
+		for id, present := range w.Present {
+			if present {
+				e := gg.Edge(id)
+				out[e.U]++
+				out[e.V]++
+			}
+		}
+	}
+	exact := ExactMeanVector(g, 3, degFn)
+	for u := 0; u < 3; u++ {
+		if math.Abs(exact[u]-g.ExpectedDegree(u)) > 1e-12 {
+			t.Errorf("exact mean degree[%d] = %v, want %v", u, exact[u], g.ExpectedDegree(u))
+		}
+	}
+	est := MeanVector(g, Options{Samples: 20000, Seed: 3}, 3, degFn)
+	for u := 0; u < 3; u++ {
+		if math.Abs(est[u]-exact[u]) > 0.03 {
+			t.Errorf("MC mean degree[%d] = %v, want ≈%v", u, est[u], exact[u])
+		}
+	}
+}
+
+func TestMeanVectorDeterministicBySeed(t *testing.T) {
+	g := triangle()
+	fn := func(w *ugraph.World, out []float64) {
+		out[0] = float64(w.NumEdges())
+	}
+	a := MeanVector(g, Options{Samples: 100, Seed: 7, Workers: 3}, 1, fn)
+	b := MeanVector(g, Options{Samples: 100, Seed: 7, Workers: 5}, 1, fn)
+	if a[0] != b[0] {
+		t.Errorf("results differ across worker counts: %v vs %v", a[0], b[0])
+	}
+	c := MeanVector(g, Options{Samples: 100, Seed: 8}, 1, fn)
+	if a[0] == c[0] {
+		t.Error("different seeds produced identical estimates (suspicious)")
+	}
+}
+
+func TestSampleSeedSpread(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := sampleSeed(42, i)
+		if seen[s] {
+			t.Fatalf("duplicate sample seed at i=%d", i)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,123 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"ugs/internal/stats"
+	"ugs/internal/ugraph"
+)
+
+// bridgedCommunities builds two cliques joined by a few p=0.5 bridges: the
+// bridges carry maximal entropy and dominate the variance of cross-community
+// reliability, the ideal stratification target.
+func bridgedCommunities() *ugraph.Graph {
+	b := ugraph.NewBuilder(12)
+	clique := func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			for v := u + 1; v < hi; v++ {
+				if err := b.AddEdge(u, v, 0.9); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	clique(0, 6)
+	clique(6, 12)
+	for i := 0; i < 3; i++ {
+		if err := b.AddEdge(i, 6+i, 0.5); err != nil {
+			panic(err)
+		}
+	}
+	return b.Graph()
+}
+
+func reachable03to9(w *ugraph.World) bool { return w.Reachable(0, 9) }
+
+func TestStratifiedMatchesExact(t *testing.T) {
+	g := ugraph.MustNew(4, []ugraph.Edge{
+		{U: 0, V: 1, P: 0.5},
+		{U: 1, V: 2, P: 0.3},
+		{U: 2, V: 3, P: 0.7},
+		{U: 0, V: 3, P: 0.4},
+	})
+	pred := func(w *ugraph.World) bool { return w.Reachable(0, 3) }
+	exact := ExactProbabilityOf(g, pred)
+	got := StratifiedProbabilityOf(g, StratifiedOptions{Samples: 8000, StratifyEdges: 2, Seed: 1}, pred)
+	if math.Abs(got-exact) > 0.02 {
+		t.Errorf("stratified estimate %v, exact %v", got, exact)
+	}
+}
+
+func TestStratifiedFullConditioningIsExact(t *testing.T) {
+	// Conditioning on every edge enumerates all strata: the estimate is
+	// exact regardless of the per-stratum samples.
+	g := ugraph.MustNew(3, []ugraph.Edge{
+		{U: 0, V: 1, P: 0.35},
+		{U: 1, V: 2, P: 0.65},
+	})
+	pred := func(w *ugraph.World) bool { return w.Reachable(0, 2) }
+	exact := ExactProbabilityOf(g, pred)
+	got := StratifiedProbabilityOf(g, StratifiedOptions{Samples: 8, StratifyEdges: 2, Seed: 2}, pred)
+	if math.Abs(got-exact) > 1e-12 {
+		t.Errorf("fully conditioned estimate %v, want exact %v", got, exact)
+	}
+}
+
+func TestStratifiedZeroEdgesIsPlainMC(t *testing.T) {
+	g := bridgedCommunities()
+	got := StratifiedProbabilityOf(g, StratifiedOptions{Samples: 4000, StratifyEdges: -1, Seed: 3}, reachable03to9)
+	plain := ProbabilityOf(g, Options{Samples: 4000, Seed: 3}, reachable03to9)
+	if math.Abs(got-plain) > 0.05 {
+		t.Errorf("r=0 stratified %v far from plain MC %v", got, plain)
+	}
+}
+
+func TestStratifiedReducesVariance(t *testing.T) {
+	// Same sample budget, repeated estimators: stratifying on the
+	// max-entropy bridges must cut the variance of cross-community
+	// reliability.
+	g := bridgedCommunities()
+	const budget = 300
+	const runs = 40
+	_, plainVar := stats.EstimatorVariance(runs, func(run int) float64 {
+		return ProbabilityOf(g, Options{Samples: budget, Seed: int64(run) * 17}, reachable03to9)
+	})
+	_, stratVar := stats.EstimatorVariance(runs, func(run int) float64 {
+		return StratifiedProbabilityOf(g, StratifiedOptions{
+			Samples: budget, StratifyEdges: 3, Seed: int64(run) * 17,
+		}, reachable03to9)
+	})
+	if stratVar >= plainVar {
+		t.Errorf("stratified variance %v not below plain MC %v", stratVar, plainVar)
+	}
+}
+
+func TestStratifiedUnbiasedAcrossSeeds(t *testing.T) {
+	g := bridgedCommunities()
+	exact := 0.0
+	// Exact value via plain MC with a huge budget (graph has 33 edges —
+	// too many to enumerate).
+	exact = ProbabilityOf(g, Options{Samples: 60000, Seed: 99}, reachable03to9)
+	mean, _ := stats.EstimatorVariance(30, func(run int) float64 {
+		return StratifiedProbabilityOf(g, StratifiedOptions{
+			Samples: 400, StratifyEdges: 3, Seed: int64(run)*29 + 5,
+		}, reachable03to9)
+	})
+	if math.Abs(mean-exact) > 0.02 {
+		t.Errorf("stratified mean %v far from reference %v (bias?)", mean, exact)
+	}
+}
+
+func TestTopEntropyEdges(t *testing.T) {
+	g := ugraph.MustNew(4, []ugraph.Edge{
+		{U: 0, V: 1, P: 0.99}, // low entropy
+		{U: 1, V: 2, P: 0.5},  // max entropy
+		{U: 2, V: 3, P: 0.4},
+		{U: 0, V: 3, P: 0.05}, // low entropy
+	})
+	top := topEntropyEdges(g, 2)
+	if top[0] != 1 || top[1] != 2 {
+		t.Errorf("topEntropyEdges = %v, want [1 2]", top)
+	}
+}

@@ -1,0 +1,95 @@
+// Package mst computes maximum spanning trees and forests of uncertain
+// graphs, using edge probabilities as weights. It also provides the iterated
+// forest decomposition that underlies both Backbone Graph Initialization
+// (Algorithm 1 of the paper) and the Nagamochi–Ibaraki benchmark.
+package mst
+
+import (
+	"sort"
+
+	"ugs/internal/ds"
+	"ugs/internal/ugraph"
+)
+
+// MaximumSpanningForest returns the edge identifiers of a maximum-weight
+// spanning forest of g (weights = probabilities), computed with Kruskal's
+// algorithm. On a connected graph the result is a maximum spanning tree.
+// Ties are broken by edge identifier, making the result deterministic.
+func MaximumSpanningForest(g *ugraph.Graph) []int {
+	d := NewForestDecomposer(g)
+	return d.NextForest()
+}
+
+// ForestDecomposer iteratively peels maximum spanning forests off a graph:
+// each call to NextForest computes a maximum spanning forest of the edges
+// not returned by any previous call, removes those edges from the available
+// set, and returns them. Once the edge set is exhausted NextForest returns
+// nil.
+//
+// This is the decomposition used by BGI: the first forest is a maximum
+// spanning tree of G, the second a maximum spanning forest of G minus the
+// tree, and so on.
+type ForestDecomposer struct {
+	g      *ugraph.Graph
+	sorted []int // all edge IDs, by descending probability
+	used   []bool
+	left   int
+	uf     *ds.UnionFind
+}
+
+// NewForestDecomposer prepares a decomposer for g. The edge ordering is
+// computed once and reused across forests.
+func NewForestDecomposer(g *ugraph.Graph) *ForestDecomposer {
+	ids := make([]int, g.NumEdges())
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		pa, pb := g.Prob(ids[a]), g.Prob(ids[b])
+		if pa != pb {
+			return pa > pb
+		}
+		return ids[a] < ids[b]
+	})
+	return &ForestDecomposer{
+		g:      g,
+		sorted: ids,
+		used:   make([]bool, g.NumEdges()),
+		left:   g.NumEdges(),
+		uf:     ds.NewUnionFind(g.NumVertices()),
+	}
+}
+
+// Remaining reports how many edges have not yet been returned by NextForest.
+func (d *ForestDecomposer) Remaining() int { return d.left }
+
+// NextForest returns the next maximum spanning forest over the remaining
+// edges, or nil when no edges remain.
+func (d *ForestDecomposer) NextForest() []int {
+	if d.left == 0 {
+		return nil
+	}
+	d.uf.Reset()
+	var forest []int
+	for _, id := range d.sorted {
+		if d.used[id] {
+			continue
+		}
+		e := d.g.Edge(id)
+		if d.uf.Union(e.U, e.V) {
+			forest = append(forest, id)
+			d.used[id] = true
+			d.left--
+		}
+	}
+	return forest
+}
+
+// Weight sums the probabilities of the given edges of g.
+func Weight(g *ugraph.Graph, edgeIDs []int) float64 {
+	var w float64
+	for _, id := range edgeIDs {
+		w += g.Prob(id)
+	}
+	return w
+}

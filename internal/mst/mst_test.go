@@ -1,0 +1,183 @@
+package mst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ugs/internal/ds"
+	"ugs/internal/ugraph"
+)
+
+func randomGraph(rng *rand.Rand, n int, density float64) *ugraph.Graph {
+	b := ugraph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < density {
+				if err := b.AddEdge(u, v, 0.01+0.99*rng.Float64()); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// bruteMaxForestWeight enumerates all edge subsets of a tiny graph and
+// returns the maximum total weight of an acyclic subset (i.e. the weight of
+// a maximum spanning forest).
+func bruteMaxForestWeight(g *ugraph.Graph) float64 {
+	m := g.NumEdges()
+	best := 0.0
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		uf := ds.NewUnionFind(g.NumVertices())
+		w := 0.0
+		acyclic := true
+		for id := 0; id < m; id++ {
+			if mask&(1<<uint(id)) == 0 {
+				continue
+			}
+			e := g.Edge(id)
+			if !uf.Union(e.U, e.V) {
+				acyclic = false
+				break
+			}
+			w += e.P
+		}
+		if acyclic && w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+func TestMaximumSpanningForestAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 2+rng.Intn(6), 0.5)
+		if g.NumEdges() == 0 || g.NumEdges() > 14 {
+			return true
+		}
+		got := Weight(g, MaximumSpanningForest(g))
+		want := bruteMaxForestWeight(g)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaximumSpanningForestIsSpanningOnConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 30, 0.3)
+	lc, _, err := g.LargestComponent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest := MaximumSpanningForest(lc)
+	if len(forest) != lc.NumVertices()-1 {
+		t.Fatalf("forest has %d edges, want %d (spanning tree)", len(forest), lc.NumVertices()-1)
+	}
+	// Tree must be acyclic and span all vertices.
+	uf := ds.NewUnionFind(lc.NumVertices())
+	for _, id := range forest {
+		e := lc.Edge(id)
+		if !uf.Union(e.U, e.V) {
+			t.Fatal("forest contains a cycle")
+		}
+	}
+	if uf.Sets() != 1 {
+		t.Errorf("forest spans %d components, want 1", uf.Sets())
+	}
+}
+
+func TestForestDecomposerPartitionsEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 20, 0.4)
+	d := NewForestDecomposer(g)
+	seen := make([]bool, g.NumEdges())
+	total := 0
+	for {
+		f := d.NextForest()
+		if f == nil {
+			break
+		}
+		if len(f) == 0 {
+			t.Fatal("NextForest returned empty non-nil forest")
+		}
+		uf := ds.NewUnionFind(g.NumVertices())
+		for _, id := range f {
+			if seen[id] {
+				t.Fatalf("edge %d in two forests", id)
+			}
+			seen[id] = true
+			e := g.Edge(id)
+			if !uf.Union(e.U, e.V) {
+				t.Fatal("forest contains a cycle")
+			}
+		}
+		total += len(f)
+	}
+	if total != g.NumEdges() {
+		t.Errorf("forests covered %d edges, want %d", total, g.NumEdges())
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d after exhaustion", d.Remaining())
+	}
+	if d.NextForest() != nil {
+		t.Error("NextForest after exhaustion not nil")
+	}
+}
+
+// TestForestDecomposerMaximality checks the NI-style invariant that each
+// successive forest is maximal: an edge left for a later forest could not
+// have been added to an earlier one without creating a cycle... which for
+// Kruskal on descending weights means each forest is itself a maximum
+// spanning forest of the remaining edges.
+func TestForestDecomposerMaximality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 2+rng.Intn(5), 0.6)
+		if g.NumEdges() == 0 || g.NumEdges() > 12 {
+			return true
+		}
+		d := NewForestDecomposer(g)
+		removed := map[int]bool{}
+		for {
+			forest := d.NextForest()
+			if forest == nil {
+				break
+			}
+			// Rebuild the remaining-graph and compare weights.
+			var restIDs []int
+			for id := 0; id < g.NumEdges(); id++ {
+				if !removed[id] {
+					restIDs = append(restIDs, id)
+				}
+			}
+			rest, err := g.EdgeSubgraph(restIDs)
+			if err != nil {
+				return false
+			}
+			want := bruteMaxForestWeight(rest)
+			if math.Abs(Weight(g, forest)-want) > 1e-9 {
+				return false
+			}
+			for _, id := range forest {
+				removed[id] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := ugraph.MustNew(3, nil)
+	if f := MaximumSpanningForest(g); f != nil {
+		t.Errorf("forest of edgeless graph = %v, want nil", f)
+	}
+}

@@ -1,0 +1,256 @@
+// Package ni adapts the Nagamochi–Ibaraki cut-based deterministic
+// sparsifier to uncertain graphs, exactly as the paper's benchmark NI
+// (Section 3.2 and Algorithm 4 of the appendix):
+//
+//  1. Transform probabilities to integer weights w_e = ⌊p_e/p_min⌉ (round to
+//     nearest, at least 1), so expected cut sizes are proportional to
+//     deterministic cut weights.
+//  2. Run the NI core: peel contiguous spanning forests, decrementing edge
+//     weights; when an edge's weight is exhausted at forest round r, sample
+//     it with probability ℓ_e = min(log|V| / (ε²·r), 1) and, if kept, assign
+//     w'_e = w_e/ℓ_e. The round r at which an edge is exhausted is its NI
+//     index — a lower bound on its connectivity — so edges in dense regions
+//     (large r) are sampled with low probability and compensated with large
+//     weights.
+//  3. Calibrate ε so the output has at most α|E| edges (the expected size is
+//     only asymptotic), approaching the minimal such ε from below.
+//  4. Fill the remaining budget by Bernoulli sampling of leftover edges with
+//     their original probabilities, and transform weights back through
+//     p'_e = min(w'_e·p_min, 1).
+package ni
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ugs/internal/ds"
+	"ugs/internal/ugraph"
+)
+
+// Options tunes the NI benchmark sparsifier.
+type Options struct {
+	// Theta is the multiplicative calibration factor for ε (the paper's
+	// "small factor θ"). Default 0.1.
+	Theta float64
+	// MaxCalibrations bounds calibration reruns. Default 40.
+	MaxCalibrations int
+	// Seed drives edge sampling.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.Theta == 0 {
+		o.Theta = 0.1
+	}
+	if o.MaxCalibrations == 0 {
+		o.MaxCalibrations = 40
+	}
+}
+
+// Result carries diagnostics of a Sparsify run.
+type Result struct {
+	Graph        *ugraph.Graph
+	Epsilon      float64 // final calibrated ε
+	Calibrations int     // NI core executions
+	CoreEdges    int     // edges selected by the NI core (before truncation/fill-up)
+}
+
+// Sparsify reduces g to α·|E| edges with the NI benchmark.
+func Sparsify(g *ugraph.Graph, alpha float64, opts Options) (*Result, error) {
+	opts.defaults()
+	if !(alpha > 0 && alpha < 1) {
+		return nil, fmt.Errorf("ni: sparsification ratio α = %v outside (0,1)", alpha)
+	}
+	target := int(math.Round(alpha * float64(g.NumEdges())))
+	if target < 1 || target >= g.NumEdges() {
+		return nil, fmt.Errorf("ni: α = %v yields invalid target %d of %d edges", alpha, target, g.NumEdges())
+	}
+
+	pmin := math.Inf(1)
+	for _, e := range g.Edges() {
+		if e.P < pmin {
+			pmin = e.P
+		}
+	}
+	weights := make([]int, g.NumEdges())
+	for id, e := range g.Edges() {
+		w := int(math.Round(e.P / pmin))
+		if w < 1 {
+			w = 1
+		}
+		weights[id] = w
+	}
+
+	n := float64(g.NumVertices())
+	eps := math.Sqrt(n * math.Log(n) / (alpha * float64(g.NumEdges())))
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Calibration: find (approximately) the minimal ε whose output does
+	// not exceed the edge budget.
+	run := func(eps float64) map[int]float64 {
+		return core(g, weights, eps, rand.New(rand.NewSource(rng.Int63())))
+	}
+	kept := run(eps)
+	calibrations := 1
+	coreEdges := len(kept)
+	if len(kept) > target {
+		for len(kept) > target && calibrations < opts.MaxCalibrations {
+			eps *= 1 + opts.Theta
+			kept = run(eps)
+			calibrations++
+		}
+		coreEdges = len(kept)
+		if len(kept) > target {
+			// Calibration exhausted without fitting the budget; honor it
+			// by keeping the largest-weight selections.
+			kept = truncate(kept, target)
+		}
+	} else {
+		for calibrations < opts.MaxCalibrations {
+			cand := eps / (1 + opts.Theta)
+			keptCand := run(cand)
+			calibrations++
+			if len(keptCand) > target {
+				break
+			}
+			eps, kept = cand, keptCand
+		}
+	}
+
+	// Inverse transform with the probability cap at 1. Map iteration order
+	// is randomized, so sort ids to keep the output deterministic.
+	coreIDs := make([]int, 0, len(kept))
+	for id := range kept {
+		coreIDs = append(coreIDs, id)
+	}
+	sort.Ints(coreIDs)
+	selected := make([]int, 0, target)
+	probs := make([]float64, 0, target)
+	in := make([]bool, g.NumEdges())
+	for _, id := range coreIDs {
+		selected = append(selected, id)
+		probs = append(probs, math.Min(kept[id]*pmin, 1))
+		in[id] = true
+	}
+
+	// Fill the remaining budget by Bernoulli sampling of leftover edges
+	// with their original probabilities.
+	for len(selected) < target {
+		progressed := false
+		for _, id := range rng.Perm(g.NumEdges()) {
+			if len(selected) >= target {
+				break
+			}
+			if in[id] {
+				continue
+			}
+			if rng.Float64() < g.Prob(id) {
+				in[id] = true
+				selected = append(selected, id)
+				probs = append(probs, g.Prob(id))
+				progressed = true
+			}
+		}
+		if !progressed {
+			for _, id := range g.SortedEdgeIDsByProb() {
+				if len(selected) >= target {
+					break
+				}
+				if !in[id] {
+					in[id] = true
+					selected = append(selected, id)
+					probs = append(probs, g.Prob(id))
+				}
+			}
+		}
+	}
+
+	out, err := g.EdgeSubgraph(selected)
+	if err != nil {
+		return nil, err
+	}
+	for i := range selected {
+		out.SetProb(i, probs[i])
+	}
+	return &Result{Graph: out, Epsilon: eps, Calibrations: calibrations, CoreEdges: coreEdges}, nil
+}
+
+// core is Algorithm 4: contiguous spanning forests with weight decrements
+// and exhaustion-time sampling. It returns the sampled edges with their
+// rescaled weights w_e/ℓ_e.
+func core(g *ugraph.Graph, origWeights []int, eps float64, rng *rand.Rand) map[int]float64 {
+	n := g.NumVertices()
+	m := g.NumEdges()
+	w := make([]int, m)
+	copy(w, origWeights)
+	remaining := m
+	logN := math.Log(float64(n))
+
+	kept := make(map[int]float64)
+	uf := ds.NewUnionFind(n)
+	var prevForest, forest []int
+
+	for r := 1; remaining > 0; r++ {
+		uf.Reset()
+		forest = forest[:0]
+		// Contiguity: edges of the previous forest that still carry weight
+		// must be offered first, then the rest in deterministic order.
+		for _, id := range prevForest {
+			if w[id] > 0 {
+				e := g.Edge(id)
+				if uf.Union(e.U, e.V) {
+					forest = append(forest, id)
+				}
+			}
+		}
+		for id := 0; id < m; id++ {
+			if w[id] <= 0 {
+				continue
+			}
+			e := g.Edge(id)
+			if uf.Union(e.U, e.V) {
+				forest = append(forest, id)
+			}
+		}
+		if len(forest) == 0 {
+			break // isolated leftovers cannot occur, but guard anyway
+		}
+		for _, id := range forest {
+			w[id]--
+			if w[id] == 0 {
+				remaining--
+				le := math.Min(logN/(eps*eps*float64(r)), 1)
+				if rng.Float64() < le {
+					kept[id] = float64(origWeights[id]) / le
+				}
+			}
+		}
+		prevForest = append(prevForest[:0], forest...)
+	}
+	return kept
+}
+
+// truncate keeps the target highest-weight entries (deterministic by id on
+// ties).
+func truncate(kept map[int]float64, target int) map[int]float64 {
+	type kv struct {
+		id int
+		w  float64
+	}
+	all := make([]kv, 0, len(kept))
+	for id, w := range kept {
+		all = append(all, kv{id, w})
+	}
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && (all[j].w > all[j-1].w || (all[j].w == all[j-1].w && all[j].id < all[j-1].id)); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	out := make(map[int]float64, target)
+	for _, e := range all[:target] {
+		out[e.id] = e.w
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package ni
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ugs/internal/ugraph"
+)
+
+func randomConnectedGraph(rng *rand.Rand, n int, density float64) *ugraph.Graph {
+	b := ugraph.NewBuilder(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		if err := b.AddEdge(perm[i], perm[rng.Intn(i)], 0.05+0.9*rng.Float64()); err != nil {
+			panic(err)
+		}
+	}
+	g := b.Graph()
+	b2 := ugraph.NewBuilder(n)
+	for _, e := range g.Edges() {
+		if err := b2.AddEdge(e.U, e.V, e.P); err != nil {
+			panic(err)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) && rng.Float64() < density {
+				if err := b2.AddEdge(u, v, 0.05+0.9*rng.Float64()); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return b2.Graph()
+}
+
+func TestSparsifyBudgetAndValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomConnectedGraph(rng, 40, 0.3)
+	for _, alpha := range []float64{0.16, 0.32, 0.64} {
+		res, err := Sparsify(g, alpha, Options{Seed: 7})
+		if err != nil {
+			t.Fatalf("alpha=%v: %v", alpha, err)
+		}
+		out := res.Graph
+		want := int(math.Round(alpha * float64(g.NumEdges())))
+		if out.NumEdges() != want {
+			t.Errorf("alpha=%v: %d edges, want %d", alpha, out.NumEdges(), want)
+		}
+		for i := 0; i < out.NumEdges(); i++ {
+			p := out.Prob(i)
+			if !(p > 0 && p <= 1) {
+				t.Errorf("alpha=%v: probability %v outside (0,1]", alpha, p)
+			}
+			e := out.Edge(i)
+			if !g.HasEdge(e.U, e.V) {
+				t.Errorf("alpha=%v: edge (%d,%d) not in original", alpha, e.U, e.V)
+			}
+		}
+	}
+}
+
+func TestSparsifyRedistributesProbability(t *testing.T) {
+	// NI compensates sampling by inflating weights (w' = w/ℓ), so some
+	// kept edges must end with higher probability than they started.
+	// Probabilities may only *drop* by the quantization error of the
+	// integer transform w = ⌊p/p_min⌉, which is at most p_min/2.
+	rng := rand.New(rand.NewSource(2))
+	g := randomConnectedGraph(rng, 50, 0.25)
+	pmin := 1.0
+	for _, e := range g.Edges() {
+		if e.P < pmin {
+			pmin = e.P
+		}
+	}
+	res, err := Sparsify(g, 0.25, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Graph
+	raised := 0
+	for i := 0; i < out.NumEdges(); i++ {
+		e := out.Edge(i)
+		id, _ := g.EdgeID(e.U, e.V)
+		if out.Prob(i) < g.Prob(id)-pmin/2-1e-9 {
+			t.Errorf("edge (%d,%d): probability dropped beyond quantization error: %v -> %v",
+				e.U, e.V, g.Prob(id), out.Prob(i))
+		}
+		if out.Prob(i) > g.Prob(id)+1e-9 {
+			raised++
+		}
+	}
+	if raised == 0 {
+		t.Error("no edge probability was raised; NI redistribution absent")
+	}
+}
+
+func TestNIIndexFavorsBridges(t *testing.T) {
+	// Two dense cliques joined by a single bridge: the bridge has NI index
+	// 1 (it appears in the first spanning forest and is immediately
+	// exhausted at low weight), so it is sampled with the highest
+	// probability, while intra-clique edges are exhausted late and mostly
+	// dropped. The bridge must survive in (nearly) every run.
+	b := ugraph.NewBuilder(20)
+	addClique := func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			for v := u + 1; v < hi; v++ {
+				if err := b.AddEdge(u, v, 0.5); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	addClique(0, 10)
+	addClique(10, 20)
+	if err := b.AddEdge(9, 10, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Graph()
+
+	const runs = 20
+	bridgeSurvived := 0
+	cliqueKept := 0
+	for seed := int64(0); seed < runs; seed++ {
+		res, err := Sparsify(g, 0.3, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Graph.HasEdge(9, 10) {
+			bridgeSurvived++
+			cliqueKept += res.Graph.NumEdges() - 1
+		} else {
+			cliqueKept += res.Graph.NumEdges()
+		}
+	}
+	bridgeFreq := float64(bridgeSurvived) / runs
+	cliqueFreq := float64(cliqueKept) / (runs * float64(g.NumEdges()-1))
+	if bridgeFreq <= cliqueFreq {
+		t.Errorf("bridge survival %.2f not above clique-edge survival %.2f", bridgeFreq, cliqueFreq)
+	}
+}
+
+func TestSparsifyDeterministicBySeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomConnectedGraph(rng, 30, 0.3)
+	a, err := Sparsify(g, 0.3, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sparsify(g, 0.3, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Graph.Equal(b.Graph) {
+		t.Error("same seed produced different graphs")
+	}
+}
+
+func TestSparsifyTruncatesWhenCalibrationExhausted(t *testing.T) {
+	// A uniform-probability clique makes every weight 1, so edges exhaust
+	// in the first forests where ℓ is large: with a single calibration
+	// run and a negligible θ the core overshoots the tiny budget and the
+	// deterministic truncation path must still deliver exactly the target
+	// edge count.
+	b := ugraph.NewBuilder(20)
+	for u := 0; u < 20; u++ {
+		for v := u + 1; v < 20; v++ {
+			if err := b.AddEdge(u, v, 0.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g := b.Graph()
+	res, err := Sparsify(g, 0.05, Options{Seed: 1, MaxCalibrations: 1, Theta: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(math.Round(0.05 * float64(g.NumEdges())))
+	if res.CoreEdges <= want {
+		t.Skipf("core kept only %d edges (≤ target %d); truncation not exercised", res.CoreEdges, want)
+	}
+	if res.Graph.NumEdges() != want {
+		t.Errorf("truncated output has %d edges, want %d", res.Graph.NumEdges(), want)
+	}
+	if res.Calibrations != 1 {
+		t.Errorf("calibrations = %d, want 1", res.Calibrations)
+	}
+}
+
+func TestSparsifyCalibrationShrinksEpsilonWhenUnderBudget(t *testing.T) {
+	// A generous budget (α = 0.64) lets the downward calibration search
+	// run: the final ε must not exceed the initial estimate.
+	rng := rand.New(rand.NewSource(9))
+	g := randomConnectedGraph(rng, 40, 0.4)
+	n := float64(g.NumVertices())
+	initial := math.Sqrt(n * math.Log(n) / (0.64 * float64(g.NumEdges())))
+	res, err := Sparsify(g, 0.64, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epsilon > initial+1e-12 {
+		t.Errorf("final ε %v above initial %v despite under-budget start", res.Epsilon, initial)
+	}
+	if res.CoreEdges > res.Graph.NumEdges() {
+		t.Errorf("core selected %d edges, above final %d", res.CoreEdges, res.Graph.NumEdges())
+	}
+}
+
+func TestSparsifyErrors(t *testing.T) {
+	g := ugraph.MustNew(3, []ugraph.Edge{
+		{U: 0, V: 1, P: 0.5},
+		{U: 1, V: 2, P: 0.5},
+	})
+	for _, alpha := range []float64{0, 1, -0.5, 2} {
+		if _, err := Sparsify(g, alpha, Options{}); err == nil {
+			t.Errorf("alpha=%v accepted", alpha)
+		}
+	}
+}
+
+func TestSparsifyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, 10+rng.Intn(25), 0.2+0.3*rng.Float64())
+		alpha := 0.2 + 0.5*rng.Float64()
+		res, err := Sparsify(g, alpha, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		want := int(math.Round(alpha * float64(g.NumEdges())))
+		if res.Graph.NumEdges() != want {
+			return false
+		}
+		for i := 0; i < res.Graph.NumEdges(); i++ {
+			if p := res.Graph.Prob(i); !(p > 0 && p <= 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,161 @@
+package queries
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"ugs/internal/mc"
+	"ugs/internal/ugraph"
+)
+
+// PageRankOptions tunes the PR estimator.
+type PageRankOptions struct {
+	Damping float64 // default 0.85
+	Iters   int     // power iterations per world, default 30
+}
+
+func (o PageRankOptions) withDefaults() PageRankOptions {
+	if o.Damping == 0 {
+		o.Damping = 0.85
+	}
+	if o.Iters == 0 {
+		o.Iters = 30
+	}
+	return o
+}
+
+// ExpectedPageRank estimates each vertex's expected PageRank over the
+// possible worlds of g.
+func ExpectedPageRank(g *ugraph.Graph, opts mc.Options, pr PageRankOptions) []float64 {
+	pr = pr.withDefaults()
+	return mc.MeanVector(g, opts, g.NumVertices(), func(w *ugraph.World, out []float64) {
+		WorldPageRank(w, pr.Damping, pr.Iters, out)
+	})
+}
+
+// ExpectedClusteringCoefficients estimates each vertex's expected local
+// clustering coefficient over the possible worlds of g.
+func ExpectedClusteringCoefficients(g *ugraph.Graph, opts mc.Options) []float64 {
+	return mc.MeanVector(g, opts, g.NumVertices(), WorldClusteringCoefficients)
+}
+
+// Pair is a source/target vertex pair for SP and RL queries.
+type Pair struct{ S, T int }
+
+// RandomPairs draws count distinct-endpoint vertex pairs uniformly at
+// random (the paper evaluates SP and RL on 1000 random pairs).
+func RandomPairs(n, count int, rng *rand.Rand) []Pair {
+	pairs := make([]Pair, count)
+	for i := range pairs {
+		s := rng.Intn(n)
+		t := rng.Intn(n - 1)
+		if t >= s {
+			t++
+		}
+		pairs[i] = Pair{S: s, T: t}
+	}
+	return pairs
+}
+
+// Reliability estimates, for each pair, the probability that T is reachable
+// from S (the RL query).
+func Reliability(g *ugraph.Graph, pairs []Pair, opts mc.Options) []float64 {
+	res := pairStats(g, pairs, opts)
+	out := make([]float64, len(pairs))
+	for i, r := range res {
+		out[i] = float64(r.reachable) / float64(r.samples)
+	}
+	return out
+}
+
+// ShortestDistance estimates, for each pair, the expected shortest-path
+// distance conditioned on reachability: the average hop distance over the
+// worlds that connect the pair, excluding disconnecting worlds (the SP
+// query). Pairs never connected in any sample get NaN.
+func ShortestDistance(g *ugraph.Graph, pairs []Pair, opts mc.Options) []float64 {
+	res := pairStats(g, pairs, opts)
+	out := make([]float64, len(pairs))
+	for i, r := range res {
+		if r.reachable == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = r.distSum / float64(r.reachable)
+		}
+	}
+	return out
+}
+
+// ShortestDistanceAndReliability computes the SP and RL estimates of both
+// queries from a single Monte-Carlo pass (one BFS per distinct source per
+// world), which is how the experiment harness evaluates them together.
+func ShortestDistanceAndReliability(g *ugraph.Graph, pairs []Pair, opts mc.Options) (sp, rl []float64) {
+	res := pairStats(g, pairs, opts)
+	sp = make([]float64, len(pairs))
+	rl = make([]float64, len(pairs))
+	for i, r := range res {
+		rl[i] = float64(r.reachable) / float64(r.samples)
+		if r.reachable == 0 {
+			sp[i] = math.NaN()
+		} else {
+			sp[i] = r.distSum / float64(r.reachable)
+		}
+	}
+	return sp, rl
+}
+
+type pairResult struct {
+	reachable int
+	samples   int
+	distSum   float64
+}
+
+// pairStats runs one BFS per distinct source per world, sharing it across
+// all pairs with that source.
+func pairStats(g *ugraph.Graph, pairs []Pair, opts mc.Options) []pairResult {
+	// Group pair indices by source.
+	bySource := make(map[int][]int)
+	for i, p := range pairs {
+		bySource[p.S] = append(bySource[p.S], i)
+	}
+	sources := make([]int, 0, len(bySource))
+	for s := range bySource {
+		sources = append(sources, s)
+	}
+	sort.Ints(sources)
+
+	res := make([]pairResult, len(pairs))
+	var mu sync.Mutex
+	bfsPool := sync.Pool{New: func() interface{} { return NewBFS(g.NumVertices()) }}
+
+	mc.ForEachWorld(g, opts, func(_ int, w *ugraph.World) {
+		bfs := bfsPool.Get().(*BFS)
+		local := make([]pairResult, len(pairs))
+		for _, s := range sources {
+			dist := bfs.Distances(w, s)
+			for _, i := range bySource[s] {
+				local[i].samples++
+				if d := dist[pairs[i].T]; d >= 0 {
+					local[i].reachable++
+					local[i].distSum += float64(d)
+				}
+			}
+		}
+		bfsPool.Put(bfs)
+		mu.Lock()
+		for i := range res {
+			res[i].samples += local[i].samples
+			res[i].reachable += local[i].reachable
+			res[i].distSum += local[i].distSum
+		}
+		mu.Unlock()
+	})
+	return res
+}
+
+// ConnectedProbability estimates Pr[G is connected] — the introductory
+// example query of the paper (Figure 1).
+func ConnectedProbability(g *ugraph.Graph, opts mc.Options) float64 {
+	return mc.ProbabilityOf(g, opts, func(w *ugraph.World) bool { return w.IsConnected() })
+}

@@ -1,0 +1,230 @@
+package queries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ugs/internal/mc"
+	"ugs/internal/ugraph"
+)
+
+func fullWorld(g *ugraph.Graph) *ugraph.World {
+	mask := make([]bool, g.NumEdges())
+	for i := range mask {
+		mask[i] = true
+	}
+	return ugraph.WorldFromMask(g, mask)
+}
+
+func TestWorldPageRankUniformOnRegularGraph(t *testing.T) {
+	// On a cycle (2-regular), PageRank is uniform.
+	b := ugraph.NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		if err := b.AddEdge(i, (i+1)%6, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Graph()
+	out := make([]float64, 6)
+	WorldPageRank(fullWorld(g), 0.85, 50, out)
+	var sum float64
+	for v, pr := range out {
+		sum += pr
+		if math.Abs(pr-1.0/6.0) > 1e-9 {
+			t.Errorf("PR[%d] = %v, want 1/6", v, pr)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PageRank sums to %v, want 1", sum)
+	}
+}
+
+func TestWorldPageRankFavorsHub(t *testing.T) {
+	// Star: the hub must outrank every leaf, and mass must sum to 1 even
+	// with dangling vertices (leaf 4 is isolated in this world).
+	g := ugraph.MustNew(5, []ugraph.Edge{
+		{U: 0, V: 1, P: 1},
+		{U: 0, V: 2, P: 1},
+		{U: 0, V: 3, P: 1},
+		{U: 0, V: 4, P: 1},
+	})
+	w := ugraph.WorldFromMask(g, []bool{true, true, true, false})
+	out := make([]float64, 5)
+	WorldPageRank(w, 0.85, 60, out)
+	var sum float64
+	for _, pr := range out {
+		sum += pr
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PageRank sums to %v, want 1", sum)
+	}
+	for v := 1; v <= 3; v++ {
+		if out[0] <= out[v] {
+			t.Errorf("hub PR %v not above leaf %d PR %v", out[0], v, out[v])
+		}
+	}
+}
+
+func TestWorldClusteringCoefficients(t *testing.T) {
+	// Triangle plus pendant: triangle vertices have CC as computed over
+	// present neighbors.
+	g := ugraph.MustNew(4, []ugraph.Edge{
+		{U: 0, V: 1, P: 1},
+		{U: 1, V: 2, P: 1},
+		{U: 0, V: 2, P: 1},
+		{U: 2, V: 3, P: 1},
+	})
+	out := make([]float64, 4)
+	WorldClusteringCoefficients(fullWorld(g), out)
+	if out[0] != 1 || out[1] != 1 {
+		t.Errorf("triangle-only vertices CC = %v,%v, want 1,1", out[0], out[1])
+	}
+	// Vertex 2 has neighbors {0,1,3}: one closed pair of three.
+	if math.Abs(out[2]-1.0/3.0) > 1e-12 {
+		t.Errorf("CC[2] = %v, want 1/3", out[2])
+	}
+	if out[3] != 0 {
+		t.Errorf("pendant CC = %v, want 0", out[3])
+	}
+
+	// Dropping edge (0,1) opens the triangle: all coefficients 0.
+	w := ugraph.WorldFromMask(g, []bool{false, true, true, true})
+	WorldClusteringCoefficients(w, out)
+	for v, cc := range out {
+		if cc != 0 {
+			t.Errorf("open triangle: CC[%d] = %v, want 0", v, cc)
+		}
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := ugraph.MustNew(5, []ugraph.Edge{
+		{U: 0, V: 1, P: 1},
+		{U: 1, V: 2, P: 1},
+		{U: 2, V: 3, P: 1},
+	})
+	bfs := NewBFS(5)
+	d := bfs.Distances(fullWorld(g), 0)
+	want := []int{0, 1, 2, 3, -1}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Errorf("dist[%d] = %d, want %d", v, d[v], want[v])
+		}
+	}
+}
+
+func TestReliabilityAgainstExact(t *testing.T) {
+	g := ugraph.MustNew(3, []ugraph.Edge{
+		{U: 0, V: 1, P: 0.5},
+		{U: 1, V: 2, P: 0.5},
+		{U: 0, V: 2, P: 0.5},
+	})
+	// Exact reliability 0→2: direct (0.5) or via 1 (0.25), inclusion-
+	// exclusion: 1 − (1−0.5)(1−0.25) = 0.625.
+	exact := mc.ExactProbabilityOf(g, func(w *ugraph.World) bool { return w.Reachable(0, 2) })
+	if math.Abs(exact-0.625) > 1e-12 {
+		t.Fatalf("exact reliability = %v, want 0.625", exact)
+	}
+	got := Reliability(g, []Pair{{S: 0, T: 2}}, mc.Options{Samples: 20000, Seed: 4})
+	if math.Abs(got[0]-exact) > 0.02 {
+		t.Errorf("estimated reliability %v, want ≈%v", got[0], exact)
+	}
+}
+
+func TestShortestDistanceConditionedOnReachability(t *testing.T) {
+	// Path 0-1-2 with certain edges plus uncertain shortcut (0,2).
+	g := ugraph.MustNew(3, []ugraph.Edge{
+		{U: 0, V: 1, P: 1},
+		{U: 1, V: 2, P: 1},
+		{U: 0, V: 2, P: 0.5},
+	})
+	// Distance 0→2 is 1 with probability 0.5 (shortcut), else 2: mean 1.5.
+	got := ShortestDistance(g, []Pair{{S: 0, T: 2}}, mc.Options{Samples: 20000, Seed: 5})
+	if math.Abs(got[0]-1.5) > 0.05 {
+		t.Errorf("expected distance %v, want ≈1.5", got[0])
+	}
+}
+
+func TestShortestDistanceUnreachableIsNaN(t *testing.T) {
+	g := ugraph.MustNew(4, []ugraph.Edge{
+		{U: 0, V: 1, P: 0.9},
+		{U: 2, V: 3, P: 0.9},
+	})
+	got := ShortestDistance(g, []Pair{{S: 0, T: 3}}, mc.Options{Samples: 200, Seed: 6})
+	if !math.IsNaN(got[0]) {
+		t.Errorf("distance across components = %v, want NaN", got[0])
+	}
+	rel := Reliability(g, []Pair{{S: 0, T: 3}}, mc.Options{Samples: 200, Seed: 6})
+	if rel[0] != 0 {
+		t.Errorf("reliability across components = %v, want 0", rel[0])
+	}
+}
+
+func TestExpectedPageRankMatchesExactOnTinyGraph(t *testing.T) {
+	g := ugraph.MustNew(3, []ugraph.Edge{
+		{U: 0, V: 1, P: 0.7},
+		{U: 1, V: 2, P: 0.4},
+	})
+	prOpts := PageRankOptions{Damping: 0.85, Iters: 40}
+	exact := mc.ExactMeanVector(g, 3, func(w *ugraph.World, out []float64) {
+		WorldPageRank(w, prOpts.Damping, prOpts.Iters, out)
+	})
+	est := ExpectedPageRank(g, mc.Options{Samples: 20000, Seed: 7}, prOpts)
+	for v := range exact {
+		if math.Abs(est[v]-exact[v]) > 0.01 {
+			t.Errorf("E[PR[%d]] = %v, want ≈%v", v, est[v], exact[v])
+		}
+	}
+}
+
+func TestExpectedClusteringMatchesExactOnTinyGraph(t *testing.T) {
+	b := ugraph.NewBuilder(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			if err := b.AddEdge(u, v, 0.6); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g := b.Graph()
+	exact := mc.ExactMeanVector(g, 4, WorldClusteringCoefficients)
+	est := ExpectedClusteringCoefficients(g, mc.Options{Samples: 20000, Seed: 8})
+	for v := range exact {
+		if math.Abs(est[v]-exact[v]) > 0.02 {
+			t.Errorf("E[CC[%d]] = %v, want ≈%v", v, est[v], exact[v])
+		}
+	}
+}
+
+func TestRandomPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pairs := RandomPairs(10, 500, rng)
+	if len(pairs) != 500 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.S == p.T {
+			t.Fatal("self-pair generated")
+		}
+		if p.S < 0 || p.S >= 10 || p.T < 0 || p.T >= 10 {
+			t.Fatal("pair endpoint out of range")
+		}
+	}
+}
+
+func TestConnectedProbabilityFigure1(t *testing.T) {
+	b := ugraph.NewBuilder(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			if err := b.AddEdge(u, v, 0.3); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g := b.Graph()
+	got := ConnectedProbability(g, mc.Options{Samples: 20000, Seed: 10})
+	if math.Abs(got-0.2186) > 0.02 {
+		t.Errorf("Pr[connected] ≈ %v, want ≈0.219", got)
+	}
+}

@@ -1,0 +1,138 @@
+// Package queries implements the four graph queries of the paper's
+// evaluation — PageRank (PR), shortest-path distance (SP), reliability (RL)
+// and clustering coefficient (CC) — both as deterministic per-world
+// algorithms and as Monte-Carlo estimators over uncertain graphs.
+package queries
+
+import (
+	"ugs/internal/ugraph"
+)
+
+// WorldPageRank computes PageRank with the given damping factor on a single
+// possible world by power iteration, treating the world's present edges as
+// an undirected graph. Vertices with no present edges ("dangling") spread
+// their mass uniformly. The out slice must have length |V|.
+func WorldPageRank(w *ugraph.World, damping float64, iters int, out []float64) {
+	g := w.Graph()
+	n := g.NumVertices()
+	deg := make([]int, n)
+	for id, present := range w.Present {
+		if present {
+			e := g.Edge(id)
+			deg[e.U]++
+			deg[e.V]++
+		}
+	}
+	cur := out
+	next := make([]float64, n)
+	init := 1 / float64(n)
+	for v := range cur {
+		cur[v] = init
+	}
+	for it := 0; it < iters; it++ {
+		var dangling float64
+		for v := range next {
+			next[v] = 0
+		}
+		for v := 0; v < n; v++ {
+			if deg[v] == 0 {
+				dangling += cur[v]
+				continue
+			}
+			share := cur[v] / float64(deg[v])
+			for _, a := range g.Neighbors(v) {
+				if w.Present[a.ID] {
+					next[a.To] += share
+				}
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		for v := 0; v < n; v++ {
+			next[v] = base + damping*next[v]
+		}
+		cur, next = next, cur
+	}
+	if &cur[0] != &out[0] {
+		copy(out, cur)
+	}
+}
+
+// WorldClusteringCoefficients writes each vertex's local clustering
+// coefficient in the world into out (length |V|): the fraction of pairs of
+// present neighbors that are themselves connected by a present edge.
+// Vertices with fewer than two present neighbors have coefficient 0.
+//
+// Triangles incident to u are counted by marking u's present neighbors and
+// scanning their present adjacency — O(Σ_{v∈N(u)} deg(v)) with pure array
+// access, avoiding per-pair hash lookups.
+func WorldClusteringCoefficients(w *ugraph.World, out []float64) {
+	g := w.Graph()
+	n := g.NumVertices()
+	mark := make([]bool, n)
+	var nbrs []int
+	for u := 0; u < n; u++ {
+		nbrs = nbrs[:0]
+		for _, a := range g.Neighbors(u) {
+			if w.Present[a.ID] {
+				nbrs = append(nbrs, a.To)
+				mark[a.To] = true
+			}
+		}
+		k := len(nbrs)
+		if k < 2 {
+			out[u] = 0
+			for _, v := range nbrs {
+				mark[v] = false
+			}
+			continue
+		}
+		links := 0
+		for _, v := range nbrs {
+			for _, a := range g.Neighbors(v) {
+				if w.Present[a.ID] && a.To != u && mark[a.To] {
+					links++
+				}
+			}
+		}
+		// Each closed pair was seen from both endpoints.
+		out[u] = float64(links) / float64(k*(k-1))
+		for _, v := range nbrs {
+			mark[v] = false
+		}
+	}
+}
+
+// BFS is a reusable breadth-first search over possible worlds, avoiding
+// per-call allocation. It is not safe for concurrent use; create one per
+// goroutine.
+type BFS struct {
+	dist  []int
+	queue []int
+}
+
+// NewBFS returns a BFS sized for graphs with n vertices.
+func NewBFS(n int) *BFS {
+	return &BFS{dist: make([]int, n), queue: make([]int, 0, n)}
+}
+
+// Distances computes hop distances from src to every vertex in the world
+// (−1 when unreachable). The returned slice is owned by the BFS and is
+// overwritten by the next call.
+func (b *BFS) Distances(w *ugraph.World, src int) []int {
+	g := w.Graph()
+	for i := range b.dist {
+		b.dist[i] = -1
+	}
+	b.dist[src] = 0
+	b.queue = append(b.queue[:0], src)
+	for head := 0; head < len(b.queue); head++ {
+		u := b.queue[head]
+		for _, a := range g.Neighbors(u) {
+			if w.Present[a.ID] && b.dist[a.To] < 0 {
+				b.dist[a.To] = b.dist[u] + 1
+				b.queue = append(b.queue, a.To)
+			}
+		}
+	}
+	return b.dist
+}

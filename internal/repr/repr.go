@@ -1,0 +1,177 @@
+// Package repr extracts deterministic representative instances of uncertain
+// graphs with preserved expected degrees, after Parchas et al., "The pursuit
+// of a good possible world" (SIGMOD 2014) — the papers [29, 30] that the
+// sparsification paper positions itself against (Section 2.3).
+//
+// A representative is a single deterministic graph (every probability 0 or
+// 1) whose vertex degrees approximate the expected degrees of the uncertain
+// graph. It is the zero-entropy limit of sparsification: queries run on it
+// with conventional algorithms at minimal cost, but — unlike a sparsified
+// uncertain graph — it cannot answer questions whose output is inherently
+// probabilistic (reliability, Pr[connected], …), and it offers no control
+// over the output edge count. Package ugs implements it as a comparator to
+// make that contrast measurable.
+package repr
+
+import (
+	"math"
+
+	"ugs/internal/ds"
+	"ugs/internal/ugraph"
+)
+
+// Options tunes representative extraction.
+type Options struct {
+	// MaxSweeps bounds the greedy rewiring passes. Default 50.
+	MaxSweeps int
+}
+
+func (o *Options) defaults() {
+	if o.MaxSweeps == 0 {
+		o.MaxSweeps = 50
+	}
+}
+
+// ExpectedDegreeRepresentative returns a deterministic representative of g:
+// a subset of E with all probabilities 1, chosen to minimize the squared
+// expected-degree discrepancy Σ_u (d_u − deg_u)².
+//
+// The construction follows the ADR recipe of [29]: start from the most
+// probable world (round each edge at p ≥ 0.5), then greedily flip the edge
+// whose inclusion/exclusion most reduces the objective until a sweep makes
+// no progress.
+func ExpectedDegreeRepresentative(g *ugraph.Graph, opts Options) *ugraph.Graph {
+	opts.defaults()
+	n := g.NumVertices()
+	m := g.NumEdges()
+
+	include := make([]bool, m)
+	deg := make([]float64, n) // current integer degrees (as float for math)
+	want := g.ExpectedDegrees()
+	for id, e := range g.Edges() {
+		if e.P >= 0.5 {
+			include[id] = true
+			deg[e.U]++
+			deg[e.V]++
+		}
+	}
+
+	// flipGain returns the objective decrease of toggling edge id.
+	flipGain := func(id int) float64 {
+		e := g.Edge(id)
+		du, dv := want[e.U]-deg[e.U], want[e.V]-deg[e.V]
+		var step float64 = 1
+		if include[id] {
+			step = -1
+		}
+		// Δobjective = (du−step)²−du² + (dv−step)²−dv²; gain is −Δ.
+		return -((du-step)*(du-step) - du*du + (dv-step)*(dv-step) - dv*dv)
+	}
+
+	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+		improved := false
+		for id := 0; id < m; id++ {
+			if flipGain(id) > 1e-12 {
+				e := g.Edge(id)
+				if include[id] {
+					include[id] = false
+					deg[e.U]--
+					deg[e.V]--
+				} else {
+					include[id] = true
+					deg[e.U]++
+					deg[e.V]++
+				}
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	var ids []int
+	for id, in := range include {
+		if in {
+			ids = append(ids, id)
+		}
+	}
+	out, err := g.EdgeSubgraph(ids)
+	if err != nil {
+		panic(err) // ids are valid by construction
+	}
+	for i := range ids {
+		out.SetProb(i, 1)
+	}
+	return out
+}
+
+// DegreeObjective evaluates Σ_u (d_u(G) − deg_u(rep))², the representative
+// quality measure of [29].
+func DegreeObjective(g, rep *ugraph.Graph) float64 {
+	want := g.ExpectedDegrees()
+	var sum float64
+	for u := 0; u < g.NumVertices(); u++ {
+		d := want[u] - float64(rep.Degree(u))
+		sum += d * d
+	}
+	return sum
+}
+
+// MostProbableWorld returns the deterministic graph that rounds every edge
+// at p ≥ 0.5 — the baseline the rewiring starts from.
+func MostProbableWorld(g *ugraph.Graph) *ugraph.Graph {
+	var ids []int
+	for id, e := range g.Edges() {
+		if e.P >= 0.5 {
+			ids = append(ids, id)
+		}
+	}
+	out, err := g.EdgeSubgraph(ids)
+	if err != nil {
+		panic(err)
+	}
+	for i := range ids {
+		out.SetProb(i, 1)
+	}
+	return out
+}
+
+// IsDeterministic reports whether every edge probability of g is exactly 0
+// or 1 (zero entropy).
+func IsDeterministic(g *ugraph.Graph) bool {
+	for _, e := range g.Edges() {
+		if e.P != 0 && e.P != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ConnectivityAnswer illustrates the paper's Section 2.3 argument: on a
+// representative, "is the graph connected?" collapses to a 0/1 answer,
+// whereas the uncertain graph (and its sparsifications) yield a
+// probability. It returns that 0/1 answer.
+func ConnectivityAnswer(rep *ugraph.Graph) float64 {
+	// Only edges with p = 1 exist.
+	uf := ds.NewUnionFind(rep.NumVertices())
+	for _, e := range rep.Edges() {
+		if e.P == 1 {
+			uf.Union(e.U, e.V)
+		}
+	}
+	if uf.Sets() == 1 {
+		return 1
+	}
+	return 0
+}
+
+// Entropy of a representative is always zero; exposed for symmetry in
+// comparisons.
+func Entropy(rep *ugraph.Graph) float64 {
+	var h float64
+	for _, e := range rep.Edges() {
+		h += ugraph.EdgeEntropy(e.P)
+	}
+	return math.Abs(h)
+}

@@ -1,0 +1,127 @@
+package repr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ugs/internal/mc"
+	"ugs/internal/ugraph"
+)
+
+func randomGraph(rng *rand.Rand, n int, density float64) *ugraph.Graph {
+	b := ugraph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < density {
+				if err := b.AddEdge(u, v, 0.05+0.9*rng.Float64()); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return b.Graph()
+}
+
+func TestRepresentativeIsDeterministicSubgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 30, 0.3)
+	rep := ExpectedDegreeRepresentative(g, Options{})
+	if !IsDeterministic(rep) {
+		t.Error("representative has fractional probabilities")
+	}
+	if Entropy(rep) != 0 {
+		t.Errorf("representative entropy %v, want 0", Entropy(rep))
+	}
+	for _, e := range rep.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Errorf("edge (%d,%d) not in original", e.U, e.V)
+		}
+	}
+}
+
+func TestRewiringImprovesOnMostProbableWorld(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 5+rng.Intn(25), 0.2+0.4*rng.Float64())
+		if g.NumEdges() == 0 {
+			return true
+		}
+		base := DegreeObjective(g, MostProbableWorld(g))
+		rep := ExpectedDegreeRepresentative(g, Options{})
+		return DegreeObjective(g, rep) <= base+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepresentativeDegreesCloseToExpected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 40, 0.25)
+	rep := ExpectedDegreeRepresentative(g, Options{})
+	want := g.ExpectedDegrees()
+	var mae float64
+	for u := 0; u < g.NumVertices(); u++ {
+		mae += math.Abs(want[u] - float64(rep.Degree(u)))
+	}
+	mae /= float64(g.NumVertices())
+	// Integer degrees cannot beat rounding error, but should stay within
+	// one edge of the expectation on average.
+	if mae > 1.0 {
+		t.Errorf("degree MAE %v, want ≤ 1", mae)
+	}
+}
+
+// TestRepresentativeCannotAnswerProbabilisticQueries demonstrates the
+// paper's Section 2.3 argument: the representative collapses
+// Pr[G connected] to 0 or 1, while the uncertain graph has a fractional
+// answer — which a sparsified *uncertain* graph can approximate.
+func TestRepresentativeCannotAnswerProbabilisticQueries(t *testing.T) {
+	// Figure 1's K4 at p = 0.3: Pr[connected] ≈ 0.219.
+	b := ugraph.NewBuilder(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			if err := b.AddEdge(u, v, 0.3); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g := b.Graph()
+	exact := mc.ExactProbabilityOf(g, func(w *ugraph.World) bool { return w.IsConnected() })
+
+	rep := ExpectedDegreeRepresentative(g, Options{})
+	ans := ConnectivityAnswer(rep)
+	if ans != 0 && ans != 1 {
+		t.Fatalf("representative answer %v not boolean", ans)
+	}
+	if math.Abs(ans-exact) < 0.2 {
+		t.Errorf("representative answer %v unexpectedly close to %v; the demonstration instance is broken", ans, exact)
+	}
+}
+
+func TestMostProbableWorldRounding(t *testing.T) {
+	g := ugraph.MustNew(3, []ugraph.Edge{
+		{U: 0, V: 1, P: 0.6},
+		{U: 1, V: 2, P: 0.4},
+		{U: 0, V: 2, P: 0.5},
+	})
+	w := MostProbableWorld(g)
+	if !w.HasEdge(0, 1) || w.HasEdge(1, 2) || !w.HasEdge(0, 2) {
+		t.Errorf("rounding wrong: %v", w.Edges())
+	}
+	if !IsDeterministic(w) {
+		t.Error("most probable world not deterministic")
+	}
+}
+
+func TestRepresentativeDeterministicOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 25, 0.3)
+	a := ExpectedDegreeRepresentative(g, Options{})
+	b := ExpectedDegreeRepresentative(g, Options{})
+	if !a.Equal(b) {
+		t.Error("representative extraction not deterministic")
+	}
+}

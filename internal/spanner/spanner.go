@@ -1,0 +1,301 @@
+// Package spanner adapts the Baswana–Sen randomized (2t−1)-spanner to
+// uncertain graphs, as the paper's benchmark SS (Section 3.2 and Algorithm 5
+// of the appendix):
+//
+//  1. Transform probabilities to weights w_e = −log p_e, so low-weight paths
+//     are the most probable paths of the uncertain graph.
+//  2. Run Baswana–Sen clustering for t−1 rounds to obtain a (2t−1)-spanner
+//     of expected size O(t·n^{1+1/t}).
+//  3. Calibrate the integer stretch parameter t so the spanner fits the
+//     α|E| edge budget (t can only move in integer steps).
+//  4. Fill any remaining budget by Bernoulli sampling of leftover edges.
+//
+// The spanner keeps the original edge probabilities: unlike the proposed
+// methods, SS performs no probability redistribution — which is precisely
+// why it underperforms on uncertain graphs (Section 6).
+package spanner
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ugs/internal/ugraph"
+)
+
+// Options tunes the SS benchmark sparsifier.
+type Options struct {
+	// MaxT bounds the stretch-parameter search. Default 32.
+	MaxT int
+	// Seed drives cluster sampling and fill-up.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.MaxT == 0 {
+		o.MaxT = 32
+	}
+}
+
+// Result carries diagnostics of a Sparsify run.
+type Result struct {
+	Graph        *ugraph.Graph
+	T            int // final stretch parameter (spanner stretch 2T−1)
+	SpannerEdges int // edges selected by the spanner (before fill/truncate)
+}
+
+// Sparsify reduces g to α·|E| edges with the SS benchmark.
+func Sparsify(g *ugraph.Graph, alpha float64, opts Options) (*Result, error) {
+	opts.defaults()
+	if !(alpha > 0 && alpha < 1) {
+		return nil, fmt.Errorf("spanner: sparsification ratio α = %v outside (0,1)", alpha)
+	}
+	m := g.NumEdges()
+	target := int(math.Round(alpha * float64(m)))
+	if target < 1 || target >= m {
+		return nil, fmt.Errorf("spanner: α = %v yields invalid target %d of %d edges", alpha, target, m)
+	}
+
+	weights := make([]float64, m)
+	for id, e := range g.Edges() {
+		weights[id] = -math.Log(e.P)
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := float64(g.NumVertices())
+
+	// Initial t from α|E| = t·n^{1+1/t}; expected spanner size decreases
+	// with t, so search upward from the smallest t whose expected size
+	// fits, rerunning while the realized size overshoots.
+	t := 1
+	for t < opts.MaxT && float64(t)*math.Pow(n, 1+1/float64(t)) > float64(target) {
+		t++
+	}
+	var edges []int
+	for {
+		edges = BaswanaSen(g, weights, t, rand.New(rand.NewSource(rng.Int63())))
+		if len(edges) <= target || t >= opts.MaxT {
+			break
+		}
+		t++
+	}
+	spannerEdges := len(edges)
+	if len(edges) > target {
+		// Budget is binding even at MaxT: keep the lightest edges (the
+		// most probable ones) deterministically.
+		sortByWeight(edges, weights)
+		edges = edges[:target]
+	}
+
+	in := make([]bool, m)
+	for _, id := range edges {
+		in[id] = true
+	}
+	selected := append([]int(nil), edges...)
+	for len(selected) < target {
+		progressed := false
+		for _, id := range rng.Perm(m) {
+			if len(selected) >= target {
+				break
+			}
+			if in[id] {
+				continue
+			}
+			if rng.Float64() < g.Prob(id) {
+				in[id] = true
+				selected = append(selected, id)
+				progressed = true
+			}
+		}
+		if !progressed {
+			for _, id := range g.SortedEdgeIDsByProb() {
+				if len(selected) >= target {
+					break
+				}
+				if !in[id] {
+					in[id] = true
+					selected = append(selected, id)
+				}
+			}
+		}
+	}
+
+	sort.Ints(selected)                  // canonical output edge order
+	out, err := g.EdgeSubgraph(selected) // keeps original probabilities
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Graph: out, T: t, SpannerEdges: spannerEdges}, nil
+}
+
+// BaswanaSen computes a (2t−1)-spanner of g under the given edge weights and
+// returns the selected edge identifiers. The expected size is
+// O(t·n^{1+1/t}). The algorithm performs t−1 clustering rounds followed by a
+// vertex–cluster joining round; t = 1 returns all edges (a 1-spanner).
+func BaswanaSen(g *ugraph.Graph, weights []float64, t int, rng *rand.Rand) []int {
+	n := g.NumVertices()
+	m := g.NumEdges()
+	present := make([]bool, m)
+	for i := range present {
+		present[i] = true
+	}
+	inSpanner := make([]bool, m)
+	var spanner []int
+	add := func(id int) {
+		if !inSpanner[id] {
+			inSpanner[id] = true
+			spanner = append(spanner, id)
+		}
+	}
+
+	// cluster[v] = center of v's cluster, or -1 once v has fallen out of
+	// the clustering (its remaining edges were fully resolved).
+	cluster := make([]int, n)
+	for v := range cluster {
+		cluster[v] = v
+	}
+	sampleProb := math.Pow(float64(n), -1/float64(t))
+
+	for round := 1; round <= t-1; round++ {
+		// Sample cluster centers, drawing in sorted order so results are
+		// deterministic for a given rng seed.
+		centerSet := make(map[int]bool)
+		for _, c := range cluster {
+			if c >= 0 {
+				centerSet[c] = true
+			}
+		}
+		centers := make([]int, 0, len(centerSet))
+		for c := range centerSet {
+			centers = append(centers, c)
+		}
+		sort.Ints(centers)
+		sampled := make(map[int]bool)
+		for _, c := range centers {
+			if rng.Float64() < sampleProb {
+				sampled[c] = true
+			}
+		}
+
+		next := make([]int, n)
+		for v := range next {
+			if cluster[v] >= 0 && sampled[cluster[v]] {
+				next[v] = cluster[v] // sampled clusters survive
+			} else {
+				next[v] = -1
+			}
+		}
+
+		for u := 0; u < n; u++ {
+			if cluster[u] < 0 || sampled[cluster[u]] {
+				continue
+			}
+			// Least-weight edge from u to each adjacent cluster.
+			type best struct {
+				id int
+				w  float64
+			}
+			adj := make(map[int]best)
+			for _, a := range g.Neighbors(u) {
+				if !present[a.ID] {
+					continue
+				}
+				c := cluster[a.To]
+				if c < 0 || c == cluster[u] {
+					continue
+				}
+				if b, ok := adj[c]; !ok || weights[a.ID] < b.w || (weights[a.ID] == b.w && a.ID < b.id) {
+					adj[c] = best{a.ID, weights[a.ID]}
+				}
+			}
+
+			// Least-weight edge into a sampled adjacent cluster, if any.
+			eStar := best{-1, math.Inf(1)}
+			for c, b := range adj {
+				if sampled[c] && (b.w < eStar.w || (b.w == eStar.w && b.id < eStar.id)) {
+					eStar = b
+				}
+			}
+
+			if eStar.id < 0 {
+				// No sampled neighbor: connect to every adjacent cluster
+				// and retire u from the clustering.
+				for c, b := range adj {
+					add(b.id)
+					removeClusterEdges(g, present, cluster, u, c)
+				}
+			} else {
+				add(eStar.id)
+				joined := cluster[g.Edge(eStar.id).Other(u)]
+				next[u] = joined
+				removeClusterEdges(g, present, cluster, u, joined)
+				for c, b := range adj {
+					if c != joined && b.w < eStar.w {
+						add(b.id)
+						removeClusterEdges(g, present, cluster, u, c)
+					}
+				}
+			}
+		}
+
+		cluster = next
+		// Discard intra-cluster edges.
+		for id := 0; id < m; id++ {
+			if !present[id] {
+				continue
+			}
+			e := g.Edge(id)
+			if cluster[e.U] >= 0 && cluster[e.U] == cluster[e.V] {
+				present[id] = false
+			}
+		}
+	}
+
+	// Vertex–cluster joining: each vertex keeps its least-weight edge to
+	// every adjacent final cluster (and to each retired neighbor,
+	// identified by the neighbor itself).
+	for u := 0; u < n; u++ {
+		type best struct {
+			id int
+			w  float64
+		}
+		adj := make(map[int]best)
+		for _, a := range g.Neighbors(u) {
+			if !present[a.ID] {
+				continue
+			}
+			key := cluster[a.To]
+			if key < 0 {
+				key = -2 - a.To // retired vertices count individually
+			}
+			if b, ok := adj[key]; !ok || weights[a.ID] < b.w || (weights[a.ID] == b.w && a.ID < b.id) {
+				adj[key] = best{a.ID, weights[a.ID]}
+			}
+		}
+		for _, b := range adj {
+			add(b.id)
+		}
+	}
+	return spanner
+}
+
+// removeClusterEdges discards all present edges between u and the cluster
+// with the given center.
+func removeClusterEdges(g *ugraph.Graph, present []bool, cluster []int, u, center int) {
+	for _, a := range g.Neighbors(u) {
+		if present[a.ID] && cluster[a.To] == center {
+			present[a.ID] = false
+		}
+	}
+}
+
+func sortByWeight(ids []int, weights []float64) {
+	sort.Slice(ids, func(a, b int) bool {
+		wa, wb := weights[ids[a]], weights[ids[b]]
+		if wa != wb {
+			return wa < wb
+		}
+		return ids[a] < ids[b]
+	})
+}

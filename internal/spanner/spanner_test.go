@@ -1,0 +1,217 @@
+package spanner
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ugs/internal/ugraph"
+)
+
+func randomConnectedGraph(rng *rand.Rand, n int, density float64) *ugraph.Graph {
+	b := ugraph.NewBuilder(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		if err := b.AddEdge(perm[i], perm[rng.Intn(i)], 0.05+0.9*rng.Float64()); err != nil {
+			panic(err)
+		}
+	}
+	g := b.Graph()
+	b2 := ugraph.NewBuilder(n)
+	for _, e := range g.Edges() {
+		if err := b2.AddEdge(e.U, e.V, e.P); err != nil {
+			panic(err)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) && rng.Float64() < density {
+				if err := b2.AddEdge(u, v, 0.05+0.9*rng.Float64()); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return b2.Graph()
+}
+
+// dijkstra computes single-source shortest path distances over the subset of
+// edges marked allowed (nil = all edges).
+func dijkstra(g *ugraph.Graph, weights []float64, allowed []bool, src int) []float64 {
+	dist := make([]float64, g.NumVertices())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &distHeap{{src, 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, a := range g.Neighbors(it.v) {
+			if allowed != nil && !allowed[a.ID] {
+				continue
+			}
+			nd := it.d + weights[a.ID]
+			if nd < dist[a.To] {
+				dist[a.To] = nd
+				heap.Push(pq, distItem{a.To, nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	v int
+	d float64
+}
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func TestBaswanaSenStretchGuarantee(t *testing.T) {
+	// A (2t−1)-spanner must satisfy dist_spanner(u,v) ≤ (2t−1)·dist_G(u,v)
+	// for all pairs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, 8+rng.Intn(20), 0.3)
+		weights := make([]float64, g.NumEdges())
+		for id, e := range g.Edges() {
+			weights[id] = -math.Log(e.P)
+		}
+		tpar := 1 + rng.Intn(3)
+		spanner := BaswanaSen(g, weights, tpar, rng)
+		allowed := make([]bool, g.NumEdges())
+		for _, id := range spanner {
+			allowed[id] = true
+		}
+		stretch := float64(2*tpar - 1)
+		for src := 0; src < g.NumVertices(); src++ {
+			dg := dijkstra(g, weights, nil, src)
+			dsp := dijkstra(g, weights, allowed, src)
+			for v := range dg {
+				if math.IsInf(dg[v], 1) {
+					continue
+				}
+				if dsp[v] > stretch*dg[v]+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaswanaSenT1IsWholeGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomConnectedGraph(rng, 15, 0.4)
+	weights := make([]float64, g.NumEdges())
+	for id, e := range g.Edges() {
+		weights[id] = -math.Log(e.P)
+	}
+	spanner := BaswanaSen(g, weights, 1, rng)
+	if len(spanner) != g.NumEdges() {
+		t.Errorf("t=1 spanner has %d edges, want all %d", len(spanner), g.NumEdges())
+	}
+}
+
+func TestBaswanaSenSparsifiesDenseGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomConnectedGraph(rng, 60, 0.8)
+	weights := make([]float64, g.NumEdges())
+	for id, e := range g.Edges() {
+		weights[id] = -math.Log(e.P)
+	}
+	spanner := BaswanaSen(g, weights, 3, rng)
+	if len(spanner) >= g.NumEdges()*3/4 {
+		t.Errorf("t=3 spanner kept %d of %d edges; no sparsification", len(spanner), g.NumEdges())
+	}
+}
+
+func TestSparsifyBudgetAndOriginalProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomConnectedGraph(rng, 40, 0.4)
+	for _, alpha := range []float64{0.16, 0.32, 0.64} {
+		res, err := Sparsify(g, alpha, Options{Seed: 5})
+		if err != nil {
+			t.Fatalf("alpha=%v: %v", alpha, err)
+		}
+		out := res.Graph
+		want := int(math.Round(alpha * float64(g.NumEdges())))
+		if out.NumEdges() != want {
+			t.Errorf("alpha=%v: %d edges, want %d", alpha, out.NumEdges(), want)
+		}
+		// SS performs no probability redistribution.
+		for i := 0; i < out.NumEdges(); i++ {
+			e := out.Edge(i)
+			id, ok := g.EdgeID(e.U, e.V)
+			if !ok {
+				t.Fatalf("edge (%d,%d) not in original", e.U, e.V)
+			}
+			if out.Prob(i) != g.Prob(id) {
+				t.Errorf("edge (%d,%d): probability changed %v -> %v", e.U, e.V, g.Prob(id), out.Prob(i))
+			}
+		}
+	}
+}
+
+func TestSparsifyDeterministicBySeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomConnectedGraph(rng, 30, 0.3)
+	a, err := Sparsify(g, 0.3, Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sparsify(g, 0.3, Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Graph.Equal(b.Graph) {
+		t.Error("same seed produced different graphs")
+	}
+}
+
+func TestSparsifyErrors(t *testing.T) {
+	g := ugraph.MustNew(3, []ugraph.Edge{
+		{U: 0, V: 1, P: 0.5},
+		{U: 1, V: 2, P: 0.5},
+	})
+	for _, alpha := range []float64{0, 1, -0.5, 2} {
+		if _, err := Sparsify(g, alpha, Options{}); err == nil {
+			t.Errorf("alpha=%v accepted", alpha)
+		}
+	}
+}
+
+func TestSparsifyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, 10+rng.Intn(25), 0.25+0.3*rng.Float64())
+		alpha := 0.2 + 0.5*rng.Float64()
+		res, err := Sparsify(g, alpha, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		return res.Graph.NumEdges() == int(math.Round(alpha*float64(g.NumEdges())))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

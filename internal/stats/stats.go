@@ -1,0 +1,148 @@
+// Package stats provides the evaluation metrics of the paper: the earth
+// mover's distance between empirical result distributions (Equation 17),
+// mean absolute error, and the unbiased variance of repeated Monte-Carlo
+// estimators used for the relative-variance experiments (Figure 12).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// EarthMovers computes the earth mover's distance between the empirical
+// cumulative distributions of two observation samples (Equation 17):
+//
+//	Dem = Σ_i |F_a(x_i) − F_b(x_i)| · (x_i − x_{i−1})
+//
+// over the ordered union {x_0 < x_1 < …} of observed values. NaN
+// observations (e.g. never-connected SP pairs) are dropped. If either sample
+// is empty after filtering, the result is NaN.
+func EarthMovers(a, b []float64) float64 {
+	sa := sortedFinite(a)
+	sb := sortedFinite(b)
+	if len(sa) == 0 || len(sb) == 0 {
+		return math.NaN()
+	}
+	// Ordered union of observed values.
+	union := make([]float64, 0, len(sa)+len(sb))
+	i, j := 0, 0
+	for i < len(sa) || j < len(sb) {
+		var x float64
+		switch {
+		case i >= len(sa):
+			x = sb[j]
+		case j >= len(sb):
+			x = sa[i]
+		case sa[i] <= sb[j]:
+			x = sa[i]
+		default:
+			x = sb[j]
+		}
+		for i < len(sa) && sa[i] == x {
+			i++
+		}
+		for j < len(sb) && sb[j] == x {
+			j++
+		}
+		union = append(union, x)
+	}
+
+	var d float64
+	prev := union[0]
+	for _, x := range union[1:] {
+		fa := cdfAt(sa, prev)
+		fb := cdfAt(sb, prev)
+		d += math.Abs(fa-fb) * (x - prev)
+		prev = x
+	}
+	return d
+}
+
+func sortedFinite(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			out = append(out, x)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// cdfAt returns the fraction of sorted observations ≤ x.
+func cdfAt(sorted []float64, x float64) float64 {
+	return float64(sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))) / float64(len(sorted))
+}
+
+// MAE returns the mean absolute error between paired observations,
+// skipping pairs where either value is NaN. Slices must have equal length.
+func MAE(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: MAE length mismatch")
+	}
+	var sum float64
+	n := 0
+	for i := range a {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			continue
+		}
+		sum += math.Abs(a[i] - b[i])
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Mean returns the arithmetic mean, NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (divides by n−1), NaN for
+// fewer than two observations.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// EstimatorVariance runs a Monte-Carlo estimator `runs` times (the run index
+// seeds each repetition) and returns the mean and unbiased variance of its
+// outputs — the paper's σ̂ estimator for Figure 12 (100 repetitions).
+func EstimatorVariance(runs int, estimate func(run int) float64) (mean, variance float64) {
+	out := make([]float64, runs)
+	for r := range out {
+		out[r] = estimate(r)
+	}
+	return Mean(out), Variance(out)
+}
+
+// ConfidenceWidth returns the 95% confidence interval width of an MC
+// estimator with standard deviation sigma over n samples:
+// CW = 3.92·σ/√n (Section 6.3).
+func ConfidenceWidth(sigma float64, n int) float64 {
+	return 3.92 * sigma / math.Sqrt(float64(n))
+}
+
+// SamplesForWidth returns the number of MC samples needed to reach the given
+// 95% confidence width with estimator standard deviation sigma.
+func SamplesForWidth(sigma, width float64) int {
+	n := math.Pow(3.92*sigma/width, 2)
+	return int(math.Ceil(n))
+}

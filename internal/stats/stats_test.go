@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEarthMoversIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if d := EarthMovers(a, a); d != 0 {
+		t.Errorf("Dem(a,a) = %v, want 0", d)
+	}
+}
+
+func TestEarthMoversPointMasses(t *testing.T) {
+	// Point mass at 0 vs point mass at 1: all mass moves distance 1.
+	a := []float64{0, 0, 0}
+	b := []float64{1, 1, 1}
+	if d := EarthMovers(a, b); math.Abs(d-1) > 1e-12 {
+		t.Errorf("Dem = %v, want 1", d)
+	}
+}
+
+func TestEarthMoversShift(t *testing.T) {
+	// Shifting a sample by c moves Dem by exactly c.
+	a := []float64{0.1, 0.5, 0.9, 1.3}
+	b := make([]float64, len(a))
+	for i, x := range a {
+		b[i] = x + 0.25
+	}
+	if d := EarthMovers(a, b); math.Abs(d-0.25) > 1e-12 {
+		t.Errorf("Dem = %v, want 0.25", d)
+	}
+}
+
+func TestEarthMoversKnownAsymmetricCase(t *testing.T) {
+	// a = {0, 1}, b = {1, 1}: half of a's mass must travel distance 1.
+	d := EarthMovers([]float64{0, 1}, []float64{1, 1})
+	if math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("Dem = %v, want 0.5", d)
+	}
+}
+
+func TestEarthMoversSkipsNaNAndInf(t *testing.T) {
+	a := []float64{1, math.NaN(), 2}
+	b := []float64{1, 2, math.Inf(1)}
+	if d := EarthMovers(a, b); d != 0 {
+		t.Errorf("Dem = %v, want 0 after filtering", d)
+	}
+	if d := EarthMovers([]float64{math.NaN()}, []float64{1}); !math.IsNaN(d) {
+		t.Errorf("Dem with empty filtered sample = %v, want NaN", d)
+	}
+}
+
+func TestEarthMoversMetricProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		mk := func() []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = rng.NormFloat64()
+			}
+			return xs
+		}
+		a, b, c := mk(), mk(), mk()
+		dab := EarthMovers(a, b)
+		dba := EarthMovers(b, a)
+		dac := EarthMovers(a, c)
+		dcb := EarthMovers(c, b)
+		// Non-negativity, symmetry, triangle inequality.
+		return dab >= 0 && math.Abs(dab-dba) < 1e-9 && dab <= dac+dcb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMAE(t *testing.T) {
+	if got := MAE([]float64{1, 2, 3}, []float64{2, 2, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MAE = %v, want 1", got)
+	}
+	if got := MAE([]float64{1, math.NaN()}, []float64{3, 5}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("MAE with NaN = %v, want 2", got)
+	}
+	if got := MAE([]float64{math.NaN()}, []float64{1}); !math.IsNaN(got) {
+		t.Errorf("MAE all-NaN = %v, want NaN", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	MAE([]float64{1}, []float64{1, 2})
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	// Sample variance with n−1: Σ(x−5)² = 32, /7.
+	if v := Variance(xs); math.Abs(v-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance([]float64{1})) {
+		t.Error("degenerate inputs must give NaN")
+	}
+}
+
+func TestEstimatorVariance(t *testing.T) {
+	mean, v := EstimatorVariance(100, func(run int) float64 {
+		rng := rand.New(rand.NewSource(int64(run)))
+		return rng.NormFloat64()
+	})
+	if math.Abs(mean) > 0.35 {
+		t.Errorf("mean of standard normals = %v, want ≈0", mean)
+	}
+	if v < 0.5 || v > 1.6 {
+		t.Errorf("variance of standard normals = %v, want ≈1", v)
+	}
+	// A constant estimator has zero variance.
+	_, v0 := EstimatorVariance(10, func(int) float64 { return 3 })
+	if v0 != 0 {
+		t.Errorf("variance of constant = %v, want 0", v0)
+	}
+}
+
+func TestConfidenceWidthAndSamples(t *testing.T) {
+	cw := ConfidenceWidth(2, 100)
+	if math.Abs(cw-3.92*2/10) > 1e-12 {
+		t.Errorf("ConfidenceWidth = %v", cw)
+	}
+	// Round trip: samples needed to achieve that width at same sigma.
+	if n := SamplesForWidth(2, cw); n != 100 {
+		t.Errorf("SamplesForWidth = %d, want 100", n)
+	}
+	// Quartering the width needs 16x the samples.
+	if n := SamplesForWidth(2, cw/4); n != 1600 {
+		t.Errorf("SamplesForWidth = %d, want 1600", n)
+	}
+}

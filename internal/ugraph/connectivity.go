@@ -1,0 +1,104 @@
+package ugraph
+
+// Components labels each vertex with a connected-component identifier in
+// [0, k) where k is the number of components, treating every edge as present
+// regardless of probability. It returns the labels and k.
+func (g *Graph) Components() ([]int, int) {
+	comp := make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	k := 0
+	queue := make([]int, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = k
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, a := range g.adj[u] {
+				if comp[a.To] < 0 {
+					comp[a.To] = k
+					queue = append(queue, a.To)
+				}
+			}
+		}
+		k++
+	}
+	return comp, k
+}
+
+// IsConnected reports whether the graph is connected when every edge is
+// treated as present. The empty graph and the single-vertex graph are
+// connected.
+func (g *Graph) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	_, k := g.Components()
+	return k == 1
+}
+
+// IsConnected reports whether the world's materialized edges connect all
+// vertices of the underlying graph.
+func (w *World) IsConnected() bool {
+	g := w.g
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.adj[u] {
+			if w.Present[a.ID] && !seen[a.To] {
+				seen[a.To] = true
+				count++
+				stack = append(stack, a.To)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// Reachable reports whether t is reachable from s in this world.
+func (w *World) Reachable(s, t int) bool {
+	return w.Distance(s, t) >= 0
+}
+
+// Distance returns the unweighted shortest-path distance (hop count) from s
+// to t in this world, or −1 if t is unreachable. Scratch buffers are
+// allocated per call; use a BFS instance from internal/queries for repeated
+// evaluation.
+func (w *World) Distance(s, t int) int {
+	if s == t {
+		return 0
+	}
+	g := w.g
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, a := range g.adj[u] {
+			if w.Present[a.ID] && dist[a.To] < 0 {
+				dist[a.To] = dist[u] + 1
+				if a.To == t {
+					return dist[a.To]
+				}
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,41 @@
+package ugraph
+
+import "math"
+
+// EdgeEntropy returns the binary (base-2) entropy of a single edge
+// probability: H(p) = −p·log2(p) − (1−p)·log2(1−p). By convention
+// H(0) = H(1) = 0.
+//
+// The paper defines graph entropy as the joint entropy of independent edges,
+// and its worked examples (e.g. Figure 2: 3.85 → 2.60) use base-2 logarithms.
+func EdgeEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// Entropy returns H(G) = Σ_e H(p_e), the joint entropy of the graph's
+// independent edges, in bits.
+func (g *Graph) Entropy() float64 {
+	var h float64
+	for _, e := range g.edges {
+		h += EdgeEntropy(e.P)
+	}
+	return h
+}
+
+// RelativeEntropy returns H(g) / H(base). It reports how much uncertainty a
+// sparsified graph retains relative to its original. If base has zero
+// entropy the result is 0 when g also has zero entropy and +Inf otherwise.
+func RelativeEntropy(g, base *Graph) float64 {
+	hb := base.Entropy()
+	hg := g.Entropy()
+	if hb == 0 {
+		if hg == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return hg / hb
+}

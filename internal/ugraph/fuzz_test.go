@@ -1,0 +1,39 @@
+package ugraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the text-format parser with arbitrary input: it must
+// never panic, and any graph it accepts must round-trip through Write/Read
+// to an equal graph.
+func FuzzRead(f *testing.F) {
+	f.Add("3 2\n0 1 0.5\n1 2 0.25\n")
+	f.Add("# comment\n\n2 1\n0 1 1\n")
+	f.Add("3 1\n0 1 0\n") // zero-probability edge (sparsifier output)
+	f.Add("0 0\n")
+	f.Add("2 1\n0 1 1e-3\n")
+	f.Add("1 0")
+	f.Add("x y\n")
+	f.Add("3 2\n0 1 0.5\n0 1 0.5\n") // duplicate
+	f.Add("99999 1\n0 1 0.5\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("Write of accepted graph failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip Read failed: %v\noriginal input: %q", err, input)
+		}
+		if !g.Equal(back) {
+			t.Fatalf("round trip not equal\ninput: %q", input)
+		}
+	})
+}

@@ -1,0 +1,470 @@
+package ugraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// k4 builds the Figure 1(a) graph: the complete graph on 4 vertices with all
+// edge probabilities 0.3.
+func k4(t testing.TB) *Graph {
+	t.Helper()
+	b := NewBuilder(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			if err := b.AddEdge(u, v, 0.3); err != nil {
+				t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+			}
+		}
+	}
+	return b.Graph()
+}
+
+func TestBuilderValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		u, v    int
+		p       float64
+		wantErr bool
+	}{
+		{"valid", 0, 1, 0.5, false},
+		{"valid p=1", 0, 1, 1.0, false},
+		{"self loop", 1, 1, 0.5, true},
+		{"u out of range", -1, 1, 0.5, true},
+		{"v out of range", 0, 5, 0.5, true},
+		{"p zero", 0, 1, 0, true},
+		{"p negative", 0, 1, -0.1, true},
+		{"p above one", 0, 1, 1.1, true},
+		{"p NaN", 0, 1, math.NaN(), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder(3)
+			err := b.AddEdge(tc.u, tc.v, tc.p)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("AddEdge(%d,%d,%v) error = %v, wantErr %v", tc.u, tc.v, tc.p, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestBuilderDuplicate(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 0, 0.5); err == nil {
+		t.Error("reversed duplicate edge accepted")
+	}
+	if err := b.AddEdge(0, 1, 0.7); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestEdgeNormalization(t *testing.T) {
+	g := MustNew(3, []Edge{{U: 2, V: 0, P: 0.4}})
+	e := g.Edge(0)
+	if e.U != 0 || e.V != 2 {
+		t.Errorf("edge endpoints not normalized: got (%d,%d)", e.U, e.V)
+	}
+	if id, ok := g.EdgeID(2, 0); !ok || id != 0 {
+		t.Errorf("EdgeID(2,0) = %d,%v; want 0,true", id, ok)
+	}
+	if !g.HasEdge(0, 2) || g.HasEdge(1, 2) {
+		t.Error("HasEdge wrong")
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{U: 1, V: 5, P: 0.2}
+	if e.Other(1) != 5 || e.Other(5) != 1 {
+		t.Error("Other returned wrong endpoint")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Other on non-endpoint did not panic")
+		}
+	}()
+	e.Other(3)
+}
+
+func TestDegreesAndAdjacency(t *testing.T) {
+	g := MustNew(4, []Edge{
+		{U: 0, V: 1, P: 0.5},
+		{U: 0, V: 2, P: 0.25},
+		{U: 0, V: 3, P: 0.25},
+		{U: 1, V: 2, P: 1.0},
+	})
+	if got := g.Degree(0); got != 3 {
+		t.Errorf("Degree(0) = %d, want 3", got)
+	}
+	if got := g.ExpectedDegree(0); got != 1.0 {
+		t.Errorf("ExpectedDegree(0) = %v, want 1.0", got)
+	}
+	d := g.ExpectedDegrees()
+	for u := 0; u < 4; u++ {
+		if math.Abs(d[u]-g.ExpectedDegree(u)) > 1e-12 {
+			t.Errorf("ExpectedDegrees[%d] = %v disagrees with ExpectedDegree %v", u, d[u], g.ExpectedDegree(u))
+		}
+	}
+	if got := g.TotalProb(); got != 2.0 {
+		t.Errorf("TotalProb = %v, want 2.0", got)
+	}
+	if got := g.MeanProb(); got != 0.5 {
+		t.Errorf("MeanProb = %v, want 0.5", got)
+	}
+	// Adjacency must mirror the edge list.
+	seen := 0
+	for u := 0; u < 4; u++ {
+		for _, a := range g.Neighbors(u) {
+			e := g.Edge(a.ID)
+			if e.U != u && e.V != u {
+				t.Errorf("adjacency of %d references edge (%d,%d)", u, e.U, e.V)
+			}
+			if e.Other(u) != a.To {
+				t.Errorf("arc to %d disagrees with edge %v", a.To, e)
+			}
+			seen++
+		}
+	}
+	if seen != 2*g.NumEdges() {
+		t.Errorf("adjacency has %d arcs, want %d", seen, 2*g.NumEdges())
+	}
+}
+
+func TestSetProb(t *testing.T) {
+	g := MustNew(2, []Edge{{U: 0, V: 1, P: 0.5}})
+	g.SetProb(0, 0) // zero allowed post-construction
+	if g.Prob(0) != 0 {
+		t.Errorf("Prob after SetProb(0,0) = %v", g.Prob(0))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetProb out of range did not panic")
+		}
+	}()
+	g.SetProb(0, 1.5)
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	g := k4(t)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.SetProb(0, 0.9)
+	if g.Equal(c) {
+		t.Error("mutating clone affected equality")
+	}
+	if g.Prob(0) != 0.3 {
+		t.Error("mutating clone changed original")
+	}
+}
+
+func TestEntropyGoldenFigure2(t *testing.T) {
+	// The paper's Figure 2 graph has five edges with probabilities
+	// 0.4, 0.2, 0.4, 0.2, 0.1 and reports H(G) = 3.85 (bits).
+	g := MustNew(4, []Edge{
+		{U: 0, V: 1, P: 0.4},
+		{U: 0, V: 2, P: 0.2},
+		{U: 0, V: 3, P: 0.4},
+		{U: 1, V: 3, P: 0.2},
+		{U: 2, V: 3, P: 0.1},
+	})
+	if got := g.Entropy(); math.Abs(got-3.85) > 0.01 {
+		t.Errorf("Entropy = %.4f, want ≈3.85", got)
+	}
+	// And the GDB output with three edges at 0.3, 0.5, 0.2 has H = 2.60.
+	out := MustNew(4, []Edge{
+		{U: 0, V: 1, P: 0.3},
+		{U: 0, V: 3, P: 0.5},
+		{U: 2, V: 3, P: 0.2},
+	})
+	if got := out.Entropy(); math.Abs(got-2.60) > 0.01 {
+		t.Errorf("sparsified Entropy = %.4f, want ≈2.60", got)
+	}
+	if rel := RelativeEntropy(out, g); rel >= 1 || rel <= 0 {
+		t.Errorf("RelativeEntropy = %v, want in (0,1)", rel)
+	}
+}
+
+func TestEdgeEntropyProperties(t *testing.T) {
+	if EdgeEntropy(0) != 0 || EdgeEntropy(1) != 0 {
+		t.Error("H(0) and H(1) must be 0")
+	}
+	if got := EdgeEntropy(0.5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("H(0.5) = %v, want 1 bit", got)
+	}
+	// Symmetry H(p) = H(1-p) and concavity peak at 0.5.
+	f := func(p float64) bool {
+		p = math.Abs(math.Mod(p, 1))
+		return math.Abs(EdgeEntropy(p)-EdgeEntropy(1-p)) < 1e-9 && EdgeEntropy(p) <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrConnectedGoldenFigure1(t *testing.T) {
+	// Figure 1: Pr[K4 with p=0.3 is connected] = 0.219.
+	g := k4(t)
+	var pr float64
+	EnumerateWorlds(g, func(w *World, p float64) {
+		if w.IsConnected() {
+			pr += p
+		}
+	})
+	if math.Abs(pr-0.2186) > 0.0005 {
+		t.Errorf("Pr[connected] = %.4f, want ≈0.2186", pr)
+	}
+
+	// Figure 1(b): spanning tree with three edges at 0.6 → 0.216.
+	sp := MustNew(4, []Edge{
+		{U: 0, V: 1, P: 0.6},
+		{U: 1, V: 2, P: 0.6},
+		{U: 2, V: 3, P: 0.6},
+	})
+	var prSp float64
+	EnumerateWorlds(sp, func(w *World, p float64) {
+		if w.IsConnected() {
+			prSp += p
+		}
+	})
+	if math.Abs(prSp-0.216) > 1e-9 {
+		t.Errorf("Pr[sparsified connected] = %.6f, want 0.216", prSp)
+	}
+}
+
+func TestEnumerateWorldsProbabilitiesSumToOne(t *testing.T) {
+	g := MustNew(3, []Edge{
+		{U: 0, V: 1, P: 0.37},
+		{U: 1, V: 2, P: 0.81},
+		{U: 0, V: 2, P: 0.09},
+	})
+	var total float64
+	count := 0
+	EnumerateWorlds(g, func(w *World, p float64) {
+		total += p
+		count++
+		if math.Abs(w.Prob()-p) > 1e-12 {
+			t.Errorf("World.Prob() = %v disagrees with enumeration %v", w.Prob(), p)
+		}
+	})
+	if count != 8 {
+		t.Errorf("enumerated %d worlds, want 8", count)
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("world probabilities sum to %v, want 1", total)
+	}
+}
+
+func TestSampleWorldFrequency(t *testing.T) {
+	g := MustNew(3, []Edge{
+		{U: 0, V: 1, P: 0.2},
+		{U: 1, V: 2, P: 0.7},
+	})
+	rng := rand.New(rand.NewSource(42))
+	const n = 20000
+	counts := make([]int, g.NumEdges())
+	w := NewWorld(g)
+	for i := 0; i < n; i++ {
+		g.SampleWorldInto(rng, w)
+		for id, present := range w.Present {
+			if present {
+				counts[id]++
+			}
+		}
+	}
+	for id, e := range g.Edges() {
+		freq := float64(counts[id]) / n
+		if math.Abs(freq-e.P) > 0.02 {
+			t.Errorf("edge %d empirical frequency %.3f, want ≈%.3f", id, freq, e.P)
+		}
+	}
+}
+
+func TestWorldNeighborsAndHasEdge(t *testing.T) {
+	g := MustNew(3, []Edge{
+		{U: 0, V: 1, P: 0.5},
+		{U: 0, V: 2, P: 0.5},
+	})
+	w := WorldFromMask(g, []bool{true, false})
+	if !w.HasEdge(0, 1) || w.HasEdge(0, 2) || w.HasEdge(1, 2) {
+		t.Error("HasEdge wrong")
+	}
+	var ns []int
+	w.Neighbors(0, func(v int) bool { ns = append(ns, v); return true })
+	if len(ns) != 1 || ns[0] != 1 {
+		t.Errorf("Neighbors(0) = %v, want [1]", ns)
+	}
+	if got := w.NumEdges(); got != 1 {
+		t.Errorf("NumEdges = %d, want 1", got)
+	}
+}
+
+func TestComponentsAndConnectivity(t *testing.T) {
+	g := MustNew(5, []Edge{
+		{U: 0, V: 1, P: 0.5},
+		{U: 1, V: 2, P: 0.5},
+		{U: 3, V: 4, P: 0.5},
+	})
+	comp, k := g.Components()
+	if k != 2 {
+		t.Fatalf("components = %d, want 2", k)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] || comp[3] != comp[4] || comp[0] == comp[3] {
+		t.Errorf("component labels %v inconsistent", comp)
+	}
+	if g.IsConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+	conn := MustNew(2, []Edge{{U: 0, V: 1, P: 0.1}})
+	if !conn.IsConnected() {
+		t.Error("connected graph reported disconnected")
+	}
+	if empty := MustNew(1, nil); !empty.IsConnected() {
+		t.Error("single vertex graph must be connected")
+	}
+}
+
+func TestWorldDistance(t *testing.T) {
+	// Path 0-1-2-3 plus shortcut 0-3.
+	g := MustNew(4, []Edge{
+		{U: 0, V: 1, P: 0.5},
+		{U: 1, V: 2, P: 0.5},
+		{U: 2, V: 3, P: 0.5},
+		{U: 0, V: 3, P: 0.5},
+	})
+	all := WorldFromMask(g, []bool{true, true, true, true})
+	if d := all.Distance(0, 3); d != 1 {
+		t.Errorf("Distance(0,3) with shortcut = %d, want 1", d)
+	}
+	noShortcut := WorldFromMask(g, []bool{true, true, true, false})
+	if d := noShortcut.Distance(0, 3); d != 3 {
+		t.Errorf("Distance(0,3) path = %d, want 3", d)
+	}
+	if d := noShortcut.Distance(2, 2); d != 0 {
+		t.Errorf("Distance(2,2) = %d, want 0", d)
+	}
+	none := NewWorld(g)
+	if d := none.Distance(0, 3); d != -1 {
+		t.Errorf("Distance in empty world = %d, want -1", d)
+	}
+	if none.Reachable(0, 3) {
+		t.Error("Reachable in empty world")
+	}
+	if !none.Reachable(1, 1) {
+		t.Error("vertex must reach itself")
+	}
+}
+
+func TestEdgeSubgraph(t *testing.T) {
+	g := k4(t)
+	sub, err := g.EdgeSubgraph([]int{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 4 || sub.NumEdges() != 3 {
+		t.Fatalf("subgraph %v, want 4 vertices 3 edges", sub)
+	}
+	for i, id := range []int{0, 2, 4} {
+		if sub.Edge(i) != g.Edge(id) {
+			t.Errorf("subgraph edge %d = %v, want %v", i, sub.Edge(i), g.Edge(id))
+		}
+	}
+	if _, err := g.EdgeSubgraph([]int{0, 0}); err == nil {
+		t.Error("duplicate edge ids accepted")
+	}
+	if _, err := g.EdgeSubgraph([]int{99}); err == nil {
+		t.Error("out-of-range edge id accepted")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := k4(t)
+	sub, orig, err := g.InducedSubgraph([]int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 2 || sub.NumEdges() != 1 {
+		t.Fatalf("induced subgraph %v, want 2 vertices 1 edge", sub)
+	}
+	if orig[0] != 3 || orig[1] != 1 {
+		t.Errorf("mapping %v, want [3 1]", orig)
+	}
+	if _, _, err := g.InducedSubgraph([]int{1, 1}); err == nil {
+		t.Error("duplicate vertices accepted")
+	}
+	if _, _, err := g.InducedSubgraph([]int{9}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := MustNew(6, []Edge{
+		{U: 0, V: 1, P: 0.5},
+		{U: 1, V: 2, P: 0.5},
+		{U: 2, V: 0, P: 0.5},
+		{U: 3, V: 4, P: 0.5},
+	})
+	lc, orig, err := g.LargestComponent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.NumVertices() != 3 || lc.NumEdges() != 3 {
+		t.Errorf("largest component %v, want triangle", lc)
+	}
+	want := map[int]bool{0: true, 1: true, 2: true}
+	for _, v := range orig {
+		if !want[v] {
+			t.Errorf("largest component contains unexpected vertex %d", v)
+		}
+	}
+}
+
+func TestSortedEdgeIDsByProb(t *testing.T) {
+	g := MustNew(4, []Edge{
+		{U: 0, V: 1, P: 0.2},
+		{U: 1, V: 2, P: 0.9},
+		{U: 2, V: 3, P: 0.2},
+		{U: 0, V: 3, P: 0.5},
+	})
+	ids := g.SortedEdgeIDsByProb()
+	want := []int{1, 3, 0, 2} // 0.9, 0.5, then ties 0.2 by id
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("SortedEdgeIDsByProb = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestGraphQuickInvariants(t *testing.T) {
+	// Random graphs: adjacency degree sums, expected degree sum = 2·TotalProb.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		b := NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.3 {
+					if err := b.AddEdge(u, v, 0.05+0.95*rng.Float64()); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		g := b.Graph()
+		var degSum float64
+		structural := 0
+		for u := 0; u < n; u++ {
+			degSum += g.ExpectedDegree(u)
+			structural += g.Degree(u)
+		}
+		return math.Abs(degSum-2*g.TotalProb()) < 1e-9 && structural == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

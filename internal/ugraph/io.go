@@ -1,0 +1,142 @@
+package ugraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The text interchange format is line-oriented:
+//
+//	# comments and blank lines are ignored
+//	<numVertices> <numEdges>
+//	<u> <v> <p>
+//	...
+//
+// Endpoints are 0-based vertex identifiers; p is a probability in [0, 1].
+// A probability of exactly 0 is legal on read: sparsifiers keep an edge in
+// E' while driving its probability to zero (the ⌊0·⌉1 clamp of Equation 9),
+// and such graphs must round-trip.
+
+// Write serializes g in the text interchange format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.U, e.V, e.P); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in the text interchange format.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s == "" || strings.HasPrefix(s, "#") {
+				continue
+			}
+			return s, true
+		}
+		return "", false
+	}
+
+	head, ok := next()
+	if !ok {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("ugraph: empty input")
+	}
+	fields := strings.Fields(head)
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("ugraph: line %d: want \"<numVertices> <numEdges>\", got %q", line, head)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("ugraph: line %d: bad vertex count %q", line, fields[0])
+	}
+	m, err := strconv.Atoi(fields[1])
+	if err != nil || m < 0 {
+		return nil, fmt.Errorf("ugraph: line %d: bad edge count %q", line, fields[1])
+	}
+
+	b := NewBuilder(n)
+	var zeroEdges []int // indices of p = 0 edges, zeroed after construction
+	for i := 0; i < m; i++ {
+		s, ok := next()
+		if !ok {
+			if err := sc.Err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("ugraph: expected %d edges, got %d", m, i)
+		}
+		fields = strings.Fields(s)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("ugraph: line %d: want \"<u> <v> <p>\", got %q", line, s)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("ugraph: line %d: bad vertex %q", line, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("ugraph: line %d: bad vertex %q", line, fields[1])
+		}
+		p, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("ugraph: line %d: bad probability %q", line, fields[2])
+		}
+		if p == 0 {
+			// Builder validation requires (0,1]; add with a placeholder and
+			// zero it once the graph exists (SetProb allows 0).
+			zeroEdges = append(zeroEdges, i)
+			p = 1
+		}
+		if err := b.AddEdge(u, v, p); err != nil {
+			return nil, fmt.Errorf("ugraph: line %d: %w", line, err)
+		}
+	}
+	if s, extra := next(); extra {
+		return nil, fmt.Errorf("ugraph: line %d: trailing content %q after %d edges", line, s, m)
+	}
+	g := b.Graph()
+	for _, id := range zeroEdges {
+		g.SetProb(id, 0)
+	}
+	return g, nil
+}
+
+// WriteFile serializes g to the named file.
+func WriteFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile parses a graph from the named file.
+func ReadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

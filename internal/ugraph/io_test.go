@@ -1,0 +1,126 @@
+package ugraph
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestIORoundTrip(t *testing.T) {
+	g := MustNew(5, []Edge{
+		{U: 0, V: 1, P: 0.25},
+		{U: 3, V: 4, P: 1},
+		{U: 1, V: 4, P: 0.0625},
+	})
+	var sb strings.Builder
+	if err := Write(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("Read: %v\ninput:\n%s", err, sb.String())
+	}
+	if !g.Equal(got) {
+		t.Errorf("round trip mismatch:\n%s", sb.String())
+	}
+}
+
+func TestReadCommentsAndBlankLines(t *testing.T) {
+	in := `
+# a comment
+3 2
+
+0 1 0.5
+# interior comment
+1 2 0.25
+`
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Errorf("got %v", g)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"bad header", "x y\n"},
+		{"header fields", "3\n"},
+		{"negative n", "-1 0\n"},
+		{"missing edges", "3 2\n0 1 0.5\n"},
+		{"bad edge fields", "3 1\n0 1\n"},
+		{"bad vertex", "3 1\nx 1 0.5\n"},
+		{"bad prob", "3 1\n0 1 pow\n"},
+		{"prob negative", "3 1\n0 1 -0.5\n"},
+		{"prob above one", "3 1\n0 1 1.5\n"},
+		{"self loop", "3 1\n1 1 0.5\n"},
+		{"duplicate", "3 2\n0 1 0.5\n1 0 0.5\n"},
+		{"trailing", "3 1\n0 1 0.5\n0 2 0.5\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("Read(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}
+
+func TestReadZeroProbabilityEdge(t *testing.T) {
+	// Sparsifier outputs keep edges whose probability was driven to 0;
+	// the format must round-trip them.
+	in := "3 2\n0 1 0\n1 2 0.5\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Prob(0) != 0 || g.Prob(1) != 0.5 {
+		t.Errorf("probs = %v, %v; want 0, 0.5", g.Prob(0), g.Prob(1))
+	}
+	var sb strings.Builder
+	if err := Write(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(back) {
+		t.Error("zero-probability edge did not round-trip")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder(30)
+	for u := 0; u < 30; u++ {
+		for v := u + 1; v < 30; v++ {
+			if rng.Float64() < 0.2 {
+				if err := b.AddEdge(u, v, rng.Float64()/2+0.25); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	g := b.Graph()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := WriteFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(got) {
+		t.Error("file round trip mismatch")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Error("missing file read succeeded")
+	}
+}

@@ -1,0 +1,81 @@
+package ugraph
+
+import "fmt"
+
+// EdgeSubgraph returns a new graph over the same vertex set containing only
+// the edges with the given identifiers, keeping their current probabilities.
+// Duplicate identifiers are rejected.
+func (g *Graph) EdgeSubgraph(edgeIDs []int) (*Graph, error) {
+	b := NewBuilder(g.n)
+	for _, id := range edgeIDs {
+		if id < 0 || id >= len(g.edges) {
+			return nil, fmt.Errorf("ugraph: edge id %d out of range", id)
+		}
+		e := g.edges[id]
+		if err := b.AddEdge(e.U, e.V, e.P); err != nil {
+			return nil, err
+		}
+	}
+	return b.Graph(), nil
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices,
+// relabeled to 0..len(vertices)−1 in the given order, together with the
+// mapping from new to original vertex identifiers. Duplicate vertices are
+// rejected.
+func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int, error) {
+	remap := make(map[int]int, len(vertices))
+	orig := make([]int, len(vertices))
+	for i, v := range vertices {
+		if v < 0 || v >= g.n {
+			return nil, nil, fmt.Errorf("ugraph: vertex %d out of range", v)
+		}
+		if _, dup := remap[v]; dup {
+			return nil, nil, fmt.Errorf("ugraph: duplicate vertex %d", v)
+		}
+		remap[v] = i
+		orig[i] = v
+	}
+	b := NewBuilder(len(vertices))
+	for _, e := range g.edges {
+		u, okU := remap[e.U]
+		v, okV := remap[e.V]
+		if okU && okV {
+			if err := b.AddEdge(u, v, e.P); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return b.Graph(), orig, nil
+}
+
+// LargestComponent returns the induced subgraph of the largest connected
+// component (ties broken by lowest vertex id) and the new→original vertex
+// mapping.
+func (g *Graph) LargestComponent() (*Graph, []int, error) {
+	comp, k := g.Components()
+	if k <= 1 {
+		vs := make([]int, g.n)
+		for i := range vs {
+			vs[i] = i
+		}
+		return g.InducedSubgraph(vs)
+	}
+	sizes := make([]int, k)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := 0
+	for c := 1; c < k; c++ {
+		if sizes[c] > sizes[best] {
+			best = c
+		}
+	}
+	var vs []int
+	for v, c := range comp {
+		if c == best {
+			vs = append(vs, v)
+		}
+	}
+	return g.InducedSubgraph(vs)
+}

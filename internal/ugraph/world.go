@@ -1,0 +1,118 @@
+package ugraph
+
+import "math/rand"
+
+// World is one possible deterministic materialization of an uncertain graph:
+// Present[id] reports whether edge id exists in this world. A World is only
+// meaningful together with the Graph it was sampled from.
+type World struct {
+	g       *Graph
+	Present []bool
+}
+
+// Graph returns the uncertain graph this world was drawn from.
+func (w *World) Graph() *Graph { return w.g }
+
+// NumEdges counts the edges present in the world.
+func (w *World) NumEdges() int {
+	n := 0
+	for _, p := range w.Present {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// NewWorld returns an empty (all edges absent) world for g.
+func NewWorld(g *Graph) *World {
+	return &World{g: g, Present: make([]bool, g.NumEdges())}
+}
+
+// SampleWorld draws a possible world: each edge is included independently
+// with its probability. The cost is O(|E|).
+func (g *Graph) SampleWorld(rng *rand.Rand) *World {
+	w := NewWorld(g)
+	g.SampleWorldInto(rng, w)
+	return w
+}
+
+// SampleWorldInto redraws w in place, avoiding allocation across samples.
+// w must have been created for g.
+func (g *Graph) SampleWorldInto(rng *rand.Rand, w *World) {
+	for id, e := range g.edges {
+		w.Present[id] = rng.Float64() < e.P
+	}
+}
+
+// WorldFromMask builds a world from an explicit edge-presence mask. The mask
+// is copied.
+func WorldFromMask(g *Graph, mask []bool) *World {
+	if len(mask) != g.NumEdges() {
+		panic("ugraph: world mask length mismatch")
+	}
+	w := NewWorld(g)
+	copy(w.Present, mask)
+	return w
+}
+
+// Prob returns the probability of this exact world under the graph's
+// independent-edge model: Π_present p_e × Π_absent (1−p_e).
+func (w *World) Prob() float64 {
+	pr := 1.0
+	for id, e := range w.g.edges {
+		if w.Present[id] {
+			pr *= e.P
+		} else {
+			pr *= 1 - e.P
+		}
+	}
+	return pr
+}
+
+// Neighbors iterates over the neighbors of u present in this world,
+// invoking fn for each. Iteration stops early if fn returns false.
+func (w *World) Neighbors(u int, fn func(v int) bool) {
+	for _, a := range w.g.adj[u] {
+		if w.Present[a.ID] {
+			if !fn(a.To) {
+				return
+			}
+		}
+	}
+}
+
+// HasEdge reports whether edge (u, v) exists in this world.
+func (w *World) HasEdge(u, v int) bool {
+	id, ok := w.g.EdgeID(u, v)
+	return ok && w.Present[id]
+}
+
+// EnumerateWorlds invokes fn for every possible world of g together with its
+// probability. It is exponential in |E| and intended for exact evaluation on
+// tiny graphs; it panics if g has more than MaxEnumerableEdges edges.
+// Enumeration reuses a single World whose mask is rewritten between calls;
+// fn must not retain it.
+func EnumerateWorlds(g *Graph, fn func(w *World, prob float64)) {
+	m := g.NumEdges()
+	if m > MaxEnumerableEdges {
+		panic("ugraph: too many edges for exhaustive world enumeration")
+	}
+	w := NewWorld(g)
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		pr := 1.0
+		for id := 0; id < m; id++ {
+			if mask&(1<<uint(id)) != 0 {
+				w.Present[id] = true
+				pr *= g.edges[id].P
+			} else {
+				w.Present[id] = false
+				pr *= 1 - g.edges[id].P
+			}
+		}
+		fn(w, pr)
+	}
+}
+
+// MaxEnumerableEdges bounds EnumerateWorlds (2^24 worlds ≈ 16.7M).
+const MaxEnumerableEdges = 24

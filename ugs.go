@@ -1,0 +1,239 @@
+// Package ugs implements uncertain graph sparsification: given an uncertain
+// (probabilistic) graph G = (V, E, p) and a ratio α ∈ (0, 1), it produces a
+// subgraph G' = (V, E', p') with |E'| = α|E| that preserves G's structural
+// properties (expected vertex degrees and expected cut sizes) while reducing
+// its entropy, so that Monte-Carlo query estimation on G' is both faster per
+// sample and needs fewer samples.
+//
+// The package is a from-scratch Go implementation of
+//
+//	P. Parchas, N. Papailiou, D. Papadias, F. Bonchi.
+//	"Uncertain Graph Sparsification", TKDE 2018 / ICDE 2019 (extended
+//	abstract), arXiv:1611.04308.
+//
+// It provides the paper's two sparsifiers — Gradient Descent Backbone (GDB)
+// and Expectation-Maximization Degree (EMD) — together with the optimal
+// LP probability assignment, the two deterministic-sparsification benchmarks
+// adapted to uncertain graphs (Nagamochi–Ibaraki cuts and Baswana–Sen
+// spanners), Monte-Carlo estimators for PageRank, shortest-path distance,
+// reliability and clustering coefficient, and the statistics used to
+// evaluate them.
+//
+// # Quick start
+//
+//	g, _ := ugs.ReadGraphFile("graph.txt")
+//	sparse, stats, _ := ugs.Sparsify(g, 0.25, ugs.Options{Method: ugs.MethodEMD})
+//	fmt.Println(sparse.NumEdges(), stats.Iterations)
+//
+// See the examples/ directory for complete programs.
+package ugs
+
+import (
+	"io"
+	"math/rand"
+
+	"ugs/internal/core"
+	"ugs/internal/gen"
+	"ugs/internal/mc"
+	"ugs/internal/ni"
+	"ugs/internal/queries"
+	"ugs/internal/repr"
+	"ugs/internal/spanner"
+	"ugs/internal/stats"
+	"ugs/internal/ugraph"
+)
+
+// Core graph types.
+type (
+	// Graph is an uncertain undirected graph with per-edge existence
+	// probabilities.
+	Graph = ugraph.Graph
+	// Edge is an undirected edge with probability P.
+	Edge = ugraph.Edge
+	// Builder incrementally assembles a Graph.
+	Builder = ugraph.Builder
+	// World is one sampled deterministic materialization of a Graph.
+	World = ugraph.World
+)
+
+// Graph construction and I/O.
+var (
+	// NewGraph builds a graph from an edge list, validating endpoints and
+	// probabilities.
+	NewGraph = ugraph.New
+	// NewBuilder returns a Builder for a graph with n vertices.
+	NewBuilder = ugraph.NewBuilder
+	// ReadGraph parses the text interchange format.
+	ReadGraph = ugraph.Read
+	// ReadGraphFile parses a graph file.
+	ReadGraphFile = ugraph.ReadFile
+	// WriteGraphFile writes a graph file.
+	WriteGraphFile = ugraph.WriteFile
+	// EdgeEntropy is the binary entropy of one edge probability.
+	EdgeEntropy = ugraph.EdgeEntropy
+	// RelativeEntropy is H(sparse)/H(original).
+	RelativeEntropy = ugraph.RelativeEntropy
+)
+
+// WriteGraph writes g in the text interchange format.
+func WriteGraph(w io.Writer, g *Graph) error { return ugraph.Write(w, g) }
+
+// Sparsification configuration (see internal/core for full documentation).
+type (
+	// Options configures Sparsify.
+	Options = core.Options
+	// Method selects GDB, EMD or LP.
+	Method = core.Method
+	// Discrepancy selects absolute or relative degree discrepancy.
+	Discrepancy = core.Discrepancy
+	// Backbone selects the backbone construction.
+	Backbone = core.Backbone
+	// RunStats reports iteration counts and the final objective.
+	RunStats = core.RunStats
+)
+
+// Sparsification methods and parameters.
+const (
+	// MethodGDB optimizes edge probabilities on a fixed backbone
+	// (Algorithm 2).
+	MethodGDB = core.MethodGDB
+	// MethodEMD additionally restructures the backbone (Algorithm 3).
+	MethodEMD = core.MethodEMD
+	// MethodLP solves the optimal probability-assignment LP (Theorem 1);
+	// small graphs only.
+	MethodLP = core.MethodLP
+	// Absolute discrepancy emphasizes high-degree vertices.
+	Absolute = core.Absolute
+	// Relative discrepancy treats all degrees equally.
+	Relative = core.Relative
+	// BackboneSpanning is Algorithm 1 (connected backbone).
+	BackboneSpanning = core.BackboneSpanning
+	// BackboneRandom samples the backbone by edge probability.
+	BackboneRandom = core.BackboneRandom
+	// KAll requests the k = n cut rule (global redistribution).
+	KAll = core.KAll
+	// HZero requests a true h = 0 entropy parameter.
+	HZero = core.HZero
+)
+
+// Sparsify reduces g to α·|E| edges using the configured method. The zero
+// Options value selects GDB with the paper's recommended defaults.
+func Sparsify(g *Graph, alpha float64, opts Options) (*Graph, *RunStats, error) {
+	return core.Sparsify(g, alpha, opts)
+}
+
+// MAEDegreeDiscrepancy is the mean absolute degree discrepancy between a
+// graph and its sparsification.
+func MAEDegreeDiscrepancy(orig, sparse *Graph, dt Discrepancy) float64 {
+	return core.MAEDegreeDiscrepancy(orig, sparse, dt)
+}
+
+// MAECutDiscrepancy estimates the mean absolute expected-cut discrepancy on
+// sampled vertex sets of cardinality 1..maxK.
+func MAECutDiscrepancy(orig, sparse *Graph, maxK, cutsPerK int, rng *rand.Rand) float64 {
+	return core.MAECutDiscrepancy(orig, sparse, maxK, cutsPerK, rng)
+}
+
+// NISparsify runs the Nagamochi–Ibaraki cut-sparsifier benchmark.
+func NISparsify(g *Graph, alpha float64, seed int64) (*Graph, error) {
+	res, err := ni.Sparsify(g, alpha, ni.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.Graph, nil
+}
+
+// SSSparsify runs the Baswana–Sen spanner benchmark.
+func SSSparsify(g *Graph, alpha float64, seed int64) (*Graph, error) {
+	res, err := spanner.Sparsify(g, alpha, spanner.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.Graph, nil
+}
+
+// Monte-Carlo query evaluation.
+type (
+	// MCOptions configures sample counts, seeding and parallelism.
+	MCOptions = mc.Options
+	// StratifiedOptions configures the variance-reduced stratified
+	// estimator (conditioning on the highest-entropy edges).
+	StratifiedOptions = mc.StratifiedOptions
+	// Pair is a source/target pair for SP and RL queries.
+	Pair = queries.Pair
+	// PageRankOptions tunes damping and power iterations.
+	PageRankOptions = queries.PageRankOptions
+)
+
+var (
+	// ExpectedPageRank estimates per-vertex expected PageRank.
+	ExpectedPageRank = queries.ExpectedPageRank
+	// ExpectedClusteringCoefficients estimates per-vertex expected local
+	// clustering coefficients.
+	ExpectedClusteringCoefficients = queries.ExpectedClusteringCoefficients
+	// Reliability estimates per-pair reachability probability.
+	Reliability = queries.Reliability
+	// ShortestDistance estimates per-pair expected distance conditioned
+	// on reachability.
+	ShortestDistance = queries.ShortestDistance
+	// ShortestDistanceAndReliability computes both in one MC pass.
+	ShortestDistanceAndReliability = queries.ShortestDistanceAndReliability
+	// ConnectedProbability estimates Pr[G is connected].
+	ConnectedProbability = queries.ConnectedProbability
+	// RandomPairs draws random query pairs.
+	RandomPairs = queries.RandomPairs
+	// ExactProbabilityOf evaluates a world predicate exactly by
+	// exhaustive enumeration (tiny graphs).
+	ExactProbabilityOf = mc.ExactProbabilityOf
+	// StratifiedProbabilityOf estimates Pr[pred] with stratified
+	// sampling over the highest-entropy edges: unbiased, with variance
+	// at most plain Monte-Carlo's for the same budget.
+	StratifiedProbabilityOf = mc.StratifiedProbabilityOf
+)
+
+// Evaluation statistics.
+var (
+	// EarthMovers is the earth mover's distance between two observation
+	// samples (Equation 17).
+	EarthMovers = stats.EarthMovers
+	// MAE is the mean absolute error between paired observations.
+	MAE = stats.MAE
+	// EstimatorVariance reports the mean and unbiased variance of a
+	// repeated Monte-Carlo estimator.
+	EstimatorVariance = stats.EstimatorVariance
+	// SamplesForWidth converts an estimator's σ into the MC sample count
+	// needed for a target 95% confidence width.
+	SamplesForWidth = stats.SamplesForWidth
+)
+
+// Representative instances (the prior approach of [29, 30], Section 2.3):
+// deterministic graphs with preserved expected degrees. Provided as a
+// comparator — representatives answer deterministic queries cheaply but
+// cannot answer probabilistic ones, unlike sparsified uncertain graphs.
+var (
+	// ExpectedDegreeRepresentative extracts a zero-entropy deterministic
+	// representative by rounding plus greedy rewiring.
+	ExpectedDegreeRepresentative = repr.ExpectedDegreeRepresentative
+	// MostProbableWorld rounds every edge at p ≥ 0.5.
+	MostProbableWorld = repr.MostProbableWorld
+)
+
+// RepresentativeOptions tunes representative extraction.
+type RepresentativeOptions = repr.Options
+
+// Synthetic dataset generation.
+type SocialConfig = gen.SocialConfig
+
+var (
+	// GenerateSocial builds a Chung–Lu power-law uncertain graph.
+	GenerateSocial = gen.Social
+	// FlickrLike and TwitterLike are the presets used by the experiment
+	// harness in place of the paper's datasets.
+	FlickrLike  = gen.FlickrLike
+	TwitterLike = gen.TwitterLike
+	// Densify adds random edges up to a density target (the paper's
+	// synthetic family).
+	Densify = gen.Densify
+	// ForestFire samples an induced subgraph by the forest-fire process.
+	ForestFire = gen.ForestFire
+)

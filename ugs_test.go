@@ -1,0 +1,166 @@
+package ugs_test
+
+// Integration tests of the public API: the full pipeline a downstream user
+// runs — generate or load a graph, sparsify it, evaluate queries on both
+// graphs, and compare distributions.
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"ugs"
+)
+
+func TestEndToEndPipelineAllMethods(t *testing.T) {
+	g := ugs.TwitterLike(150, 7)
+	rng := rand.New(rand.NewSource(7))
+	pairs := ugs.RandomPairs(g.NumVertices(), 40, rng)
+	opts := ugs.MCOptions{Samples: 60, Seed: 9}
+
+	prBase := ugs.ExpectedPageRank(g, opts, ugs.PageRankOptions{})
+	spBase, rlBase := ugs.ShortestDistanceAndReliability(g, pairs, opts)
+	ccBase := ugs.ExpectedClusteringCoefficients(g, opts)
+
+	type method struct {
+		name string
+		run  func() (*ugs.Graph, error)
+	}
+	methods := []method{
+		{"GDB", func() (*ugs.Graph, error) {
+			out, _, err := ugs.Sparsify(g, 0.25, ugs.Options{Method: ugs.MethodGDB, Seed: 1})
+			return out, err
+		}},
+		{"EMD", func() (*ugs.Graph, error) {
+			out, _, err := ugs.Sparsify(g, 0.25, ugs.Options{Method: ugs.MethodEMD, Discrepancy: ugs.Relative, Seed: 1})
+			return out, err
+		}},
+		{"NI", func() (*ugs.Graph, error) { return ugs.NISparsify(g, 0.25, 1) }},
+		{"SS", func() (*ugs.Graph, error) { return ugs.SSSparsify(g, 0.25, 1) }},
+	}
+
+	for _, m := range methods {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			sparse, err := m.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sparse.NumEdges() >= g.NumEdges() {
+				t.Fatal("no sparsification happened")
+			}
+
+			pr := ugs.ExpectedPageRank(sparse, opts, ugs.PageRankOptions{})
+			sp, rl := ugs.ShortestDistanceAndReliability(sparse, pairs, opts)
+			cc := ugs.ExpectedClusteringCoefficients(sparse, opts)
+
+			for name, d := range map[string]float64{
+				"PR": ugs.EarthMovers(prBase, pr),
+				"SP": ugs.EarthMovers(spBase, sp),
+				"RL": ugs.EarthMovers(rlBase, rl),
+				"CC": ugs.EarthMovers(ccBase, cc),
+			} {
+				if math.IsNaN(d) || d < 0 {
+					t.Errorf("%s: D_em = %v", name, d)
+				}
+			}
+		})
+	}
+}
+
+func TestProposedMethodsBeatBenchmarksOnDegrees(t *testing.T) {
+	// The paper's headline: GDB/EMD preserve expected degrees far better
+	// than the deterministic adaptations (Figure 6).
+	g := ugs.FlickrLike(200, 11)
+	const alpha = 0.16
+	gdb, _, err := ugs.Sparsify(g, alpha, ugs.Options{Method: ugs.MethodGDB, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nig, err := ugs.NISparsify(g, alpha, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssg, err := ugs.SSSparsify(g, alpha, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gdbMAE := ugs.MAEDegreeDiscrepancy(g, gdb, ugs.Absolute)
+	niMAE := ugs.MAEDegreeDiscrepancy(g, nig, ugs.Absolute)
+	ssMAE := ugs.MAEDegreeDiscrepancy(g, ssg, ugs.Absolute)
+	if gdbMAE >= niMAE {
+		t.Errorf("GDB MAE %v not below NI %v", gdbMAE, niMAE)
+	}
+	if gdbMAE >= ssMAE {
+		t.Errorf("GDB MAE %v not below SS %v", gdbMAE, ssMAE)
+	}
+}
+
+func TestEntropyReductionLowersVariance(t *testing.T) {
+	// Section 6.3: entropy reduction lowers MC-estimator variance,
+	// shrinking the samples needed for a given confidence width.
+	g := ugs.FlickrLike(150, 13)
+	sparse, _, err := ugs.Sparsify(g, 0.16, ugs.Options{Method: ugs.MethodGDB, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ugs.RelativeEntropy(sparse, g) >= 1 {
+		t.Fatalf("entropy not reduced: ratio %v", ugs.RelativeEntropy(sparse, g))
+	}
+	rng := rand.New(rand.NewSource(13))
+	pairs := ugs.RandomPairs(g.NumVertices(), 30, rng)
+	est := func(target *ugs.Graph) func(int) float64 {
+		return func(run int) float64 {
+			rl := ugs.Reliability(target, pairs, ugs.MCOptions{Samples: 40, Seed: int64(run)*31 + 1})
+			var s float64
+			for _, x := range rl {
+				s += x
+			}
+			return s / float64(len(rl))
+		}
+	}
+	_, varOrig := ugs.EstimatorVariance(12, est(g))
+	_, varSparse := ugs.EstimatorVariance(12, est(sparse))
+	// The sparsified estimator should not need more samples; allow slack
+	// for MC noise at test scale.
+	if varSparse > 3*varOrig {
+		t.Errorf("sparsified variance %v far above original %v", varSparse, varOrig)
+	}
+	if n := ugs.SamplesForWidth(math.Sqrt(varSparse), 0.01); n <= 0 {
+		t.Errorf("SamplesForWidth = %d", n)
+	}
+}
+
+func TestFacadeGraphIO(t *testing.T) {
+	g := ugs.TwitterLike(60, 17)
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := ugs.WriteGraphFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ugs.ReadGraphFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(got) {
+		t.Error("facade round trip mismatch")
+	}
+}
+
+func TestSparsifyPreservesConnectivityWithSpanningBackbone(t *testing.T) {
+	g := ugs.FlickrLike(150, 19)
+	if !g.IsConnected() {
+		t.Fatal("generator returned disconnected graph")
+	}
+	sparse, _, err := ugs.Sparsify(g, 0.1, ugs.Options{
+		Method:   ugs.MethodGDB,
+		Backbone: ugs.BackboneSpanning,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.IsConnected() {
+		t.Error("spanning backbone did not preserve connectivity")
+	}
+}
