@@ -7,6 +7,7 @@ package ugs_test
 // hot paths.
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -93,7 +94,7 @@ func BenchmarkAblationHeap(b *testing.B) {
 	}{{"vertex-heap", false}, {"naive-scan", true}} {
 		b.Run(v.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, _, err := core.EMD(g, backbone, core.EMDOptions{
+				_, _, err := core.EMD(context.Background(), g, backbone, core.EMDOptions{
 					H: 0.05, MaxRounds: 2, NaiveEPhase: v.naive,
 				})
 				if err != nil {

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ugs/internal/exp"
@@ -24,6 +27,7 @@ func main() {
 		full    = flag.Bool("full", false, "paper-scale parameters (slow)")
 		seed    = flag.Int64("seed", 42, "random seed")
 		workers = flag.Int("workers", 0, "Monte-Carlo parallelism (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "abort the batch after this duration, checked between sparsification runs (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -40,7 +44,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	ctx := exp.NewContext(exp.Config{Full: *full, Seed: *seed, Workers: *workers})
+	runCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
+		defer cancel()
+	}
+	// Once the run is cancelled (first signal or timeout), unregister the
+	// signal capture so a second Ctrl-C kills the process immediately
+	// instead of being swallowed while a Monte-Carlo phase drains.
+	go func() {
+		<-runCtx.Done()
+		stop()
+	}()
+	ctx := exp.NewContext(exp.Config{Full: *full, Seed: *seed, Workers: *workers, Ctx: runCtx})
 	var experiments []exp.Experiment
 	if len(ids) == 1 && ids[0] == "all" {
 		experiments = exp.All()
@@ -56,6 +74,10 @@ func main() {
 	}
 
 	for _, e := range experiments {
+		if err := runCtx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "ugs-exp: aborted before %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
 		start := time.Now()
 		if err := e.Run(os.Stdout, ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "ugs-exp: %s: %v\n", e.ID, err)

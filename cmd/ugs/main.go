@@ -4,17 +4,24 @@
 //
 //	ugs -in graph.txt -out sparse.txt -alpha 0.25 -method emd
 //
-// The input format is documented in internal/ugraph: a header line
+// The method is resolved by name from the ugs registry, so every registered
+// sparsifier — including plug-ins — is reachable without this command
+// changing. The input format is documented in internal/ugraph: a header line
 // "<numVertices> <numEdges>" followed by "<u> <v> <p>" edge lines. The tool
 // reports edge counts, entropy and degree-discrepancy statistics before and
-// after sparsification.
+// after sparsification; -progress streams per-iteration statistics to
+// stderr, and -timeout bounds the run through context cancellation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"ugs"
@@ -22,15 +29,17 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input graph file (required)")
-		out    = flag.String("out", "", "output graph file (optional)")
-		alpha  = flag.Float64("alpha", 0.25, "sparsification ratio α ∈ (0,1)")
-		method = flag.String("method", "gdb", "sparsifier: gdb, emd, lp, ni, ss")
-		disc   = flag.String("discrepancy", "absolute", "objective: absolute or relative")
-		back   = flag.String("backbone", "spanning", "backbone: spanning or random")
-		k      = flag.Int("k", 1, "cut order to preserve (GDB only; -1 for k=n)")
-		h      = flag.Float64("h", 0.05, "entropy parameter in [0,1]")
-		seed   = flag.Int64("seed", 1, "random seed")
+		in       = flag.String("in", "", "input graph file (required)")
+		out      = flag.String("out", "", "output graph file (optional)")
+		alpha    = flag.Float64("alpha", 0.25, "sparsification ratio α ∈ (0,1)")
+		method   = flag.String("method", "gdb", "sparsifier: "+strings.Join(ugs.Methods(), ", "))
+		disc     = flag.String("discrepancy", "absolute", "objective: absolute or relative")
+		back     = flag.String("backbone", "spanning", "backbone: spanning or random")
+		k        = flag.Int("k", 1, "cut order to preserve (GDB only; -1 for k=n)")
+		h        = flag.Float64("h", 0.05, "entropy parameter in [0,1]")
+		seed     = flag.Int64("seed", 1, "random seed")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = unbounded)")
+		progress = flag.Bool("progress", false, "stream per-iteration statistics to stderr")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -39,22 +48,36 @@ func main() {
 		os.Exit(2)
 	}
 
+	sp, err := buildSparsifier(*method, *disc, *back, *k, *h, *seed, *progress)
+	if err != nil {
+		fatal(err)
+	}
+
 	g, err := ugs.ReadGraphFile(*in)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("input:  %v  entropy=%.2f bits\n", g, g.Entropy())
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
-	sparse, err := run(g, *alpha, *method, *disc, *back, *k, *h, *seed)
+	res, err := sp.Sparsify(ctx, g, *alpha)
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+	sparse := res.Graph
 
 	rng := rand.New(rand.NewSource(*seed))
 	fmt.Printf("output: %v  entropy=%.2f bits (%.0f%% of original)\n",
 		sparse, sparse.Entropy(), 100*ugs.RelativeEntropy(sparse, g))
+	fmt.Printf("method: %s  iterations=%d\n", sp.Name(), res.Stats.Iterations)
 	fmt.Printf("degree discrepancy MAE: absolute=%.4g relative=%.4g\n",
 		ugs.MAEDegreeDiscrepancy(g, sparse, ugs.Absolute),
 		ugs.MAEDegreeDiscrepancy(g, sparse, ugs.Relative))
@@ -70,46 +93,53 @@ func main() {
 	}
 }
 
-func run(g *ugs.Graph, alpha float64, method, disc, back string, k int, h float64, seed int64) (*ugs.Graph, error) {
-	switch method {
-	case "ni":
-		return ugs.NISparsify(g, alpha, seed)
-	case "ss":
-		return ugs.SSSparsify(g, alpha, seed)
+// buildSparsifier translates the flag values into a registry lookup. There
+// is deliberately no per-method switch here: unknown methods fail inside
+// Lookup with the registered alternatives listed.
+func buildSparsifier(method, disc, back string, k int, h float64, seed int64, progress bool) (ugs.Sparsifier, error) {
+	d, err := ugs.ParseDiscrepancy(disc)
+	if err != nil {
+		return nil, err
 	}
+	b, err := ugs.ParseBackbone(back)
+	if err != nil {
+		return nil, err
+	}
+	opts := []ugs.Option{
+		ugs.WithSeed(seed),
+		ugs.WithDiscrepancy(d),
+		ugs.WithBackbone(b),
+		ugs.WithCutOrder(k),
+		ugs.WithEntropy(h),
+	}
+	if progress {
+		opts = append(opts, ugs.WithProgress(func(s ugs.RunStats) {
+			fmt.Fprintln(os.Stderr, progressLine(method, s))
+		}))
+	}
+	return ugs.Lookup(method, opts...)
+}
 
-	opts := ugs.Options{K: k, H: h, Seed: seed}
-	if h == 0 {
-		opts.H = ugs.HZero
-	}
+// progressLine renders the RunStats fields the named method actually
+// populates: the D1 objective for gdb/emd (plus swaps for emd), pivot
+// batches for lp, ε for NI calibrations, the stretch parameter for SS.
+// Custom registrations get the generic iteration count.
+func progressLine(method string, s ugs.RunStats) string {
+	line := fmt.Sprintf("iter %d", s.Iterations)
 	switch method {
 	case "gdb":
-		opts.Method = ugs.MethodGDB
+		return fmt.Sprintf("%s  D1=%.6g", line, s.ObjectiveD1)
 	case "emd":
-		opts.Method = ugs.MethodEMD
-	case "lp":
-		opts.Method = ugs.MethodLP
+		return fmt.Sprintf("%s  D1=%.6g swaps=%d", line, s.ObjectiveD1, s.Swaps)
+	case "ni":
+		return fmt.Sprintf("%s  ε=%.4g candidates=%d", line, s.Epsilon, s.AuxEdges)
+	case "ss":
+		return fmt.Sprintf("%s  t=%d candidates=%d", line, s.StretchT, s.AuxEdges)
 	default:
-		return nil, fmt.Errorf("unknown method %q", method)
+		// lp reports pivot batches; custom methods report whatever their
+		// Iterations field counts.
+		return line
 	}
-	switch disc {
-	case "absolute":
-		opts.Discrepancy = ugs.Absolute
-	case "relative":
-		opts.Discrepancy = ugs.Relative
-	default:
-		return nil, fmt.Errorf("unknown discrepancy %q", disc)
-	}
-	switch back {
-	case "spanning":
-		opts.Backbone = ugs.BackboneSpanning
-	case "random":
-		opts.Backbone = ugs.BackboneRandom
-	default:
-		return nil, fmt.Errorf("unknown backbone %q", back)
-	}
-	out, _, err := ugs.Sparsify(g, alpha, opts)
-	return out, err
 }
 
 func fatal(err error) {

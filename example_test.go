@@ -3,15 +3,17 @@ package ugs_test
 // Testable godoc examples for the public API.
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"ugs"
 )
 
-// ExampleSparsify sparsifies the paper's introductory graph (Figure 1: the
-// complete graph K4 with all probabilities 0.3) to half its edges.
-func ExampleSparsify() {
+// ExampleLookup sparsifies the paper's introductory graph (Figure 1: the
+// complete graph K4 with all probabilities 0.3) to half its edges with a
+// registry-resolved sparsifier.
+func ExampleLookup() {
 	b := ugs.NewBuilder(4)
 	for u := 0; u < 4; u++ {
 		for v := u + 1; v < 4; v++ {
@@ -22,12 +24,16 @@ func ExampleSparsify() {
 	}
 	g := b.Graph()
 
-	sparse, _, err := ugs.Sparsify(g, 0.5, ugs.Options{Method: ugs.MethodGDB, H: 1, Seed: 1})
+	sp, err := ugs.Lookup("gdb", ugs.WithEntropy(1), ugs.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("edges: %d -> %d\n", g.NumEdges(), sparse.NumEdges())
-	fmt.Printf("entropy reduced: %v\n", sparse.Entropy() < g.Entropy())
+	res, err := sp.Sparsify(context.Background(), g, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edges: %d -> %d\n", g.NumEdges(), res.Graph.NumEdges())
+	fmt.Printf("entropy reduced: %v\n", res.Graph.Entropy() < g.Entropy())
 	// Output:
 	// edges: 6 -> 3
 	// entropy reduced: true

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"time"
 
 	"ugs"
 )
@@ -28,14 +31,28 @@ func main() {
 	}
 	fmt.Printf("network:    %v  entropy=%.1f bits\n", net, net.Entropy())
 
-	sparse, _, err := ugs.Sparsify(net, 0.25, ugs.Options{
-		Method:      ugs.MethodEMD,
-		Discrepancy: ugs.Relative,
-		Seed:        7,
-	})
+	// Resolve EMD from the registry. The progress callback makes the run
+	// observable (each EM round reports its objective), and the timeout
+	// context would abort a run that outgrows its operational budget —
+	// both essential once sparsification serves live traffic.
+	emd, err := ugs.Lookup("emd",
+		ugs.WithDiscrepancy(ugs.Relative),
+		ugs.WithSeed(7),
+		ugs.WithProgress(func(s ugs.RunStats) {
+			fmt.Fprintf(os.Stderr, "  round %d: D1=%.4g swaps=%d\n",
+				s.Iterations, s.ObjectiveD1, s.Swaps)
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := emd.Sparsify(ctx, net, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sparse := res.Graph
 	fmt.Printf("sparsified: %v  entropy=%.1f bits (%.0f%%)\n\n",
 		sparse, sparse.Entropy(), 100*ugs.RelativeEntropy(sparse, net))
 

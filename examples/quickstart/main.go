@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,18 +32,23 @@ func main() {
 	fmt.Printf("  Pr[connected] = %.3f (paper: 0.219)\n", exact)
 	fmt.Printf("  entropy       = %.2f bits\n", g.Entropy())
 
-	// Sparsify to α = 0.5 (three edges) with GDB. The probabilities of the
-	// remaining edges rise to compensate for the removed ones.
-	sparse, stats, err := ugs.Sparsify(g, 0.5, ugs.Options{
-		Method: ugs.MethodGDB,
-		H:      1, // favor accuracy in this tiny demo
-		Seed:   1,
-	})
+	// Sparsify to α = 0.5 (three edges) with GDB, resolved by name from
+	// the method registry. The probabilities of the remaining edges rise
+	// to compensate for the removed ones.
+	gdb, err := ugs.Lookup("gdb",
+		ugs.WithEntropy(1), // favor accuracy in this tiny demo
+		ugs.WithSeed(1),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	res, err := gdb.Sparsify(context.Background(), g, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sparse := res.Graph
 	exactSparse := ugs.ExactProbabilityOf(sparse, func(w *ugs.World) bool { return w.IsConnected() })
-	fmt.Printf("sparsified: %v (GDB, %d iterations)\n", sparse, stats.Iterations)
+	fmt.Printf("sparsified: %v (GDB, %d iterations)\n", sparse, res.Stats.Iterations)
 	for _, e := range sparse.Edges() {
 		fmt.Printf("  edge (%d,%d) p=%.2f\n", e.U, e.V, e.P)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -19,13 +20,15 @@ func main() {
 	soc := ugs.TwitterLike(400, 3)
 	fmt.Printf("network:    %v\n", soc)
 
-	sparse, _, err := ugs.Sparsify(soc, 0.2, ugs.Options{
-		Method: ugs.MethodEMD,
-		Seed:   3,
-	})
+	emd, err := ugs.Lookup("emd", ugs.WithSeed(3))
 	if err != nil {
 		log.Fatal(err)
 	}
+	res, err := emd.Sparsify(context.Background(), soc, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sparse := res.Graph
 	fmt.Printf("sparsified: %v\n\n", sparse)
 
 	opts := ugs.MCOptions{Samples: 300, Seed: 5}

@@ -1,0 +1,3 @@
+module ugs
+
+go 1.24

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"ugs/internal/ds"
@@ -32,6 +33,9 @@ type EMDOptions struct {
 	// versus O(deg(v_H) + log|V|) — and exists for the heap-ablation
 	// benchmark (Section 4.3 cost analysis).
 	NaiveEPhase bool
+	// Progress, when non-nil, receives a RunStats snapshot after every
+	// completed E+M round.
+	Progress func(RunStats)
 }
 
 func (o *EMDOptions) defaults(n int) {
@@ -53,7 +57,9 @@ func (o *EMDOptions) defaults(n int) {
 // each round swaps backbone edges for higher-gain edges from E\E_b (E-phase,
 // driven by the vertex max-heap Hv) and then re-optimizes probabilities with
 // GDB (M-phase). It returns the sparsified graph and run statistics.
-func EMD(g *ugraph.Graph, backbone []int, opts EMDOptions) (*ugraph.Graph, *RunStats, error) {
+// Cancelling ctx aborts between rounds (and between the M-phase's inner
+// sweeps) and returns the context's error.
+func EMD(ctx context.Context, g *ugraph.Graph, backbone []int, opts EMDOptions) (*ugraph.Graph, *RunStats, error) {
 	opts.defaults(g.NumVertices())
 	t := newTracker(g, backbone)
 	bb := append([]int(nil), backbone...)
@@ -71,6 +77,9 @@ func EMD(g *ugraph.Graph, backbone []int, opts EMDOptions) (*ugraph.Graph, *RunS
 	stats := &RunStats{}
 	prev := t.objectiveD1(opts.Discrepancy)
 	for stats.Iterations < opts.MaxRounds {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		if opts.NaiveEPhase {
 			stats.Swaps += ePhaseNaive(t, &bb, opts.Discrepancy, h)
 		} else {
@@ -82,9 +91,14 @@ func EMD(g *ugraph.Graph, backbone []int, opts EMDOptions) (*ugraph.Graph, *RunS
 		for _, id := range bb {
 			t.setProb(id, g.Prob(id))
 		}
-		gdbSweeps(t, bb, mOpts)
+		if _, err := gdbSweeps(ctx, t, bb, mOpts); err != nil {
+			return nil, nil, err
+		}
 		stats.Iterations++
 		d1 := t.objectiveD1(opts.Discrepancy)
+		if opts.Progress != nil {
+			opts.Progress(RunStats{Iterations: stats.Iterations, ObjectiveD1: d1, Swaps: stats.Swaps})
+		}
 		if math.Abs(prev-d1) <= opts.Tau {
 			prev = d1
 			break

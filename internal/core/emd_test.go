@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -25,11 +26,11 @@ func starWithWeakLink() (*ugraph.Graph, []int) {
 
 func TestEMDSwapsImproveOverGDB(t *testing.T) {
 	g, backbone := starWithWeakLink()
-	gdbOut, gdbStats, err := GDB(g, backbone, GDBOptions{H: 1, MaxIters: 200})
+	gdbOut, gdbStats, err := GDB(context.Background(), g, backbone, GDBOptions{H: 1, MaxIters: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
-	emdOut, emdStats, err := EMD(g, backbone, EMDOptions{H: 1, MaxRounds: 20})
+	emdOut, emdStats, err := EMD(context.Background(), g, backbone, EMDOptions{H: 1, MaxRounds: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestEMDPreservesEdgeCountAndValidity(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		out, _, err := EMD(g, backbone, EMDOptions{H: 0.05, MaxRounds: 5})
+		out, _, err := EMD(context.Background(), g, backbone, EMDOptions{H: 0.05, MaxRounds: 5})
 		if err != nil {
 			return false
 		}
@@ -101,11 +102,11 @@ func TestEMDGenerallyBeatsGDBOnDegreeMAE(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		gdbOut, _, err := GDB(g, backbone, GDBOptions{H: 0.05, MaxIters: 100})
+		gdbOut, _, err := GDB(context.Background(), g, backbone, GDBOptions{H: 0.05, MaxIters: 100})
 		if err != nil {
 			t.Fatal(err)
 		}
-		emdOut, _, err := EMD(g, backbone, EMDOptions{H: 0.05, MaxRounds: 15})
+		emdOut, _, err := EMD(context.Background(), g, backbone, EMDOptions{H: 0.05, MaxRounds: 15})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,11 +132,11 @@ func TestEMDNaiveEPhaseAlsoImproves(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	heapOut, heapStats, err := EMD(g, backbone, EMDOptions{H: 0.05, MaxRounds: 8})
+	heapOut, heapStats, err := EMD(context.Background(), g, backbone, EMDOptions{H: 0.05, MaxRounds: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	naiveOut, naiveStats, err := EMD(g, backbone, EMDOptions{H: 0.05, MaxRounds: 8, NaiveEPhase: true})
+	naiveOut, naiveStats, err := EMD(context.Background(), g, backbone, EMDOptions{H: 0.05, MaxRounds: 8, NaiveEPhase: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestEMDRejectsNothing(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := sumSquares(DegreeDiscrepancies(g, raw, Absolute))
-	_, stats, err := EMD(g, backbone, EMDOptions{H: 1, MaxRounds: 10})
+	_, stats, err := EMD(context.Background(), g, backbone, EMDOptions{H: 1, MaxRounds: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

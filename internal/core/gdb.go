@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"ugs/internal/ugraph"
@@ -24,6 +25,9 @@ type GDBOptions struct {
 	Tau float64
 	// MaxIters bounds the number of full sweeps. Default 200.
 	MaxIters int
+	// Progress, when non-nil, receives a RunStats snapshot after every
+	// completed sweep.
+	Progress func(RunStats)
 }
 
 func (o *GDBOptions) defaults(n int) {
@@ -56,10 +60,14 @@ func effectiveH(h float64) float64 {
 // GDB runs Gradient Descent Backbone over the given backbone edge set of g
 // and returns the sparsified uncertain graph together with run statistics.
 // The backbone structure is not modified; only edge probabilities are.
-func GDB(g *ugraph.Graph, backbone []int, opts GDBOptions) (*ugraph.Graph, *RunStats, error) {
+// Cancelling ctx aborts between sweeps and returns the context's error.
+func GDB(ctx context.Context, g *ugraph.Graph, backbone []int, opts GDBOptions) (*ugraph.Graph, *RunStats, error) {
 	opts.defaults(g.NumVertices())
 	t := newTracker(g, backbone)
-	stats := gdbSweeps(t, backbone, opts)
+	stats, err := gdbSweeps(ctx, t, backbone, opts)
+	if err != nil {
+		return nil, nil, err
+	}
 	out, err := t.finalize()
 	if err != nil {
 		return nil, nil, err
@@ -67,32 +75,54 @@ func GDB(g *ugraph.Graph, backbone []int, opts GDBOptions) (*ugraph.Graph, *RunS
 	return out, stats, nil
 }
 
-// RunStats reports a sparsifier run.
+// RunStats reports a sparsifier run. It is the uniform statistics type of
+// every method behind the ugs registry; fields not produced by a method are
+// left at zero.
 type RunStats struct {
-	Iterations  int     // full sweeps (GDB) or EM rounds (EMD)
-	ObjectiveD1 float64 // final D1 = Σ_u δ²(u)
-	Swaps       int     // EMD only: total E-phase edge swaps
+	// Iterations counts the method's outer loop: GDB sweeps, EMD rounds,
+	// LP pivots and bound flips, NI calibration reruns, or SS spanner
+	// constructions.
+	Iterations int
+	// ObjectiveD1 is the final D1 = Σ_u δ²(u) (GDB, EMD, LP).
+	ObjectiveD1 float64
+	// Swaps is the total number of E-phase edge swaps (EMD only).
+	Swaps int
+	// Epsilon is the final calibrated sampling parameter ε (NI only).
+	Epsilon float64
+	// StretchT is the final stretch parameter t, for a (2t−1)-spanner
+	// (SS only).
+	StretchT int
+	// AuxEdges counts the edges selected before budget truncation and
+	// Bernoulli fill-up: NI-core selections or raw spanner edges
+	// (NI and SS only).
+	AuxEdges int
 }
 
 // gdbSweeps is the iterative core of Algorithm 2, shared with EMD's M-phase.
-// It mutates the tracker in place.
-func gdbSweeps(t *tracker, backbone []int, opts GDBOptions) *RunStats {
+// It mutates the tracker in place. The context is checked once per sweep.
+func gdbSweeps(ctx context.Context, t *tracker, backbone []int, opts GDBOptions) (*RunStats, error) {
 	h := effectiveH(opts.H)
 	prev := t.objectiveD1(opts.Discrepancy)
 	iters := 0
 	for iters < opts.MaxIters {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, id := range backbone {
 			gdbUpdateEdge(t, id, opts.Discrepancy, opts.K, h)
 		}
 		iters++
 		d1 := t.objectiveD1(opts.Discrepancy)
+		if opts.Progress != nil {
+			opts.Progress(RunStats{Iterations: iters, ObjectiveD1: d1})
+		}
 		if math.Abs(prev-d1) <= opts.Tau {
 			prev = d1
 			break
 		}
 		prev = d1
 	}
-	return &RunStats{Iterations: iters, ObjectiveD1: prev}
+	return &RunStats{Iterations: iters, ObjectiveD1: prev}, nil
 }
 
 // gdbUpdateEdge applies the Equation (9) update to a single edge: take the

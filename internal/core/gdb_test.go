@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -24,7 +25,7 @@ func pathWithShortcut() (*ugraph.Graph, []int) {
 
 func TestGDBConvergesToAnalyticOptimum(t *testing.T) {
 	g, backbone := pathWithShortcut()
-	out, stats, err := GDB(g, backbone, GDBOptions{H: 1, Tau: 1e-12, MaxIters: 500})
+	out, stats, err := GDB(context.Background(), g, backbone, GDBOptions{H: 1, Tau: 1e-12, MaxIters: 500})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestGDBImprovesObjectiveAndEntropyPaperStyle(t *testing.T) {
 	}
 	d1Before := sumSquares(DegreeDiscrepancies(g, before, Absolute))
 
-	out, stats, err := GDB(g, backbone, GDBOptions{H: 1, Tau: 1e-12, MaxIters: 500})
+	out, stats, err := GDB(context.Background(), g, backbone, GDBOptions{H: 1, Tau: 1e-12, MaxIters: 500})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestGDBObjectiveMonotoneAcrossSweeps(t *testing.T) {
 	}
 	prev := math.Inf(1)
 	for iters := 1; iters <= 6; iters++ {
-		_, stats, err := GDB(g, backbone, GDBOptions{H: 0.05, Tau: 0, MaxIters: iters})
+		_, stats, err := GDB(context.Background(), g, backbone, GDBOptions{H: 0.05, Tau: 0, MaxIters: iters})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,11 +116,11 @@ func TestGDBEntropyParameterTradeoff(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outFull, statsFull, err := GDB(g, backbone, GDBOptions{H: 1, MaxIters: 100})
+	outFull, statsFull, err := GDB(context.Background(), g, backbone, GDBOptions{H: 1, MaxIters: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
-	outZero, statsZero, err := GDB(g, backbone, GDBOptions{H: HZero, MaxIters: 100})
+	outZero, statsZero, err := GDB(context.Background(), g, backbone, GDBOptions{H: HZero, MaxIters: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestGDBH0NeverRaisesEdgeEntropy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := GDB(g, backbone, GDBOptions{H: HZero, MaxIters: 50})
+	out, _, err := GDB(context.Background(), g, backbone, GDBOptions{H: HZero, MaxIters: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestGDBCutOrders(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, k := range []int{1, 2, 3, KAll} {
-		out, _, err := GDB(g, backbone, GDBOptions{K: k, H: 0.05, MaxIters: 30})
+		out, _, err := GDB(context.Background(), g, backbone, GDBOptions{K: k, H: 0.05, MaxIters: 30})
 		if err != nil {
 			t.Fatalf("k=%d: %v", k, err)
 		}
@@ -198,11 +199,11 @@ func TestGDBK2PreservesCutsBetterThanKAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out2, _, err := GDB(g, backbone, GDBOptions{K: 2, H: 0.05, MaxIters: 50})
+	out2, _, err := GDB(context.Background(), g, backbone, GDBOptions{K: 2, H: 0.05, MaxIters: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
-	outN, _, err := GDB(g, backbone, GDBOptions{K: KAll, H: 0.05, MaxIters: 50})
+	outN, _, err := GDB(context.Background(), g, backbone, GDBOptions{K: KAll, H: 0.05, MaxIters: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestRelativeVsAbsoluteTargeting(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, dt := range []Discrepancy{Absolute, Relative} {
-		out, stats, err := GDB(g, backbone, GDBOptions{Discrepancy: dt, H: 0.5, MaxIters: 100})
+		out, stats, err := GDB(context.Background(), g, backbone, GDBOptions{Discrepancy: dt, H: 0.5, MaxIters: 100})
 		if err != nil {
 			t.Fatalf("%v: %v", dt, err)
 		}
@@ -253,7 +254,7 @@ func TestGDBQuickInvariants(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		out, _, err := GDB(g, backbone, GDBOptions{H: 0.05, MaxIters: 20})
+		out, _, err := GDB(context.Background(), g, backbone, GDBOptions{H: 0.05, MaxIters: 20})
 		if err != nil {
 			return false
 		}

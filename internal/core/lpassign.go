@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ugs/internal/lp"
@@ -20,8 +21,9 @@ import (
 // The solver is a dense simplex: memory is Θ(|V|·(|E_b|+|V|)) and time grows
 // quickly with size, mirroring the paper's observation that LP "fails to
 // terminate within reasonable time" on large graphs. Use GDB or EMD beyond a
-// few thousand backbone edges.
-func LPAssign(g *ugraph.Graph, backbone []int) (*ugraph.Graph, *RunStats, error) {
+// few thousand backbone edges. Cancelling ctx aborts the simplex mid-solve;
+// progress (when non-nil) receives periodic pivot-count snapshots.
+func LPAssign(ctx context.Context, g *ugraph.Graph, backbone []int, progress func(RunStats)) (*ugraph.Graph, *RunStats, error) {
 	n := g.NumVertices()
 	m := len(backbone)
 	if m == 0 {
@@ -47,7 +49,11 @@ func LPAssign(g *ugraph.Graph, backbone []int) (*ugraph.Graph, *RunStats, error)
 		prob.A[e.V][j] = 1
 	}
 
-	sol, err := lp.Solve(prob)
+	var report func(iter int)
+	if progress != nil {
+		report = func(iter int) { progress(RunStats{Iterations: iter}) }
+	}
+	sol, err := lp.SolveContext(ctx, prob, report)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: LP probability assignment: %w", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -18,7 +19,7 @@ func TestLPAssignRecoversFullGraph(t *testing.T) {
 	for i := range backbone {
 		backbone[i] = i
 	}
-	out, _, err := LPAssign(g, backbone)
+	out, _, err := LPAssign(context.Background(), g, backbone, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,11 +38,11 @@ func TestLPAssignOptimalForL1(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		lpOut, _, err := LPAssign(g, backbone)
+		lpOut, _, err := LPAssign(context.Background(), g, backbone, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		gdbOut, _, err := GDB(g, backbone, GDBOptions{H: 1, MaxIters: 200})
+		gdbOut, _, err := GDB(context.Background(), g, backbone, GDBOptions{H: 1, MaxIters: 200})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -62,7 +63,7 @@ func TestLPAssignLemma1LegalVertices(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := LPAssign(g, backbone)
+	out, _, err := LPAssign(context.Background(), g, backbone, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestLPAssignProbabilitiesInRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := LPAssign(g, backbone)
+	out, _, err := LPAssign(context.Background(), g, backbone, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestLPAssignProbabilitiesInRange(t *testing.T) {
 
 func TestLPAssignEmptyBackbone(t *testing.T) {
 	g := ugraph.MustNew(3, []ugraph.Edge{{U: 0, V: 1, P: 0.5}})
-	if _, _, err := LPAssign(g, nil); err == nil {
+	if _, _, err := LPAssign(context.Background(), g, nil, nil); err == nil {
 		t.Error("empty backbone accepted")
 	}
 }

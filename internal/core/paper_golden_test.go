@@ -6,6 +6,7 @@ package core
 // converged D1 = 0.36 both come out to the digit.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -79,7 +80,7 @@ func TestFigure2GDBConvergesToD1of036(t *testing.T) {
 	// p(u1,u4)=p(u2,u4)=0.5, p(u3,u4)=0, with D1 = 4·0.3² = 0.36 — the
 	// exact improvement (0.56 → 0.36) the paper reports for GDB with h=1.
 	g, backbone := figure2Graph(t)
-	out, stats, err := GDB(g, backbone, GDBOptions{H: 1, Tau: 1e-14, MaxIters: 1000})
+	out, stats, err := GDB(context.Background(), g, backbone, GDBOptions{H: 1, Tau: 1e-14, MaxIters: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,11 +137,11 @@ func TestFigure3EMDFirstSwapSelectsU1U2(t *testing.T) {
 
 	// A full EMD run on the instance must strictly improve on GDB (the
 	// paper reports ∆1 dropping from 1.2 to 0.2 after restructuring).
-	_, gdbStats, err := GDB(g, backbone, GDBOptions{H: 1, MaxIters: 500})
+	_, gdbStats, err := GDB(context.Background(), g, backbone, GDBOptions{H: 1, MaxIters: 500})
 	if err != nil {
 		t.Fatal(err)
 	}
-	emdOut, emdStats, err := EMD(g, backbone, EMDOptions{H: 1, MaxRounds: 20})
+	emdOut, emdStats, err := EMD(context.Background(), g, backbone, EMDOptions{H: 1, MaxRounds: 20})
 	if err != nil {
 		t.Fatal(err)
 	}

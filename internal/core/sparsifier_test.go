@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -12,7 +13,7 @@ func TestSparsifyAllMethods(t *testing.T) {
 	g := randomConnectedGraph(rng, 25, 0.4)
 	for _, m := range []Method{MethodGDB, MethodEMD, MethodLP} {
 		t.Run(m.String(), func(t *testing.T) {
-			out, stats, err := Sparsify(g, 0.4, Options{Method: m, Seed: 1})
+			out, stats, err := Sparsify(context.Background(), g, 0.4, Options{Method: m, Seed: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -42,11 +43,11 @@ func TestSparsifyAllMethods(t *testing.T) {
 func TestSparsifyDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewSource(51))
 	g := randomConnectedGraph(rng, 30, 0.3)
-	a, _, err := Sparsify(g, 0.3, Options{Method: MethodEMD, Seed: 9})
+	a, _, err := Sparsify(context.Background(), g, 0.3, Options{Method: MethodEMD, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := Sparsify(g, 0.3, Options{Method: MethodEMD, Seed: 9})
+	b, _, err := Sparsify(context.Background(), g, 0.3, Options{Method: MethodEMD, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,16 +62,16 @@ func TestSparsifyErrors(t *testing.T) {
 		{U: 1, V: 2, P: 0.5},
 		{U: 0, V: 2, P: 0.5},
 	})
-	if _, _, err := Sparsify(g, 1.2, Options{}); err == nil {
+	if _, _, err := Sparsify(context.Background(), g, 1.2, Options{}); err == nil {
 		t.Error("alpha > 1 accepted")
 	}
-	if _, _, err := Sparsify(g, 0.5, Options{Method: Method(99)}); err == nil {
+	if _, _, err := Sparsify(context.Background(), g, 0.5, Options{Method: Method(99)}); err == nil {
 		t.Error("unknown method accepted")
 	}
-	if _, _, err := Sparsify(g, 0.5, Options{Method: MethodEMD, K: 2}); err == nil {
+	if _, _, err := Sparsify(context.Background(), g, 0.5, Options{Method: MethodEMD, K: 2}); err == nil {
 		t.Error("EMD with k=2 accepted")
 	}
-	if _, _, err := Sparsify(g, 0.5, Options{Backbone: Backbone(99)}); err == nil {
+	if _, _, err := Sparsify(context.Background(), g, 0.5, Options{Backbone: Backbone(99)}); err == nil {
 		t.Error("unknown backbone accepted")
 	}
 }
@@ -78,7 +79,7 @@ func TestSparsifyErrors(t *testing.T) {
 func TestSparsifyRandomBackboneVariant(t *testing.T) {
 	rng := rand.New(rand.NewSource(52))
 	g := randomConnectedGraph(rng, 30, 0.3)
-	out, _, err := Sparsify(g, 0.3, Options{
+	out, _, err := Sparsify(context.Background(), g, 0.3, Options{
 		Method:      MethodGDB,
 		Backbone:    BackboneRandom,
 		Discrepancy: Relative,

@@ -7,6 +7,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -26,6 +27,9 @@ type Config struct {
 	Seed int64
 	// Workers is the Monte-Carlo parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Ctx, when non-nil, bounds every sparsification run: cancelling it
+	// aborts the experiment batch. Nil means context.Background().
+	Ctx context.Context
 }
 
 // scale bundles every size parameter in one place.
@@ -90,6 +94,14 @@ type Context struct {
 // NewContext returns a fresh experiment context.
 func NewContext(cfg Config) *Context {
 	return &Context{Cfg: cfg, cache: make(map[string]*ugraph.Graph)}
+}
+
+// Ctx returns the cancellation context experiments run under.
+func (c *Context) Ctx() context.Context {
+	if c.Cfg.Ctx != nil {
+		return c.Cfg.Ctx
+	}
+	return context.Background()
 }
 
 func (c *Context) cached(key string, build func() *ugraph.Graph) *ugraph.Graph {

@@ -100,7 +100,7 @@ func (c *Context) sparseObservations(dsName string, g *ugraph.Graph, spec Method
 	}
 	c.mu.Unlock()
 
-	sparse, err := spec.Run(g, alpha, c.Cfg.Seed)
+	sparse, err := spec.Run(c.Ctx(), g, alpha, c.Cfg.Seed)
 	if err != nil {
 		return observations{}, err
 	}
@@ -218,7 +218,7 @@ func runFig12(w io.Writer, ctx *Context) error {
 			cols:  append([]string{"method"}, queryNames...),
 		}
 		for _, spec := range comparisonMethods() {
-			sparse, err := spec.Run(ds.g, 0.16, ctx.Cfg.Seed)
+			sparse, err := spec.Run(ctx.Ctx(), ds.g, 0.16, ctx.Cfg.Seed)
 			if err != nil {
 				return err
 			}

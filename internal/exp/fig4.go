@@ -39,7 +39,7 @@ func runFig4a(w io.Writer, ctx *Context) error {
 	for _, spec := range variants {
 		row := []string{spec.Name}
 		for _, alpha := range s.alphas {
-			sparse, err := spec.Run(g, alpha, ctx.Cfg.Seed)
+			sparse, err := spec.Run(ctx.Ctx(), g, alpha, ctx.Cfg.Seed)
 			if err != nil {
 				return err
 			}
@@ -67,7 +67,7 @@ func runFig4b(w io.Writer, ctx *Context) error {
 		row := []string{spec.Name}
 		for _, alpha := range s.alphas {
 			start := time.Now()
-			if _, err := spec.Run(g, alpha, ctx.Cfg.Seed); err != nil {
+			if _, err := spec.Run(ctx.Ctx(), g, alpha, ctx.Cfg.Seed); err != nil {
 				return err
 			}
 			row = append(row, f4(time.Since(start).Seconds()))

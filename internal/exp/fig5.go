@@ -39,7 +39,7 @@ func runFig5(w io.Writer, ctx *Context) error {
 		maeRow := []string{hName(h)}
 		entRow := []string{hName(h)}
 		for _, alpha := range s.alphas {
-			out, _, err := core.Sparsify(g, alpha, core.Options{
+			out, _, err := core.Sparsify(ctx.Ctx(), g, alpha, core.Options{
 				Method:   core.MethodGDB,
 				Backbone: core.BackboneSpanning,
 				H:        h,

@@ -61,7 +61,7 @@ func runFig6(w io.Writer, ctx *Context) error {
 			degRow := []string{displayName(spec)}
 			cutRow := []string{displayName(spec)}
 			for _, alpha := range s.alphas {
-				sparse, err := spec.Run(ds.g, alpha, ctx.Cfg.Seed)
+				sparse, err := spec.Run(ctx.Ctx(), ds.g, alpha, ctx.Cfg.Seed)
 				if err != nil {
 					return err
 				}
@@ -102,7 +102,7 @@ func runFig7(w io.Writer, ctx *Context) error {
 		degRow := []string{displayName(spec)}
 		cutRow := []string{displayName(spec)}
 		for _, di := range family {
-			sparse, err := spec.Run(di.G, alpha, ctx.Cfg.Seed)
+			sparse, err := spec.Run(ctx.Ctx(), di.G, alpha, ctx.Cfg.Seed)
 			if err != nil {
 				return err
 			}
@@ -129,7 +129,7 @@ func runFig8(w io.Writer, ctx *Context) error {
 		for _, spec := range comparisonMethods() {
 			row := []string{displayName(spec)}
 			for _, alpha := range s.alphas {
-				sparse, err := spec.Run(ds.g, alpha, ctx.Cfg.Seed)
+				sparse, err := spec.Run(ctx.Ctx(), ds.g, alpha, ctx.Cfg.Seed)
 				if err != nil {
 					return err
 				}
@@ -155,7 +155,7 @@ func runFig8(w io.Writer, ctx *Context) error {
 	for _, spec := range comparisonMethods() {
 		row := []string{displayName(spec)}
 		for _, di := range family {
-			sparse, err := spec.Run(di.G, 0.16, ctx.Cfg.Seed)
+			sparse, err := spec.Run(ctx.Ctx(), di.G, 0.16, ctx.Cfg.Seed)
 			if err != nil {
 				return err
 			}
@@ -182,7 +182,7 @@ func runFig9(w io.Writer, ctx *Context) error {
 			row := []string{displayName(spec)}
 			for _, alpha := range s.alphas {
 				start := time.Now()
-				if _, err := spec.Run(ds.g, alpha, ctx.Cfg.Seed); err != nil {
+				if _, err := spec.Run(ctx.Ctx(), ds.g, alpha, ctx.Cfg.Seed); err != nil {
 					return err
 				}
 				row = append(row, f4(time.Since(start).Seconds()))

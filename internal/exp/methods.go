@@ -1,25 +1,47 @@
 package exp
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
+	"ugs"
 	"ugs/internal/core"
-	"ugs/internal/ni"
-	"ugs/internal/spanner"
 	"ugs/internal/ugraph"
 )
 
-// MethodSpec names a sparsifier configuration used by the experiments.
+// MethodSpec names a sparsifier configuration used by the experiments. Run
+// resolves the method through the ugs registry, so every registered method
+// — including future plug-ins — is drivable by the harness.
 type MethodSpec struct {
 	Name string
-	Run  func(g *ugraph.Graph, alpha float64, seed int64) (*ugraph.Graph, error)
+	Run  func(ctx context.Context, g *ugraph.Graph, alpha float64, seed int64) (*ugraph.Graph, error)
+}
+
+// registryMethod builds a MethodSpec that resolves name from the ugs
+// registry with the given options plus a per-run seed.
+func registryMethod(display, name string, opts ...ugs.Option) MethodSpec {
+	return MethodSpec{
+		Name: display,
+		Run: func(ctx context.Context, g *ugraph.Graph, alpha float64, seed int64) (*ugraph.Graph, error) {
+			sp, err := ugs.Lookup(name, append(append([]ugs.Option(nil), opts...), ugs.WithSeed(seed))...)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sp.Sparsify(ctx, g, alpha)
+			if err != nil {
+				return nil, err
+			}
+			return res.Graph, nil
+		},
+	}
 }
 
 // proposedVariant builds a GDB/EMD/LP variant runner in the paper's
 // naming scheme: superscript A/R (discrepancy), subscript k, suffix -t
 // (spanning backbone).
 func proposedVariant(method core.Method, dt core.Discrepancy, k int, spanning bool) MethodSpec {
-	name := method.String()
+	name := strings.ToUpper(method.String())
 	switch dt {
 	case core.Absolute:
 		name += "^A"
@@ -36,48 +58,17 @@ func proposedVariant(method core.Method, dt core.Discrepancy, k int, spanning bo
 		name += "-t"
 		backbone = core.BackboneSpanning
 	}
-	return MethodSpec{
-		Name: name,
-		Run: func(g *ugraph.Graph, alpha float64, seed int64) (*ugraph.Graph, error) {
-			out, _, err := core.Sparsify(g, alpha, core.Options{
-				Method:      method,
-				Discrepancy: dt,
-				Backbone:    backbone,
-				K:           k,
-				Seed:        seed,
-			})
-			return out, err
-		},
-	}
+	return registryMethod(name, method.String(),
+		ugs.WithDiscrepancy(dt),
+		ugs.WithBackbone(backbone),
+		ugs.WithCutOrder(k))
 }
 
 // benchmarkNI is the cut-sparsifier benchmark.
-func benchmarkNI() MethodSpec {
-	return MethodSpec{
-		Name: "NI",
-		Run: func(g *ugraph.Graph, alpha float64, seed int64) (*ugraph.Graph, error) {
-			res, err := ni.Sparsify(g, alpha, ni.Options{Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			return res.Graph, nil
-		},
-	}
-}
+func benchmarkNI() MethodSpec { return registryMethod("NI", "ni") }
 
 // benchmarkSS is the spanner benchmark.
-func benchmarkSS() MethodSpec {
-	return MethodSpec{
-		Name: "SS",
-		Run: func(g *ugraph.Graph, alpha float64, seed int64) (*ugraph.Graph, error) {
-			res, err := spanner.Sparsify(g, alpha, spanner.Options{Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			return res.Graph, nil
-		},
-	}
-}
+func benchmarkSS() MethodSpec { return registryMethod("SS", "ss") }
 
 // comparisonMethods returns the four methods of the benchmark comparisons
 // (Figures 6–12): NI, SS, and the paper's representative variants GDB

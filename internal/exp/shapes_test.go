@@ -5,6 +5,7 @@ package exp
 // checkmarks in executable form.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -14,7 +15,7 @@ import (
 
 func mustRun(t *testing.T, spec MethodSpec, g *ugraph.Graph, alpha float64, seed int64) *ugraph.Graph {
 	t.Helper()
-	out, err := spec.Run(g, alpha, seed)
+	out, err := spec.Run(context.Background(), g, alpha, seed)
 	if err != nil {
 		t.Fatalf("%s(α=%v): %v", spec.Name, alpha, err)
 	}
@@ -128,7 +129,7 @@ func TestShapeFig5EntropyKnob(t *testing.T) {
 	ctx := testContext()
 	g := ctx.FlickrReduced()
 	run := func(h float64) *ugraph.Graph {
-		out, _, err := core.Sparsify(g, 0.32, core.Options{
+		out, _, err := core.Sparsify(context.Background(), g, 0.32, core.Options{
 			Method: core.MethodGDB, Backbone: core.BackboneSpanning, H: h, Seed: 1,
 		})
 		if err != nil {

@@ -50,7 +50,7 @@ func runTable2(w io.Writer, ctx *Context) error {
 	for _, spec := range table2Variants() {
 		row := []string{spec.Name}
 		for _, alpha := range s.alphas {
-			sparse, err := spec.Run(g, alpha, ctx.Cfg.Seed)
+			sparse, err := spec.Run(ctx.Ctx(), g, alpha, ctx.Cfg.Seed)
 			if err != nil {
 				return err
 			}

@@ -18,6 +18,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -67,6 +68,19 @@ const (
 // numerical cycling pathology rather than a valid unbounded/infeasible
 // verdict.
 func Solve(p *Problem) (*Solution, error) {
+	return SolveContext(context.Background(), p, nil)
+}
+
+// checkEvery is how many simplex iterations pass between context checks and
+// progress reports: frequent enough that cancellation is prompt even on
+// large tableaus, rare enough to stay off the pivot hot path.
+const checkEvery = 64
+
+// SolveContext is Solve with cooperative cancellation and progress
+// reporting: every checkEvery iterations the context is polled — returning
+// ctx.Err() if it is done — and progress (when non-nil) receives the
+// iteration count.
+func SolveContext(ctx context.Context, p *Problem, progress func(iter int)) (*Solution, error) {
 	m, n := len(p.B), len(p.C)
 	if len(p.A) != m || len(p.Upper) != n {
 		return nil, ErrBadShape
@@ -87,6 +101,9 @@ func Solve(p *Problem) (*Solution, error) {
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s := newState(p)
 	maxIter := 200 * (m + s.total)
 	if maxIter < 2000 {
@@ -96,6 +113,14 @@ func Solve(p *Problem) (*Solution, error) {
 	bland := false
 
 	for iter := 0; iter < maxIter; iter++ {
+		if iter%checkEvery == 0 && iter > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if progress != nil {
+				progress(iter)
+			}
+		}
 		j, sigma := s.chooseEntering(bland)
 		if j < 0 {
 			return s.solution(iter), nil // optimal

@@ -20,11 +20,13 @@
 package ni
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
+	"ugs/internal/core"
 	"ugs/internal/ds"
 	"ugs/internal/ugraph"
 )
@@ -38,6 +40,9 @@ type Options struct {
 	MaxCalibrations int
 	// Seed drives edge sampling.
 	Seed int64
+	// Progress, when non-nil, receives a RunStats snapshot after every
+	// calibration run of the NI core.
+	Progress func(core.RunStats)
 }
 
 func (o *Options) defaults() {
@@ -49,23 +54,19 @@ func (o *Options) defaults() {
 	}
 }
 
-// Result carries diagnostics of a Sparsify run.
-type Result struct {
-	Graph        *ugraph.Graph
-	Epsilon      float64 // final calibrated ε
-	Calibrations int     // NI core executions
-	CoreEdges    int     // edges selected by the NI core (before truncation/fill-up)
-}
-
-// Sparsify reduces g to α·|E| edges with the NI benchmark.
-func Sparsify(g *ugraph.Graph, alpha float64, opts Options) (*Result, error) {
+// Sparsify reduces g to α·|E| edges with the NI benchmark. The returned
+// RunStats reports the calibration count (Iterations), the final calibrated
+// ε (Epsilon) and the NI-core selections before truncation/fill-up
+// (AuxEdges). Cancelling ctx aborts between calibration runs and returns the
+// context's error.
+func Sparsify(ctx context.Context, g *ugraph.Graph, alpha float64, opts Options) (*ugraph.Graph, *core.RunStats, error) {
 	opts.defaults()
 	if !(alpha > 0 && alpha < 1) {
-		return nil, fmt.Errorf("ni: sparsification ratio α = %v outside (0,1)", alpha)
+		return nil, nil, fmt.Errorf("ni: sparsification ratio α = %v outside (0,1)", alpha)
 	}
 	target := int(math.Round(alpha * float64(g.NumEdges())))
 	if target < 1 || target >= g.NumEdges() {
-		return nil, fmt.Errorf("ni: α = %v yields invalid target %d of %d edges", alpha, target, g.NumEdges())
+		return nil, nil, fmt.Errorf("ni: α = %v yields invalid target %d of %d edges", alpha, target, g.NumEdges())
 	}
 
 	pmin := math.Inf(1)
@@ -89,17 +90,29 @@ func Sparsify(g *ugraph.Graph, alpha float64, opts Options) (*Result, error) {
 
 	// Calibration: find (approximately) the minimal ε whose output does
 	// not exceed the edge budget.
-	run := func(eps float64) map[int]float64 {
-		return core(g, weights, eps, rand.New(rand.NewSource(rng.Int63())))
+	calibrations := 0
+	run := func(eps float64) (map[int]float64, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		kept := niCore(g, weights, eps, rand.New(rand.NewSource(rng.Int63())))
+		calibrations++
+		if opts.Progress != nil {
+			opts.Progress(core.RunStats{Iterations: calibrations, Epsilon: eps, AuxEdges: len(kept)})
+		}
+		return kept, nil
 	}
-	kept := run(eps)
-	calibrations := 1
+	kept, err := run(eps)
+	if err != nil {
+		return nil, nil, err
+	}
 	coreEdges := len(kept)
 	if len(kept) > target {
 		for len(kept) > target && calibrations < opts.MaxCalibrations {
 			eps *= 1 + opts.Theta
-			kept = run(eps)
-			calibrations++
+			if kept, err = run(eps); err != nil {
+				return nil, nil, err
+			}
 		}
 		coreEdges = len(kept)
 		if len(kept) > target {
@@ -110,8 +123,10 @@ func Sparsify(g *ugraph.Graph, alpha float64, opts Options) (*Result, error) {
 	} else {
 		for calibrations < opts.MaxCalibrations {
 			cand := eps / (1 + opts.Theta)
-			keptCand := run(cand)
-			calibrations++
+			keptCand, err := run(cand)
+			if err != nil {
+				return nil, nil, err
+			}
 			if len(keptCand) > target {
 				break
 			}
@@ -169,18 +184,19 @@ func Sparsify(g *ugraph.Graph, alpha float64, opts Options) (*Result, error) {
 
 	out, err := g.EdgeSubgraph(selected)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for i := range selected {
 		out.SetProb(i, probs[i])
 	}
-	return &Result{Graph: out, Epsilon: eps, Calibrations: calibrations, CoreEdges: coreEdges}, nil
+	stats := &core.RunStats{Iterations: calibrations, Epsilon: eps, AuxEdges: coreEdges}
+	return out, stats, nil
 }
 
-// core is Algorithm 4: contiguous spanning forests with weight decrements
+// niCore is Algorithm 4: contiguous spanning forests with weight decrements
 // and exhaustion-time sampling. It returns the sampled edges with their
 // rescaled weights w_e/ℓ_e.
-func core(g *ugraph.Graph, origWeights []int, eps float64, rng *rand.Rand) map[int]float64 {
+func niCore(g *ugraph.Graph, origWeights []int, eps float64, rng *rand.Rand) map[int]float64 {
 	n := g.NumVertices()
 	m := g.NumEdges()
 	w := make([]int, m)

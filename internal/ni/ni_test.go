@@ -1,6 +1,7 @@
 package ni
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -40,11 +41,10 @@ func TestSparsifyBudgetAndValidity(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	g := randomConnectedGraph(rng, 40, 0.3)
 	for _, alpha := range []float64{0.16, 0.32, 0.64} {
-		res, err := Sparsify(g, alpha, Options{Seed: 7})
+		out, _, err := Sparsify(context.Background(), g, alpha, Options{Seed: 7})
 		if err != nil {
 			t.Fatalf("alpha=%v: %v", alpha, err)
 		}
-		out := res.Graph
 		want := int(math.Round(alpha * float64(g.NumEdges())))
 		if out.NumEdges() != want {
 			t.Errorf("alpha=%v: %d edges, want %d", alpha, out.NumEdges(), want)
@@ -75,11 +75,10 @@ func TestSparsifyRedistributesProbability(t *testing.T) {
 			pmin = e.P
 		}
 	}
-	res, err := Sparsify(g, 0.25, Options{Seed: 3})
+	out, _, err := Sparsify(context.Background(), g, 0.25, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := res.Graph
 	raised := 0
 	for i := 0; i < out.NumEdges(); i++ {
 		e := out.Edge(i)
@@ -124,15 +123,15 @@ func TestNIIndexFavorsBridges(t *testing.T) {
 	bridgeSurvived := 0
 	cliqueKept := 0
 	for seed := int64(0); seed < runs; seed++ {
-		res, err := Sparsify(g, 0.3, Options{Seed: seed})
+		out, _, err := Sparsify(context.Background(), g, 0.3, Options{Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.Graph.HasEdge(9, 10) {
+		if out.HasEdge(9, 10) {
 			bridgeSurvived++
-			cliqueKept += res.Graph.NumEdges() - 1
+			cliqueKept += out.NumEdges() - 1
 		} else {
-			cliqueKept += res.Graph.NumEdges()
+			cliqueKept += out.NumEdges()
 		}
 	}
 	bridgeFreq := float64(bridgeSurvived) / runs
@@ -145,15 +144,15 @@ func TestNIIndexFavorsBridges(t *testing.T) {
 func TestSparsifyDeterministicBySeed(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	g := randomConnectedGraph(rng, 30, 0.3)
-	a, err := Sparsify(g, 0.3, Options{Seed: 11})
+	a, _, err := Sparsify(context.Background(), g, 0.3, Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Sparsify(g, 0.3, Options{Seed: 11})
+	b, _, err := Sparsify(context.Background(), g, 0.3, Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !a.Graph.Equal(b.Graph) {
+	if !a.Equal(b) {
 		t.Error("same seed produced different graphs")
 	}
 }
@@ -173,19 +172,19 @@ func TestSparsifyTruncatesWhenCalibrationExhausted(t *testing.T) {
 		}
 	}
 	g := b.Graph()
-	res, err := Sparsify(g, 0.05, Options{Seed: 1, MaxCalibrations: 1, Theta: 1e-12})
+	out, stats, err := Sparsify(context.Background(), g, 0.05, Options{Seed: 1, MaxCalibrations: 1, Theta: 1e-12})
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := int(math.Round(0.05 * float64(g.NumEdges())))
-	if res.CoreEdges <= want {
-		t.Skipf("core kept only %d edges (≤ target %d); truncation not exercised", res.CoreEdges, want)
+	if stats.AuxEdges <= want {
+		t.Skipf("core kept only %d edges (≤ target %d); truncation not exercised", stats.AuxEdges, want)
 	}
-	if res.Graph.NumEdges() != want {
-		t.Errorf("truncated output has %d edges, want %d", res.Graph.NumEdges(), want)
+	if out.NumEdges() != want {
+		t.Errorf("truncated output has %d edges, want %d", out.NumEdges(), want)
 	}
-	if res.Calibrations != 1 {
-		t.Errorf("calibrations = %d, want 1", res.Calibrations)
+	if stats.Iterations != 1 {
+		t.Errorf("calibrations = %d, want 1", stats.Iterations)
 	}
 }
 
@@ -196,15 +195,15 @@ func TestSparsifyCalibrationShrinksEpsilonWhenUnderBudget(t *testing.T) {
 	g := randomConnectedGraph(rng, 40, 0.4)
 	n := float64(g.NumVertices())
 	initial := math.Sqrt(n * math.Log(n) / (0.64 * float64(g.NumEdges())))
-	res, err := Sparsify(g, 0.64, Options{Seed: 2})
+	out, stats, err := Sparsify(context.Background(), g, 0.64, Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Epsilon > initial+1e-12 {
-		t.Errorf("final ε %v above initial %v despite under-budget start", res.Epsilon, initial)
+	if stats.Epsilon > initial+1e-12 {
+		t.Errorf("final ε %v above initial %v despite under-budget start", stats.Epsilon, initial)
 	}
-	if res.CoreEdges > res.Graph.NumEdges() {
-		t.Errorf("core selected %d edges, above final %d", res.CoreEdges, res.Graph.NumEdges())
+	if stats.AuxEdges > out.NumEdges() {
+		t.Errorf("core selected %d edges, above final %d", stats.AuxEdges, out.NumEdges())
 	}
 }
 
@@ -214,7 +213,7 @@ func TestSparsifyErrors(t *testing.T) {
 		{U: 1, V: 2, P: 0.5},
 	})
 	for _, alpha := range []float64{0, 1, -0.5, 2} {
-		if _, err := Sparsify(g, alpha, Options{}); err == nil {
+		if _, _, err := Sparsify(context.Background(), g, alpha, Options{}); err == nil {
 			t.Errorf("alpha=%v accepted", alpha)
 		}
 	}
@@ -225,16 +224,16 @@ func TestSparsifyQuick(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		g := randomConnectedGraph(rng, 10+rng.Intn(25), 0.2+0.3*rng.Float64())
 		alpha := 0.2 + 0.5*rng.Float64()
-		res, err := Sparsify(g, alpha, Options{Seed: seed})
+		out, _, err := Sparsify(context.Background(), g, alpha, Options{Seed: seed})
 		if err != nil {
 			return false
 		}
 		want := int(math.Round(alpha * float64(g.NumEdges())))
-		if res.Graph.NumEdges() != want {
+		if out.NumEdges() != want {
 			return false
 		}
-		for i := 0; i < res.Graph.NumEdges(); i++ {
-			if p := res.Graph.Prob(i); !(p > 0 && p <= 1) {
+		for i := 0; i < out.NumEdges(); i++ {
+			if p := out.Prob(i); !(p > 0 && p <= 1) {
 				return false
 			}
 		}

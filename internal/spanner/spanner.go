@@ -16,11 +16,13 @@
 package spanner
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
+	"ugs/internal/core"
 	"ugs/internal/ugraph"
 )
 
@@ -30,6 +32,9 @@ type Options struct {
 	MaxT int
 	// Seed drives cluster sampling and fill-up.
 	Seed int64
+	// Progress, when non-nil, receives a RunStats snapshot after every
+	// spanner construction of the stretch-parameter search.
+	Progress func(core.RunStats)
 }
 
 func (o *Options) defaults() {
@@ -38,23 +43,20 @@ func (o *Options) defaults() {
 	}
 }
 
-// Result carries diagnostics of a Sparsify run.
-type Result struct {
-	Graph        *ugraph.Graph
-	T            int // final stretch parameter (spanner stretch 2T−1)
-	SpannerEdges int // edges selected by the spanner (before fill/truncate)
-}
-
-// Sparsify reduces g to α·|E| edges with the SS benchmark.
-func Sparsify(g *ugraph.Graph, alpha float64, opts Options) (*Result, error) {
+// Sparsify reduces g to α·|E| edges with the SS benchmark. The returned
+// RunStats reports the spanner constructions of the stretch search
+// (Iterations), the final stretch parameter (StretchT) and the raw spanner
+// size before truncation/fill-up (AuxEdges). Cancelling ctx aborts between
+// spanner constructions and returns the context's error.
+func Sparsify(ctx context.Context, g *ugraph.Graph, alpha float64, opts Options) (*ugraph.Graph, *core.RunStats, error) {
 	opts.defaults()
 	if !(alpha > 0 && alpha < 1) {
-		return nil, fmt.Errorf("spanner: sparsification ratio α = %v outside (0,1)", alpha)
+		return nil, nil, fmt.Errorf("spanner: sparsification ratio α = %v outside (0,1)", alpha)
 	}
 	m := g.NumEdges()
 	target := int(math.Round(alpha * float64(m)))
 	if target < 1 || target >= m {
-		return nil, fmt.Errorf("spanner: α = %v yields invalid target %d of %d edges", alpha, target, m)
+		return nil, nil, fmt.Errorf("spanner: α = %v yields invalid target %d of %d edges", alpha, target, m)
 	}
 
 	weights := make([]float64, m)
@@ -73,8 +75,16 @@ func Sparsify(g *ugraph.Graph, alpha float64, opts Options) (*Result, error) {
 		t++
 	}
 	var edges []int
+	builds := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		edges = BaswanaSen(g, weights, t, rand.New(rand.NewSource(rng.Int63())))
+		builds++
+		if opts.Progress != nil {
+			opts.Progress(core.RunStats{Iterations: builds, StretchT: t, AuxEdges: len(edges)})
+		}
 		if len(edges) <= target || t >= opts.MaxT {
 			break
 		}
@@ -124,9 +134,10 @@ func Sparsify(g *ugraph.Graph, alpha float64, opts Options) (*Result, error) {
 	sort.Ints(selected)                  // canonical output edge order
 	out, err := g.EdgeSubgraph(selected) // keeps original probabilities
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return &Result{Graph: out, T: t, SpannerEdges: spannerEdges}, nil
+	stats := &core.RunStats{Iterations: builds, StretchT: t, AuxEdges: spannerEdges}
+	return out, stats, nil
 }
 
 // BaswanaSen computes a (2t−1)-spanner of g under the given edge weights and

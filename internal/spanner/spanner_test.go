@@ -2,6 +2,7 @@ package spanner
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -149,11 +150,10 @@ func TestSparsifyBudgetAndOriginalProbabilities(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g := randomConnectedGraph(rng, 40, 0.4)
 	for _, alpha := range []float64{0.16, 0.32, 0.64} {
-		res, err := Sparsify(g, alpha, Options{Seed: 5})
+		out, _, err := Sparsify(context.Background(), g, alpha, Options{Seed: 5})
 		if err != nil {
 			t.Fatalf("alpha=%v: %v", alpha, err)
 		}
-		out := res.Graph
 		want := int(math.Round(alpha * float64(g.NumEdges())))
 		if out.NumEdges() != want {
 			t.Errorf("alpha=%v: %d edges, want %d", alpha, out.NumEdges(), want)
@@ -175,15 +175,15 @@ func TestSparsifyBudgetAndOriginalProbabilities(t *testing.T) {
 func TestSparsifyDeterministicBySeed(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	g := randomConnectedGraph(rng, 30, 0.3)
-	a, err := Sparsify(g, 0.3, Options{Seed: 12})
+	a, _, err := Sparsify(context.Background(), g, 0.3, Options{Seed: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Sparsify(g, 0.3, Options{Seed: 12})
+	b, _, err := Sparsify(context.Background(), g, 0.3, Options{Seed: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !a.Graph.Equal(b.Graph) {
+	if !a.Equal(b) {
 		t.Error("same seed produced different graphs")
 	}
 }
@@ -194,7 +194,7 @@ func TestSparsifyErrors(t *testing.T) {
 		{U: 1, V: 2, P: 0.5},
 	})
 	for _, alpha := range []float64{0, 1, -0.5, 2} {
-		if _, err := Sparsify(g, alpha, Options{}); err == nil {
+		if _, _, err := Sparsify(context.Background(), g, alpha, Options{}); err == nil {
 			t.Errorf("alpha=%v accepted", alpha)
 		}
 	}
@@ -205,11 +205,11 @@ func TestSparsifyQuick(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		g := randomConnectedGraph(rng, 10+rng.Intn(25), 0.25+0.3*rng.Float64())
 		alpha := 0.2 + 0.5*rng.Float64()
-		res, err := Sparsify(g, alpha, Options{Seed: seed})
+		out, _, err := Sparsify(context.Background(), g, alpha, Options{Seed: seed})
 		if err != nil {
 			return false
 		}
-		return res.Graph.NumEdges() == int(math.Round(alpha*float64(g.NumEdges())))
+		return out.NumEdges() == int(math.Round(alpha*float64(g.NumEdges())))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)

@@ -1,0 +1,178 @@
+package ugs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ugs/internal/core"
+	"ugs/internal/ni"
+	"ugs/internal/spanner"
+)
+
+// Result is the uniform output of every Sparsifier: the sparsified uncertain
+// graph and the statistics of the run that produced it.
+type Result struct {
+	Graph *Graph
+	Stats RunStats
+}
+
+// Sparsifier is the uniform interface implemented by every sparsification
+// method. A Sparsifier is immutable once built — configuration happens
+// through the Options passed to Lookup (or a Factory) — so one value is safe
+// for concurrent use across goroutines and requests.
+type Sparsifier interface {
+	// Name returns the registry name the sparsifier was built under
+	// ("gdb", "emd", "lp", "ni", "ss", or a custom registration).
+	Name() string
+	// Sparsify reduces g to α·|E| edges, α ∈ (0, 1), without modifying g.
+	// Cancelling ctx aborts the run promptly and returns the context's
+	// error.
+	Sparsify(ctx context.Context, g *Graph, alpha float64) (*Result, error)
+}
+
+// Factory builds a configured Sparsifier from functional options. It
+// returns an error if an option is invalid or inconsistent with the method.
+type Factory func(opts ...Option) (Sparsifier, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Factory)
+)
+
+// Register adds a sparsifier factory under a method name, making it
+// resolvable through Lookup and listed by Methods. It errors if the name is
+// empty, already taken, or the factory is nil. Packages providing new
+// methods typically call MustRegister from an init function.
+func Register(name string, factory Factory) error {
+	if name == "" {
+		return fmt.Errorf("ugs: Register with empty method name")
+	}
+	if factory == nil {
+		return fmt.Errorf("ugs: Register %q with nil factory", name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("ugs: method %q already registered", name)
+	}
+	registry[name] = factory
+	return nil
+}
+
+// MustRegister is Register, panicking on error.
+func MustRegister(name string, factory Factory) {
+	if err := Register(name, factory); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a method name to a Sparsifier configured with the given
+// options. Unknown names list the registered alternatives in the error.
+func Lookup(name string, opts ...Option) (Sparsifier, error) {
+	registryMu.RLock()
+	factory, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("ugs: unknown method %q (registered: %v)", name, Methods())
+	}
+	return factory(opts...)
+}
+
+// Methods returns the registered method names in sorted order.
+func Methods() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewSparsifier adapts a function to the Sparsifier interface under the
+// given name. It is the building block for custom registrations:
+//
+//	ugs.MustRegister("my-method", func(opts ...ugs.Option) (ugs.Sparsifier, error) {
+//		return ugs.NewSparsifier("my-method", run), nil
+//	})
+func NewSparsifier(name string, run func(ctx context.Context, g *Graph, alpha float64) (*Result, error)) Sparsifier {
+	return &funcSparsifier{name: name, run: run}
+}
+
+type funcSparsifier struct {
+	name string
+	run  func(ctx context.Context, g *Graph, alpha float64) (*Result, error)
+}
+
+func (s *funcSparsifier) Name() string { return s.name }
+
+func (s *funcSparsifier) Sparsify(ctx context.Context, g *Graph, alpha float64) (*Result, error) {
+	return s.run(ctx, g, alpha)
+}
+
+// The five paper methods register themselves at package load, so
+// Lookup("gdb") etc. work out of the box.
+func init() {
+	MustRegister("gdb", coreFactory(MethodGDB))
+	MustRegister("emd", coreFactory(MethodEMD))
+	MustRegister("lp", coreFactory(MethodLP))
+	MustRegister("ni", niFactory)
+	MustRegister("ss", ssFactory)
+}
+
+// coreFactory builds the factory for the methods dispatched by
+// internal/core (gdb, emd, lp).
+func coreFactory(m Method) Factory {
+	return func(opts ...Option) (Sparsifier, error) {
+		cfg, err := newConfig(opts)
+		if err != nil {
+			return nil, err
+		}
+		if m == MethodEMD && (cfg.cutOrder > 1 || cfg.cutOrder == KAll) {
+			return nil, fmt.Errorf("ugs: emd supports only cut order k = 1 (got %d)", cfg.cutOrder)
+		}
+		coreOpts := cfg.coreOptions(m)
+		return NewSparsifier(m.String(), func(ctx context.Context, g *Graph, alpha float64) (*Result, error) {
+			out, stats, err := core.Sparsify(ctx, g, alpha, coreOpts)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Graph: out, Stats: *stats}, nil
+		}), nil
+	}
+}
+
+// niFactory builds the Nagamochi–Ibaraki cut-sparsifier benchmark.
+func niFactory(opts ...Option) (Sparsifier, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	niOpts := ni.Options{Seed: cfg.seed, Progress: cfg.progress}
+	return NewSparsifier("ni", func(ctx context.Context, g *Graph, alpha float64) (*Result, error) {
+		out, stats, err := ni.Sparsify(ctx, g, alpha, niOpts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Graph: out, Stats: *stats}, nil
+	}), nil
+}
+
+// ssFactory builds the Baswana–Sen spanner benchmark.
+func ssFactory(opts ...Option) (Sparsifier, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	ssOpts := spanner.Options{Seed: cfg.seed, Progress: cfg.progress}
+	return NewSparsifier("ss", func(ctx context.Context, g *Graph, alpha float64) (*Result, error) {
+		out, stats, err := spanner.Sparsify(ctx, g, alpha, ssOpts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Graph: out, Stats: *stats}, nil
+	}), nil
+}

@@ -21,24 +21,36 @@
 //
 // # Quick start
 //
+// Every method is a Sparsifier resolved by name from the registry and
+// configured with functional options:
+//
 //	g, _ := ugs.ReadGraphFile("graph.txt")
-//	sparse, stats, _ := ugs.Sparsify(g, 0.25, ugs.Options{Method: ugs.MethodEMD})
-//	fmt.Println(sparse.NumEdges(), stats.Iterations)
+//	sp, _ := ugs.Lookup("emd", ugs.WithDiscrepancy(ugs.Relative), ugs.WithSeed(1))
+//	res, _ := sp.Sparsify(context.Background(), g, 0.25)
+//	fmt.Println(res.Graph.NumEdges(), res.Stats.Iterations)
+//
+// ugs.Methods() lists the registered methods ("gdb", "emd", "lp", "ni",
+// "ss" plus any custom registrations); long runs are cancellable through
+// the context and observable through ugs.WithProgress. New methods plug in
+// without touching the core:
+//
+//	ugs.MustRegister("mymethod", func(opts ...ugs.Option) (ugs.Sparsifier, error) {
+//		return ugs.NewSparsifier("mymethod", run), nil
+//	})
 //
 // See the examples/ directory for complete programs.
 package ugs
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
 	"ugs/internal/core"
 	"ugs/internal/gen"
 	"ugs/internal/mc"
-	"ugs/internal/ni"
 	"ugs/internal/queries"
 	"ugs/internal/repr"
-	"ugs/internal/spanner"
 	"ugs/internal/stats"
 	"ugs/internal/ugraph"
 )
@@ -80,15 +92,20 @@ func WriteGraph(w io.Writer, g *Graph) error { return ugraph.Write(w, g) }
 
 // Sparsification configuration (see internal/core for full documentation).
 type (
-	// Options configures Sparsify.
+	// Options configures the deprecated Sparsify shim.
+	//
+	// Deprecated: configure sparsifiers with functional options through
+	// Lookup instead.
 	Options = core.Options
-	// Method selects GDB, EMD or LP.
+	// Method enumerates the built-in sparsification methods; its String
+	// form is the registry name.
 	Method = core.Method
 	// Discrepancy selects absolute or relative degree discrepancy.
 	Discrepancy = core.Discrepancy
 	// Backbone selects the backbone construction.
 	Backbone = core.Backbone
-	// RunStats reports iteration counts and the final objective.
+	// RunStats is the uniform per-run statistics of every Sparsifier:
+	// iteration counts, the final objective, and per-method diagnostics.
 	RunStats = core.RunStats
 )
 
@@ -102,6 +119,10 @@ const (
 	// MethodLP solves the optimal probability-assignment LP (Theorem 1);
 	// small graphs only.
 	MethodLP = core.MethodLP
+	// MethodNI is the Nagamochi–Ibaraki cut-sparsifier benchmark.
+	MethodNI = core.MethodNI
+	// MethodSS is the Baswana–Sen spanner benchmark.
+	MethodSS = core.MethodSS
 	// Absolute discrepancy emphasizes high-degree vertices.
 	Absolute = core.Absolute
 	// Relative discrepancy treats all degrees equally.
@@ -116,10 +137,25 @@ const (
 	HZero = core.HZero
 )
 
+// Parse/format round-trips: each Parse function is the inverse of the
+// corresponding String method, so flag and request values round-trip.
+var (
+	// ParseMethod resolves "gdb", "emd", "lp", "ni" or "ss" to a Method.
+	ParseMethod = core.ParseMethod
+	// ParseDiscrepancy resolves "absolute" or "relative".
+	ParseDiscrepancy = core.ParseDiscrepancy
+	// ParseBackbone resolves "spanning" or "random".
+	ParseBackbone = core.ParseBackbone
+)
+
 // Sparsify reduces g to α·|E| edges using the configured method. The zero
 // Options value selects GDB with the paper's recommended defaults.
+//
+// Deprecated: resolve a Sparsifier through Lookup instead, which supports
+// every registered method (including NI and SS), context cancellation and
+// progress reporting.
 func Sparsify(g *Graph, alpha float64, opts Options) (*Graph, *RunStats, error) {
-	return core.Sparsify(g, alpha, opts)
+	return core.Sparsify(context.Background(), g, alpha, opts)
 }
 
 // MAEDegreeDiscrepancy is the mean absolute degree discrepancy between a
@@ -135,17 +171,27 @@ func MAECutDiscrepancy(orig, sparse *Graph, maxK, cutsPerK int, rng *rand.Rand) 
 }
 
 // NISparsify runs the Nagamochi–Ibaraki cut-sparsifier benchmark.
+//
+// Deprecated: use Lookup("ni", WithSeed(seed)) instead, which also returns
+// run statistics and honors context cancellation.
 func NISparsify(g *Graph, alpha float64, seed int64) (*Graph, error) {
-	res, err := ni.Sparsify(g, alpha, ni.Options{Seed: seed})
-	if err != nil {
-		return nil, err
-	}
-	return res.Graph, nil
+	return benchmarkShim("ni", g, alpha, seed)
 }
 
 // SSSparsify runs the Baswana–Sen spanner benchmark.
+//
+// Deprecated: use Lookup("ss", WithSeed(seed)) instead, which also returns
+// run statistics and honors context cancellation.
 func SSSparsify(g *Graph, alpha float64, seed int64) (*Graph, error) {
-	res, err := spanner.Sparsify(g, alpha, spanner.Options{Seed: seed})
+	return benchmarkShim("ss", g, alpha, seed)
+}
+
+func benchmarkShim(name string, g *Graph, alpha float64, seed int64) (*Graph, error) {
+	sp, err := Lookup(name, WithSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	res, err := sp.Sparsify(context.Background(), g, alpha)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ package ugs_test
 // graphs, and compare distributions.
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"path/filepath"
@@ -25,28 +26,27 @@ func TestEndToEndPipelineAllMethods(t *testing.T) {
 
 	type method struct {
 		name string
-		run  func() (*ugs.Graph, error)
+		opts []ugs.Option
 	}
 	methods := []method{
-		{"GDB", func() (*ugs.Graph, error) {
-			out, _, err := ugs.Sparsify(g, 0.25, ugs.Options{Method: ugs.MethodGDB, Seed: 1})
-			return out, err
-		}},
-		{"EMD", func() (*ugs.Graph, error) {
-			out, _, err := ugs.Sparsify(g, 0.25, ugs.Options{Method: ugs.MethodEMD, Discrepancy: ugs.Relative, Seed: 1})
-			return out, err
-		}},
-		{"NI", func() (*ugs.Graph, error) { return ugs.NISparsify(g, 0.25, 1) }},
-		{"SS", func() (*ugs.Graph, error) { return ugs.SSSparsify(g, 0.25, 1) }},
+		{"gdb", nil},
+		{"emd", []ugs.Option{ugs.WithDiscrepancy(ugs.Relative)}},
+		{"ni", nil},
+		{"ss", nil},
 	}
 
 	for _, m := range methods {
 		m := m
 		t.Run(m.name, func(t *testing.T) {
-			sparse, err := m.run()
+			sparsifier, err := ugs.Lookup(m.name, append(m.opts, ugs.WithSeed(1))...)
 			if err != nil {
 				t.Fatal(err)
 			}
+			res, err := sparsifier.Sparsify(context.Background(), g, 0.25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sparse := res.Graph
 			if sparse.NumEdges() >= g.NumEdges() {
 				t.Fatal("no sparsification happened")
 			}
