@@ -4,7 +4,8 @@ package ugs_test
 // the paper's evaluation (each regenerates the experiment at CI scale —
 // run `go run ./cmd/ugs-exp -full <id>` for paper-scale numbers), plus the
 // ablation benchmarks called out in DESIGN.md and micro-benchmarks of the
-// hot paths.
+// hot paths. Sparsifiers are resolved through the registry API
+// (ugs.Lookup + functional options) — the same path production callers use.
 
 import (
 	"context"
@@ -54,6 +55,21 @@ func benchGraph(b *testing.B) *ugs.Graph {
 	return ugs.FlickrLike(300, 42)
 }
 
+// benchSparsify resolves a registry method and runs one sparsification,
+// failing the benchmark on any error.
+func benchSparsify(b *testing.B, g *ugs.Graph, alpha float64, name string, opts ...ugs.Option) *ugs.Graph {
+	b.Helper()
+	sp, err := ugs.Lookup(name, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sp.Sparsify(context.Background(), g, alpha)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Graph
+}
+
 // ---- Ablation benchmarks (design choices called out in DESIGN.md) ----
 
 // BenchmarkAblationBackbone compares the two backbone constructions feeding
@@ -67,14 +83,7 @@ func BenchmarkAblationBackbone(b *testing.B) {
 	}{{"spanning", ugs.BackboneSpanning}, {"random", ugs.BackboneRandom}} {
 		b.Run(bb.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, _, err := ugs.Sparsify(g, 0.08, ugs.Options{
-					Method:   ugs.MethodGDB,
-					Backbone: bb.kind,
-					Seed:     int64(i),
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
+				benchSparsify(b, g, 0.08, "gdb", ugs.WithBackbone(bb.kind), ugs.WithSeed(int64(i)))
 			}
 		})
 	}
@@ -107,19 +116,16 @@ func BenchmarkAblationHeap(b *testing.B) {
 
 // BenchmarkAblationEntropyParam sweeps h, isolating the cost/benefit of the
 // entropy cap (Figure 5's design knob; runtime is roughly h-independent,
-// accuracy is not).
+// accuracy is not). WithEntropy(0) requests a true h = 0.
 func BenchmarkAblationEntropyParam(b *testing.B) {
 	g := benchGraph(b)
 	for _, h := range []struct {
 		name string
 		val  float64
-	}{{"h0", ugs.HZero}, {"h05", 0.05}, {"h1", 1}} {
+	}{{"h0", 0}, {"h05", 0.05}, {"h1", 1}} {
 		b.Run(h.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, _, err := ugs.Sparsify(g, 0.16, ugs.Options{Method: ugs.MethodGDB, H: h.val, Seed: 1})
-				if err != nil {
-					b.Fatal(err)
-				}
+				benchSparsify(b, g, 0.16, "gdb", ugs.WithEntropy(h.val), ugs.WithSeed(1))
 			}
 		})
 	}
@@ -138,69 +144,80 @@ func BenchmarkWorldSampling(b *testing.B) {
 	}
 }
 
+// BenchmarkWorldSamplingSeeded measures the engine's per-sample primitive:
+// reseed and redraw a bitset world from a deterministic stream.
+func BenchmarkWorldSamplingSeeded(b *testing.B) {
+	g := benchGraph(b)
+	w := ugraph.NewWorld(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SampleWorldSeeded(int64(i), w)
+	}
+}
+
 func BenchmarkSparsifyGDB(b *testing.B) {
 	g := benchGraph(b)
 	for i := 0; i < b.N; i++ {
-		if _, _, err := ugs.Sparsify(g, 0.16, ugs.Options{Method: ugs.MethodGDB, Seed: 1}); err != nil {
-			b.Fatal(err)
-		}
+		benchSparsify(b, g, 0.16, "gdb", ugs.WithSeed(1))
 	}
 }
 
 func BenchmarkSparsifyEMD(b *testing.B) {
 	g := benchGraph(b)
 	for i := 0; i < b.N; i++ {
-		if _, _, err := ugs.Sparsify(g, 0.16, ugs.Options{Method: ugs.MethodEMD, Seed: 1}); err != nil {
-			b.Fatal(err)
-		}
+		benchSparsify(b, g, 0.16, "emd", ugs.WithSeed(1))
 	}
 }
 
 func BenchmarkSparsifyNI(b *testing.B) {
 	g := benchGraph(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := ugs.NISparsify(g, 0.16, 1); err != nil {
-			b.Fatal(err)
-		}
+		benchSparsify(b, g, 0.16, "ni", ugs.WithSeed(1))
 	}
 }
 
 func BenchmarkSparsifySS(b *testing.B) {
 	g := benchGraph(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := ugs.SSSparsify(g, 0.16, 1); err != nil {
-			b.Fatal(err)
-		}
+		benchSparsify(b, g, 0.16, "ss", ugs.WithSeed(1))
 	}
 }
 
 func BenchmarkPageRankPerWorld(b *testing.B) {
 	g := benchGraph(b)
 	w := g.SampleWorld(rand.New(rand.NewSource(1)))
+	ws := queries.NewWorkspace(g)
 	out := make([]float64, g.NumVertices())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		queries.WorldPageRank(w, 0.85, 30, out)
+		ws.PageRank(w, 0.85, 30, out)
 	}
 }
 
 func BenchmarkClusteringPerWorld(b *testing.B) {
 	g := benchGraph(b)
 	w := g.SampleWorld(rand.New(rand.NewSource(1)))
+	ws := queries.NewWorkspace(g)
 	out := make([]float64, g.NumVertices())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		queries.WorldClusteringCoefficients(w, out)
+		ws.ClusteringCoefficients(w, out)
 	}
 }
 
 func BenchmarkReliabilityMC(b *testing.B) {
 	g := benchGraph(b)
 	pairs := ugs.RandomPairs(g.NumVertices(), 50, rand.New(rand.NewSource(1)))
+	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ugs.Reliability(g, pairs, mc.Options{Samples: 50, Seed: int64(i)})
+		if _, err := ugs.Reliability(ctx, g, pairs, mc.Options{Samples: 50, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -209,15 +226,20 @@ func BenchmarkReliabilityMC(b *testing.B) {
 // extension; same wall-clock order, lower variance).
 func BenchmarkAblationStratified(b *testing.B) {
 	g := benchGraph(b)
+	ctx := context.Background()
 	pred := func(w *ugs.World) bool { return w.Reachable(0, g.NumVertices()-1) }
 	b.Run("plain", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			ugs.ConnectedProbability(g, mc.Options{Samples: 200, Seed: int64(i)})
+			if _, err := ugs.ConnectedProbability(ctx, g, mc.Options{Samples: 200, Seed: int64(i)}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("stratified", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			ugs.StratifiedProbabilityOf(g, ugs.StratifiedOptions{Samples: 200, Seed: int64(i)}, pred)
+			if _, err := ugs.StratifiedProbabilityOf(ctx, g, ugs.StratifiedOptions{Samples: 200, Seed: int64(i)}, pred); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -4,6 +4,7 @@ package ugs_test
 // generate → sparsify → experiment pipeline through their flag interfaces.
 
 import (
+	"context"
 	"math"
 	"os"
 	"os/exec"
@@ -83,9 +84,35 @@ func TestCLIGenerateAndSparsify(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: sparsified file unreadable: %v", method, err)
 		}
-		want := int(math.Round(0.3 * float64(g.NumEdges())))
+		// The sparsifier keeps α|E| edges, but Write drops those whose
+		// probability was driven to exactly 0. Methods are deterministic
+		// given (graph, α, seed), so rerunning in-process with the CLI's
+		// flag defaults tells us exactly how many survive the write.
+		sp, err := ugs.Lookup(method, ugs.WithSeed(1))
+		if err != nil {
+			t.Fatalf("%s: Lookup: %v", method, err)
+		}
+		res, err := sp.Sparsify(context.Background(), g, 0.3)
+		if err != nil {
+			t.Fatalf("%s: in-process Sparsify: %v", method, err)
+		}
+		want := 0
+		for id := 0; id < res.Graph.NumEdges(); id++ {
+			if res.Graph.Prob(id) > 0 {
+				want++
+			}
+		}
+		if kept := int(math.Round(0.3 * float64(g.NumEdges()))); res.Graph.NumEdges() != kept {
+			t.Errorf("%s: in-process result has %d edges, want α|E| = %d", method, res.Graph.NumEdges(), kept)
+		}
 		if sparse.NumEdges() != want {
-			t.Errorf("%s: %d edges, want %d", method, sparse.NumEdges(), want)
+			t.Errorf("%s: written file has %d edges, want %d (α|E| minus p=0 drops)", method, sparse.NumEdges(), want)
+		}
+		for id := 0; id < sparse.NumEdges(); id++ {
+			if sparse.Prob(id) == 0 {
+				t.Errorf("%s: written file contains a p=0 edge", method)
+				break
+			}
 		}
 		if !strings.Contains(out, "degree discrepancy") {
 			t.Errorf("%s: missing stats in output:\n%s", method, out)

@@ -68,11 +68,14 @@ func ExampleReliability() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rel := ugs.Reliability(g, []ugs.Pair{{S: 0, T: 2}}, ugs.MCOptions{Samples: 20000, Seed: 1})
+	rel, err := ugs.Reliability(context.Background(), g, []ugs.Pair{{S: 0, T: 2}}, ugs.MCOptions{Samples: 20000, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	// Exact value: 1 − (1−0.5)(1−0.25) = 0.625.
 	fmt.Printf("reliability ≈ %.2f\n", rel[0])
 	// Output:
-	// reliability ≈ 0.62
+	// reliability ≈ 0.63
 }
 
 // ExampleEarthMovers compares two result distributions with the metric of

@@ -56,12 +56,20 @@ func main() {
 	fmt.Printf("sparsified: %v  entropy=%.1f bits (%.0f%%)\n\n",
 		sparse, sparse.Entropy(), 100*ugs.RelativeEntropy(sparse, net))
 
-	// Two-terminal reliability on 8 random endpoint pairs.
+	// Two-terminal reliability on 8 random endpoint pairs. The estimators
+	// share the sparsifier's cancellation story: the same timeout context
+	// bounds the Monte-Carlo runs.
 	rng := rand.New(rand.NewSource(7))
 	pairs := ugs.RandomPairs(net.NumVertices(), 8, rng)
 	opts := ugs.MCOptions{Samples: 2000, Seed: 11}
-	rOrig := ugs.Reliability(net, pairs, opts)
-	rSparse := ugs.Reliability(sparse, pairs, opts)
+	rOrig, err := ugs.Reliability(ctx, net, pairs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rSparse, err := ugs.Reliability(ctx, sparse, pairs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("two-terminal reliability (2000-sample MC):")
 	fmt.Println("  pair          original  sparsified")
@@ -74,7 +82,10 @@ func main() {
 	// width on mean reliability.
 	estimate := func(g *ugs.Graph) func(run int) float64 {
 		return func(run int) float64 {
-			r := ugs.Reliability(g, pairs, ugs.MCOptions{Samples: 200, Seed: int64(run) * 101})
+			r, err := ugs.Reliability(ctx, g, pairs, ugs.MCOptions{Samples: 200, Seed: int64(run) * 101})
+			if err != nil {
+				log.Fatal(err)
+			}
 			var sum float64
 			for _, x := range r {
 				sum += x

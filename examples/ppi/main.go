@@ -28,14 +28,17 @@ func main() {
 	}
 	fmt.Printf("network: %v\n\n", ppi)
 
+	ctx := context.Background()
 	opts := ugs.MCOptions{Samples: 200, Seed: 17}
-	ccBase := ugs.ExpectedClusteringCoefficients(ppi, opts)
+	ccBase, err := ugs.ExpectedClusteringCoefficients(ctx, ppi, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Every sparsifier goes through the same registry interface; only the
 	// per-method options differ. Adding a method to the comparison is one
 	// more row here — the loop body never changes.
 	const alpha = 0.25
-	ctx := context.Background()
 	methods := []struct {
 		name string
 		opts []ugs.Option
@@ -57,7 +60,10 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", m.name, err)
 		}
-		cc := ugs.ExpectedClusteringCoefficients(res.Graph, opts)
+		cc, err := ugs.ExpectedClusteringCoefficients(ctx, res.Graph, opts)
+		if err != nil {
+			log.Fatalf("%s: %v", m.name, err)
+		}
 		fmt.Printf("  %-6s  %.4g   %.4g   %.3f\n",
 			strings.ToUpper(sp.Name()),
 			ugs.EarthMovers(ccBase, cc),

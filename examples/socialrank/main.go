@@ -20,11 +20,12 @@ func main() {
 	soc := ugs.TwitterLike(400, 3)
 	fmt.Printf("network:    %v\n", soc)
 
+	ctx := context.Background()
 	emd, err := ugs.Lookup("emd", ugs.WithSeed(3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := emd.Sparsify(context.Background(), soc, 0.2)
+	res, err := emd.Sparsify(ctx, soc, 0.2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,8 +33,14 @@ func main() {
 	fmt.Printf("sparsified: %v\n\n", sparse)
 
 	opts := ugs.MCOptions{Samples: 300, Seed: 5}
-	prOrig := ugs.ExpectedPageRank(soc, opts, ugs.PageRankOptions{})
-	prSparse := ugs.ExpectedPageRank(sparse, opts, ugs.PageRankOptions{})
+	prOrig, err := ugs.ExpectedPageRank(ctx, soc, opts, ugs.PageRankOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prSparse, err := ugs.ExpectedPageRank(ctx, sparse, opts, ugs.PageRankOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("top-10 users by expected PageRank:")
 	fmt.Println("  rank  user  PR(original)  PR(sparsified)  rank(sparsified)")

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -39,14 +40,19 @@ type observations [4][]float64
 
 // evalQueries evaluates the four queries on g. Pairs are shared between G
 // and its sparsifications so the distributions are comparable.
-func evalQueries(g *ugraph.Graph, pairs []queries.Pair, opts mc.Options) observations {
+func evalQueries(ctx context.Context, g *ugraph.Graph, pairs []queries.Pair, opts mc.Options) (observations, error) {
 	var obs observations
-	obs[0] = queries.ExpectedPageRank(g, opts, queries.PageRankOptions{})
-	sp, rl := queries.ShortestDistanceAndReliability(g, pairs, opts)
-	obs[1] = sp
-	obs[2] = rl
-	obs[3] = queries.ExpectedClusteringCoefficients(g, opts)
-	return obs
+	var err error
+	if obs[0], err = queries.ExpectedPageRank(ctx, g, opts, queries.PageRankOptions{}); err != nil {
+		return obs, err
+	}
+	if obs[1], obs[2], err = queries.ShortestDistanceAndReliability(ctx, g, pairs, opts); err != nil {
+		return obs, err
+	}
+	if obs[3], err = queries.ExpectedClusteringCoefficients(ctx, g, opts); err != nil {
+		return obs, err
+	}
+	return obs, nil
 }
 
 func (c *Context) mcOptions(samples int) mc.Options {
@@ -58,7 +64,10 @@ func runFig10(w io.Writer, ctx *Context) error {
 	for _, ds := range realLikeDatasets(ctx) {
 		rng := rand.New(rand.NewSource(ctx.Cfg.Seed + 400))
 		pairs := queries.RandomPairs(ds.g.NumVertices(), s.pairs, rng)
-		base := evalQueries(ds.g, pairs, ctx.mcOptions(s.mcSamples))
+		base, err := evalQueries(ctx.Ctx(), ds.g, pairs, ctx.mcOptions(s.mcSamples))
+		if err != nil {
+			return err
+		}
 
 		for q, qn := range queryNames {
 			t := &table{
@@ -104,7 +113,10 @@ func (c *Context) sparseObservations(dsName string, g *ugraph.Graph, spec Method
 	if err != nil {
 		return observations{}, err
 	}
-	obs := evalQueries(sparse, pairs, c.mcOptions(samples))
+	obs, err := evalQueries(c.Ctx(), sparse, pairs, c.mcOptions(samples))
+	if err != nil {
+		return observations{}, err
+	}
 
 	c.mu.Lock()
 	c.obsCache[key] = obs
@@ -134,7 +146,10 @@ func runFig11(w io.Writer, ctx *Context) error {
 		for _, di := range family {
 			rng := rand.New(rand.NewSource(ctx.Cfg.Seed + 500))
 			pairs := queries.RandomPairs(di.G.NumVertices(), s.pairs, rng)
-			base := evalQueries(di.G, pairs, ctx.mcOptions(s.mcSamples))
+			base, err := evalQueries(ctx.Ctx(), di.G, pairs, ctx.mcOptions(s.mcSamples))
+			if err != nil {
+				return err
+			}
 			obs, err := ctx.sparseObservations(fmt.Sprintf("density-%g", di.Density), di.G, spec, alpha, pairs, s.mcSamples)
 			if err != nil {
 				return err
@@ -154,8 +169,10 @@ func runFig11(w io.Writer, ctx *Context) error {
 // scalarEstimators returns the Φ(G) summaries whose run-to-run variance
 // Figure 12 reports: the PageRank of the highest-expected-degree vertex,
 // the mean conditional SP distance and mean reliability over fixed pairs,
-// and the mean clustering coefficient.
-func scalarEstimators(g *ugraph.Graph, pairs []queries.Pair, samples, workers int) [4]func(run int) float64 {
+// and the mean clustering coefficient. An estimator error (only possible on
+// cancellation) surfaces as NaN; the surrounding experiment then aborts on
+// its next context check.
+func scalarEstimators(ctx context.Context, g *ugraph.Graph, pairs []queries.Pair, samples, workers int) [4]func(run int) float64 {
 	hub := 0
 	d := g.ExpectedDegrees()
 	for v, dv := range d {
@@ -168,18 +185,32 @@ func scalarEstimators(g *ugraph.Graph, pairs []queries.Pair, samples, workers in
 	}
 	return [4]func(run int) float64{
 		func(run int) float64 {
-			return queries.ExpectedPageRank(g, opts(run), queries.PageRankOptions{})[hub]
+			pr, err := queries.ExpectedPageRank(ctx, g, opts(run), queries.PageRankOptions{})
+			if err != nil {
+				return math.NaN()
+			}
+			return pr[hub]
 		},
 		func(run int) float64 {
-			sp, _ := queries.ShortestDistanceAndReliability(g, pairs, opts(run))
+			sp, _, err := queries.ShortestDistanceAndReliability(ctx, g, pairs, opts(run))
+			if err != nil {
+				return math.NaN()
+			}
 			return nanMean(sp)
 		},
 		func(run int) float64 {
-			_, rl := queries.ShortestDistanceAndReliability(g, pairs, opts(run))
+			_, rl, err := queries.ShortestDistanceAndReliability(ctx, g, pairs, opts(run))
+			if err != nil {
+				return math.NaN()
+			}
 			return stats.Mean(rl)
 		},
 		func(run int) float64 {
-			return stats.Mean(queries.ExpectedClusteringCoefficients(g, opts(run)))
+			cc, err := queries.ExpectedClusteringCoefficients(ctx, g, opts(run))
+			if err != nil {
+				return math.NaN()
+			}
+			return stats.Mean(cc)
 		},
 	}
 }
@@ -207,10 +238,15 @@ func runFig12(w io.Writer, ctx *Context) error {
 		pairs := queries.RandomPairs(ds.g.NumVertices(), s.pairs/2, rng)
 
 		baseVar := [4]float64{}
-		baseEst := scalarEstimators(ds.g, pairs, s.varianceSamples, ctx.Cfg.Workers)
+		baseEst := scalarEstimators(ctx.Ctx(), ds.g, pairs, s.varianceSamples, ctx.Cfg.Workers)
 		for q := range baseEst {
 			_, v := stats.EstimatorVariance(s.varianceRuns, baseEst[q])
 			baseVar[q] = v
+		}
+		// Estimators swallow cancellation into NaN; abort here rather than
+		// rendering (and reporting success for) a table of garbage rows.
+		if err := ctx.Ctx().Err(); err != nil {
+			return err
 		}
 
 		t := &table{
@@ -222,7 +258,7 @@ func runFig12(w io.Writer, ctx *Context) error {
 			if err != nil {
 				return err
 			}
-			est := scalarEstimators(sparse, pairs, s.varianceSamples, ctx.Cfg.Workers)
+			est := scalarEstimators(ctx.Ctx(), sparse, pairs, s.varianceSamples, ctx.Cfg.Workers)
 			row := []string{displayName(spec)}
 			for q := range est {
 				_, v := stats.EstimatorVariance(s.varianceRuns, est[q])
@@ -231,6 +267,9 @@ func runFig12(w io.Writer, ctx *Context) error {
 				} else {
 					row = append(row, e3(v/baseVar[q]))
 				}
+			}
+			if err := ctx.Ctx().Err(); err != nil {
+				return err
 			}
 			t.add(row...)
 		}

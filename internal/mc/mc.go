@@ -1,14 +1,17 @@
 // Package mc is the Monte-Carlo engine for possible-world query evaluation
-// on uncertain graphs (Equation 1 of the paper). It samples worlds in
-// parallel with deterministic per-sample seeding, so results are independent
-// of the worker count, and provides exact exhaustive evaluation for tiny
-// graphs as a testing oracle.
+// on uncertain graphs (Equation 1 of the paper). Sampling is sharded across
+// workers in fixed blocks with deterministic per-sample seeding and
+// per-block accumulators merged in block order, so results are bit-identical
+// for every worker count; the sample path performs no locking and no
+// steady-state allocation. Exhaustive exact evaluation on tiny graphs is
+// provided as a testing oracle.
 package mc
 
 import (
-	"math/rand"
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"ugs/internal/ugraph"
 )
@@ -26,7 +29,10 @@ type Options struct {
 	Workers int
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults returns o with zero fields replaced by their defaults
+// (Samples 500, Workers GOMAXPROCS). It is idempotent; estimators apply it
+// once so the sample count they normalize by matches the engine's.
+func (o Options) WithDefaults() Options {
 	if o.Samples == 0 {
 		o.Samples = 500
 	}
@@ -47,77 +53,219 @@ func sampleSeed(base int64, i int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
-// ForEachWorld draws opts.Samples possible worlds of g and invokes fn for
-// each, in parallel. fn receives the sample index and a World that is reused
-// by the calling goroutine: it must not be retained. fn must be safe for
-// concurrent invocation on distinct indices.
-func ForEachWorld(g *ugraph.Graph, opts Options, fn func(i int, w *ugraph.World)) {
-	opts = opts.withDefaults()
+// maxBlocks bounds the number of accumulation blocks a run is split into.
+// Block boundaries are a function of Samples alone — never of Workers or
+// scheduling — so merging block accumulators in index order yields
+// bit-identical results (floating-point summation order included) for every
+// worker count. It also caps the memory held in per-block accumulators and
+// the merge fan-in. Effective parallelism is min(Workers, blocks), so the
+// cap sits well above realistic core counts.
+const maxBlocks = 128
+
+// cancelStride is how many samples a worker processes between context
+// checks inside one block.
+const cancelStride = 256
+
+// blockDims splits samples into fixed blocks: size is the per-block sample
+// count, count the number of blocks.
+func blockDims(samples int) (size, count int) {
+	size = (samples + maxBlocks - 1) / maxBlocks
+	if size < 1 {
+		size = 1
+	}
+	count = (samples + size - 1) / size
+	return size, count
+}
+
+// Reduce is the engine's core primitive: it draws opts.Samples possible
+// worlds of g and folds them into an accumulator of type A.
+//
+// The sample range is split into fixed blocks (see maxBlocks). Workers claim
+// blocks from an atomic counter; each block gets a fresh accumulator from
+// newAcc, filled by visit over the block's samples in ascending index order.
+// Completed blocks are folded into the result strictly in block index order
+// (a finished block whose predecessors are still running is parked until
+// they complete, then folded and released — so at most the out-of-order
+// suffix of accumulators is live at once, not all blocks). Sample i is
+// always drawn from the deterministic stream (opts.Seed, i), so the merged
+// result is bit-identical for every Workers value — floating-point
+// accumulation order included.
+//
+// newLocal runs once per worker goroutine and provides reusable scratch
+// (e.g. a queries.Workspace); with scratch reuse the per-sample path
+// performs zero allocations. visit must only touch its own local and acc.
+// merge folds src into dst; calls are serialized and happen between blocks,
+// never on the per-sample path.
+//
+// On cancellation Reduce stops promptly (workers re-check the context every
+// cancelStride samples), returns the zero A and ctx.Err().
+func Reduce[L, A any](ctx context.Context, g *ugraph.Graph, opts Options,
+	newLocal func() L,
+	newAcc func() A,
+	visit func(i int, w *ugraph.World, local L, acc A),
+	merge func(dst, src A),
+) (A, error) {
+	var zero A
+	opts = opts.WithDefaults()
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	if opts.Samples < 0 {
+		return newAcc(), nil
+	}
+	size, blocks := blockDims(opts.Samples)
+	workers := opts.Workers
+	if workers > blocks {
+		workers = blocks
+	}
+
+	// In-order streaming merge: parked holds finished blocks awaiting their
+	// predecessors; folding always happens in ascending block order, and a
+	// folded block's accumulator is released immediately.
+	var (
+		mergeMu   sync.Mutex
+		parked    = make([]A, blocks)
+		ready     = make([]bool, blocks)
+		merged    A
+		hasMerged bool
+		nextFold  int
+	)
+	publish := func(b int, acc A) {
+		mergeMu.Lock()
+		parked[b] = acc
+		ready[b] = true
+		for nextFold < blocks && ready[nextFold] {
+			if !hasMerged {
+				merged = parked[nextFold]
+				hasMerged = true
+			} else {
+				merge(merged, parked[nextFold])
+			}
+			parked[nextFold] = zero
+			nextFold++
+		}
+		mergeMu.Unlock()
+	}
+
+	var next atomic.Int64
+	var stopped atomic.Bool
 	var wg sync.WaitGroup
-	next := make(chan int)
-	for k := 0; k < opts.Workers; k++ {
+	for k := 0; k < workers; k++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			local := newLocal()
 			w := ugraph.NewWorld(g)
-			for i := range next {
-				rng := rand.New(rand.NewSource(sampleSeed(opts.Seed, i)))
-				g.SampleWorldInto(rng, w)
-				fn(i, w)
+			for !stopped.Load() {
+				b := int(next.Add(1)) - 1
+				if b >= blocks {
+					return
+				}
+				acc := newAcc()
+				lo := b * size
+				hi := lo + size
+				if hi > opts.Samples {
+					hi = opts.Samples
+				}
+				for i := lo; i < hi; i++ {
+					if (i-lo)%cancelStride == 0 && ctx.Err() != nil {
+						stopped.Store(true)
+						return
+					}
+					g.SampleWorldSeeded(sampleSeed(opts.Seed, i), w)
+					visit(i, w, local, acc)
+				}
+				publish(b, acc)
 			}
 		}()
 	}
-	for i := 0; i < opts.Samples; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	return merged, nil
 }
 
-// MeanVector runs fn over sampled worlds, where fn writes a per-entity
-// vector of dim values for its world into out, and returns the element-wise
-// mean across samples. It is the workhorse for vector-valued queries
-// (PageRank, clustering coefficient).
-func MeanVector(g *ugraph.Graph, opts Options, dim int, fn func(w *ugraph.World, out []float64)) []float64 {
-	opts = opts.withDefaults()
-	mean := make([]float64, dim)
-	var mu sync.Mutex
-	scratchPool := sync.Pool{New: func() interface{} { return make([]float64, dim) }}
+// ForEachWorld draws opts.Samples possible worlds of g and invokes fn for
+// each, in parallel. fn receives the sample index and a World that is reused
+// by the calling goroutine: it must not be retained. fn must be safe for
+// concurrent invocation on distinct indices. Cancelling ctx stops the run
+// promptly and returns the context's error.
+func ForEachWorld(ctx context.Context, g *ugraph.Graph, opts Options, fn func(i int, w *ugraph.World)) error {
+	_, err := Reduce(ctx, g, opts,
+		func() struct{} { return struct{}{} },
+		func() struct{} { return struct{}{} },
+		func(i int, w *ugraph.World, _, _ struct{}) { fn(i, w) },
+		func(_, _ struct{}) {},
+	)
+	return err
+}
 
-	ForEachWorld(g, opts, func(i int, w *ugraph.World) {
-		out := scratchPool.Get().([]float64)
-		for j := range out {
-			out[j] = 0
-		}
-		fn(w, out)
-		mu.Lock()
-		for j, v := range out {
-			mean[j] += v
-		}
-		mu.Unlock()
-		scratchPool.Put(out)
-	})
-
-	inv := 1 / float64(opts.Samples)
-	for j := range mean {
-		mean[j] *= inv
+// MeanVectorLocal runs fn over sampled worlds, where fn writes a per-entity
+// vector of dim values for its world into out (out is zeroed before each
+// call), and returns the element-wise mean across samples. Each engine
+// worker owns one L from newLocal — reusable kernel scratch such as a
+// queries.Workspace — so the sample path runs without allocating.
+func MeanVectorLocal[L any](ctx context.Context, g *ugraph.Graph, opts Options, dim int, newLocal func() L, fn func(w *ugraph.World, local L, out []float64)) ([]float64, error) {
+	opts = opts.WithDefaults()
+	type state struct {
+		local   L
+		scratch []float64
 	}
-	return mean
+	sum, err := Reduce(ctx, g, opts,
+		func() *state { return &state{local: newLocal(), scratch: make([]float64, dim)} },
+		func() []float64 { return make([]float64, dim) },
+		func(_ int, w *ugraph.World, s *state, acc []float64) {
+			for j := range s.scratch {
+				s.scratch[j] = 0
+			}
+			fn(w, s.local, s.scratch)
+			for j, v := range s.scratch {
+				acc[j] += v
+			}
+		},
+		func(dst, src []float64) {
+			for j, v := range src {
+				dst[j] += v
+			}
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	inv := 1 / float64(opts.Samples)
+	for j := range sum {
+		sum[j] *= inv
+	}
+	return sum, nil
+}
+
+// MeanVector is MeanVectorLocal without worker-local scratch — the
+// workhorse for vector-valued queries whose kernel needs no workspace.
+func MeanVector(ctx context.Context, g *ugraph.Graph, opts Options, dim int, fn func(w *ugraph.World, out []float64)) ([]float64, error) {
+	return MeanVectorLocal(ctx, g, opts, dim,
+		func() struct{} { return struct{}{} },
+		func(w *ugraph.World, _ struct{}, out []float64) { fn(w, out) },
+	)
 }
 
 // ProbabilityOf estimates Pr[pred(world)] by Monte-Carlo sampling.
-func ProbabilityOf(g *ugraph.Graph, opts Options, pred func(w *ugraph.World) bool) float64 {
-	opts = opts.withDefaults()
-	var total int64
-	var mu sync.Mutex
-	ForEachWorld(g, opts, func(i int, w *ugraph.World) {
-		if pred(w) {
-			mu.Lock()
-			total++
-			mu.Unlock()
-		}
-	})
-	return float64(total) / float64(opts.Samples)
+func ProbabilityOf(ctx context.Context, g *ugraph.Graph, opts Options, pred func(w *ugraph.World) bool) (float64, error) {
+	opts = opts.WithDefaults()
+	hits, err := Reduce(ctx, g, opts,
+		func() struct{} { return struct{}{} },
+		func() *int { return new(int) },
+		func(_ int, w *ugraph.World, _ struct{}, acc *int) {
+			if pred(w) {
+				*acc++
+			}
+		},
+		func(dst, src *int) { *dst += *src },
+	)
+	if err != nil {
+		return 0, err
+	}
+	return float64(*hits) / float64(opts.Samples), nil
 }
 
 // ExactProbabilityOf computes Pr[pred(world)] by exhaustive possible-world

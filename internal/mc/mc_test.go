@@ -1,9 +1,12 @@
 package mc
 
 import (
+	"context"
 	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"ugs/internal/ugraph"
 )
@@ -21,15 +24,14 @@ func TestForEachWorldCountsAndIndependenceFromWorkers(t *testing.T) {
 	run := func(workers int) []int {
 		edgeCounts := make([]int, g.NumEdges())
 		var mu sync.Mutex
-		ForEachWorld(g, Options{Samples: 400, Seed: 1, Workers: workers}, func(i int, w *ugraph.World) {
+		err := ForEachWorld(context.Background(), g, Options{Samples: 400, Seed: 1, Workers: workers}, func(i int, w *ugraph.World) {
 			mu.Lock()
-			for id, p := range w.Present {
-				if p {
-					edgeCounts[id]++
-				}
-			}
+			w.ForEachPresent(func(id int) { edgeCounts[id]++ })
 			mu.Unlock()
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		return edgeCounts
 	}
 	a := run(1)
@@ -48,11 +50,31 @@ func TestForEachWorldCountsAndIndependenceFromWorkers(t *testing.T) {
 	}
 }
 
+func TestForEachWorldVisitsEverySampleIndexOnce(t *testing.T) {
+	g := triangle()
+	const samples = 333 // not a multiple of the block size
+	seen := make([]int32, samples)
+	err := ForEachWorld(context.Background(), g, Options{Samples: samples, Seed: 3, Workers: 7}, func(i int, w *ugraph.World) {
+		atomic.AddInt32(&seen[i], 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("sample %d visited %d times, want exactly once", i, n)
+		}
+	}
+}
+
 func TestProbabilityOfAgainstExact(t *testing.T) {
 	g := triangle()
 	pred := func(w *ugraph.World) bool { return w.IsConnected() }
 	exact := ExactProbabilityOf(g, pred)
-	est := ProbabilityOf(g, Options{Samples: 20000, Seed: 2}, pred)
+	est, err := ProbabilityOf(context.Background(), g, Options{Samples: 20000, Seed: 2}, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(exact-est) > 0.02 {
 		t.Errorf("MC estimate %.4f vs exact %.4f", est, exact)
 	}
@@ -74,27 +96,29 @@ func TestExactProbabilityGoldenFigure1(t *testing.T) {
 	}
 }
 
+func degFn(w *ugraph.World, out []float64) {
+	gg := w.Graph()
+	w.ForEachPresent(func(id int) {
+		e := gg.Edge(id)
+		out[e.U]++
+		out[e.V]++
+	})
+}
+
 func TestMeanVectorAgainstExact(t *testing.T) {
 	g := triangle()
 	// Per-world vector: degree of each vertex. Exact expectation is the
 	// expected degree.
-	degFn := func(w *ugraph.World, out []float64) {
-		gg := w.Graph()
-		for id, present := range w.Present {
-			if present {
-				e := gg.Edge(id)
-				out[e.U]++
-				out[e.V]++
-			}
-		}
-	}
 	exact := ExactMeanVector(g, 3, degFn)
 	for u := 0; u < 3; u++ {
 		if math.Abs(exact[u]-g.ExpectedDegree(u)) > 1e-12 {
 			t.Errorf("exact mean degree[%d] = %v, want %v", u, exact[u], g.ExpectedDegree(u))
 		}
 	}
-	est := MeanVector(g, Options{Samples: 20000, Seed: 3}, 3, degFn)
+	est, err := MeanVector(context.Background(), g, Options{Samples: 20000, Seed: 3}, 3, degFn)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for u := 0; u < 3; u++ {
 		if math.Abs(est[u]-exact[u]) > 0.03 {
 			t.Errorf("MC mean degree[%d] = %v, want ≈%v", u, est[u], exact[u])
@@ -107,14 +131,121 @@ func TestMeanVectorDeterministicBySeed(t *testing.T) {
 	fn := func(w *ugraph.World, out []float64) {
 		out[0] = float64(w.NumEdges())
 	}
-	a := MeanVector(g, Options{Samples: 100, Seed: 7, Workers: 3}, 1, fn)
-	b := MeanVector(g, Options{Samples: 100, Seed: 7, Workers: 5}, 1, fn)
+	a, err := MeanVector(context.Background(), g, Options{Samples: 100, Seed: 7, Workers: 3}, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeanVector(context.Background(), g, Options{Samples: 100, Seed: 7, Workers: 5}, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a[0] != b[0] {
 		t.Errorf("results differ across worker counts: %v vs %v", a[0], b[0])
 	}
-	c := MeanVector(g, Options{Samples: 100, Seed: 8}, 1, fn)
+	c, err := MeanVector(context.Background(), g, Options{Samples: 100, Seed: 8}, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a[0] == c[0] {
 		t.Error("different seeds produced identical estimates (suspicious)")
+	}
+}
+
+// TestMeanVectorBitIdenticalAcrossWorkers is the engine's determinism
+// contract: per-sample seeding plus fixed accumulation blocks merged in
+// block order make the result bit-identical — floating-point summation
+// order included — for every worker count.
+func TestMeanVectorBitIdenticalAcrossWorkers(t *testing.T) {
+	g := bridgedCommunities()
+	fn := func(w *ugraph.World, out []float64) {
+		// Non-associative-friendly values: different summation orders
+		// would produce different last bits.
+		degFn(w, out)
+		for j := range out {
+			out[j] = math.Sqrt(out[j] + 0.1)
+		}
+	}
+	var ref []float64
+	for _, workers := range []int{1, 2, 3, 8, 16} {
+		got, err := MeanVector(context.Background(), g, Options{Samples: 777, Seed: 11, Workers: workers}, g.NumVertices(), fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for j := range ref {
+			if got[j] != ref[j] {
+				t.Fatalf("Workers=%d: entry %d = %v differs from Workers=1 value %v (not bit-identical)",
+					workers, j, got[j], ref[j])
+			}
+		}
+	}
+}
+
+func TestForEachWorldCancelledContextStopsEarly(t *testing.T) {
+	g := bridgedCommunities()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const samples = 1_000_000
+	var visits atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEachWorld(ctx, g, Options{Samples: samples, Seed: 5, Workers: 4}, func(i int, w *ugraph.World) {
+			if visits.Add(1) == 10 {
+				cancel()
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("ForEachWorld returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("ForEachWorld did not return after cancellation (deadlock?)")
+	}
+	if v := visits.Load(); v >= samples {
+		t.Fatalf("visited all %d samples despite cancellation", v)
+	}
+}
+
+func TestForEachWorldAlreadyCancelledContext(t *testing.T) {
+	g := triangle()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := ForEachWorld(ctx, g, Options{Samples: 100, Seed: 1}, func(i int, w *ugraph.World) { called = true })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Error("fn invoked despite pre-cancelled context")
+	}
+}
+
+func TestStratifiedCancelledContext(t *testing.T) {
+	g := bridgedCommunities()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := StratifiedProbabilityOf(ctx, g, StratifiedOptions{Samples: 4000, Seed: 1}, reachable03to9); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestNegativeWorkersFallsBackToDefault pins the Workers <= 0 clamp in
+// Options.WithDefaults: a caller computing Workers as numCPU-k on a small
+// machine must still get a running engine, not zero goroutines.
+func TestNegativeWorkersFallsBackToDefault(t *testing.T) {
+	g := triangle()
+	got, err := ProbabilityOf(context.Background(), g, Options{Samples: 200, Seed: 4, Workers: -3},
+		func(w *ugraph.World) bool { return w.NumEdges() > 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 || got > 1 {
+		t.Fatalf("estimate %v with negative Workers, want a probability in (0, 1]", got)
 	}
 }
 

@@ -1,10 +1,11 @@
 package mc
 
 import (
+	"context"
 	"math"
-	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ugs/internal/ugraph"
 )
@@ -48,9 +49,15 @@ func (o StratifiedOptions) withDefaults() StratifiedOptions {
 }
 
 // StratifiedProbabilityOf estimates Pr[pred(world)] by stratified sampling.
-// With StratifyEdges = 0 it degenerates to plain Monte-Carlo.
-func StratifiedProbabilityOf(g *ugraph.Graph, opts StratifiedOptions, pred func(w *ugraph.World) bool) float64 {
+// With StratifyEdges = 0 it degenerates to plain Monte-Carlo. Each stratum
+// is seeded deterministically from (Seed, stratum), so the estimate is
+// independent of Workers and scheduling. Cancelling ctx stops the run
+// promptly and returns the context's error.
+func StratifiedProbabilityOf(ctx context.Context, g *ugraph.Graph, opts StratifiedOptions, pred func(w *ugraph.World) bool) (float64, error) {
 	opts = opts.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	r := opts.StratifyEdges
 	if r < 0 {
 		r = 0 // negative requests plain Monte-Carlo explicitly
@@ -100,22 +107,34 @@ func StratifiedProbabilityOf(g *ugraph.Graph, opts StratifiedOptions, pred func(
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
+	if workers > len(strata) {
+		workers = len(strata)
+	}
 	results := make([]float64, len(strata))
+	var next atomic.Int64
+	var stopped atomic.Bool
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for k := 0; k < workers; k++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			w := ugraph.NewWorld(g)
-			for si := range next {
+			for !stopped.Load() {
+				si := int(next.Add(1)) - 1
+				if si >= len(strata) {
+					return
+				}
 				s := strata[si]
-				rng := rand.New(rand.NewSource(sampleSeed(opts.Seed, s.mask)))
+				smp := ugraph.NewSampler(sampleSeed(opts.Seed, s.mask))
 				hits := 0
 				for i := 0; i < s.n; i++ {
-					g.SampleWorldInto(rng, w)
+					if i%cancelStride == 0 && ctx.Err() != nil {
+						stopped.Store(true)
+						return
+					}
+					g.SampleWorldWith(&smp, w)
 					for bit, id := range condition {
-						w.Present[id] = s.mask&(1<<uint(bit)) != 0
+						w.Set(id, s.mask&(1<<uint(bit)) != 0)
 					}
 					if pred(w) {
 						hits++
@@ -125,17 +144,16 @@ func StratifiedProbabilityOf(g *ugraph.Graph, opts StratifiedOptions, pred func(
 			}
 		}()
 	}
-	for si := range strata {
-		next <- si
-	}
-	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 
 	var est float64
 	for _, v := range results {
 		est += v
 	}
-	return est
+	return est, nil
 }
 
 // topEntropyEdges returns the ids of the r edges with the highest binary

@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -34,6 +35,26 @@ func bridgedCommunities() *ugraph.Graph {
 
 func reachable03to9(w *ugraph.World) bool { return w.Reachable(0, 9) }
 
+// mustStratified / mustProbability unwrap the (value, error) pair for tests
+// that run with a background context, where the error is always nil.
+func mustStratified(t *testing.T, g *ugraph.Graph, opts StratifiedOptions, pred func(w *ugraph.World) bool) float64 {
+	t.Helper()
+	v, err := StratifiedProbabilityOf(context.Background(), g, opts, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func mustProbability(t *testing.T, g *ugraph.Graph, opts Options, pred func(w *ugraph.World) bool) float64 {
+	t.Helper()
+	v, err := ProbabilityOf(context.Background(), g, opts, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
 func TestStratifiedMatchesExact(t *testing.T) {
 	g := ugraph.MustNew(4, []ugraph.Edge{
 		{U: 0, V: 1, P: 0.5},
@@ -43,7 +64,7 @@ func TestStratifiedMatchesExact(t *testing.T) {
 	})
 	pred := func(w *ugraph.World) bool { return w.Reachable(0, 3) }
 	exact := ExactProbabilityOf(g, pred)
-	got := StratifiedProbabilityOf(g, StratifiedOptions{Samples: 8000, StratifyEdges: 2, Seed: 1}, pred)
+	got := mustStratified(t, g, StratifiedOptions{Samples: 8000, StratifyEdges: 2, Seed: 1}, pred)
 	if math.Abs(got-exact) > 0.02 {
 		t.Errorf("stratified estimate %v, exact %v", got, exact)
 	}
@@ -58,7 +79,7 @@ func TestStratifiedFullConditioningIsExact(t *testing.T) {
 	})
 	pred := func(w *ugraph.World) bool { return w.Reachable(0, 2) }
 	exact := ExactProbabilityOf(g, pred)
-	got := StratifiedProbabilityOf(g, StratifiedOptions{Samples: 8, StratifyEdges: 2, Seed: 2}, pred)
+	got := mustStratified(t, g, StratifiedOptions{Samples: 8, StratifyEdges: 2, Seed: 2}, pred)
 	if math.Abs(got-exact) > 1e-12 {
 		t.Errorf("fully conditioned estimate %v, want exact %v", got, exact)
 	}
@@ -66,8 +87,8 @@ func TestStratifiedFullConditioningIsExact(t *testing.T) {
 
 func TestStratifiedZeroEdgesIsPlainMC(t *testing.T) {
 	g := bridgedCommunities()
-	got := StratifiedProbabilityOf(g, StratifiedOptions{Samples: 4000, StratifyEdges: -1, Seed: 3}, reachable03to9)
-	plain := ProbabilityOf(g, Options{Samples: 4000, Seed: 3}, reachable03to9)
+	got := mustStratified(t, g, StratifiedOptions{Samples: 4000, StratifyEdges: -1, Seed: 3}, reachable03to9)
+	plain := mustProbability(t, g, Options{Samples: 4000, Seed: 3}, reachable03to9)
 	if math.Abs(got-plain) > 0.05 {
 		t.Errorf("r=0 stratified %v far from plain MC %v", got, plain)
 	}
@@ -81,10 +102,10 @@ func TestStratifiedReducesVariance(t *testing.T) {
 	const budget = 300
 	const runs = 40
 	_, plainVar := stats.EstimatorVariance(runs, func(run int) float64 {
-		return ProbabilityOf(g, Options{Samples: budget, Seed: int64(run) * 17}, reachable03to9)
+		return mustProbability(t, g, Options{Samples: budget, Seed: int64(run) * 17}, reachable03to9)
 	})
 	_, stratVar := stats.EstimatorVariance(runs, func(run int) float64 {
-		return StratifiedProbabilityOf(g, StratifiedOptions{
+		return mustStratified(t, g, StratifiedOptions{
 			Samples: budget, StratifyEdges: 3, Seed: int64(run) * 17,
 		}, reachable03to9)
 	})
@@ -98,9 +119,9 @@ func TestStratifiedUnbiasedAcrossSeeds(t *testing.T) {
 	exact := 0.0
 	// Exact value via plain MC with a huge budget (graph has 33 edges —
 	// too many to enumerate).
-	exact = ProbabilityOf(g, Options{Samples: 60000, Seed: 99}, reachable03to9)
+	exact = mustProbability(t, g, Options{Samples: 60000, Seed: 99}, reachable03to9)
 	mean, _ := stats.EstimatorVariance(30, func(run int) float64 {
-		return StratifiedProbabilityOf(g, StratifiedOptions{
+		return mustStratified(t, g, StratifiedOptions{
 			Samples: 400, StratifyEdges: 3, Seed: int64(run)*29 + 5,
 		}, reachable03to9)
 	})
@@ -119,5 +140,18 @@ func TestTopEntropyEdges(t *testing.T) {
 	top := topEntropyEdges(g, 2)
 	if top[0] != 1 || top[1] != 2 {
 		t.Errorf("topEntropyEdges = %v, want [1 2]", top)
+	}
+}
+
+func TestStratifiedIndependentOfWorkers(t *testing.T) {
+	g := bridgedCommunities()
+	opts := func(workers int) StratifiedOptions {
+		return StratifiedOptions{Samples: 600, StratifyEdges: 3, Seed: 7, Workers: workers}
+	}
+	ref := mustStratified(t, g, opts(1), reachable03to9)
+	for _, workers := range []int{2, 8} {
+		if got := mustStratified(t, g, opts(workers), reachable03to9); got != ref {
+			t.Errorf("Workers=%d estimate %v differs from Workers=1 estimate %v", workers, got, ref)
+		}
 	}
 }

@@ -1,10 +1,10 @@
 package queries
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
-	"sync"
 
 	"ugs/internal/mc"
 	"ugs/internal/ugraph"
@@ -27,18 +27,28 @@ func (o PageRankOptions) withDefaults() PageRankOptions {
 }
 
 // ExpectedPageRank estimates each vertex's expected PageRank over the
-// possible worlds of g.
-func ExpectedPageRank(g *ugraph.Graph, opts mc.Options, pr PageRankOptions) []float64 {
+// possible worlds of g. Each engine worker reuses one Workspace, so the
+// sample path does not allocate.
+func ExpectedPageRank(ctx context.Context, g *ugraph.Graph, opts mc.Options, pr PageRankOptions) ([]float64, error) {
 	pr = pr.withDefaults()
-	return mc.MeanVector(g, opts, g.NumVertices(), func(w *ugraph.World, out []float64) {
-		WorldPageRank(w, pr.Damping, pr.Iters, out)
-	})
+	return mc.MeanVectorLocal(ctx, g, opts, g.NumVertices(),
+		func() *Workspace { return NewWorkspace(g) },
+		func(w *ugraph.World, ws *Workspace, out []float64) {
+			ws.PageRank(w, pr.Damping, pr.Iters, out)
+		},
+	)
 }
 
 // ExpectedClusteringCoefficients estimates each vertex's expected local
-// clustering coefficient over the possible worlds of g.
-func ExpectedClusteringCoefficients(g *ugraph.Graph, opts mc.Options) []float64 {
-	return mc.MeanVector(g, opts, g.NumVertices(), WorldClusteringCoefficients)
+// clustering coefficient over the possible worlds of g. Each engine worker
+// reuses one Workspace, so the sample path does not allocate.
+func ExpectedClusteringCoefficients(ctx context.Context, g *ugraph.Graph, opts mc.Options) ([]float64, error) {
+	return mc.MeanVectorLocal(ctx, g, opts, g.NumVertices(),
+		func() *Workspace { return NewWorkspace(g) },
+		func(w *ugraph.World, ws *Workspace, out []float64) {
+			ws.ClusteringCoefficients(w, out)
+		},
+	)
 }
 
 // Pair is a source/target vertex pair for SP and RL queries.
@@ -61,21 +71,27 @@ func RandomPairs(n, count int, rng *rand.Rand) []Pair {
 
 // Reliability estimates, for each pair, the probability that T is reachable
 // from S (the RL query).
-func Reliability(g *ugraph.Graph, pairs []Pair, opts mc.Options) []float64 {
-	res := pairStats(g, pairs, opts)
+func Reliability(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) ([]float64, error) {
+	res, err := pairStats(ctx, g, pairs, opts)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(pairs))
 	for i, r := range res {
 		out[i] = float64(r.reachable) / float64(r.samples)
 	}
-	return out
+	return out, nil
 }
 
 // ShortestDistance estimates, for each pair, the expected shortest-path
 // distance conditioned on reachability: the average hop distance over the
 // worlds that connect the pair, excluding disconnecting worlds (the SP
 // query). Pairs never connected in any sample get NaN.
-func ShortestDistance(g *ugraph.Graph, pairs []Pair, opts mc.Options) []float64 {
-	res := pairStats(g, pairs, opts)
+func ShortestDistance(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) ([]float64, error) {
+	res, err := pairStats(ctx, g, pairs, opts)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(pairs))
 	for i, r := range res {
 		if r.reachable == 0 {
@@ -84,14 +100,17 @@ func ShortestDistance(g *ugraph.Graph, pairs []Pair, opts mc.Options) []float64 
 			out[i] = r.distSum / float64(r.reachable)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // ShortestDistanceAndReliability computes the SP and RL estimates of both
 // queries from a single Monte-Carlo pass (one BFS per distinct source per
 // world), which is how the experiment harness evaluates them together.
-func ShortestDistanceAndReliability(g *ugraph.Graph, pairs []Pair, opts mc.Options) (sp, rl []float64) {
-	res := pairStats(g, pairs, opts)
+func ShortestDistanceAndReliability(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) (sp, rl []float64, err error) {
+	res, err := pairStats(ctx, g, pairs, opts)
+	if err != nil {
+		return nil, nil, err
+	}
 	sp = make([]float64, len(pairs))
 	rl = make([]float64, len(pairs))
 	for i, r := range res {
@@ -102,7 +121,7 @@ func ShortestDistanceAndReliability(g *ugraph.Graph, pairs []Pair, opts mc.Optio
 			sp[i] = r.distSum / float64(r.reachable)
 		}
 	}
-	return sp, rl
+	return sp, rl, nil
 }
 
 type pairResult struct {
@@ -112,8 +131,9 @@ type pairResult struct {
 }
 
 // pairStats runs one BFS per distinct source per world, sharing it across
-// all pairs with that source.
-func pairStats(g *ugraph.Graph, pairs []Pair, opts mc.Options) []pairResult {
+// all pairs with that source. Each engine worker reuses one BFS; per-block
+// accumulators keep the sample path lock- and allocation-free.
+func pairStats(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) ([]pairResult, error) {
 	// Group pair indices by source.
 	bySource := make(map[int][]int)
 	for i, p := range pairs {
@@ -125,37 +145,49 @@ func pairStats(g *ugraph.Graph, pairs []Pair, opts mc.Options) []pairResult {
 	}
 	sort.Ints(sources)
 
-	res := make([]pairResult, len(pairs))
-	var mu sync.Mutex
-	bfsPool := sync.Pool{New: func() interface{} { return NewBFS(g.NumVertices()) }}
-
-	mc.ForEachWorld(g, opts, func(_ int, w *ugraph.World) {
-		bfs := bfsPool.Get().(*BFS)
-		local := make([]pairResult, len(pairs))
-		for _, s := range sources {
-			dist := bfs.Distances(w, s)
-			for _, i := range bySource[s] {
-				local[i].samples++
-				if d := dist[pairs[i].T]; d >= 0 {
-					local[i].reachable++
-					local[i].distSum += float64(d)
+	return mc.Reduce(ctx, g, opts,
+		func() *BFS { return NewBFS(g.NumVertices()) },
+		func() []pairResult { return make([]pairResult, len(pairs)) },
+		func(_ int, w *ugraph.World, bfs *BFS, acc []pairResult) {
+			for _, s := range sources {
+				dist := bfs.Distances(w, s)
+				for _, i := range bySource[s] {
+					acc[i].samples++
+					if d := dist[pairs[i].T]; d >= 0 {
+						acc[i].reachable++
+						acc[i].distSum += float64(d)
+					}
 				}
 			}
-		}
-		bfsPool.Put(bfs)
-		mu.Lock()
-		for i := range res {
-			res[i].samples += local[i].samples
-			res[i].reachable += local[i].reachable
-			res[i].distSum += local[i].distSum
-		}
-		mu.Unlock()
-	})
-	return res
+		},
+		func(dst, src []pairResult) {
+			for i := range dst {
+				dst[i].samples += src[i].samples
+				dst[i].reachable += src[i].reachable
+				dst[i].distSum += src[i].distSum
+			}
+		},
+	)
 }
 
 // ConnectedProbability estimates Pr[G is connected] — the introductory
-// example query of the paper (Figure 1).
-func ConnectedProbability(g *ugraph.Graph, opts mc.Options) float64 {
-	return mc.ProbabilityOf(g, opts, func(w *ugraph.World) bool { return w.IsConnected() })
+// example query of the paper (Figure 1). Each engine worker reuses one BFS
+// (connectivity needs nothing more), so the per-sample check does not
+// allocate.
+func ConnectedProbability(ctx context.Context, g *ugraph.Graph, opts mc.Options) (float64, error) {
+	opts = opts.WithDefaults()
+	hits, err := mc.Reduce(ctx, g, opts,
+		func() *BFS { return NewBFS(g.NumVertices()) },
+		func() *int { return new(int) },
+		func(_ int, w *ugraph.World, bfs *BFS, acc *int) {
+			if bfs.Connected(w) {
+				*acc++
+			}
+		},
+		func(dst, src *int) { *dst += *src },
+	)
+	if err != nil {
+		return 0, err
+	}
+	return float64(*hits) / float64(opts.Samples), nil
 }

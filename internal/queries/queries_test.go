@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -16,6 +17,8 @@ func fullWorld(g *ugraph.Graph) *ugraph.World {
 	}
 	return ugraph.WorldFromMask(g, mask)
 }
+
+func bg() context.Context { return context.Background() }
 
 func TestWorldPageRankUniformOnRegularGraph(t *testing.T) {
 	// On a cycle (2-regular), PageRank is uniform.
@@ -98,6 +101,60 @@ func TestWorldClusteringCoefficients(t *testing.T) {
 	}
 }
 
+func TestWorkspaceKernelsMatchOneShotAndDoNotAllocate(t *testing.T) {
+	// A reused Workspace must produce exactly the one-shot results, with
+	// zero steady-state allocations — the engine's per-worker contract.
+	rng := rand.New(rand.NewSource(3))
+	b := ugraph.NewBuilder(40)
+	for u := 0; u < 40; u++ {
+		for v := u + 1; v < 40; v++ {
+			if rng.Float64() < 0.15 {
+				if err := b.AddEdge(u, v, 0.3+0.7*rng.Float64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	g := b.Graph()
+	w := g.SampleWorld(rng)
+	n := g.NumVertices()
+
+	ws := NewWorkspace(g)
+	got := make([]float64, n)
+	want := make([]float64, n)
+
+	ws.PageRank(w, 0.85, 30, got)
+	WorldPageRank(w, 0.85, 30, want)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("workspace PageRank[%d] = %v, one-shot %v", v, got[v], want[v])
+		}
+	}
+	ws.ClusteringCoefficients(w, got)
+	WorldClusteringCoefficients(w, want)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("workspace CC[%d] = %v, one-shot %v", v, got[v], want[v])
+		}
+	}
+	if ws.Connected(w) != w.IsConnected() {
+		t.Fatal("workspace Connected disagrees with World.IsConnected")
+	}
+
+	// Warm the workspace, then require zero allocations per kernel call.
+	for name, fn := range map[string]func(){
+		"PageRank":               func() { ws.PageRank(w, 0.85, 10, got) },
+		"ClusteringCoefficients": func() { ws.ClusteringCoefficients(w, got) },
+		"Distances":              func() { ws.Distances(w, 0) },
+		"Connected":              func() { ws.Connected(w) },
+	} {
+		fn()
+		if allocs := testing.AllocsPerRun(50, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f per call with a warm workspace, want 0", name, allocs)
+		}
+	}
+}
+
 func TestBFSDistances(t *testing.T) {
 	g := ugraph.MustNew(5, []ugraph.Edge{
 		{U: 0, V: 1, P: 1},
@@ -126,7 +183,10 @@ func TestReliabilityAgainstExact(t *testing.T) {
 	if math.Abs(exact-0.625) > 1e-12 {
 		t.Fatalf("exact reliability = %v, want 0.625", exact)
 	}
-	got := Reliability(g, []Pair{{S: 0, T: 2}}, mc.Options{Samples: 20000, Seed: 4})
+	got, err := Reliability(bg(), g, []Pair{{S: 0, T: 2}}, mc.Options{Samples: 20000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(got[0]-exact) > 0.02 {
 		t.Errorf("estimated reliability %v, want ≈%v", got[0], exact)
 	}
@@ -140,7 +200,10 @@ func TestShortestDistanceConditionedOnReachability(t *testing.T) {
 		{U: 0, V: 2, P: 0.5},
 	})
 	// Distance 0→2 is 1 with probability 0.5 (shortcut), else 2: mean 1.5.
-	got := ShortestDistance(g, []Pair{{S: 0, T: 2}}, mc.Options{Samples: 20000, Seed: 5})
+	got, err := ShortestDistance(bg(), g, []Pair{{S: 0, T: 2}}, mc.Options{Samples: 20000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(got[0]-1.5) > 0.05 {
 		t.Errorf("expected distance %v, want ≈1.5", got[0])
 	}
@@ -151,11 +214,17 @@ func TestShortestDistanceUnreachableIsNaN(t *testing.T) {
 		{U: 0, V: 1, P: 0.9},
 		{U: 2, V: 3, P: 0.9},
 	})
-	got := ShortestDistance(g, []Pair{{S: 0, T: 3}}, mc.Options{Samples: 200, Seed: 6})
+	got, err := ShortestDistance(bg(), g, []Pair{{S: 0, T: 3}}, mc.Options{Samples: 200, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !math.IsNaN(got[0]) {
 		t.Errorf("distance across components = %v, want NaN", got[0])
 	}
-	rel := Reliability(g, []Pair{{S: 0, T: 3}}, mc.Options{Samples: 200, Seed: 6})
+	rel, err := Reliability(bg(), g, []Pair{{S: 0, T: 3}}, mc.Options{Samples: 200, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rel[0] != 0 {
 		t.Errorf("reliability across components = %v, want 0", rel[0])
 	}
@@ -170,7 +239,10 @@ func TestExpectedPageRankMatchesExactOnTinyGraph(t *testing.T) {
 	exact := mc.ExactMeanVector(g, 3, func(w *ugraph.World, out []float64) {
 		WorldPageRank(w, prOpts.Damping, prOpts.Iters, out)
 	})
-	est := ExpectedPageRank(g, mc.Options{Samples: 20000, Seed: 7}, prOpts)
+	est, err := ExpectedPageRank(bg(), g, mc.Options{Samples: 20000, Seed: 7}, prOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for v := range exact {
 		if math.Abs(est[v]-exact[v]) > 0.01 {
 			t.Errorf("E[PR[%d]] = %v, want ≈%v", v, est[v], exact[v])
@@ -189,11 +261,81 @@ func TestExpectedClusteringMatchesExactOnTinyGraph(t *testing.T) {
 	}
 	g := b.Graph()
 	exact := mc.ExactMeanVector(g, 4, WorldClusteringCoefficients)
-	est := ExpectedClusteringCoefficients(g, mc.Options{Samples: 20000, Seed: 8})
+	est, err := ExpectedClusteringCoefficients(bg(), g, mc.Options{Samples: 20000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for v := range exact {
 		if math.Abs(est[v]-exact[v]) > 0.02 {
 			t.Errorf("E[CC[%d]] = %v, want ≈%v", v, est[v], exact[v])
 		}
+	}
+}
+
+// TestEstimatorsBitIdenticalAcrossWorkers pins the determinism contract at
+// the estimator level: same seed, any Workers, identical floats.
+func TestEstimatorsBitIdenticalAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	b := ugraph.NewBuilder(30)
+	for u := 0; u < 30; u++ {
+		for v := u + 1; v < 30; v++ {
+			if rng.Float64() < 0.2 {
+				if err := b.AddEdge(u, v, 0.2+0.8*rng.Float64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	g := b.Graph()
+	pairs := RandomPairs(g.NumVertices(), 15, rng)
+	opts := func(workers int) mc.Options {
+		return mc.Options{Samples: 123, Seed: 9, Workers: workers}
+	}
+
+	prRef, err := ExpectedPageRank(bg(), g, opts(1), PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spRef, rlRef, err := ShortestDistanceAndReliability(bg(), g, pairs, opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		pr, err := ExpectedPageRank(bg(), g, opts(workers), PageRankOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range prRef {
+			if pr[v] != prRef[v] {
+				t.Fatalf("Workers=%d: PR[%d] = %v != %v", workers, v, pr[v], prRef[v])
+			}
+		}
+		sp, rl, err := ShortestDistanceAndReliability(bg(), g, pairs, opts(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range spRef {
+			spSame := sp[i] == spRef[i] || (math.IsNaN(sp[i]) && math.IsNaN(spRef[i]))
+			if !spSame || rl[i] != rlRef[i] {
+				t.Fatalf("Workers=%d: pair %d (SP=%v RL=%v) != (SP=%v RL=%v)",
+					workers, i, sp[i], rl[i], spRef[i], rlRef[i])
+			}
+		}
+	}
+}
+
+func TestEstimatorsHonorCancelledContext(t *testing.T) {
+	g := ugraph.MustNew(3, []ugraph.Edge{{U: 0, V: 1, P: 0.5}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExpectedPageRank(ctx, g, mc.Options{Samples: 50}, PageRankOptions{}); err != context.Canceled {
+		t.Errorf("ExpectedPageRank err = %v, want context.Canceled", err)
+	}
+	if _, err := Reliability(ctx, g, []Pair{{S: 0, T: 1}}, mc.Options{Samples: 50}); err != context.Canceled {
+		t.Errorf("Reliability err = %v, want context.Canceled", err)
+	}
+	if _, err := ConnectedProbability(ctx, g, mc.Options{Samples: 50}); err != context.Canceled {
+		t.Errorf("ConnectedProbability err = %v, want context.Canceled", err)
 	}
 }
 
@@ -223,7 +365,10 @@ func TestConnectedProbabilityFigure1(t *testing.T) {
 		}
 	}
 	g := b.Graph()
-	got := ConnectedProbability(g, mc.Options{Samples: 20000, Seed: 10})
+	got, err := ConnectedProbability(bg(), g, mc.Options{Samples: 20000, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(got-0.2186) > 0.02 {
 		t.Errorf("Pr[connected] ≈ %v, want ≈0.219", got)
 	}

@@ -5,26 +5,62 @@
 package queries
 
 import (
+	"math/bits"
+
 	"ugs/internal/ugraph"
 )
 
-// WorldPageRank computes PageRank with the given damping factor on a single
+// Workspace holds the scratch buffers the per-world query kernels need —
+// degree counts, a PageRank iteration vector, neighbor marks, a neighbor
+// list and BFS state — sized for one graph's vertex count. Reusing one
+// Workspace per goroutine makes every kernel run with zero steady-state
+// allocations; the Monte-Carlo engine creates one per worker. A Workspace
+// is not safe for concurrent use.
+type Workspace struct {
+	deg  []int     // per-vertex present degree (PageRank)
+	aux  []float64 // PageRank's second power-iteration vector
+	mark []bool    // neighbor marks (clustering coefficient)
+	nbrs []int     // present-neighbor list (clustering coefficient)
+	bfs  *BFS      // breadth-first search state (SP, RL, connectivity)
+}
+
+// NewWorkspace returns a workspace for worlds of g (any graph with the same
+// vertex count works).
+func NewWorkspace(g *ugraph.Graph) *Workspace {
+	n := g.NumVertices()
+	return &Workspace{
+		deg:  make([]int, n),
+		aux:  make([]float64, n),
+		mark: make([]bool, n),
+		nbrs: make([]int, 0, n),
+		bfs:  NewBFS(n),
+	}
+}
+
+// PageRank computes PageRank with the given damping factor on a single
 // possible world by power iteration, treating the world's present edges as
 // an undirected graph. Vertices with no present edges ("dangling") spread
-// their mass uniformly. The out slice must have length |V|.
-func WorldPageRank(w *ugraph.World, damping float64, iters int, out []float64) {
+// their mass uniformly. The out slice must have length |V|; every entry is
+// overwritten.
+func (ws *Workspace) PageRank(w *ugraph.World, damping float64, iters int, out []float64) {
 	g := w.Graph()
 	n := g.NumVertices()
-	deg := make([]int, n)
-	for id, present := range w.Present {
-		if present {
-			e := g.Edge(id)
+	deg := ws.deg
+	for v := range deg {
+		deg[v] = 0
+	}
+	// Present-degree pass straight off the bitset words: 64 edges per
+	// word, skipping absent edges without touching them.
+	for wi, word := range w.Words() {
+		for word != 0 {
+			e := g.Edge(wi<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
 			deg[e.U]++
 			deg[e.V]++
 		}
 	}
 	cur := out
-	next := make([]float64, n)
+	next := ws.aux
 	init := 1 / float64(n)
 	for v := range cur {
 		cur[v] = init
@@ -41,7 +77,7 @@ func WorldPageRank(w *ugraph.World, damping float64, iters int, out []float64) {
 			}
 			share := cur[v] / float64(deg[v])
 			for _, a := range g.Neighbors(v) {
-				if w.Present[a.ID] {
+				if w.Present(a.ID) {
 					next[a.To] += share
 				}
 			}
@@ -57,23 +93,24 @@ func WorldPageRank(w *ugraph.World, damping float64, iters int, out []float64) {
 	}
 }
 
-// WorldClusteringCoefficients writes each vertex's local clustering
-// coefficient in the world into out (length |V|): the fraction of pairs of
-// present neighbors that are themselves connected by a present edge.
-// Vertices with fewer than two present neighbors have coefficient 0.
+// ClusteringCoefficients writes each vertex's local clustering coefficient
+// in the world into out (length |V|): the fraction of pairs of present
+// neighbors that are themselves connected by a present edge. Vertices with
+// fewer than two present neighbors have coefficient 0. Every entry of out
+// is overwritten.
 //
 // Triangles incident to u are counted by marking u's present neighbors and
 // scanning their present adjacency — O(Σ_{v∈N(u)} deg(v)) with pure array
 // access, avoiding per-pair hash lookups.
-func WorldClusteringCoefficients(w *ugraph.World, out []float64) {
+func (ws *Workspace) ClusteringCoefficients(w *ugraph.World, out []float64) {
 	g := w.Graph()
 	n := g.NumVertices()
-	mark := make([]bool, n)
-	var nbrs []int
+	mark := ws.mark
+	nbrs := ws.nbrs
 	for u := 0; u < n; u++ {
 		nbrs = nbrs[:0]
 		for _, a := range g.Neighbors(u) {
-			if w.Present[a.ID] {
+			if w.Present(a.ID) {
 				nbrs = append(nbrs, a.To)
 				mark[a.To] = true
 			}
@@ -89,7 +126,7 @@ func WorldClusteringCoefficients(w *ugraph.World, out []float64) {
 		links := 0
 		for _, v := range nbrs {
 			for _, a := range g.Neighbors(v) {
-				if w.Present[a.ID] && a.To != u && mark[a.To] {
+				if w.Present(a.ID) && a.To != u && mark[a.To] {
 					links++
 				}
 			}
@@ -100,11 +137,39 @@ func WorldClusteringCoefficients(w *ugraph.World, out []float64) {
 			mark[v] = false
 		}
 	}
+	ws.nbrs = nbrs
+}
+
+// Distances computes hop distances from src to every vertex in the world
+// (−1 when unreachable). The returned slice is owned by the workspace and
+// is overwritten by the next Distances or Connected call.
+func (ws *Workspace) Distances(w *ugraph.World, src int) []int {
+	return ws.bfs.Distances(w, src)
+}
+
+// Connected reports whether the world's present edges connect all vertices
+// of the underlying graph, without allocating (unlike World.IsConnected).
+func (ws *Workspace) Connected(w *ugraph.World) bool {
+	return ws.bfs.Connected(w)
+}
+
+// WorldPageRank is Workspace.PageRank with a freshly allocated workspace —
+// convenient for one-shot calls and the exact-enumeration oracle; use a
+// Workspace for repeated evaluation.
+func WorldPageRank(w *ugraph.World, damping float64, iters int, out []float64) {
+	NewWorkspace(w.Graph()).PageRank(w, damping, iters, out)
+}
+
+// WorldClusteringCoefficients is Workspace.ClusteringCoefficients with a
+// freshly allocated workspace — convenient for one-shot calls and the
+// exact-enumeration oracle; use a Workspace for repeated evaluation.
+func WorldClusteringCoefficients(w *ugraph.World, out []float64) {
+	NewWorkspace(w.Graph()).ClusteringCoefficients(w, out)
 }
 
 // BFS is a reusable breadth-first search over possible worlds, avoiding
 // per-call allocation. It is not safe for concurrent use; create one per
-// goroutine.
+// goroutine (or use it through a Workspace).
 type BFS struct {
 	dist  []int
 	queue []int
@@ -113,6 +178,21 @@ type BFS struct {
 // NewBFS returns a BFS sized for graphs with n vertices.
 func NewBFS(n int) *BFS {
 	return &BFS{dist: make([]int, n), queue: make([]int, 0, n)}
+}
+
+// Connected reports whether the world's present edges connect all vertices
+// of the underlying graph, reusing the BFS buffers.
+func (b *BFS) Connected(w *ugraph.World) bool {
+	g := w.Graph()
+	if g.NumVertices() <= 1 {
+		return true
+	}
+	for _, d := range b.Distances(w, 0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Distances computes hop distances from src to every vertex in the world
@@ -128,7 +208,7 @@ func (b *BFS) Distances(w *ugraph.World, src int) []int {
 	for head := 0; head < len(b.queue); head++ {
 		u := b.queue[head]
 		for _, a := range g.Neighbors(u) {
-			if w.Present[a.ID] && b.dist[a.To] < 0 {
+			if w.Present(a.ID) && b.dist[a.To] < 0 {
 				b.dist[a.To] = b.dist[u] + 1
 				b.queue = append(b.queue, a.To)
 			}

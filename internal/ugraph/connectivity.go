@@ -57,7 +57,7 @@ func (w *World) IsConnected() bool {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, a := range g.adj[u] {
-			if w.Present[a.ID] && !seen[a.To] {
+			if w.Present(a.ID) && !seen[a.To] {
 				seen[a.To] = true
 				count++
 				stack = append(stack, a.To)
@@ -91,7 +91,7 @@ func (w *World) Distance(s, t int) int {
 		u := queue[0]
 		queue = queue[1:]
 		for _, a := range g.adj[u] {
-			if w.Present[a.ID] && dist[a.To] < 0 {
+			if w.Present(a.ID) && dist[a.To] < 0 {
 				dist[a.To] = dist[u] + 1
 				if a.To == t {
 					return dist[a.To]

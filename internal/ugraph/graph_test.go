@@ -271,11 +271,7 @@ func TestSampleWorldFrequency(t *testing.T) {
 	w := NewWorld(g)
 	for i := 0; i < n; i++ {
 		g.SampleWorldInto(rng, w)
-		for id, present := range w.Present {
-			if present {
-				counts[id]++
-			}
-		}
+		w.ForEachPresent(func(id int) { counts[id]++ })
 	}
 	for id, e := range g.Edges() {
 		freq := float64(counts[id]) / n

@@ -17,17 +17,31 @@ import (
 //	...
 //
 // Endpoints are 0-based vertex identifiers; p is a probability in [0, 1].
-// A probability of exactly 0 is legal on read: sparsifiers keep an edge in
-// E' while driving its probability to zero (the ⌊0·⌉1 clamp of Equation 9),
-// and such graphs must round-trip.
+// A probability of exactly 0 is legal on read for compatibility with files
+// written by older versions; Write never emits one. Sparsifiers drive edge
+// probabilities to zero (the ⌊0·⌉1 clamp of Equation 9) before discarding
+// them, and a p = 0 edge is indistinguishable from an absent edge under
+// possible-world semantics — so Write drops such edges, guaranteeing that
+// any written graph can be re-read and re-sparsified.
 
-// Write serializes g in the text interchange format.
+// Write serializes g in the text interchange format. Edges whose probability
+// is exactly 0 are omitted (see the format contract above); the header's
+// edge count reflects the edges actually written.
 func Write(w io.Writer, g *Graph) error {
+	m := 0
+	for _, e := range g.Edges() {
+		if e.P > 0 {
+			m++
+		}
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "%d %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.NumVertices(), m); err != nil {
 		return err
 	}
 	for _, e := range g.Edges() {
+		if e.P == 0 {
+			continue
+		}
 		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.U, e.V, e.P); err != nil {
 			return err
 		}

@@ -70,8 +70,8 @@ func TestReadErrors(t *testing.T) {
 }
 
 func TestReadZeroProbabilityEdge(t *testing.T) {
-	// Sparsifier outputs keep edges whose probability was driven to 0;
-	// the format must round-trip them.
+	// Files written by older versions may contain p = 0 edges; Read still
+	// accepts them for compatibility.
 	in := "3 2\n0 1 0\n1 2 0.5\n"
 	g, err := Read(strings.NewReader(in))
 	if err != nil {
@@ -80,6 +80,17 @@ func TestReadZeroProbabilityEdge(t *testing.T) {
 	if g.Prob(0) != 0 || g.Prob(1) != 0.5 {
 		t.Errorf("probs = %v, %v; want 0, 0.5", g.Prob(0), g.Prob(1))
 	}
+}
+
+func TestWriteDropsZeroProbabilityEdges(t *testing.T) {
+	// A p = 0 edge is indistinguishable from an absent edge, and keeping
+	// it would make the written file unreadable by strict consumers: Write
+	// drops it and adjusts the header's edge count.
+	g := MustNew(3, []Edge{
+		{U: 0, V: 1, P: 0.5},
+		{U: 1, V: 2, P: 0.25},
+	})
+	g.SetProb(1, 0)
 	var sb strings.Builder
 	if err := Write(&sb, g); err != nil {
 		t.Fatal(err)
@@ -88,8 +99,11 @@ func TestReadZeroProbabilityEdge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !g.Equal(back) {
-		t.Error("zero-probability edge did not round-trip")
+	if back.NumEdges() != 1 {
+		t.Fatalf("read back %d edges, want 1:\n%s", back.NumEdges(), sb.String())
+	}
+	if !back.HasEdge(0, 1) || back.Prob(0) != 0.5 {
+		t.Errorf("surviving edge wrong: %v", back.Edges())
 	}
 }
 

@@ -1,32 +1,119 @@
 package ugraph
 
-import "math/rand"
+import (
+	"math/bits"
+	"math/rand"
+)
 
-// World is one possible deterministic materialization of an uncertain graph:
-// Present[id] reports whether edge id exists in this world. A World is only
-// meaningful together with the Graph it was sampled from.
+// World is one possible deterministic materialization of an uncertain graph,
+// represented as a packed bitset with one bit per edge identifier. A World
+// is only meaningful together with the Graph it was sampled from.
+//
+// The packed representation keeps a world of m edges in ⌈m/64⌉ machine
+// words: sampling fills 64 edges per word write, presence tests are a single
+// shift-and-mask, and counting present edges is a popcount sweep — the
+// properties that make the Monte-Carlo engine's inner loop allocation-free
+// and cache-friendly.
 type World struct {
-	g       *Graph
-	Present []bool
+	g    *Graph
+	bits []uint64
 }
 
 // Graph returns the uncertain graph this world was drawn from.
 func (w *World) Graph() *Graph { return w.g }
 
-// NumEdges counts the edges present in the world.
-func (w *World) NumEdges() int {
+// Present reports whether edge id exists in this world.
+func (w *World) Present(id int) bool {
+	return w.bits[uint(id)>>6]&(1<<(uint(id)&63)) != 0
+}
+
+// Set overwrites the presence of edge id.
+func (w *World) Set(id int, present bool) {
+	if present {
+		w.bits[uint(id)>>6] |= 1 << (uint(id) & 63)
+	} else {
+		w.bits[uint(id)>>6] &^= 1 << (uint(id) & 63)
+	}
+}
+
+// Words exposes the packed presence bitset: bit b of word i is edge 64·i+b.
+// The slice is owned by the world; callers must treat it as read-only. It
+// exists so query kernels can scan present edges word-at-a-time.
+func (w *World) Words() []uint64 { return w.bits }
+
+// PopCount counts the edges present in the world.
+func (w *World) PopCount() int {
 	n := 0
-	for _, p := range w.Present {
-		if p {
-			n++
-		}
+	for _, word := range w.bits {
+		n += bits.OnesCount64(word)
 	}
 	return n
 }
 
+// NumEdges counts the edges present in the world (alias for PopCount).
+func (w *World) NumEdges() int { return w.PopCount() }
+
+// ForEachPresent invokes fn for every present edge identifier in ascending
+// order.
+func (w *World) ForEachPresent(fn func(id int)) {
+	for wi, word := range w.bits {
+		for word != 0 {
+			fn(wi<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
+
 // NewWorld returns an empty (all edges absent) world for g.
 func NewWorld(g *Graph) *World {
-	return &World{g: g, Present: make([]bool, g.NumEdges())}
+	return &World{g: g, bits: make([]uint64, (g.NumEdges()+63)/64)}
+}
+
+// Sampler is a small allocation-free PRNG (SplitMix64) for the Monte-Carlo
+// hot path: reseeding is a single word store, so the engine can derive one
+// deterministic stream per sample index without allocating a rand.Rand.
+// The zero value is a valid (seed 0) sampler. Not safe for concurrent use.
+type Sampler struct{ state uint64 }
+
+// NewSampler returns a sampler with the given seed. Equal seeds produce
+// identical streams.
+func NewSampler(seed int64) Sampler { return Sampler{state: uint64(seed)} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Sampler) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns the next pseudo-random float in [0, 1).
+func (s *Sampler) Float64() float64 {
+	return float64(s.Uint64()>>11) * 0x1p-53
+}
+
+// sampleWorldBits redraws w from the sampler stream, building each presence
+// word from 64 independent edge draws and writing it once. Bits beyond the
+// edge count stay zero, so PopCount needs no masking. Returns the advanced
+// sampler state.
+func (g *Graph) sampleWorldBits(s Sampler, w *World) Sampler {
+	edges := g.edges
+	for wi := range w.bits {
+		base := wi << 6
+		limit := len(edges) - base
+		if limit > 64 {
+			limit = 64
+		}
+		var word uint64
+		for b := 0; b < limit; b++ {
+			if s.Float64() < edges[base+b].P {
+				word |= 1 << uint(b)
+			}
+		}
+		w.bits[wi] = word
+	}
+	return s
 }
 
 // SampleWorld draws a possible world: each edge is included independently
@@ -37,12 +124,37 @@ func (g *Graph) SampleWorld(rng *rand.Rand) *World {
 	return w
 }
 
-// SampleWorldInto redraws w in place, avoiding allocation across samples.
-// w must have been created for g.
+// SampleWorldInto redraws w in place from a rand.Rand, avoiding allocation
+// across samples. w must have been created for g.
 func (g *Graph) SampleWorldInto(rng *rand.Rand, w *World) {
-	for id, e := range g.edges {
-		w.Present[id] = rng.Float64() < e.P
+	edges := g.edges
+	for wi := range w.bits {
+		base := wi << 6
+		limit := len(edges) - base
+		if limit > 64 {
+			limit = 64
+		}
+		var word uint64
+		for b := 0; b < limit; b++ {
+			if rng.Float64() < edges[base+b].P {
+				word |= 1 << uint(b)
+			}
+		}
+		w.bits[wi] = word
 	}
+}
+
+// SampleWorldWith redraws w in place from an allocation-free Sampler stream,
+// advancing it so consecutive calls draw independent worlds.
+func (g *Graph) SampleWorldWith(s *Sampler, w *World) {
+	*s = g.sampleWorldBits(*s, w)
+}
+
+// SampleWorldSeeded redraws w from a fresh deterministic stream for the
+// given seed, with zero allocations. It is the Monte-Carlo engine's
+// per-sample primitive: the world depends only on (g, seed).
+func (g *Graph) SampleWorldSeeded(seed int64, w *World) {
+	g.sampleWorldBits(NewSampler(seed), w)
 }
 
 // WorldFromMask builds a world from an explicit edge-presence mask. The mask
@@ -52,7 +164,9 @@ func WorldFromMask(g *Graph, mask []bool) *World {
 		panic("ugraph: world mask length mismatch")
 	}
 	w := NewWorld(g)
-	copy(w.Present, mask)
+	for id, present := range mask {
+		w.Set(id, present)
+	}
 	return w
 }
 
@@ -61,7 +175,7 @@ func WorldFromMask(g *Graph, mask []bool) *World {
 func (w *World) Prob() float64 {
 	pr := 1.0
 	for id, e := range w.g.edges {
-		if w.Present[id] {
+		if w.Present(id) {
 			pr *= e.P
 		} else {
 			pr *= 1 - e.P
@@ -74,7 +188,7 @@ func (w *World) Prob() float64 {
 // invoking fn for each. Iteration stops early if fn returns false.
 func (w *World) Neighbors(u int, fn func(v int) bool) {
 	for _, a := range w.g.adj[u] {
-		if w.Present[a.ID] {
+		if w.Present(a.ID) {
 			if !fn(a.To) {
 				return
 			}
@@ -85,13 +199,13 @@ func (w *World) Neighbors(u int, fn func(v int) bool) {
 // HasEdge reports whether edge (u, v) exists in this world.
 func (w *World) HasEdge(u, v int) bool {
 	id, ok := w.g.EdgeID(u, v)
-	return ok && w.Present[id]
+	return ok && w.Present(id)
 }
 
 // EnumerateWorlds invokes fn for every possible world of g together with its
 // probability. It is exponential in |E| and intended for exact evaluation on
 // tiny graphs; it panics if g has more than MaxEnumerableEdges edges.
-// Enumeration reuses a single World whose mask is rewritten between calls;
+// Enumeration reuses a single World whose bitset is rewritten between calls;
 // fn must not retain it.
 func EnumerateWorlds(g *Graph, fn func(w *World, prob float64)) {
 	m := g.NumEdges()
@@ -100,13 +214,15 @@ func EnumerateWorlds(g *Graph, fn func(w *World, prob float64)) {
 	}
 	w := NewWorld(g)
 	for mask := 0; mask < 1<<uint(m); mask++ {
+		// m ≤ 64, so the enumeration mask is exactly the world's one word.
+		if len(w.bits) > 0 {
+			w.bits[0] = uint64(mask)
+		}
 		pr := 1.0
 		for id := 0; id < m; id++ {
 			if mask&(1<<uint(id)) != 0 {
-				w.Present[id] = true
 				pr *= g.edges[id].P
 			} else {
-				w.Present[id] = false
 				pr *= 1 - g.edges[id].P
 			}
 		}

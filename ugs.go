@@ -211,6 +211,13 @@ type (
 	PageRankOptions = queries.PageRankOptions
 )
 
+// Every Monte-Carlo estimator takes a context.Context as its first argument
+// and returns an error alongside its estimate: cancelling the context
+// (timeout, request abort) stops the sampling run promptly, mirroring the
+// Sparsifier interface's cancellation story. Estimates are deterministic
+// given (graph, MCOptions.Seed) and bit-identical for every Workers value —
+// the engine samples each world from a per-index seed and merges fixed
+// accumulation blocks in index order.
 var (
 	// ExpectedPageRank estimates per-vertex expected PageRank.
 	ExpectedPageRank = queries.ExpectedPageRank

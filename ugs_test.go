@@ -14,15 +14,33 @@ import (
 	"ugs"
 )
 
+// must unwraps an estimator's (value, error) pair where the error can only
+// come from context cancellation, which these tests never trigger.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// must2 is must for the two-value ShortestDistanceAndReliability estimator.
+func must2[A, B any](a A, b B, err error) (A, B) {
+	if err != nil {
+		panic(err)
+	}
+	return a, b
+}
+
 func TestEndToEndPipelineAllMethods(t *testing.T) {
 	g := ugs.TwitterLike(150, 7)
 	rng := rand.New(rand.NewSource(7))
 	pairs := ugs.RandomPairs(g.NumVertices(), 40, rng)
 	opts := ugs.MCOptions{Samples: 60, Seed: 9}
 
-	prBase := ugs.ExpectedPageRank(g, opts, ugs.PageRankOptions{})
-	spBase, rlBase := ugs.ShortestDistanceAndReliability(g, pairs, opts)
-	ccBase := ugs.ExpectedClusteringCoefficients(g, opts)
+	ctx := context.Background()
+	prBase := must(ugs.ExpectedPageRank(ctx, g, opts, ugs.PageRankOptions{}))
+	spBase, rlBase := must2(ugs.ShortestDistanceAndReliability(ctx, g, pairs, opts))
+	ccBase := must(ugs.ExpectedClusteringCoefficients(ctx, g, opts))
 
 	type method struct {
 		name string
@@ -51,9 +69,9 @@ func TestEndToEndPipelineAllMethods(t *testing.T) {
 				t.Fatal("no sparsification happened")
 			}
 
-			pr := ugs.ExpectedPageRank(sparse, opts, ugs.PageRankOptions{})
-			sp, rl := ugs.ShortestDistanceAndReliability(sparse, pairs, opts)
-			cc := ugs.ExpectedClusteringCoefficients(sparse, opts)
+			pr := must(ugs.ExpectedPageRank(ctx, sparse, opts, ugs.PageRankOptions{}))
+			sp, rl := must2(ugs.ShortestDistanceAndReliability(ctx, sparse, pairs, opts))
+			cc := must(ugs.ExpectedClusteringCoefficients(ctx, sparse, opts))
 
 			for name, d := range map[string]float64{
 				"PR": ugs.EarthMovers(prBase, pr),
@@ -112,7 +130,7 @@ func TestEntropyReductionLowersVariance(t *testing.T) {
 	pairs := ugs.RandomPairs(g.NumVertices(), 30, rng)
 	est := func(target *ugs.Graph) func(int) float64 {
 		return func(run int) float64 {
-			rl := ugs.Reliability(target, pairs, ugs.MCOptions{Samples: 40, Seed: int64(run)*31 + 1})
+			rl := must(ugs.Reliability(context.Background(), target, pairs, ugs.MCOptions{Samples: 40, Seed: int64(run)*31 + 1}))
 			var s float64
 			for _, x := range rl {
 				s += x
@@ -162,5 +180,36 @@ func TestSparsifyPreservesConnectivityWithSpanningBackbone(t *testing.T) {
 	}
 	if !sparse.IsConnected() {
 		t.Error("spanning backbone did not preserve connectivity")
+	}
+}
+
+func TestSparsifiedOutputWithZeroProbEdgeRoundTripsAndResparsifies(t *testing.T) {
+	// Regression for the ROADMAP wart: sparsifiers can drive an edge's
+	// probability to exactly 0 (the ⌊0·⌉1 clamp), and such graphs used to
+	// be unreadable by a second Sparsify pass. Write now drops p = 0
+	// edges, so write → read → Sparsify must succeed.
+	g := ugs.TwitterLike(80, 21)
+	g.SetProb(0, 0) // emulate a sparsifier output retaining a dead edge
+	path := filepath.Join(t.TempDir(), "sparse.txt")
+	if err := ugs.WriteGraphFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ugs.ReadGraphFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges()-1 {
+		t.Fatalf("re-read graph has %d edges, want %d (p=0 edge dropped)", back.NumEdges(), g.NumEdges()-1)
+	}
+	sp, err := ugs.Lookup("gdb", ugs.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sp.Sparsify(context.Background(), back, 0.5)
+	if err != nil {
+		t.Fatalf("re-sparsifying a written sparsifier output failed: %v", err)
+	}
+	if res.Graph.NumEdges() >= back.NumEdges() {
+		t.Error("second sparsification pass did not reduce the edge count")
 	}
 }
