@@ -9,6 +9,7 @@ package ugs_test
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -160,6 +161,94 @@ func BenchmarkSparsifyGDB(b *testing.B) {
 	g := benchGraph(b)
 	for i := 0; i < b.N; i++ {
 		benchSparsify(b, g, 0.16, "gdb", ugs.WithSeed(1))
+	}
+}
+
+// BenchmarkAblationSweeps compares the epoch-stamped worklist against dense
+// sweeps on the same GDB run (the PR 3 construction-path ablation; outputs
+// are identical, only the amount of recomputation differs).
+func BenchmarkAblationSweeps(b *testing.B) {
+	g := benchGraph(b)
+	for _, v := range []struct {
+		name string
+		opts []ugs.Option
+	}{
+		{"worklist", []ugs.Option{ugs.WithSeed(1)}},
+		{"dense", []ugs.Option{ugs.WithSeed(1), ugs.WithDenseSweeps()}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSparsify(b, g, 0.16, "gdb", v.opts...)
+			}
+		})
+	}
+}
+
+// scaledGraphs caches the large generated fixtures for the per-sweep and
+// per-round microbenchmarks; generation is O(N²) and shared across
+// sub-benchmarks.
+var scaledGraphs = map[int]*ugs.Graph{}
+
+// benchScaledGraph returns a Chung–Lu social graph with approximately the
+// requested number of edges (average degree 20, Flickr-like probabilities).
+func benchScaledGraph(b *testing.B, edges int) *ugs.Graph {
+	b.Helper()
+	g, ok := scaledGraphs[edges]
+	if !ok {
+		var err error
+		g, err = ugs.GenerateSocial(ugs.SocialConfig{N: edges / 10, AvgDegree: 20, MeanProb: 0.09, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		scaledGraphs[edges] = g
+	}
+	return g
+}
+
+// benchScaledBackbone builds the α = 0.3 spanning backbone once per fixture.
+func benchScaledBackbone(b *testing.B, g *ugs.Graph) []int {
+	b.Helper()
+	backbone, err := core.SpanningBackbone(g, 0.3, core.BGIOptions{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return backbone
+}
+
+// BenchmarkGDBSweep measures the GDB sweep engine (tracker construction +
+// sweeps to convergence + finalize) on a prebuilt backbone at |E| ≈ 10k and
+// 100k, isolating the Algorithm 2 hot path from backbone construction.
+func BenchmarkGDBSweep(b *testing.B) {
+	for _, edges := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("E%dk", edges/1000), func(b *testing.B) {
+			g := benchScaledGraph(b, edges)
+			backbone := benchScaledBackbone(b, g)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.GDB(context.Background(), g, backbone, core.GDBOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEMDRound measures two full E+M rounds of Algorithm 3 (enough to
+// exercise the persistent vertex heap across rounds) at |E| ≈ 10k and 100k.
+func BenchmarkEMDRound(b *testing.B) {
+	for _, edges := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("E%dk", edges/1000), func(b *testing.B) {
+			g := benchScaledGraph(b, edges)
+			backbone := benchScaledBackbone(b, g)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.EMD(context.Background(), g, backbone, core.EMDOptions{MaxRounds: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

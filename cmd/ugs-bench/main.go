@@ -1,0 +1,219 @@
+// Command ugs-bench runs the sparsifier and query micro-benchmark suite
+// in-process and emits a JSON trajectory file with ns/op, bytes/op and
+// allocs/op per benchmark. The committed BENCH_<pr>.json files form the
+// perf baseline that future changes regress against; CI runs the tool in
+// -quick mode (one iteration per benchmark) as a smoke test and uploads
+// the JSON as an artifact.
+//
+// Usage:
+//
+//	go run ./cmd/ugs-bench -out BENCH_3.json -label "PR 3"
+//	go run ./cmd/ugs-bench -quick -out bench_smoke.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"ugs"
+	"ugs/internal/core"
+	"ugs/internal/mc"
+	"ugs/internal/ugraph"
+)
+
+// result is one benchmark's measurement.
+type result struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// trajectory is the emitted file format.
+type trajectory struct {
+	Schema     string    `json:"schema"`
+	Label      string    `json:"label,omitempty"`
+	Note       string    `json:"note,omitempty"`
+	Generated  time.Time `json:"generated"`
+	GoVersion  string    `json:"go"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	Quick      bool      `json:"quick"`
+	Benchmarks []result  `json:"benchmarks"`
+}
+
+// measure times fn until the accumulated run time reaches benchtime,
+// growing the iteration count geometrically (the testing-package protocol,
+// reimplemented so a zero benchtime can request exactly one iteration).
+// Allocation figures come from MemStats deltas around the timed loop.
+func measure(name string, benchtime time.Duration, fn func()) result {
+	fn() // warm-up: JIT-free in Go, but populates caches and pools
+	n := 1
+	for {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		if elapsed >= benchtime || n >= 1<<24 {
+			nf := float64(n)
+			return result{
+				Name:        name,
+				Iters:       n,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / nf,
+				BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / nf,
+				AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / nf,
+			}
+		}
+		grow := 2.0
+		if elapsed > 0 {
+			grow = 1.2 * float64(benchtime) / float64(elapsed)
+		}
+		if grow < 1.5 {
+			grow = 1.5
+		}
+		n = int(float64(n)*grow) + 1
+	}
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH.json", "output JSON file")
+		benchtime = flag.Duration("benchtime", time.Second, "minimum measured time per benchmark")
+		quick     = flag.Bool("quick", false, "one iteration per benchmark, small fixtures only (CI smoke)")
+		label     = flag.String("label", "", "freeform label stored in the file")
+		note      = flag.String("note", "", "freeform note stored in the file")
+	)
+	flag.Parse()
+	if *quick {
+		*benchtime = 0
+	}
+
+	ctx := context.Background()
+	g := ugs.FlickrLike(300, 42)
+
+	sparsify := func(method string, opts ...ugs.Option) func() {
+		sp, err := ugs.Lookup(method, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		return func() {
+			if _, err := sp.Sparsify(ctx, g, 0.16); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	benches := []struct {
+		name string
+		fn   func()
+	}{
+		{"SparsifyGDB", sparsify("gdb", ugs.WithSeed(1))},
+		{"SparsifyGDB/dense", sparsify("gdb", ugs.WithSeed(1), ugs.WithDenseSweeps())},
+		{"SparsifyEMD", sparsify("emd", ugs.WithSeed(1))},
+		{"SparsifyNI", sparsify("ni", ugs.WithSeed(1))},
+		{"SparsifySS", sparsify("ss", ugs.WithSeed(1))},
+	}
+
+	// Scaled sweep/round microbenchmarks on prebuilt backbones (the
+	// Algorithm 2/3 hot paths without backbone construction).
+	sizes := []int{10_000}
+	if !*quick {
+		sizes = append(sizes, 100_000)
+	}
+	for _, edges := range sizes {
+		sg, err := ugs.GenerateSocial(ugs.SocialConfig{N: edges / 10, AvgDegree: 20, MeanProb: 0.09, Seed: 7})
+		if err != nil {
+			fatal(err)
+		}
+		backbone, err := core.SpanningBackbone(sg, 0.3, core.BGIOptions{}, rand.New(rand.NewSource(1)))
+		if err != nil {
+			fatal(err)
+		}
+		suffix := fmt.Sprintf("/E%dk", edges/1000)
+		benches = append(benches,
+			struct {
+				name string
+				fn   func()
+			}{"GDBSweep" + suffix, func() {
+				if _, _, err := core.GDB(ctx, sg, backbone, core.GDBOptions{}); err != nil {
+					fatal(err)
+				}
+			}},
+			struct {
+				name string
+				fn   func()
+			}{"EMDRound" + suffix, func() {
+				if _, _, err := core.EMD(ctx, sg, backbone, core.EMDOptions{MaxRounds: 2}); err != nil {
+					fatal(err)
+				}
+			}},
+		)
+	}
+
+	// Query-side benchmarks: the Monte-Carlo sampling primitive and a full
+	// reliability estimation (Equation 1 over sampled worlds).
+	w := ugraph.NewWorld(g)
+	seed := int64(0)
+	pairs := ugs.RandomPairs(g.NumVertices(), 50, rand.New(rand.NewSource(1)))
+	benches = append(benches,
+		struct {
+			name string
+			fn   func()
+		}{"WorldSamplingSeeded", func() {
+			g.SampleWorldSeeded(seed, w)
+			seed++
+		}},
+		struct {
+			name string
+			fn   func()
+		}{"ReliabilityMC", func() {
+			if _, err := ugs.Reliability(ctx, g, pairs, mc.Options{Samples: 50, Seed: 1}); err != nil {
+				fatal(err)
+			}
+		}},
+	)
+
+	traj := trajectory{
+		Schema:    "ugs-bench/1",
+		Label:     *label,
+		Note:      *note,
+		Generated: time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Quick:     *quick,
+	}
+	for _, bench := range benches {
+		r := measure(bench.name, *benchtime, bench.fn)
+		traj.Benchmarks = append(traj.Benchmarks, r)
+		fmt.Printf("%-24s %10d iters  %14.0f ns/op  %12.0f B/op  %8.0f allocs/op\n",
+			r.Name, r.Iters, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ugs-bench:", err)
+	os.Exit(1)
+}

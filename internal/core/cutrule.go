@@ -102,22 +102,28 @@ const KAll = -1
 //
 // The caller applies the ⌊0·⌉1 clamp and the entropy cap of Equation (9).
 func (t *tracker) step(id int, dt Discrepancy, k int) float64 {
-	e := t.g.Edge(id)
-	n := t.g.NumVertices()
+	n := t.n
 	if k >= n {
 		k = KAll
 	}
 	switch {
 	case k == 1:
-		pu, pv := t.pi(e.U, dt), t.pi(e.V, dt)
-		return (pv*t.deltaA(e.U) + pu*t.deltaA(e.V)) / (pu + pv)
+		u, v := int(t.eu[id]), int(t.ev[id])
+		dAu := t.origDeg[u] - t.curDeg[u]
+		dAv := t.origDeg[v] - t.curDeg[v]
+		if dt == Absolute {
+			// π ≡ 1: (1·δA(u) + 1·δA(v)) / 2, the hot default path.
+			return (dAu + dAv) * 0.5
+		}
+		pu, pv := t.pi(u, dt), t.pi(v, dt)
+		return (pv*dAu + pu*dAv) / (pu + pv)
 	case k == KAll:
 		// Σ_{e1∈E\{e}} (p_G(e1) − p_cur(e1)): the total missing mass,
 		// excluding e's own deficit (see the KAll doc comment).
-		return t.missing - (t.g.Prob(id) - t.cur[id])
+		return t.missing - (t.origP[id] - t.cur[id])
 	case k >= 2:
 		c := cutRuleCoeffs(n, k)
-		return c.degreeCoef*(t.deltaA(e.U)+t.deltaA(e.V)) + c.aroundCoef*t.missingAround(id)
+		return c.degreeCoef*(t.deltaA(int(t.eu[id]))+t.deltaA(int(t.ev[id]))) + c.aroundCoef*t.missingAround(id)
 	default:
 		panic("core: cut order k must be ≥ 1 or KAll")
 	}

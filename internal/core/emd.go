@@ -33,6 +33,10 @@ type EMDOptions struct {
 	// versus O(deg(v_H) + log|V|) — and exists for the heap-ablation
 	// benchmark (Section 4.3 cost analysis).
 	NaiveEPhase bool
+	// DenseSweeps disables the epoch worklist inside the M-phase's GDB
+	// sweeps (see GDBOptions.DenseSweeps). Output is identical either
+	// way; ablation and equivalence testing only.
+	DenseSweeps bool
 	// Progress, when non-nil, receives a RunStats snapshot after every
 	// completed E+M round.
 	Progress func(RunStats)
@@ -71,9 +75,14 @@ func EMD(ctx context.Context, g *ugraph.Graph, backbone []int, opts EMDOptions) 
 		H:           opts.H,
 		Tau:         opts.Tau,
 		MaxIters:    opts.MPhaseIters,
+		DenseSweeps: opts.DenseSweeps,
 	}
 	mOpts.defaults(g.NumVertices())
 
+	var st *ePhaseState
+	if !opts.NaiveEPhase {
+		st = newEPhaseState(t, opts.Discrepancy)
+	}
 	stats := &RunStats{}
 	prev := t.objectiveD1(opts.Discrepancy)
 	for stats.Iterations < opts.MaxRounds {
@@ -83,7 +92,7 @@ func EMD(ctx context.Context, g *ugraph.Graph, backbone []int, opts EMDOptions) 
 		if opts.NaiveEPhase {
 			stats.Swaps += ePhaseNaive(t, &bb, opts.Discrepancy, h)
 		} else {
-			stats.Swaps += ePhase(t, &bb, opts.Discrepancy, h)
+			stats.Swaps += ePhase(t, &bb, opts.Discrepancy, h, st)
 		}
 		// M-phase re-optimizes from the original probabilities of the new
 		// backbone, exactly as GDB(G, G'_b, h) would (Algorithm 2, lines
@@ -91,21 +100,22 @@ func EMD(ctx context.Context, g *ugraph.Graph, backbone []int, opts EMDOptions) 
 		for _, id := range bb {
 			t.setProb(id, g.Prob(id))
 		}
-		if _, err := gdbSweeps(ctx, t, bb, mOpts); err != nil {
+		mStats, err := gdbSweeps(ctx, t, bb, mOpts)
+		if err != nil {
 			return nil, nil, err
 		}
+		stats.EdgeVisits += mStats.EdgeVisits
 		stats.Iterations++
-		d1 := t.objectiveD1(opts.Discrepancy)
+		d1 := t.cachedD1(opts.Discrepancy)
 		if opts.Progress != nil {
-			opts.Progress(RunStats{Iterations: stats.Iterations, ObjectiveD1: d1, Swaps: stats.Swaps})
+			opts.Progress(RunStats{Iterations: stats.Iterations, ObjectiveD1: d1, Swaps: stats.Swaps, EdgeVisits: stats.EdgeVisits})
 		}
 		if math.Abs(prev-d1) <= opts.Tau {
-			prev = d1
 			break
 		}
 		prev = d1
 	}
-	stats.ObjectiveD1 = prev
+	stats.ObjectiveD1 = t.objectiveD1(opts.Discrepancy)
 	out, err := t.finalize()
 	if err != nil {
 		return nil, nil, err
@@ -113,33 +123,64 @@ func EMD(ctx context.Context, g *ugraph.Graph, backbone []int, opts EMDOptions) 
 	return out, stats, nil
 }
 
+// ePhaseState carries the E-phase's data structures across EMD rounds so
+// they are built once per run instead of once per round: the vertex max-heap
+// Hv and the backbone snapshot scratch buffer. Between rounds the M-phase
+// changes many discrepancies; rather than re-pushing all n vertices, resync
+// replays only the vertices stamped by the tracker since the heap was last
+// in sync.
+type ePhaseState struct {
+	hv       *ds.IndexedMaxHeap
+	snapshot []int
+	syncTick int64 // tracker tick up to which hv priorities are current
+}
+
+// newEPhaseState builds the vertex heap over all n vertices with their
+// current |δ| priorities.
+func newEPhaseState(t *tracker, dt Discrepancy) *ePhaseState {
+	n := t.g.NumVertices()
+	st := &ePhaseState{hv: ds.NewIndexedMaxHeap(n), syncTick: t.tick}
+	for u := 0; u < n; u++ {
+		st.hv.Push(u, math.Abs(t.delta(u, dt)))
+	}
+	return st
+}
+
+// resync refreshes the heap priorities of exactly the vertices whose
+// discrepancy changed since the last E-phase (O(changed · log n), instead of
+// rebuilding the heap from scratch).
+func (st *ePhaseState) resync(t *tracker, dt Discrepancy) {
+	for u, stamp := range t.vertStamp {
+		if stamp > st.syncTick {
+			st.hv.Update(u, math.Abs(t.delta(u, dt)))
+		}
+	}
+	st.syncTick = t.tick
+}
+
 // ePhase is the E-phase of Algorithm 3 (lines 6–20): for every backbone
 // edge, tentatively remove it, and re-insert either it or the best-gain edge
 // incident to the vertex of maximum |δ| (the top of the heap Hv). It updates
 // the tracker and the backbone id list in place and reports the number of
 // actual swaps.
-func ePhase(t *tracker, bb *[]int, dt Discrepancy, h float64) int {
+func ePhase(t *tracker, bb *[]int, dt Discrepancy, h float64, st *ePhaseState) int {
 	g := t.g
-	n := g.NumVertices()
-	hv := ds.NewIndexedMaxHeap(n)
-	for u := 0; u < n; u++ {
-		hv.Push(u, math.Abs(t.delta(u, dt)))
-	}
+	st.resync(t, dt)
+	hv := st.hv
 	refresh := func(u, v int) {
 		hv.Update(u, math.Abs(t.delta(u, dt)))
 		hv.Update(v, math.Abs(t.delta(v, dt)))
 	}
 
 	swaps := 0
-	snapshot := append([]int(nil), *bb...)
+	snapshot := append(st.snapshot[:0], *bb...)
 	for _, id := range snapshot {
 		if !t.inBackbone[id] {
 			continue // already swapped back in and processed
 		}
-		e := g.Edge(id)
 		t.setProb(id, 0)
 		t.inBackbone[id] = false
-		refresh(e.U, e.V)
+		refresh(int(t.eu[id]), int(t.ev[id]))
 
 		vH, _ := hv.Top()
 
@@ -157,15 +198,16 @@ func ePhase(t *tracker, bb *[]int, dt Discrepancy, h float64) int {
 
 		t.setProb(bestID, bestP)
 		t.inBackbone[bestID] = true
-		be := g.Edge(bestID)
-		refresh(be.U, be.V)
+		refresh(int(t.eu[bestID]), int(t.ev[bestID]))
 		if bestID != id {
 			swaps++
 		}
 	}
+	st.snapshot = snapshot
+	st.syncTick = t.tick // refresh() kept hv current throughout the phase
 
 	// Rebuild the backbone id list from membership (ascending, hence
-	// deterministic).
+	// deterministic), reusing the caller's slice.
 	*bb = (*bb)[:0]
 	for id, in := range t.inBackbone {
 		if in {
@@ -222,24 +264,24 @@ func ePhaseNaive(t *tracker, bb *[]int, dt Discrepancy, h float64) int {
 //
 //	g(e) = δ̂²(u0)|₀ − δ̂²(u0)|_p + δ̂²(v0)|₀ − δ̂²(v0)|_p.
 func (t *tracker) candidate(id int, dt Discrepancy, h float64) (p, gain float64) {
-	e := t.g.Edge(id)
-	pu, pv := t.pi(e.U, dt), t.pi(e.V, dt)
-	stp := (pv*t.deltaA(e.U) + pu*t.deltaA(e.V)) / (pu + pv)
+	u, v := int(t.eu[id]), int(t.ev[id])
+	pu, pv := t.pi(u, dt), t.pi(v, dt)
+	stp := (pv*t.deltaA(u) + pu*t.deltaA(v)) / (pu + pv)
 	p = stp // from p̂ = 0
 	switch {
 	case p < 0:
 		p = 0
 	case p > 1:
 		p = 1
-	case ugraph.EdgeEntropy(p) > 0:
+	case ugraph.EntropyGreater(p, 0):
 		// H(0) = 0, so any positive probability raises entropy: cap.
 		p = h * stp
 	}
-	du0, dv0 := t.delta(e.U, dt), t.delta(e.V, dt)
-	duP := (t.deltaA(e.U) - p) / pu
-	dvP := (t.deltaA(e.V) - p) / pv
+	du0, dv0 := t.delta(u, dt), t.delta(v, dt)
+	duP := (t.deltaA(u) - p) / pu
+	dvP := (t.deltaA(v) - p) / pv
 	if dt == Absolute {
-		duP, dvP = t.deltaA(e.U)-p, t.deltaA(e.V)-p
+		duP, dvP = t.deltaA(u)-p, t.deltaA(v)-p
 	}
 	gain = du0*du0 - duP*duP + dv0*dv0 - dvP*dvP
 	return p, gain

@@ -25,6 +25,15 @@ type GDBOptions struct {
 	Tau float64
 	// MaxIters bounds the number of full sweeps. Default 200.
 	MaxIters int
+	// DenseSweeps disables the epoch-stamped worklist: every sweep
+	// recomputes the update step of every backbone edge, as the
+	// pre-worklist implementation did. The worklist skips exactly the
+	// edges whose recomputed step would be a no-op (neither endpoint
+	// discrepancy — nor, for k ≠ 1, the global missing mass — changed
+	// since the edge's last visit), so both modes produce identical
+	// output; the flag exists for ablation benchmarks and equivalence
+	// tests.
+	DenseSweeps bool
 	// Progress, when non-nil, receives a RunStats snapshot after every
 	// completed sweep.
 	Progress func(RunStats)
@@ -72,7 +81,7 @@ func GDB(ctx context.Context, g *ugraph.Graph, backbone []int, opts GDBOptions) 
 	if err != nil {
 		return nil, nil, err
 	}
-	return out, stats, nil
+	return out, &stats, nil
 }
 
 // RunStats reports a sparsifier run. It is the uniform statistics type of
@@ -96,33 +105,75 @@ type RunStats struct {
 	// Bernoulli fill-up: NI-core selections or raw spanner edges
 	// (NI and SS only).
 	AuxEdges int
+	// EdgeVisits counts the edge-update steps actually computed across
+	// GDB sweeps (including EMD's M-phases). With the epoch worklist this
+	// is at most — and usually far below — Iterations × |backbone|, which
+	// is what dense sweeps perform.
+	EdgeVisits int
 }
 
 // gdbSweeps is the iterative core of Algorithm 2, shared with EMD's M-phase.
 // It mutates the tracker in place. The context is checked once per sweep.
-func gdbSweeps(ctx context.Context, t *tracker, backbone []int, opts GDBOptions) (*RunStats, error) {
+//
+// Each sweep walks the backbone in order but, unless DenseSweeps is set,
+// only recomputes the update step of edges that are dirty: an edge is clean
+// when neither endpoint's discrepancy (nor, for k ≠ 1 rules that read the
+// global missing mass, any probability at all) has changed since the edge
+// was last visited. A clean edge would recompute the exact same step it
+// already applied to a fixed point — a guaranteed no-op — so skipping it
+// leaves the probability sequence, and therefore the output, bit-identical
+// to a dense sweep. Visit stamps are taken *before* the update, so an edge
+// whose own update changes its endpoints re-dirties itself (the entropy cap
+// and the [0,1] clamp make single visits partial steps).
+//
+// Convergence is decided on the O(1) incrementally-maintained objective;
+// when it signals convergence (and on MaxIters exhaustion) the objective is
+// recomputed exactly, bounding float drift in the reported D1.
+func gdbSweeps(ctx context.Context, t *tracker, backbone []int, opts GDBOptions) (RunStats, error) {
 	h := effectiveH(opts.H)
+	// The k ≠ 1 update rules read the global missing mass, so any
+	// probability change anywhere dirties every edge.
+	globalMass := opts.K != 1
 	prev := t.objectiveD1(opts.Discrepancy)
-	iters := 0
+	iters, visits := 0, 0
+	converged := false
 	for iters < opts.MaxIters {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return RunStats{}, err
 		}
 		for _, id := range backbone {
+			if !opts.DenseSweeps {
+				stamp := t.vertStamp[t.eu[id]]
+				if s := t.vertStamp[t.ev[id]]; s > stamp {
+					stamp = s
+				}
+				if globalMass && t.massStamp > stamp {
+					stamp = t.massStamp
+				}
+				if stamp <= t.visitStamp[id] {
+					continue
+				}
+				t.visitStamp[id] = t.tick
+			}
 			gdbUpdateEdge(t, id, opts.Discrepancy, opts.K, h)
+			visits++
 		}
 		iters++
-		d1 := t.objectiveD1(opts.Discrepancy)
+		d1 := t.cachedD1(opts.Discrepancy)
 		if opts.Progress != nil {
-			opts.Progress(RunStats{Iterations: iters, ObjectiveD1: d1})
+			opts.Progress(RunStats{Iterations: iters, ObjectiveD1: d1, EdgeVisits: visits})
 		}
 		if math.Abs(prev-d1) <= opts.Tau {
-			prev = d1
+			prev = t.objectiveD1(opts.Discrepancy)
+			converged = true
 			break
 		}
 		prev = d1
 	}
-	return &RunStats{Iterations: iters, ObjectiveD1: prev}, nil
+	if !converged {
+		prev = t.objectiveD1(opts.Discrepancy)
+	}
+	return RunStats{Iterations: iters, ObjectiveD1: prev, EdgeVisits: visits}, nil
 }
 
 // gdbUpdateEdge applies the Equation (9) update to a single edge: take the
@@ -137,7 +188,7 @@ func gdbUpdateEdge(t *tracker, id int, dt Discrepancy, k int, h float64) {
 		p = 0
 	case p > 1:
 		p = 1
-	case ugraph.EdgeEntropy(p) > ugraph.EdgeEntropy(old):
+	case ugraph.EntropyGreater(p, old):
 		p = old + h*stp
 	}
 	if p != old {

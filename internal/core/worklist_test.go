@@ -1,0 +1,170 @@
+package core
+
+// Tests for the epoch-stamped worklist engine: worklist and dense sweeps
+// must produce identical sparsifiers (the worklist skips only provably
+// no-op steps), steady-state sweeps must not allocate, and the worklist
+// must do strictly less work than dense sweeps once the optimization
+// quiesces locally.
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ugs/internal/ugraph"
+)
+
+// assertSameSparsifier verifies two runs produced the same edge set with
+// the same probabilities.
+func assertSameSparsifier(t *testing.T, label string, a, b *ugraph.Graph) {
+	t.Helper()
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("%s: edge counts differ: %d vs %d", label, a.NumEdges(), b.NumEdges())
+	}
+	for i := 0; i < a.NumEdges(); i++ {
+		ea, eb := a.Edge(i), b.Edge(i)
+		if ea.U != eb.U || ea.V != eb.V {
+			t.Fatalf("%s: edge %d differs: (%d,%d) vs (%d,%d)", label, i, ea.U, ea.V, eb.U, eb.V)
+		}
+		if math.Abs(ea.P-eb.P) > 1e-9 {
+			t.Errorf("%s: p(%d,%d) = %v vs %v", label, ea.U, ea.V, ea.P, eb.P)
+		}
+	}
+}
+
+func TestGDBWorklistMatchesDenseSweeps(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, dt := range []Discrepancy{Absolute, Relative} {
+		for _, k := range []int{1, 2, KAll} {
+			g := randomConnectedGraph(rng, 60, 0.2)
+			backbone, err := SpanningBackbone(g, 0.35, BGIOptions{}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := GDBOptions{Discrepancy: dt, K: k, H: 0.05, MaxIters: 80}
+			outW, statsW, err := GDB(context.Background(), g, backbone, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.DenseSweeps = true
+			outD, statsD, err := GDB(context.Background(), g, backbone, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := dt.String() + "/k=" + map[int]string{1: "1", 2: "2", KAll: "n"}[k]
+			assertSameSparsifier(t, label, outW, outD)
+			if math.Abs(statsW.ObjectiveD1-statsD.ObjectiveD1) > 1e-9 {
+				t.Errorf("%s: D1 differs: worklist %v vs dense %v", label, statsW.ObjectiveD1, statsD.ObjectiveD1)
+			}
+			if statsW.Iterations != statsD.Iterations {
+				t.Errorf("%s: iteration counts differ: %d vs %d", label, statsW.Iterations, statsD.Iterations)
+			}
+			if statsW.EdgeVisits > statsD.EdgeVisits {
+				t.Errorf("%s: worklist visited more edges (%d) than dense (%d)", label, statsW.EdgeVisits, statsD.EdgeVisits)
+			}
+		}
+	}
+}
+
+func TestEMDWorklistMatchesDenseSweeps(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for _, dt := range []Discrepancy{Absolute, Relative} {
+		g := randomConnectedGraph(rng, 50, 0.25)
+		backbone, err := SpanningBackbone(g, 0.3, BGIOptions{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := EMDOptions{Discrepancy: dt, H: 0.05, MaxRounds: 8}
+		outW, statsW, err := EMD(context.Background(), g, backbone, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.DenseSweeps = true
+		outD, statsD, err := EMD(context.Background(), g, backbone, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameSparsifier(t, "emd/"+dt.String(), outW, outD)
+		if math.Abs(statsW.ObjectiveD1-statsD.ObjectiveD1) > 1e-9 {
+			t.Errorf("emd/%v: D1 differs: worklist %v vs dense %v", dt, statsW.ObjectiveD1, statsD.ObjectiveD1)
+		}
+		if statsW.Swaps != statsD.Swaps {
+			t.Errorf("emd/%v: swap counts differ: %d vs %d", dt, statsW.Swaps, statsD.Swaps)
+		}
+	}
+}
+
+// TestFigure2GoldenHoldsUnderDenseSweeps reruns the paper's Figure 2 worked
+// example with the worklist disabled: the golden D1 = 0.36 optimum and the
+// converged probabilities must be mode-independent.
+func TestFigure2GoldenHoldsUnderDenseSweeps(t *testing.T) {
+	g, backbone := figure2Graph(t)
+	for _, dense := range []bool{false, true} {
+		out, stats, err := GDB(context.Background(), g, backbone,
+			GDBOptions{H: 1, Tau: 1e-14, MaxIters: 1000, DenseSweeps: dense})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(stats.ObjectiveD1-0.36) > 1e-6 {
+			t.Errorf("dense=%v: converged D1 = %v, want 0.36 (paper)", dense, stats.ObjectiveD1)
+		}
+		want := map[[2]int]float64{{0, 3}: 0.5, {1, 3}: 0.5, {2, 3}: 0.0}
+		for i := 0; i < out.NumEdges(); i++ {
+			e := out.Edge(i)
+			if p, ok := want[[2]int{e.U, e.V}]; !ok || math.Abs(e.P-p) > 1e-6 {
+				t.Errorf("dense=%v: p(%d,%d) = %v, want %v", dense, e.U, e.V, e.P, p)
+			}
+		}
+	}
+}
+
+// TestGDBWorklistSkipsQuiescentEdges pins down the worklist's reason to
+// exist: on a graph whose optimization quiesces region by region, later
+// sweeps must recompute strictly fewer edge steps than the dense schedule.
+func TestGDBWorklistSkipsQuiescentEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomConnectedGraph(rng, 120, 0.15)
+	backbone, err := SpanningBackbone(g, 0.4, BGIOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h = 1 applies full coordinate steps, so edges reach their local fixed
+	// points (and go quiescent) quickly.
+	_, stats, err := GDB(context.Background(), g, backbone, GDBOptions{H: 1, Tau: 1e-12, MaxIters: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := stats.Iterations * len(backbone)
+	if stats.EdgeVisits >= dense {
+		t.Errorf("worklist computed %d edge steps over %d sweeps, no fewer than dense %d",
+			stats.EdgeVisits, stats.Iterations, dense)
+	}
+}
+
+// TestGDBSweepsSteadyStateAllocsZero verifies the sweep engine itself —
+// tracker updates, worklist stamps, incremental objective, convergence
+// checks — runs without allocating once the tracker exists.
+func TestGDBSweepsSteadyStateAllocsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomConnectedGraph(rng, 80, 0.2)
+	backbone, err := SpanningBackbone(g, 0.35, BGIOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := GDBOptions{H: 0.05, MaxIters: 5}
+	opts.defaults(g.NumVertices())
+	tr := newTracker(g, backbone)
+	ctx := context.Background()
+	if _, err := gdbSweeps(ctx, tr, backbone, opts); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := gdbSweeps(ctx, tr, backbone, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state GDB sweeps allocate %v times per run, want 0", allocs)
+	}
+}

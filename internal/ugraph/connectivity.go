@@ -19,7 +19,7 @@ func (g *Graph) Components() ([]int, int) {
 		for len(queue) > 0 {
 			u := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
-			for _, a := range g.adj[u] {
+			for _, a := range g.Neighbors(u) {
 				if comp[a.To] < 0 {
 					comp[a.To] = k
 					queue = append(queue, a.To)
@@ -56,7 +56,7 @@ func (w *World) IsConnected() bool {
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, a := range g.adj[u] {
+		for _, a := range g.Neighbors(u) {
 			if w.Present(a.ID) && !seen[a.To] {
 				seen[a.To] = true
 				count++
@@ -90,7 +90,7 @@ func (w *World) Distance(s, t int) int {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, a := range g.adj[u] {
+		for _, a := range g.Neighbors(u) {
 			if w.Present(a.ID) && dist[a.To] < 0 {
 				dist[a.To] = dist[u] + 1
 				if a.To == t {

@@ -1,0 +1,125 @@
+package ugraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomGraph builds an arbitrary valid uncertain graph for CSR testing.
+func randomGraph(t *testing.T, rng *rand.Rand, n int, density float64) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < density {
+				if err := b.AddEdge(u, v, 0.01+0.99*rng.Float64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return b.Graph()
+}
+
+func TestCSRAdjacencyConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := randomGraph(t, rng, 50, 0.2)
+
+	off, arcs := g.ArcOffsets(), g.Arcs()
+	if len(off) != g.NumVertices()+1 {
+		t.Fatalf("ArcOffsets length %d, want |V|+1 = %d", len(off), g.NumVertices()+1)
+	}
+	if off[0] != 0 || int(off[g.NumVertices()]) != len(arcs) {
+		t.Fatalf("offset bounds [%d, %d], want [0, %d]", off[0], off[g.NumVertices()], len(arcs))
+	}
+	if len(arcs) != 2*g.NumEdges() {
+		t.Fatalf("arc array has %d entries, want 2|E| = %d", len(arcs), 2*g.NumEdges())
+	}
+
+	degSum := 0
+	for u := 0; u < g.NumVertices(); u++ {
+		nbrs := g.Neighbors(u)
+		if len(nbrs) != g.Degree(u) {
+			t.Fatalf("vertex %d: len(Neighbors) = %d, Degree = %d", u, len(nbrs), g.Degree(u))
+		}
+		degSum += len(nbrs)
+		prevID := -1
+		for _, a := range nbrs {
+			e := g.Edge(a.ID)
+			if e.Other(u) != a.To {
+				t.Fatalf("vertex %d: arc to %d does not match edge %d = (%d,%d)", u, a.To, a.ID, e.U, e.V)
+			}
+			if a.ID <= prevID {
+				t.Fatalf("vertex %d: arcs not in ascending edge-id order (%d after %d)", u, a.ID, prevID)
+			}
+			prevID = a.ID
+		}
+	}
+	if degSum != 2*g.NumEdges() {
+		t.Fatalf("degree sum %d, want 2|E| = %d", degSum, 2*g.NumEdges())
+	}
+
+	// Every edge appears exactly once in each endpoint's row.
+	for id := 0; id < g.NumEdges(); id++ {
+		e := g.Edge(id)
+		for _, u := range [2]int{e.U, e.V} {
+			found := 0
+			for _, a := range g.Neighbors(u) {
+				if a.ID == id {
+					found++
+					if a.To != e.Other(u) {
+						t.Fatalf("edge %d: arc in row %d points to %d, want %d", id, u, a.To, e.Other(u))
+					}
+				}
+			}
+			if found != 1 {
+				t.Fatalf("edge %d appears %d times in row %d, want 1", id, found, u)
+			}
+		}
+	}
+}
+
+func TestCSRNeighborsIsArcSubslice(t *testing.T) {
+	g := MustNew(4, []Edge{
+		{U: 0, V: 1, P: 0.5},
+		{U: 1, V: 2, P: 0.5},
+		{U: 2, V: 3, P: 0.5},
+	})
+	off, arcs := g.ArcOffsets(), g.Arcs()
+	for u := 0; u < g.NumVertices(); u++ {
+		nbrs := g.Neighbors(u)
+		want := arcs[off[u]:off[u+1]]
+		if len(nbrs) != len(want) {
+			t.Fatalf("vertex %d: Neighbors len %d, CSR row len %d", u, len(nbrs), len(want))
+		}
+		for i := range nbrs {
+			if nbrs[i] != want[i] {
+				t.Fatalf("vertex %d arc %d: %+v != CSR %+v", u, i, nbrs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEntropyGreaterMatchesEdgeEntropy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	probs := []float64{0, 1, 0.5, 0.25, 0.75, 0.01, 0.99}
+	for i := 0; i < 200; i++ {
+		probs = append(probs, rng.Float64())
+	}
+	for _, p := range probs {
+		for _, q := range probs {
+			hp, hq := EdgeEntropy(p), EdgeEntropy(q)
+			if math.Abs(hp-hq) < 1e-12 {
+				// Mathematically (near-)equal entropies — e.g. the
+				// symmetric pair (0.99, 0.01) — where the log-based
+				// evaluation itself is only ulp-accurate; the distance
+				// comparator is the authoritative tie-breaker there.
+				continue
+			}
+			if got, want := EntropyGreater(p, q), hp > hq; got != want {
+				t.Fatalf("EntropyGreater(%v, %v) = %v, but H(p)=%v H(q)=%v", p, q, got, hp, hq)
+			}
+		}
+	}
+}

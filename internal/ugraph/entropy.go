@@ -15,6 +15,22 @@ func EdgeEntropy(p float64) float64 {
 	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
 }
 
+// EntropyGreater reports whether H(p) > H(q) for probabilities in [0, 1]
+// without evaluating logarithms: binary entropy is symmetric about ½ and
+// strictly increasing toward it, so the comparison reduces to which
+// probability lies closer to ½. This is the comparator behind the
+// sparsifiers' entropy caps, which sit on the hottest inner loop.
+func EntropyGreater(p, q float64) bool {
+	dp, dq := p-0.5, q-0.5
+	if dp < 0 {
+		dp = -dp
+	}
+	if dq < 0 {
+		dq = -dq
+	}
+	return dp < dq
+}
+
 // Entropy returns H(G) = Σ_e H(p_e), the joint entropy of the graph's
 // independent edges, in bits.
 func (g *Graph) Entropy() float64 {

@@ -47,13 +47,20 @@ type Arc struct {
 // Graph is an uncertain undirected graph. The zero value is an empty graph
 // with no vertices; use New or a Builder to construct instances.
 //
+// Adjacency is stored in compressed sparse row (CSR) form: one flat arc
+// array grouped by source vertex plus an offset table. Neighbors returns a
+// subslice of the arc array, so iteration is a contiguous scan with no
+// per-vertex slice-header indirection; BFS-style kernels can also walk
+// ArcOffsets/Arcs directly.
+//
 // Graph is not safe for concurrent mutation. Concurrent readers are safe as
 // long as no goroutine calls SetProb.
 type Graph struct {
-	n     int
-	edges []Edge
-	adj   [][]Arc
-	index map[uint64]int // packed (u,v) -> edge ID
+	n      int
+	edges  []Edge
+	arcOff []int32        // CSR row offsets: arcs of u are arcs[arcOff[u]:arcOff[u+1]]
+	arcs   []Arc          // CSR arc array, grouped by source vertex, 2|E| entries
+	index  map[uint64]int // packed (u,v) -> edge ID
 }
 
 func pairKey(u, v int) uint64 {
@@ -130,23 +137,26 @@ func (b *Builder) Graph() *Graph {
 	return g
 }
 
+// buildAdjacency constructs the CSR arrays with a counting sort over the
+// edge list. Arcs of each vertex appear in ascending edge-id order, matching
+// the insertion order of the previous [][]Arc representation.
 func (g *Graph) buildAdjacency() {
-	deg := make([]int, g.n)
+	g.arcOff = make([]int32, g.n+1)
 	for _, e := range g.edges {
-		deg[e.U]++
-		deg[e.V]++
+		g.arcOff[e.U+1]++
+		g.arcOff[e.V+1]++
 	}
-	// Single backing array keeps adjacency cache-friendly.
-	backing := make([]Arc, 2*len(g.edges))
-	g.adj = make([][]Arc, g.n)
-	off := 0
 	for u := 0; u < g.n; u++ {
-		g.adj[u] = backing[off : off : off+deg[u]]
-		off += deg[u]
+		g.arcOff[u+1] += g.arcOff[u]
 	}
+	g.arcs = make([]Arc, 2*len(g.edges))
+	next := make([]int32, g.n)
+	copy(next, g.arcOff[:g.n])
 	for id, e := range g.edges {
-		g.adj[e.U] = append(g.adj[e.U], Arc{To: e.V, ID: id})
-		g.adj[e.V] = append(g.adj[e.V], Arc{To: e.U, ID: id})
+		g.arcs[next[e.U]] = Arc{To: e.V, ID: id}
+		next[e.U]++
+		g.arcs[next[e.V]] = Arc{To: e.U, ID: id}
+		next[e.V]++
 	}
 }
 
@@ -188,20 +198,30 @@ func (g *Graph) HasEdge(u, v int) bool {
 	return ok
 }
 
-// Neighbors returns the adjacency list of u. The slice is owned by the graph
-// and must not be modified.
-func (g *Graph) Neighbors(u int) []Arc { return g.adj[u] }
+// Neighbors returns the adjacency list of u as a view into the CSR arc
+// array. The slice is owned by the graph and must not be modified.
+func (g *Graph) Neighbors(u int) []Arc { return g.arcs[g.arcOff[u]:g.arcOff[u+1]] }
 
 // Degree reports the number of edges incident to u (structural degree, not
 // expected degree).
-func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u int) int { return int(g.arcOff[u+1] - g.arcOff[u]) }
+
+// ArcOffsets returns the CSR row-offset table: the arcs of vertex u occupy
+// Arcs()[ArcOffsets()[u]:ArcOffsets()[u+1]]. The slice has length |V|+1, is
+// owned by the graph and must not be modified.
+func (g *Graph) ArcOffsets() []int32 { return g.arcOff }
+
+// Arcs returns the flat CSR arc array (2|E| entries, grouped by source
+// vertex in ascending edge-id order). The slice is owned by the graph and
+// must not be modified.
+func (g *Graph) Arcs() []Arc { return g.arcs }
 
 // ExpectedDegree returns the expected degree of u: the sum of the
 // probabilities of its incident edges. This equals the expected cut size of
 // the singleton set {u}.
 func (g *Graph) ExpectedDegree(u int) float64 {
 	var d float64
-	for _, a := range g.adj[u] {
+	for _, a := range g.Neighbors(u) {
 		d += g.edges[a.ID].P
 	}
 	return d

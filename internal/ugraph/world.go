@@ -187,7 +187,7 @@ func (w *World) Prob() float64 {
 // Neighbors iterates over the neighbors of u present in this world,
 // invoking fn for each. Iteration stops early if fn returns false.
 func (w *World) Neighbors(u int, fn func(v int) bool) {
-	for _, a := range w.g.adj[u] {
+	for _, a := range w.g.Neighbors(u) {
 		if w.Present(a.ID) {
 			if !fn(a.To) {
 				return
