@@ -157,6 +157,25 @@ func BenchmarkWorldSamplingSeeded(b *testing.B) {
 	}
 }
 
+// BenchmarkWorldBatchSampling measures the batch engine's per-64-sample
+// primitive: fill a lane-transposed WorldBatch from 64 deterministic
+// streams (one tile transpose per 64 edges on top of the raw draws).
+func BenchmarkWorldBatchSampling(b *testing.B) {
+	g := benchGraph(b)
+	wb := ugraph.NewWorldBatch(g)
+	seeds := make([]int64, 64)
+	var next int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for l := range seeds {
+			seeds[l] = next
+			next++
+		}
+		g.SampleBatchSeeded(seeds, wb)
+	}
+}
+
 func BenchmarkSparsifyGDB(b *testing.B) {
 	g := benchGraph(b)
 	for i := 0; i < b.N; i++ {
@@ -307,6 +326,43 @@ func BenchmarkReliabilityMC(b *testing.B) {
 		if _, err := ugs.Reliability(ctx, g, pairs, mc.Options{Samples: 50, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAblationQueryEngine compares the bit-parallel 64-world batch
+// engine against the scalar one-world-per-traversal path on the RL, SP and
+// connectivity estimators (the PR 4 query-path ablation; estimates are
+// bit-identical, only traversal count differs).
+func BenchmarkAblationQueryEngine(b *testing.B) {
+	g := benchGraph(b)
+	pairs := ugs.RandomPairs(g.NumVertices(), 50, rand.New(rand.NewSource(1)))
+	ctx := context.Background()
+	for _, v := range []struct {
+		name   string
+		scalar bool
+	}{{"batch", false}, {"scalar", true}} {
+		opts := mc.Options{Samples: 50, Seed: 1, Scalar: v.scalar}
+		b.Run("reliability/"+v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ugs.Reliability(ctx, g, pairs, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("shortestdist/"+v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ugs.ShortestDistance(ctx, g, pairs, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("connected/"+v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ugs.ConnectedProbability(ctx, g, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -162,11 +162,20 @@ func main() {
 		)
 	}
 
-	// Query-side benchmarks: the Monte-Carlo sampling primitive and a full
-	// reliability estimation (Equation 1 over sampled worlds).
+	// Query-side benchmarks: the Monte-Carlo sampling primitives (scalar
+	// world and lane-transposed 64-world batch) and the full RL / SP /
+	// connectivity estimators. Each estimator runs the default bit-parallel
+	// batch engine and, as the ablation, the scalar one-world-per-traversal
+	// path — bit-identical results, different speed. ReliabilityMC keeps the
+	// PR 3 fixture (50 pairs, 50 samples) so trajectories stay comparable.
 	w := ugraph.NewWorld(g)
+	wb := ugraph.NewWorldBatch(g)
 	seed := int64(0)
+	batchSeeds := make([]int64, 64)
 	pairs := ugs.RandomPairs(g.NumVertices(), 50, rand.New(rand.NewSource(1)))
+	queryOpts := func(scalar bool) mc.Options {
+		return mc.Options{Samples: 50, Seed: 1, Scalar: scalar}
+	}
 	benches = append(benches,
 		struct {
 			name string
@@ -178,8 +187,58 @@ func main() {
 		struct {
 			name string
 			fn   func()
+		}{"WorldBatchSampling", func() {
+			for l := range batchSeeds {
+				batchSeeds[l] = seed
+				seed++
+			}
+			g.SampleBatchSeeded(batchSeeds, wb)
+		}},
+		struct {
+			name string
+			fn   func()
 		}{"ReliabilityMC", func() {
-			if _, err := ugs.Reliability(ctx, g, pairs, mc.Options{Samples: 50, Seed: 1}); err != nil {
+			if _, err := ugs.Reliability(ctx, g, pairs, queryOpts(false)); err != nil {
+				fatal(err)
+			}
+		}},
+		struct {
+			name string
+			fn   func()
+		}{"ReliabilityMC/scalar", func() {
+			if _, err := ugs.Reliability(ctx, g, pairs, queryOpts(true)); err != nil {
+				fatal(err)
+			}
+		}},
+		struct {
+			name string
+			fn   func()
+		}{"ShortestDistMC", func() {
+			if _, err := ugs.ShortestDistance(ctx, g, pairs, queryOpts(false)); err != nil {
+				fatal(err)
+			}
+		}},
+		struct {
+			name string
+			fn   func()
+		}{"ShortestDistMC/scalar", func() {
+			if _, err := ugs.ShortestDistance(ctx, g, pairs, queryOpts(true)); err != nil {
+				fatal(err)
+			}
+		}},
+		struct {
+			name string
+			fn   func()
+		}{"ConnectedMC", func() {
+			if _, err := ugs.ConnectedProbability(ctx, g, queryOpts(false)); err != nil {
+				fatal(err)
+			}
+		}},
+		struct {
+			name string
+			fn   func()
+		}{"ConnectedMC/scalar", func() {
+			if _, err := ugs.ConnectedProbability(ctx, g, queryOpts(true)); err != nil {
 				fatal(err)
 			}
 		}},

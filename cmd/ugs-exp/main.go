@@ -27,6 +27,7 @@ func main() {
 		full    = flag.Bool("full", false, "paper-scale parameters (slow)")
 		seed    = flag.Int64("seed", 42, "random seed")
 		workers = flag.Int("workers", 0, "Monte-Carlo parallelism (0 = GOMAXPROCS)")
+		scalar  = flag.Bool("scalar-queries", false, "use the scalar one-world-per-traversal estimators instead of the bit-parallel 64-world batch engine (ablation; results are bit-identical)")
 		timeout = flag.Duration("timeout", 0, "abort the batch after this duration, checked between sparsification runs (0 = unbounded)")
 	)
 	flag.Parse()
@@ -58,7 +59,7 @@ func main() {
 		<-runCtx.Done()
 		stop()
 	}()
-	ctx := exp.NewContext(exp.Config{Full: *full, Seed: *seed, Workers: *workers, Ctx: runCtx})
+	ctx := exp.NewContext(exp.Config{Full: *full, Seed: *seed, Workers: *workers, ScalarQueries: *scalar, Ctx: runCtx})
 	var experiments []exp.Experiment
 	if len(ids) == 1 && ids[0] == "all" {
 		experiments = exp.All()

@@ -27,6 +27,10 @@ type Config struct {
 	Seed int64
 	// Workers is the Monte-Carlo parallelism (0 = GOMAXPROCS).
 	Workers int
+	// ScalarQueries forces the Monte-Carlo estimators onto the scalar
+	// one-world-per-traversal path instead of the bit-parallel 64-world
+	// batch engine (the ablation; results are bit-identical either way).
+	ScalarQueries bool
 	// Ctx, when non-nil, bounds every sparsification run: cancelling it
 	// aborts the experiment batch. Nil means context.Background().
 	Ctx context.Context

@@ -55,8 +55,11 @@ func evalQueries(ctx context.Context, g *ugraph.Graph, pairs []queries.Pair, opt
 	return obs, nil
 }
 
+// mcOptions builds the Monte-Carlo engine options for a query run. SP, RL
+// and connectivity estimates ride the bit-parallel 64-world batch engine
+// unless Cfg.ScalarQueries selects the scalar ablation.
 func (c *Context) mcOptions(samples int) mc.Options {
-	return mc.Options{Samples: samples, Seed: c.Cfg.Seed + 1000, Workers: c.Cfg.Workers}
+	return mc.Options{Samples: samples, Seed: c.Cfg.Seed + 1000, Workers: c.Cfg.Workers, Scalar: c.Cfg.ScalarQueries}
 }
 
 func runFig10(w io.Writer, ctx *Context) error {
@@ -172,7 +175,7 @@ func runFig11(w io.Writer, ctx *Context) error {
 // and the mean clustering coefficient. An estimator error (only possible on
 // cancellation) surfaces as NaN; the surrounding experiment then aborts on
 // its next context check.
-func scalarEstimators(ctx context.Context, g *ugraph.Graph, pairs []queries.Pair, samples, workers int) [4]func(run int) float64 {
+func scalarEstimators(ctx context.Context, g *ugraph.Graph, pairs []queries.Pair, samples, workers int, scalarEngine bool) [4]func(run int) float64 {
 	hub := 0
 	d := g.ExpectedDegrees()
 	for v, dv := range d {
@@ -181,7 +184,7 @@ func scalarEstimators(ctx context.Context, g *ugraph.Graph, pairs []queries.Pair
 		}
 	}
 	opts := func(run int) mc.Options {
-		return mc.Options{Samples: samples, Seed: int64(run)*7919 + 13, Workers: workers}
+		return mc.Options{Samples: samples, Seed: int64(run)*7919 + 13, Workers: workers, Scalar: scalarEngine}
 	}
 	return [4]func(run int) float64{
 		func(run int) float64 {
@@ -238,7 +241,7 @@ func runFig12(w io.Writer, ctx *Context) error {
 		pairs := queries.RandomPairs(ds.g.NumVertices(), s.pairs/2, rng)
 
 		baseVar := [4]float64{}
-		baseEst := scalarEstimators(ctx.Ctx(), ds.g, pairs, s.varianceSamples, ctx.Cfg.Workers)
+		baseEst := scalarEstimators(ctx.Ctx(), ds.g, pairs, s.varianceSamples, ctx.Cfg.Workers, ctx.Cfg.ScalarQueries)
 		for q := range baseEst {
 			_, v := stats.EstimatorVariance(s.varianceRuns, baseEst[q])
 			baseVar[q] = v
@@ -258,7 +261,7 @@ func runFig12(w io.Writer, ctx *Context) error {
 			if err != nil {
 				return err
 			}
-			est := scalarEstimators(ctx.Ctx(), sparse, pairs, s.varianceSamples, ctx.Cfg.Workers)
+			est := scalarEstimators(ctx.Ctx(), sparse, pairs, s.varianceSamples, ctx.Cfg.Workers, ctx.Cfg.ScalarQueries)
 			row := []string{displayName(spec)}
 			for q := range est {
 				_, v := stats.EstimatorVariance(s.varianceRuns, est[q])

@@ -27,6 +27,12 @@ type Options struct {
 	Seed int64
 	// Workers is the parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Scalar forces estimators that support the bit-parallel 64-world
+	// batch engine (reliability, shortest distance, connectivity) onto the
+	// one-world-per-traversal path. It is the ablation and debugging
+	// switch: both paths are bit-identical on the same Seed, the batch
+	// path is just faster.
+	Scalar bool
 }
 
 // WithDefaults returns o with zero fields replaced by their defaults
@@ -114,7 +120,104 @@ func Reduce[L, A any](ctx context.Context, g *ugraph.Graph, opts Options,
 		return newAcc(), nil
 	}
 	size, blocks := blockDims(opts.Samples)
-	workers := opts.Workers
+	return runBlocks(ctx, blocks, opts.Workers, newAcc, merge,
+		func() (runBlock func(b int, acc A, cancelled func() bool) bool) {
+			local := newLocal()
+			w := ugraph.NewWorld(g)
+			return func(b int, acc A, cancelled func() bool) bool {
+				lo := b * size
+				hi := lo + size
+				if hi > opts.Samples {
+					hi = opts.Samples
+				}
+				for i := lo; i < hi; i++ {
+					if (i-lo)%cancelStride == 0 && cancelled() {
+						return false
+					}
+					g.SampleWorldSeeded(sampleSeed(opts.Seed, i), w)
+					visit(i, w, local, acc)
+				}
+				return true
+			}
+		})
+}
+
+// batchCancelStride is how many 64-world batches a worker processes between
+// context checks inside one block (~4·64 samples, matching cancelStride).
+const batchCancelStride = 4
+
+// ReduceBatch is Reduce over 64-world batches: it draws opts.Samples
+// possible worlds in runs of up to ugraph.BatchLanes lanes and folds each
+// WorldBatch into an accumulator of type A. Lane l of the batch starting at
+// sample index s is drawn from the same deterministic stream as scalar
+// sample s+l, and blocks are fixed runs of whole batches merged in block
+// index order — so a batch kernel whose accumulator is order-insensitive
+// (integer counters, exact integer-valued sums) produces results
+// bit-identical to the scalar path for every Workers value.
+//
+// visit receives the global index of the batch's first sample and a
+// WorldBatch that is reused by the calling goroutine (it must not be
+// retained); the final batch may be ragged (Lanes() < 64). Cancellation
+// semantics match Reduce.
+func ReduceBatch[L, A any](ctx context.Context, g *ugraph.Graph, opts Options,
+	newLocal func() L,
+	newAcc func() A,
+	visit func(start int, wb *ugraph.WorldBatch, local L, acc A),
+	merge func(dst, src A),
+) (A, error) {
+	var zero A
+	opts = opts.WithDefaults()
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	if opts.Samples < 0 {
+		return newAcc(), nil
+	}
+	batches := (opts.Samples + ugraph.BatchLanes - 1) / ugraph.BatchLanes
+	size, blocks := blockDims(batches)
+	return runBlocks(ctx, blocks, opts.Workers, newAcc, merge,
+		func() (runBlock func(b int, acc A, cancelled func() bool) bool) {
+			local := newLocal()
+			wb := ugraph.NewWorldBatch(g)
+			var seeds [ugraph.BatchLanes]int64
+			return func(b int, acc A, cancelled func() bool) bool {
+				lo := b * size
+				hi := lo + size
+				if hi > batches {
+					hi = batches
+				}
+				for k := lo; k < hi; k++ {
+					if (k-lo)%batchCancelStride == 0 && cancelled() {
+						return false
+					}
+					start := k * ugraph.BatchLanes
+					lanes := opts.Samples - start
+					if lanes > ugraph.BatchLanes {
+						lanes = ugraph.BatchLanes
+					}
+					for l := 0; l < lanes; l++ {
+						seeds[l] = sampleSeed(opts.Seed, start+l)
+					}
+					g.SampleBatchSeeded(seeds[:lanes], wb)
+					visit(start, wb, local, acc)
+				}
+				return true
+			}
+		})
+}
+
+// runBlocks is the shared block engine behind Reduce and ReduceBatch:
+// workers claim block indices off an atomic counter and fill one accumulator
+// per block via the per-worker runBlock closure (built once per goroutine by
+// newWorker, so worker-local scratch — World, WorldBatch, kernel workspaces
+// — is reused across blocks); completed blocks are folded strictly in block
+// index order. runBlock returns false to signal cancellation.
+func runBlocks[A any](ctx context.Context, blocks, workers int,
+	newAcc func() A,
+	merge func(dst, src A),
+	newWorker func() func(b int, acc A, cancelled func() bool) bool,
+) (A, error) {
+	var zero A
 	if workers > blocks {
 		workers = blocks
 	}
@@ -149,31 +252,27 @@ func Reduce[L, A any](ctx context.Context, g *ugraph.Graph, opts Options,
 
 	var next atomic.Int64
 	var stopped atomic.Bool
+	cancelled := func() bool {
+		if ctx.Err() != nil {
+			stopped.Store(true)
+			return true
+		}
+		return false
+	}
 	var wg sync.WaitGroup
 	for k := 0; k < workers; k++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			local := newLocal()
-			w := ugraph.NewWorld(g)
+			run := newWorker()
 			for !stopped.Load() {
 				b := int(next.Add(1)) - 1
 				if b >= blocks {
 					return
 				}
 				acc := newAcc()
-				lo := b * size
-				hi := lo + size
-				if hi > opts.Samples {
-					hi = opts.Samples
-				}
-				for i := lo; i < hi; i++ {
-					if (i-lo)%cancelStride == 0 && ctx.Err() != nil {
-						stopped.Store(true)
-						return
-					}
-					g.SampleWorldSeeded(sampleSeed(opts.Seed, i), w)
-					visit(i, w, local, acc)
+				if !run(b, acc, cancelled) {
+					return
 				}
 				publish(b, acc)
 			}

@@ -249,6 +249,143 @@ func TestNegativeWorkersFallsBackToDefault(t *testing.T) {
 	}
 }
 
+// TestReduceBatchCoversEverySampleExactlyOnce checks the batch tiling: the
+// union of (start, start+Lanes) ranges across all batches must partition the
+// sample range, including a ragged final batch.
+func TestReduceBatchCoversEverySampleExactlyOnce(t *testing.T) {
+	g := triangle()
+	const samples = 333 // 6 batches, final batch of 13 lanes
+	seen := make([]int32, samples)
+	_, err := ReduceBatch(context.Background(), g, Options{Samples: samples, Seed: 3, Workers: 7},
+		func() struct{} { return struct{}{} },
+		func() struct{} { return struct{}{} },
+		func(start int, wb *ugraph.WorldBatch, _, _ struct{}) {
+			for l := 0; l < wb.Lanes(); l++ {
+				atomic.AddInt32(&seen[start+l], 1)
+			}
+		},
+		func(_, _ struct{}) {},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("sample %d covered %d times, want exactly once", i, n)
+		}
+	}
+}
+
+// TestReduceBatchLanesMatchScalarWorlds pins the engine-level seeding
+// contract: lane l of the batch starting at sample s is the world the
+// scalar engine draws for sample index s+l.
+func TestReduceBatchLanesMatchScalarWorlds(t *testing.T) {
+	g := bridgedCommunities()
+	const samples = 100
+	scalar := make([][]uint64, samples)
+	err := ForEachWorld(context.Background(), g, Options{Samples: samples, Seed: 9, Workers: 4}, func(i int, w *ugraph.World) {
+		scalar[i] = append([]uint64(nil), w.Words()...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReduceBatch(context.Background(), g, Options{Samples: samples, Seed: 9, Workers: 4},
+		func() *ugraph.World { return ugraph.NewWorld(g) },
+		func() struct{} { return struct{}{} },
+		func(start int, wb *ugraph.WorldBatch, w *ugraph.World, _ struct{}) {
+			for l := 0; l < wb.Lanes(); l++ {
+				wb.ExtractLane(l, w)
+				for wi, word := range w.Words() {
+					if word != scalar[start+l][wi] {
+						t.Errorf("sample %d word %d: batch lane %064b != scalar %064b",
+							start+l, wi, word, scalar[start+l][wi])
+					}
+				}
+			}
+		},
+		func(_, _ struct{}) {},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceBatchBitIdenticalAcrossWorkers(t *testing.T) {
+	g := bridgedCommunities()
+	run := func(workers int) int {
+		hits, err := ReduceBatch(context.Background(), g, Options{Samples: 777, Seed: 11, Workers: workers},
+			func() struct{} { return struct{}{} },
+			func() *int { return new(int) },
+			func(_ int, wb *ugraph.WorldBatch, _ struct{}, acc *int) {
+				*acc += wb.PopCount()
+			},
+			func(dst, src *int) { *dst += *src },
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *hits
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 3, 8, 16} {
+		if got := run(workers); got != ref {
+			t.Fatalf("Workers=%d: present-edge total %d != %d", workers, got, ref)
+		}
+	}
+}
+
+func TestReduceBatchAlreadyCancelledContext(t *testing.T) {
+	g := triangle()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	_, err := ReduceBatch(ctx, g, Options{Samples: 100, Seed: 1},
+		func() struct{} { return struct{}{} },
+		func() struct{} { return struct{}{} },
+		func(int, *ugraph.WorldBatch, struct{}, struct{}) { called = true },
+		func(_, _ struct{}) {},
+	)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Error("visit invoked despite pre-cancelled context")
+	}
+}
+
+func TestReduceBatchCancelledContextStopsEarly(t *testing.T) {
+	g := bridgedCommunities()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const samples = 10_000_000
+	var visits atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		_, err := ReduceBatch(ctx, g, Options{Samples: samples, Seed: 5, Workers: 4},
+			func() struct{} { return struct{}{} },
+			func() struct{} { return struct{}{} },
+			func(int, *ugraph.WorldBatch, struct{}, struct{}) {
+				if visits.Add(1) == 10 {
+					cancel()
+				}
+			},
+			func(_, _ struct{}) {},
+		)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("ReduceBatch returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("ReduceBatch did not return after cancellation (deadlock?)")
+	}
+	if v := visits.Load(); v >= samples/64 {
+		t.Fatalf("visited all %d batches despite cancellation", v)
+	}
+}
+
 func TestSampleSeedSpread(t *testing.T) {
 	seen := map[int64]bool{}
 	for i := 0; i < 1000; i++ {

@@ -3,6 +3,7 @@ package queries
 import (
 	"context"
 	"math"
+	"math/bits"
 	"math/rand"
 	"sort"
 
@@ -55,10 +56,19 @@ func ExpectedClusteringCoefficients(ctx context.Context, g *ugraph.Graph, opts m
 type Pair struct{ S, T int }
 
 // RandomPairs draws count distinct-endpoint vertex pairs uniformly at
-// random (the paper evaluates SP and RL on 1000 random pairs).
+// random (the paper evaluates SP and RL on 1000 random pairs). Self-pairs
+// s == t are never produced — their reliability is trivially 1 and their
+// distance trivially 0, which would skew the Figure 10 averages — so n must
+// be at least 2 when count > 0.
 func RandomPairs(n, count int, rng *rand.Rand) []Pair {
+	if count > 0 && n < 2 {
+		panic("queries: RandomPairs needs at least 2 vertices for distinct-endpoint pairs")
+	}
 	pairs := make([]Pair, count)
 	for i := range pairs {
+		// Draw t from the n−1 non-s vertices directly (shifting past s)
+		// instead of rejection sampling: same uniform distribution over
+		// distinct pairs, fixed two draws per pair.
 		s := rng.Intn(n)
 		t := rng.Intn(n - 1)
 		if t >= s {
@@ -70,7 +80,8 @@ func RandomPairs(n, count int, rng *rand.Rand) []Pair {
 }
 
 // Reliability estimates, for each pair, the probability that T is reachable
-// from S (the RL query).
+// from S (the RL query). It runs on the bit-parallel 64-world batch engine
+// unless opts.Scalar selects the per-world path; both are bit-identical.
 func Reliability(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) ([]float64, error) {
 	res, err := pairStats(ctx, g, pairs, opts)
 	if err != nil {
@@ -104,8 +115,9 @@ func ShortestDistance(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts m
 }
 
 // ShortestDistanceAndReliability computes the SP and RL estimates of both
-// queries from a single Monte-Carlo pass (one BFS per distinct source per
-// world), which is how the experiment harness evaluates them together.
+// queries from a single Monte-Carlo pass (one traversal per distinct source
+// per 64-world batch — or per world under opts.Scalar), which is how the
+// experiment harness evaluates them together.
 func ShortestDistanceAndReliability(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) (sp, rl []float64, err error) {
 	res, err := pairStats(ctx, g, pairs, opts)
 	if err != nil {
@@ -130,21 +142,72 @@ type pairResult struct {
 	distSum   float64
 }
 
-// pairStats runs one BFS per distinct source per world, sharing it across
-// all pairs with that source. Each engine worker reuses one BFS; per-block
-// accumulators keep the sample path lock- and allocation-free.
-func pairStats(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) ([]pairResult, error) {
-	// Group pair indices by source.
-	bySource := make(map[int][]int)
+// groupPairsBySource groups pair indices by their source vertex so one
+// traversal per (world-batch, source) serves every pair with that source.
+func groupPairsBySource(pairs []Pair) (bySource map[int][]int, sources []int) {
+	bySource = make(map[int][]int)
 	for i, p := range pairs {
 		bySource[p.S] = append(bySource[p.S], i)
 	}
-	sources := make([]int, 0, len(bySource))
+	sources = make([]int, 0, len(bySource))
 	for s := range bySource {
 		sources = append(sources, s)
 	}
 	sort.Ints(sources)
+	return bySource, sources
+}
 
+func mergePairResults(dst, src []pairResult) {
+	for i := range dst {
+		dst[i].samples += src[i].samples
+		dst[i].reachable += src[i].reachable
+		dst[i].distSum += src[i].distSum
+	}
+}
+
+// pairStats dispatches SP/RL accumulation to the bit-parallel batch engine,
+// or to the per-world scalar path when opts.Scalar requests the ablation.
+// Both paths accumulate integer-valued quantities (hit counts and sums of
+// hop distances, exact in float64), so their results are bit-identical on
+// the same seed for every Workers value.
+func pairStats(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) ([]pairResult, error) {
+	if opts.Scalar {
+		return pairStatsScalar(ctx, g, pairs, opts)
+	}
+	return pairStatsBatch(ctx, g, pairs, opts)
+}
+
+// pairStatsBatch runs one mask-BFS per distinct source per 64-world batch:
+// the traversal settles every lane's distance in a single pass, and the
+// per-target reachability popcount and depth sum fold 64 worlds of SP/RL
+// evidence per pair in O(1). Each engine worker reuses one MaskBFS.
+func pairStatsBatch(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) ([]pairResult, error) {
+	bySource, sources := groupPairsBySource(pairs)
+	return mc.ReduceBatch(ctx, g, opts,
+		func() *MaskBFS { return NewMaskBFS(g.NumVertices()) },
+		func() []pairResult { return make([]pairResult, len(pairs)) },
+		func(_ int, wb *ugraph.WorldBatch, bfs *MaskBFS, acc []pairResult) {
+			lanes := wb.Lanes()
+			for _, s := range sources {
+				reach := bfs.ReachFrom(wb, s)
+				depthSum := bfs.DepthSums()
+				for _, i := range bySource[s] {
+					t := pairs[i].T
+					acc[i].samples += lanes
+					acc[i].reachable += bits.OnesCount64(reach[t])
+					acc[i].distSum += float64(depthSum[t])
+				}
+			}
+		},
+		mergePairResults,
+	)
+}
+
+// pairStatsScalar runs one BFS per distinct source per world, sharing it
+// across all pairs with that source. Each engine worker reuses one BFS;
+// per-block accumulators keep the sample path lock- and allocation-free.
+func pairStatsScalar(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) ([]pairResult, error) {
+	bySource, sources := groupPairsBySource(pairs)
 	return mc.Reduce(ctx, g, opts,
 		func() *BFS { return NewBFS(g.NumVertices()) },
 		func() []pairResult { return make([]pairResult, len(pairs)) },
@@ -160,32 +223,40 @@ func pairStats(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Optio
 				}
 			}
 		},
-		func(dst, src []pairResult) {
-			for i := range dst {
-				dst[i].samples += src[i].samples
-				dst[i].reachable += src[i].reachable
-				dst[i].distSum += src[i].distSum
-			}
-		},
+		mergePairResults,
 	)
 }
 
 // ConnectedProbability estimates Pr[G is connected] — the introductory
-// example query of the paper (Figure 1). Each engine worker reuses one BFS
-// (connectivity needs nothing more), so the per-sample check does not
-// allocate.
+// example query of the paper (Figure 1). One mask-BFS plus an AND-sweep
+// checks 64 sampled worlds per traversal; opts.Scalar selects the one-world
+// BFS path instead (the ablation). Hit counts are integers, so the two
+// paths and every Workers value agree bit-identically.
 func ConnectedProbability(ctx context.Context, g *ugraph.Graph, opts mc.Options) (float64, error) {
 	opts = opts.WithDefaults()
-	hits, err := mc.Reduce(ctx, g, opts,
-		func() *BFS { return NewBFS(g.NumVertices()) },
-		func() *int { return new(int) },
-		func(_ int, w *ugraph.World, bfs *BFS, acc *int) {
-			if bfs.Connected(w) {
-				*acc++
-			}
-		},
-		func(dst, src *int) { *dst += *src },
-	)
+	var hits *int
+	var err error
+	if opts.Scalar {
+		hits, err = mc.Reduce(ctx, g, opts,
+			func() *BFS { return NewBFS(g.NumVertices()) },
+			func() *int { return new(int) },
+			func(_ int, w *ugraph.World, bfs *BFS, acc *int) {
+				if bfs.Connected(w) {
+					*acc++
+				}
+			},
+			func(dst, src *int) { *dst += *src },
+		)
+	} else {
+		hits, err = mc.ReduceBatch(ctx, g, opts,
+			func() *MaskBFS { return NewMaskBFS(g.NumVertices()) },
+			func() *int { return new(int) },
+			func(_ int, wb *ugraph.WorldBatch, bfs *MaskBFS, acc *int) {
+				*acc += bits.OnesCount64(bfs.ConnectedLanes(wb))
+			},
+			func(dst, src *int) { *dst += *src },
+		)
+	}
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,197 @@
+package queries
+
+import (
+	"math/bits"
+
+	"ugs/internal/ugraph"
+)
+
+// MaskBFS is a reusable bit-parallel breadth-first search over the 64 world
+// lanes of a ugraph.WorldBatch. One level-synchronous traversal propagates a
+// per-vertex lane mask (bit l = "reached in world l") over the graph's CSR
+// adjacency, answering connectivity, reliability and hop-distance queries
+// for all lanes at once: an edge transmits exactly the frontier lanes that
+// contain it (frontier & edgeMask), and a vertex settles each lane at the
+// level it is first reached in that lane.
+//
+// Zero steady-state allocations with a warm instance. Not safe for
+// concurrent use; create one per goroutine (the batch Monte-Carlo engine
+// creates one per worker).
+type MaskBFS struct {
+	reach    []uint64 // lanes in which each vertex has been reached
+	cur      []uint64 // frontier lanes entering the current level
+	next     []uint64 // lanes first reached during the current level
+	depthSum []int64  // Σ over reached lanes of the lane's settle depth
+	curQ     []int32  // vertices with nonzero cur bits
+	nextQ    []int32  // vertices with nonzero next bits
+
+	// Per-arc gather table in CSR arc order: each entry packs the arc's
+	// target vertex with the bound batch's lane mask of the arc's edge, so
+	// the traversal's inner loop consumes one sequential 16-byte stream
+	// instead of chasing masks[arc.ID] per arc. The gather costs one 2|E|
+	// pass per batch fill and is amortized over every traversal of that
+	// fill (one per distinct query source); cache keys make staleness
+	// impossible.
+	arcs     []packedArc
+	boundG   *ugraph.Graph
+	boundWB  *ugraph.WorldBatch
+	boundSeq uint64
+}
+
+// packedArc is one CSR arc fused with its edge's lane mask for the bound
+// batch fill.
+type packedArc struct {
+	mask uint64
+	to   int32
+}
+
+// NewMaskBFS returns a mask-BFS sized for graphs with n vertices. The
+// per-arc tables are sized on first use.
+func NewMaskBFS(n int) *MaskBFS {
+	return &MaskBFS{
+		reach:    make([]uint64, n),
+		cur:      make([]uint64, n),
+		next:     make([]uint64, n),
+		depthSum: make([]int64, n),
+		curQ:     make([]int32, 0, n),
+		nextQ:    make([]int32, 0, n),
+	}
+}
+
+// bind refreshes the per-arc gather table for wb's current fill (no-op
+// when already bound to this graph, batch and fill sequence).
+func (b *MaskBFS) bind(wb *ugraph.WorldBatch) {
+	g := wb.Graph()
+	if b.boundG != g {
+		arcs := g.Arcs()
+		if cap(b.arcs) < len(arcs) {
+			b.arcs = make([]packedArc, len(arcs))
+		}
+		b.arcs = b.arcs[:len(arcs)]
+		b.boundG = g
+		b.boundWB = nil
+	}
+	if b.boundWB != wb || b.boundSeq != wb.FillSeq() {
+		masks := wb.EdgeMasks()
+		for j, a := range g.Arcs() {
+			b.arcs[j] = packedArc{mask: masks[a.ID], to: int32(a.To)}
+		}
+		b.boundWB, b.boundSeq = wb, wb.FillSeq()
+	}
+}
+
+// ReachFrom runs one level-synchronous traversal from src across every
+// active lane of wb. It returns the per-vertex reachability masks: bit l of
+// the result's entry v is set iff v is reachable from src in world lane l.
+// The slice is owned by the MaskBFS and overwritten by the next call; bits
+// of inactive lanes are always zero.
+//
+// Per-lane hop distances are folded into DepthSums as each (vertex, lane)
+// settles: lane l of vertex v contributes its BFS distance the moment v is
+// first reached in lane l, which is exactly the scalar BFS distance of v in
+// world l. Unreached lanes contribute nothing (reachability masks record
+// which lanes count).
+func (b *MaskBFS) ReachFrom(wb *ugraph.WorldBatch, src int) []uint64 {
+	b.bind(wb)
+	off := wb.Graph().ArcOffsets()
+	arcs := b.arcs
+	reach, cur, next, depthSum := b.reach, b.cur, b.next, b.depthSum
+	for v := range reach {
+		reach[v] = 0
+		depthSum[v] = 0
+	}
+	// Invariant between calls: cur and next are all zero (every entry set
+	// during a level is cleared when the level is consumed).
+	active := wb.ActiveMask()
+	reach[src] = active
+	cur[src] = active
+	curQ := append(b.curQ[:0], int32(src))
+	nextQ := b.nextQ[:0]
+	n := len(reach)
+	depth := 0
+	for len(curQ) > 0 {
+		depth++
+		// Arc volume of the level decides how the next frontier is
+		// recovered. Lane masks intersect unpredictably, so the expansion
+		// loop is kept branch-free (always-executed L1 loads are cheaper
+		// than data-dependent skips that mispredict); on dense levels even
+		// the first-touch queue push is dropped and the frontier is
+		// rebuilt by a sequential sweep of next instead.
+		vol := 0
+		for _, ui := range curQ {
+			vol += int(off[ui+1] - off[ui])
+		}
+		nextQ = nextQ[:0]
+		if vol >= n/8 {
+			for _, ui := range curQ {
+				u := int(ui)
+				fu := cur[u]
+				cur[u] = 0
+				for _, a := range arcs[off[u]:off[u+1]] {
+					v := int(a.to)
+					next[v] |= fu & a.mask &^ reach[v]
+				}
+			}
+			for v, newly := range next {
+				if newly != 0 {
+					next[v] = 0
+					reach[v] |= newly
+					depthSum[v] += int64(depth) * int64(bits.OnesCount64(newly))
+					cur[v] = newly
+					nextQ = append(nextQ, int32(v))
+				}
+			}
+		} else {
+			for _, ui := range curQ {
+				u := int(ui)
+				fu := cur[u]
+				cur[u] = 0
+				for _, a := range arcs[off[u]:off[u+1]] {
+					v := int(a.to)
+					m := fu & a.mask &^ reach[v]
+					prev := next[v]
+					nv := prev | m
+					next[v] = nv
+					if prev == 0 && nv != 0 {
+						nextQ = append(nextQ, int32(v))
+					}
+				}
+			}
+			for _, vi := range nextQ {
+				v := int(vi)
+				newly := next[v] // disjoint from reach[v]: masked at insertion
+				next[v] = 0
+				reach[v] |= newly
+				depthSum[v] += int64(depth) * int64(bits.OnesCount64(newly))
+				cur[v] = newly
+			}
+		}
+		curQ, nextQ = nextQ, curQ[:0]
+	}
+	b.curQ, b.nextQ = curQ[:0], nextQ[:0]
+	return reach
+}
+
+// DepthSums exposes the per-vertex sums of settle depths over reached lanes
+// computed by the last ReachFrom: entry v is Σ_{l reachable} dist_l(src, v).
+// Together with popcount of the reach mask this yields the conditional mean
+// shortest distance without per-lane extraction. Owned by the MaskBFS.
+func (b *MaskBFS) DepthSums() []int64 { return b.depthSum }
+
+// ConnectedLanes reports the mask of lanes whose world connects all
+// vertices of the underlying graph — the 64-world generalization of
+// BFS.Connected, computed by one traversal from vertex 0 and an AND-sweep
+// over the reachability masks.
+func (b *MaskBFS) ConnectedLanes(wb *ugraph.WorldBatch) uint64 {
+	if wb.Graph().NumVertices() <= 1 {
+		return wb.ActiveMask()
+	}
+	lanes := wb.ActiveMask()
+	for _, r := range b.ReachFrom(wb, 0) {
+		lanes &= r
+		if lanes == 0 {
+			break
+		}
+	}
+	return lanes
+}

@@ -1,0 +1,247 @@
+package queries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ugs/internal/mc"
+	"ugs/internal/ugraph"
+)
+
+func randomQueryGraph(rng *rand.Rand, n int, density float64) *ugraph.Graph {
+	b := ugraph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < density {
+				if err := b.AddEdge(u, v, 0.05+0.9*rng.Float64()); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// TestMaskBFSMatchesScalarBFSPerLane pins the traversal kernel itself:
+// reachability bits and settle-depth sums of a mask-BFS must agree with a
+// scalar BFS run on each extracted lane, for full and ragged batches.
+func TestMaskBFSMatchesScalarBFSPerLane(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		g := randomQueryGraph(rng, 8+rng.Intn(30), 0.1+0.2*rng.Float64())
+		lanes := 1 + rng.Intn(64)
+		seeds := make([]int64, lanes)
+		for l := range seeds {
+			seeds[l] = rng.Int63()
+		}
+		wb := ugraph.NewWorldBatch(g)
+		g.SampleBatchSeeded(seeds, wb)
+		mb := NewMaskBFS(g.NumVertices())
+		bfs := NewBFS(g.NumVertices())
+		w := ugraph.NewWorld(g)
+		for src := 0; src < g.NumVertices(); src += 1 + g.NumVertices()/4 {
+			reach := mb.ReachFrom(wb, src)
+			depthSum := mb.DepthSums()
+			wantReach := make([]uint64, g.NumVertices())
+			wantDepth := make([]int64, g.NumVertices())
+			for l := 0; l < lanes; l++ {
+				wb.ExtractLane(l, w)
+				for v, d := range bfs.Distances(w, src) {
+					if d >= 0 {
+						wantReach[v] |= 1 << uint(l)
+						wantDepth[v] += int64(d)
+					}
+				}
+			}
+			for v := range wantReach {
+				if reach[v] != wantReach[v] {
+					t.Fatalf("trial %d src %d vertex %d: reach %064b != scalar %064b",
+						trial, src, v, reach[v], wantReach[v])
+				}
+				if depthSum[v] != wantDepth[v] {
+					t.Fatalf("trial %d src %d vertex %d: depthSum %d != scalar %d",
+						trial, src, v, depthSum[v], wantDepth[v])
+				}
+			}
+		}
+	}
+}
+
+func TestMaskBFSConnectedLanesMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 10; trial++ {
+		g := randomQueryGraph(rng, 5+rng.Intn(20), 0.3)
+		lanes := 1 + rng.Intn(64)
+		seeds := make([]int64, lanes)
+		for l := range seeds {
+			seeds[l] = rng.Int63()
+		}
+		wb := ugraph.NewWorldBatch(g)
+		g.SampleBatchSeeded(seeds, wb)
+		got := NewMaskBFS(g.NumVertices()).ConnectedLanes(wb)
+		bfs := NewBFS(g.NumVertices())
+		w := ugraph.NewWorld(g)
+		var want uint64
+		for l := 0; l < lanes; l++ {
+			wb.ExtractLane(l, w)
+			if bfs.Connected(w) {
+				want |= 1 << uint(l)
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: ConnectedLanes %064b != scalar %064b", trial, got, want)
+		}
+	}
+}
+
+func TestMaskBFSZeroSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := randomQueryGraph(rng, 50, 0.2)
+	seeds := make([]int64, 64)
+	for l := range seeds {
+		seeds[l] = rng.Int63()
+	}
+	wb := ugraph.NewWorldBatch(g)
+	g.SampleBatchSeeded(seeds, wb)
+	mb := NewMaskBFS(g.NumVertices())
+	mb.ReachFrom(wb, 0)
+	for name, fn := range map[string]func(){
+		"ReachFrom":      func() { mb.ReachFrom(wb, 0) },
+		"ConnectedLanes": func() { mb.ConnectedLanes(wb) },
+	} {
+		if allocs := testing.AllocsPerRun(50, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f per call with a warm MaskBFS, want 0", name, allocs)
+		}
+	}
+}
+
+// TestBatchScalarEquivalence is the engine-level contract of the PR: the
+// mask-BFS batch path and the per-world scalar path must produce
+// bit-identical estimates for Reliability, ShortestDistance and
+// ConnectedProbability on the same seeds, across worker counts and for
+// sample counts not divisible by 64 (ragged final batch).
+func TestBatchScalarEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randomQueryGraph(rng, 40, 0.12)
+	pairs := RandomPairs(g.NumVertices(), 25, rng)
+	for _, samples := range []int{1, 50, 64, 100, 130, 257} {
+		for _, workers := range []int{1, 8} {
+			base := mc.Options{Samples: samples, Seed: 77, Workers: workers}
+			scalar := base
+			scalar.Scalar = true
+
+			rlB, err := Reliability(bg(), g, pairs, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rlS, err := Reliability(bg(), g, pairs, scalar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spB, rlB2, err := ShortestDistanceAndReliability(bg(), g, pairs, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spS, rlS2, err := ShortestDistanceAndReliability(bg(), g, pairs, scalar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range pairs {
+				if rlB[i] != rlS[i] || rlB2[i] != rlS2[i] {
+					t.Fatalf("samples=%d workers=%d pair %d: RL batch %v/%v != scalar %v/%v",
+						samples, workers, i, rlB[i], rlB2[i], rlS[i], rlS2[i])
+				}
+				spSame := spB[i] == spS[i] || (math.IsNaN(spB[i]) && math.IsNaN(spS[i]))
+				if !spSame {
+					t.Fatalf("samples=%d workers=%d pair %d: SP batch %v != scalar %v",
+						samples, workers, i, spB[i], spS[i])
+				}
+			}
+
+			cpB, err := ConnectedProbability(bg(), g, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cpS, err := ConnectedProbability(bg(), g, scalar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cpB != cpS {
+				t.Fatalf("samples=%d workers=%d: ConnectedProbability batch %v != scalar %v",
+					samples, workers, cpB, cpS)
+			}
+		}
+	}
+}
+
+// TestBatchEstimatorsBitIdenticalAcrossWorkers pins determinism of the
+// batch path on its own: same seed, any Workers, identical floats.
+func TestBatchEstimatorsBitIdenticalAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	g := randomQueryGraph(rng, 35, 0.15)
+	pairs := RandomPairs(g.NumVertices(), 12, rng)
+	opts := func(workers int) mc.Options {
+		return mc.Options{Samples: 650, Seed: 5, Workers: workers} // 11 batches, ragged tail
+	}
+	spRef, rlRef, err := ShortestDistanceAndReliability(bg(), g, pairs, opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpRef, err := ConnectedProbability(bg(), g, opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		sp, rl, err := ShortestDistanceAndReliability(bg(), g, pairs, opts(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range spRef {
+			spSame := sp[i] == spRef[i] || (math.IsNaN(sp[i]) && math.IsNaN(spRef[i]))
+			if !spSame || rl[i] != rlRef[i] {
+				t.Fatalf("Workers=%d pair %d: (SP=%v RL=%v) != (SP=%v RL=%v)",
+					workers, i, sp[i], rl[i], spRef[i], rlRef[i])
+			}
+		}
+		cp, err := ConnectedProbability(bg(), g, opts(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp != cpRef {
+			t.Fatalf("Workers=%d: ConnectedProbability %v != %v", workers, cp, cpRef)
+		}
+	}
+}
+
+// TestRandomPairsDistinctEndpoints pins the no-self-pair guarantee down to
+// the smallest legal vertex count, where a buggy shift would collide.
+func TestRandomPairsDistinctEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{2, 3, 10} {
+		for _, p := range RandomPairs(n, 2000, rng) {
+			if p.S == p.T {
+				t.Fatalf("n=%d: self-pair (%d,%d)", n, p.S, p.T)
+			}
+			if p.S < 0 || p.S >= n || p.T < 0 || p.T >= n {
+				t.Fatalf("n=%d: endpoint out of range (%d,%d)", n, p.S, p.T)
+			}
+		}
+	}
+	// n=2 must produce both orientations, nothing else.
+	seen := map[Pair]bool{}
+	for _, p := range RandomPairs(2, 200, rng) {
+		seen[p] = true
+	}
+	if !seen[Pair{S: 0, T: 1}] || !seen[Pair{S: 1, T: 0}] || len(seen) != 2 {
+		t.Fatalf("n=2 pair support = %v, want exactly {(0,1),(1,0)}", seen)
+	}
+	// Too few vertices for distinct endpoints must fail loudly, not emit
+	// self-pairs.
+	defer func() {
+		if recover() == nil {
+			t.Error("RandomPairs(1, 1) did not panic")
+		}
+	}()
+	RandomPairs(1, 1, rng)
+}

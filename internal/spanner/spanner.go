@@ -69,18 +69,20 @@ func Sparsify(ctx context.Context, g *ugraph.Graph, alpha float64, opts Options)
 
 	// Initial t from α|E| = t·n^{1+1/t}; expected spanner size decreases
 	// with t, so search upward from the smallest t whose expected size
-	// fits, rerunning while the realized size overshoots.
+	// fits, rerunning while the realized size overshoots. One scratch
+	// serves every spanner construction of the search.
 	t := 1
 	for t < opts.MaxT && float64(t)*math.Pow(n, 1+1/float64(t)) > float64(target) {
 		t++
 	}
+	sc := newBSScratch(g.NumVertices(), m)
 	var edges []int
 	builds := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		edges = BaswanaSen(g, weights, t, rand.New(rand.NewSource(rng.Int63())))
+		edges = baswanaSen(g, weights, t, rand.New(rand.NewSource(rng.Int63())), sc)
 		builds++
 		if opts.Progress != nil {
 			opts.Progress(core.RunStats{Iterations: builds, StretchT: t, AuxEdges: len(edges)})
@@ -140,19 +142,70 @@ func Sparsify(ctx context.Context, g *ugraph.Graph, alpha float64, opts Options)
 	return out, stats, nil
 }
 
+// bsScratch holds every buffer one Baswana–Sen construction needs, so the
+// stretch-parameter search of Sparsify reuses a single allocation set across
+// spanner builds (previously each build allocated per-vertex adjacency maps
+// in every clustering round — thousands of allocations per SparsifySS).
+//
+// The per-vertex "least-weight edge to each adjacent cluster" table is keyed
+// by cluster center (0..n-1) for live clusters and by n+v for a retired
+// neighbor v, with bestID[key] < 0 meaning absent; touched keys are recorded
+// and reset after each vertex, keeping the table warm across rounds.
+type bsScratch struct {
+	present   []bool
+	inSpanner []bool
+	spanner   []int
+	cluster   []int
+	next      []int
+	isCenter  []bool
+	centers   []int
+	sampled   []bool
+	bestID    []int32
+	bestW     []float64
+	touched   []int32
+}
+
+func newBSScratch(n, m int) *bsScratch {
+	sc := &bsScratch{
+		present:   make([]bool, m),
+		inSpanner: make([]bool, m),
+		spanner:   make([]int, 0, m),
+		cluster:   make([]int, n),
+		next:      make([]int, n),
+		isCenter:  make([]bool, n),
+		centers:   make([]int, 0, n),
+		sampled:   make([]bool, n),
+		bestID:    make([]int32, 2*n),
+		bestW:     make([]float64, 2*n),
+		touched:   make([]int32, 0, n),
+	}
+	for i := range sc.bestID {
+		sc.bestID[i] = -1
+	}
+	return sc
+}
+
 // BaswanaSen computes a (2t−1)-spanner of g under the given edge weights and
 // returns the selected edge identifiers. The expected size is
 // O(t·n^{1+1/t}). The algorithm performs t−1 clustering rounds followed by a
 // vertex–cluster joining round; t = 1 returns all edges (a 1-spanner).
 func BaswanaSen(g *ugraph.Graph, weights []float64, t int, rng *rand.Rand) []int {
+	return baswanaSen(g, weights, t, rng, newBSScratch(g.NumVertices(), g.NumEdges()))
+}
+
+// baswanaSen is BaswanaSen on caller-provided scratch. The returned slice
+// aliases sc.spanner and is invalidated by the next call with the same
+// scratch.
+func baswanaSen(g *ugraph.Graph, weights []float64, t int, rng *rand.Rand, sc *bsScratch) []int {
 	n := g.NumVertices()
 	m := g.NumEdges()
-	present := make([]bool, m)
-	for i := range present {
+	present := sc.present
+	inSpanner := sc.inSpanner
+	for i := 0; i < m; i++ {
 		present[i] = true
+		inSpanner[i] = false
 	}
-	inSpanner := make([]bool, m)
-	var spanner []int
+	spanner := sc.spanner[:0]
 	add := func(id int) {
 		if !inSpanner[id] {
 			inSpanner[id] = true
@@ -160,38 +213,53 @@ func BaswanaSen(g *ugraph.Graph, weights []float64, t int, rng *rand.Rand) []int
 		}
 	}
 
+	// bestOf records edge id as the candidate least-weight edge for key,
+	// with the same weight-then-id tie-break the map version used.
+	touched := sc.touched[:0]
+	bestOf := func(key, id int) {
+		switch {
+		case sc.bestID[key] < 0:
+			touched = append(touched, int32(key))
+			sc.bestID[key] = int32(id)
+			sc.bestW[key] = weights[id]
+		case weights[id] < sc.bestW[key] || (weights[id] == sc.bestW[key] && id < int(sc.bestID[key])):
+			sc.bestID[key] = int32(id)
+			sc.bestW[key] = weights[id]
+		}
+	}
+	resetTouched := func() {
+		for _, key := range touched {
+			sc.bestID[key] = -1
+		}
+		touched = touched[:0]
+	}
+
 	// cluster[v] = center of v's cluster, or -1 once v has fallen out of
 	// the clustering (its remaining edges were fully resolved).
-	cluster := make([]int, n)
+	cluster := sc.cluster
 	for v := range cluster {
 		cluster[v] = v
 	}
+	next := sc.next
 	sampleProb := math.Pow(float64(n), -1/float64(t))
 
 	for round := 1; round <= t-1; round++ {
 		// Sample cluster centers, drawing in sorted order so results are
 		// deterministic for a given rng seed.
-		centerSet := make(map[int]bool)
+		centers := sc.centers[:0]
 		for _, c := range cluster {
-			if c >= 0 {
-				centerSet[c] = true
+			if c >= 0 && !sc.isCenter[c] {
+				sc.isCenter[c] = true
+				centers = append(centers, c)
 			}
-		}
-		centers := make([]int, 0, len(centerSet))
-		for c := range centerSet {
-			centers = append(centers, c)
 		}
 		sort.Ints(centers)
-		sampled := make(map[int]bool)
 		for _, c := range centers {
-			if rng.Float64() < sampleProb {
-				sampled[c] = true
-			}
+			sc.sampled[c] = rng.Float64() < sampleProb
 		}
 
-		next := make([]int, n)
 		for v := range next {
-			if cluster[v] >= 0 && sampled[cluster[v]] {
+			if cluster[v] >= 0 && sc.sampled[cluster[v]] {
 				next[v] = cluster[v] // sampled clusters survive
 			} else {
 				next[v] = -1
@@ -199,15 +267,10 @@ func BaswanaSen(g *ugraph.Graph, weights []float64, t int, rng *rand.Rand) []int
 		}
 
 		for u := 0; u < n; u++ {
-			if cluster[u] < 0 || sampled[cluster[u]] {
+			if cluster[u] < 0 || sc.sampled[cluster[u]] {
 				continue
 			}
 			// Least-weight edge from u to each adjacent cluster.
-			type best struct {
-				id int
-				w  float64
-			}
-			adj := make(map[int]best)
 			for _, a := range g.Neighbors(u) {
 				if !present[a.ID] {
 					continue
@@ -216,41 +279,49 @@ func BaswanaSen(g *ugraph.Graph, weights []float64, t int, rng *rand.Rand) []int
 				if c < 0 || c == cluster[u] {
 					continue
 				}
-				if b, ok := adj[c]; !ok || weights[a.ID] < b.w || (weights[a.ID] == b.w && a.ID < b.id) {
-					adj[c] = best{a.ID, weights[a.ID]}
-				}
+				bestOf(c, a.ID)
 			}
 
 			// Least-weight edge into a sampled adjacent cluster, if any.
-			eStar := best{-1, math.Inf(1)}
-			for c, b := range adj {
-				if sampled[c] && (b.w < eStar.w || (b.w == eStar.w && b.id < eStar.id)) {
-					eStar = b
+			eStarID, eStarW := -1, math.Inf(1)
+			for _, key := range touched {
+				c := int(key)
+				if b := int(sc.bestID[c]); sc.sampled[c] && (sc.bestW[c] < eStarW || (sc.bestW[c] == eStarW && b < eStarID)) {
+					eStarID, eStarW = b, sc.bestW[c]
 				}
 			}
 
-			if eStar.id < 0 {
+			if eStarID < 0 {
 				// No sampled neighbor: connect to every adjacent cluster
 				// and retire u from the clustering.
-				for c, b := range adj {
-					add(b.id)
+				for _, key := range touched {
+					c := int(key)
+					add(int(sc.bestID[c]))
 					removeClusterEdges(g, present, cluster, u, c)
 				}
 			} else {
-				add(eStar.id)
-				joined := cluster[g.Edge(eStar.id).Other(u)]
+				add(eStarID)
+				joined := cluster[g.Edge(eStarID).Other(u)]
 				next[u] = joined
 				removeClusterEdges(g, present, cluster, u, joined)
-				for c, b := range adj {
-					if c != joined && b.w < eStar.w {
-						add(b.id)
+				for _, key := range touched {
+					c := int(key)
+					if c != joined && sc.bestW[c] < eStarW {
+						add(int(sc.bestID[c]))
 						removeClusterEdges(g, present, cluster, u, c)
 					}
 				}
 			}
+			resetTouched()
 		}
 
-		cluster = next
+		// Reset the per-round center marks before cluster is overwritten.
+		for _, c := range centers {
+			sc.isCenter[c] = false
+			sc.sampled[c] = false
+		}
+		sc.centers = centers[:0]
+		cluster, next = next, cluster
 		// Discard intra-cluster edges.
 		for id := 0; id < m; id++ {
 			if !present[id] {
@@ -264,30 +335,26 @@ func BaswanaSen(g *ugraph.Graph, weights []float64, t int, rng *rand.Rand) []int
 	}
 
 	// Vertex–cluster joining: each vertex keeps its least-weight edge to
-	// every adjacent final cluster (and to each retired neighbor,
-	// identified by the neighbor itself).
+	// every adjacent final cluster (and to each retired neighbor, keyed by
+	// n + neighbor so retired vertices count individually).
 	for u := 0; u < n; u++ {
-		type best struct {
-			id int
-			w  float64
-		}
-		adj := make(map[int]best)
 		for _, a := range g.Neighbors(u) {
 			if !present[a.ID] {
 				continue
 			}
 			key := cluster[a.To]
 			if key < 0 {
-				key = -2 - a.To // retired vertices count individually
+				key = n + a.To
 			}
-			if b, ok := adj[key]; !ok || weights[a.ID] < b.w || (weights[a.ID] == b.w && a.ID < b.id) {
-				adj[key] = best{a.ID, weights[a.ID]}
-			}
+			bestOf(key, a.ID)
 		}
-		for _, b := range adj {
-			add(b.id)
+		for _, key := range touched {
+			add(int(sc.bestID[key]))
 		}
+		resetTouched()
 	}
+	sc.touched = touched[:0]
+	sc.spanner = spanner
 	return spanner
 }
 

@@ -1,0 +1,157 @@
+package ugraph
+
+import "math/bits"
+
+// BatchLanes is the number of possible worlds a WorldBatch holds: one per
+// bit of a machine word.
+const BatchLanes = 64
+
+// WorldBatch is the lane-transposed representation of up to 64 possible
+// worlds: masks[e] holds, in bit l, whether edge e is present in world lane
+// l. Where World packs 64 *edges* of one world per word, WorldBatch packs 64
+// *worlds* of one edge per word — the layout that lets a single graph
+// traversal propagate per-vertex lane masks and answer
+// connectivity/reliability/distance queries for all lanes at once.
+//
+// Lane l of a batch filled by SampleBatchSeeded is bit-identical to the
+// World produced by SampleWorldSeeded with the same seed, so batch and
+// scalar Monte-Carlo paths agree exactly. A WorldBatch is only meaningful
+// together with the Graph it was sampled from and is not safe for
+// concurrent use.
+type WorldBatch struct {
+	g     *Graph
+	masks []uint64 // per-edge lane masks, len == NumEdges
+	lanes int      // active lanes, 1..64 (0 before the first fill)
+	seq   uint64   // fill sequence, bumped by every SampleBatchSeeded
+}
+
+// NewWorldBatch returns an empty batch for g with no active lanes.
+func NewWorldBatch(g *Graph) *WorldBatch {
+	return &WorldBatch{g: g, masks: make([]uint64, g.NumEdges())}
+}
+
+// Graph returns the uncertain graph this batch was drawn from.
+func (b *WorldBatch) Graph() *Graph { return b.g }
+
+// Lanes reports the number of active world lanes (the final batch of a
+// Monte-Carlo run may be ragged, holding fewer than 64).
+func (b *WorldBatch) Lanes() int { return b.lanes }
+
+// ActiveMask returns the mask with one bit set per active lane.
+func (b *WorldBatch) ActiveMask() uint64 {
+	if b.lanes >= BatchLanes {
+		return ^uint64(0)
+	}
+	return 1<<uint(b.lanes) - 1
+}
+
+// EdgeMasks exposes the per-edge lane masks: bit l of EdgeMasks()[e] is the
+// presence of edge e in lane l. The slice is owned by the batch; callers
+// must treat it as read-only. Bits at or above Lanes() are zero.
+func (b *WorldBatch) EdgeMasks() []uint64 { return b.masks }
+
+// LaneMask returns the lane mask of edge id.
+func (b *WorldBatch) LaneMask(id int) uint64 { return b.masks[id] }
+
+// FillSeq returns the batch's fill sequence number, incremented by every
+// SampleBatchSeeded call. Kernels that precompute batch-derived tables (for
+// example per-arc mask gathers) key their caches on (batch, FillSeq) so a
+// refilled batch is never served stale data.
+func (b *WorldBatch) FillSeq() uint64 { return b.seq }
+
+// PopCount counts the present (edge, lane) pairs across the batch.
+func (b *WorldBatch) PopCount() int {
+	n := 0
+	for _, m := range b.masks {
+		n += bits.OnesCount64(m)
+	}
+	return n
+}
+
+// ExtractLane writes world lane l into w, which must have been created for
+// the batch's graph. It is the transpose of the fill path, used by tests and
+// by callers that need one lane as a scalar World.
+func (b *WorldBatch) ExtractLane(l int, w *World) {
+	if l < 0 || l >= b.lanes {
+		panic("ugraph: world batch lane out of range")
+	}
+	m := len(b.masks)
+	for wi := range w.bits {
+		base := wi << 6
+		limit := m - base
+		if limit > 64 {
+			limit = 64
+		}
+		var word uint64
+		for bit := 0; bit < limit; bit++ {
+			word |= (b.masks[base+bit] >> uint(l) & 1) << uint(bit)
+		}
+		w.bits[wi] = word
+	}
+}
+
+// SampleBatchSeeded redraws the batch so that lane l is bit-identical to
+// the world SampleWorldSeeded(seeds[l], w) produces: each lane draws its own
+// deterministic SplitMix64 stream in ascending edge order. len(seeds) sets
+// the active lane count and must be 1..64. Zero allocations.
+//
+// The fill works tile-by-tile: for each group of 64 edges, every lane draws
+// its 64-bit presence word (advancing all lane streams in lockstep through
+// the edge list), and the resulting 64×64 bit matrix is transposed in place
+// so the batch stores per-edge lane masks. Inactive lanes stay zero.
+func (g *Graph) SampleBatchSeeded(seeds []int64, b *WorldBatch) {
+	lanes := len(seeds)
+	if lanes == 0 || lanes > BatchLanes {
+		panic("ugraph: world batch needs 1..64 lane seeds")
+	}
+	b.lanes = lanes
+	b.seq++
+	var ss [BatchLanes]Sampler
+	for l, seed := range seeds {
+		ss[l] = NewSampler(seed)
+	}
+	edges := g.edges
+	m := len(edges)
+	var tile [BatchLanes]uint64
+	for base := 0; base < m; base += 64 {
+		limit := m - base
+		if limit > 64 {
+			limit = 64
+		}
+		for l := 0; l < lanes; l++ {
+			s := ss[l]
+			var word uint64
+			for bit := 0; bit < limit; bit++ {
+				if s.Float64() < edges[base+bit].P {
+					word |= 1 << uint(bit)
+				}
+			}
+			ss[l] = s
+			tile[l] = word
+		}
+		for l := lanes; l < BatchLanes; l++ {
+			tile[l] = 0
+		}
+		transpose64(&tile)
+		copy(b.masks[base:base+limit], tile[:limit])
+	}
+}
+
+// transpose64 transposes the 64×64 bit matrix in place under the LSB-first
+// convention: bit c of a[r] moves to bit r of a[c]. Recursive block
+// swapping (Hacker's Delight §7-3 adapted to LSB indexing): at each level
+// the off-diagonal half-blocks are exchanged wholesale, then the recursion
+// transposes within — 6 levels of word-parallel shuffles instead of 4096
+// single-bit moves.
+func transpose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := 32; j != 0; {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := (a[k]>>uint(j) ^ a[k+j]) & m
+			a[k] ^= t << uint(j)
+			a[k+j] ^= t
+		}
+		j >>= 1
+		m ^= m << uint(j)
+	}
+}

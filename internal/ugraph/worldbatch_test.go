@@ -1,0 +1,131 @@
+package ugraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTranspose64MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		var in, want [64]uint64
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		for r := 0; r < 64; r++ {
+			for c := 0; c < 64; c++ {
+				want[c] |= (in[r] >> uint(c) & 1) << uint(r)
+			}
+		}
+		got := in
+		transpose64(&got)
+		if got != want {
+			t.Fatalf("trial %d: transpose64 mismatch", trial)
+		}
+		// Transposing twice is the identity.
+		transpose64(&got)
+		if got != in {
+			t.Fatalf("trial %d: double transpose is not the identity", trial)
+		}
+	}
+}
+
+func randomBatchGraph(rng *rand.Rand, n int, density float64) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < density {
+				if err := b.AddEdge(u, v, 0.05+0.9*rng.Float64()); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// TestSampleBatchSeededLanesBitIdenticalToScalarSampler is the batch
+// engine's foundational contract: lane l of a batch equals the world the
+// scalar per-sample primitive draws from the same seed, bit for bit, for
+// every edge-count residue mod 64 (full and partial final tiles) and for
+// ragged lane counts.
+func TestSampleBatchSeededLanesBitIdenticalToScalarSampler(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{3, 9, 17, 40} {
+		g := randomBatchGraph(rng, n, 0.4)
+		for _, lanes := range []int{1, 5, 64} {
+			seeds := make([]int64, lanes)
+			for l := range seeds {
+				seeds[l] = rng.Int63()
+			}
+			b := NewWorldBatch(g)
+			g.SampleBatchSeeded(seeds, b)
+			if b.Lanes() != lanes {
+				t.Fatalf("n=%d lanes=%d: Lanes() = %d", n, lanes, b.Lanes())
+			}
+			scalar := NewWorld(g)
+			lane := NewWorld(g)
+			for l := 0; l < lanes; l++ {
+				g.SampleWorldSeeded(seeds[l], scalar)
+				b.ExtractLane(l, lane)
+				for wi := range scalar.bits {
+					if scalar.bits[wi] != lane.bits[wi] {
+						t.Fatalf("n=%d lanes=%d lane %d word %d: batch %064b != scalar %064b",
+							n, lanes, l, wi, lane.bits[wi], scalar.bits[wi])
+					}
+				}
+				for id := 0; id < g.NumEdges(); id++ {
+					if got := b.LaneMask(id)>>uint(l)&1 == 1; got != scalar.Present(id) {
+						t.Fatalf("edge %d lane %d: batch %v scalar %v", id, l, got, scalar.Present(id))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSampleBatchSeededInactiveLanesStayZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomBatchGraph(rng, 20, 0.5)
+	b := NewWorldBatch(g)
+	g.SampleBatchSeeded([]int64{1, 2, 3}, b)
+	if b.ActiveMask() != 0b111 {
+		t.Fatalf("ActiveMask = %b, want 111", b.ActiveMask())
+	}
+	for id, m := range b.EdgeMasks() {
+		if m&^b.ActiveMask() != 0 {
+			t.Fatalf("edge %d has bits outside the 3 active lanes: %064b", id, m)
+		}
+	}
+	if b.PopCount() == 0 {
+		t.Fatal("batch of a dense graph sampled no edges at all (suspicious)")
+	}
+}
+
+func TestSampleBatchSeededDoesNotAllocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randomBatchGraph(rng, 40, 0.3)
+	b := NewWorldBatch(g)
+	seeds := make([]int64, 64)
+	for l := range seeds {
+		seeds[l] = int64(l + 1)
+	}
+	g.SampleBatchSeeded(seeds, b)
+	if allocs := testing.AllocsPerRun(20, func() { g.SampleBatchSeeded(seeds, b) }); allocs != 0 {
+		t.Errorf("SampleBatchSeeded allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestSampleBatchSeededPanicsOnBadLaneCount(t *testing.T) {
+	g := MustNew(2, []Edge{{U: 0, V: 1, P: 0.5}})
+	for _, seeds := range [][]int64{nil, make([]int64, 65)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SampleBatchSeeded(%d seeds) did not panic", len(seeds))
+				}
+			}()
+			g.SampleBatchSeeded(seeds, NewWorldBatch(g))
+		}()
+	}
+}

@@ -66,6 +66,20 @@ type (
 	Builder = ugraph.Builder
 	// World is one sampled deterministic materialization of a Graph.
 	World = ugraph.World
+	// WorldBatch holds up to 64 sampled worlds in lane-transposed form
+	// (one lane mask per edge), the representation behind the bit-parallel
+	// query engine. Fill it with Graph.SampleBatchSeeded.
+	WorldBatch = ugraph.WorldBatch
+	// MaskBFS is the reusable bit-parallel traversal over a WorldBatch:
+	// one pass answers reachability and hop distance for all 64 lanes.
+	MaskBFS = queries.MaskBFS
+)
+
+var (
+	// NewWorldBatch returns an empty world batch for a graph.
+	NewWorldBatch = ugraph.NewWorldBatch
+	// NewMaskBFS returns a mask-BFS sized for n vertices.
+	NewMaskBFS = queries.NewMaskBFS
 )
 
 // Graph construction and I/O.
@@ -218,6 +232,12 @@ type (
 // given (graph, MCOptions.Seed) and bit-identical for every Workers value —
 // the engine samples each world from a per-index seed and merges fixed
 // accumulation blocks in index order.
+//
+// Reliability, ShortestDistance{,AndReliability} and ConnectedProbability
+// run on the bit-parallel 64-world batch engine (WorldBatch + mask-BFS:
+// one traversal answers 64 sampled worlds); MCOptions.Scalar selects the
+// per-world scalar path instead. Both paths produce bit-identical
+// estimates on the same seed.
 var (
 	// ExpectedPageRank estimates per-vertex expected PageRank.
 	ExpectedPageRank = queries.ExpectedPageRank
