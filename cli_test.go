@@ -1,20 +1,235 @@
 package ugs_test
 
-// End-to-end CLI tests: build the three binaries and drive the full
-// generate → sparsify → experiment pipeline through their flag interfaces.
+// End-to-end CLI tests, two layers deep: the in-process suite drives the
+// tools through internal/cli's run functions (same flag parsing, same exit
+// codes, no subprocess), and the subprocess suite additionally builds the
+// real binaries and drives them through exec.
 
 import (
+	"bytes"
 	"context"
+	"io"
 	"math"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"ugs"
+	"ugs/internal/cli"
 )
+
+// runTool invokes one of the in-process CLI entry points, returning its
+// exit code and captured stdout/stderr.
+func runTool(t *testing.T, run func([]string, io.Writer, io.Writer) int, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestInProcessPipeline drives the full generate → sparsify → re-sparsify →
+// experiment pipeline through the main packages' run functions, asserting
+// exit codes and the shape of every file the stages hand to each other.
+func TestInProcessPipeline(t *testing.T) {
+	work := t.TempDir()
+	graphFile := filepath.Join(work, "g.ugs")
+	sparseFile := filepath.Join(work, "s.ugs")
+	resparseFile := filepath.Join(work, "ss.ugs")
+
+	// Stage 1: generate.
+	code, out, errOut := runTool(t, cli.RunGen, "-kind", "twitter", "-n", "100", "-seed", "5", "-out", graphFile)
+	if code != 0 {
+		t.Fatalf("ugs-gen exit %d\nstderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "wrote "+graphFile) {
+		t.Errorf("ugs-gen stdout: %q", out)
+	}
+	g, err := ugs.ReadGraphFile(graphFile)
+	if err != nil {
+		t.Fatalf("generated file unreadable: %v", err)
+	}
+	if g.NumVertices() != 100 || g.NumEdges() == 0 {
+		t.Fatalf("generated graph shape: %v", g)
+	}
+
+	// Stage 2: sparsify.
+	code, out, errOut = runTool(t, cli.RunSparsify,
+		"-in", graphFile, "-out", sparseFile, "-alpha", "0.4", "-method", "emd", "-seed", "2")
+	if code != 0 {
+		t.Fatalf("ugs exit %d\nstderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "degree discrepancy") || !strings.Contains(out, "wrote "+sparseFile) {
+		t.Errorf("ugs stdout: %q", out)
+	}
+	sparse, err := ugs.ReadGraphFile(sparseFile)
+	if err != nil {
+		t.Fatalf("sparsified file unreadable: %v", err)
+	}
+	budget := int(math.Round(0.4 * float64(g.NumEdges())))
+	if sparse.NumVertices() != g.NumVertices() || sparse.NumEdges() > budget {
+		t.Fatalf("sparsified shape: %v, want ≤ %d edges on %d vertices", sparse, budget, g.NumVertices())
+	}
+
+	// Stage 3: re-sparsify the sparsified output (the ROADMAP regression
+	// scenario: written sparsifier output must itself be a valid input).
+	code, _, errOut = runTool(t, cli.RunSparsify,
+		"-in", sparseFile, "-out", resparseFile, "-alpha", "0.5", "-method", "gdb", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("re-ugs exit %d\nstderr: %s", code, errOut)
+	}
+	resparse, err := ugs.ReadGraphFile(resparseFile)
+	if err != nil {
+		t.Fatalf("re-sparsified file unreadable: %v", err)
+	}
+	if resparse.NumEdges() >= sparse.NumEdges() {
+		t.Errorf("second pass did not reduce edges: %d >= %d", resparse.NumEdges(), sparse.NumEdges())
+	}
+
+	// Stage 4: experiments run on the library the files round-tripped
+	// through.
+	code, out, errOut = runTool(t, cli.RunExp, "table1")
+	if code != 0 {
+		t.Fatalf("ugs-exp exit %d\nstderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "completed") {
+		t.Errorf("ugs-exp stdout: %q", out)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing the output of a
+// concurrently running tool.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestInProcessServe boots ugs-serve through its run function on an
+// ephemeral port, drives the HTTP API (upload → sparsify → cached repeat →
+// query), then cancels the lifetime context and asserts a clean graceful
+// shutdown with exit code 0.
+func TestInProcessServe(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- cli.RunServeContext(ctx, []string{"-addr", "127.0.0.1:0", "-graphs", "examples/graphs"}, &stdout, &stderr)
+	}()
+
+	// Wait for the listen line and extract the base URL.
+	var base string
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		out := stdout.String()
+		if i := strings.Index(out, "listening on http://"); i >= 0 {
+			rest := out[i+len("listening on "):]
+			base = strings.TrimSpace(rest[:strings.IndexByte(rest, '\n')])
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address\nstdout: %s\nstderr: %s", out, stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		blob, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(blob)
+	}
+	post := func(path, contentType, body string) (int, string) {
+		resp, err := http.Post(base+path, contentType, strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		blob, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(blob)
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	// The -graphs dir was loaded at startup.
+	if code, body := get("/v1/graphs"); code != 200 || !strings.Contains(body, "twitter80") || !strings.Contains(body, "tiny") {
+		t.Fatalf("graphs: %d %s", code, body)
+	}
+	if code, body := post("/v1/sparsify", "application/json",
+		`{"graph":"twitter80","alpha":0.3,"method":"gdb","seed":1}`); code != 200 || !strings.Contains(body, `"cached": false`) {
+		t.Fatalf("sparsify: %d %s", code, body)
+	}
+	if code, body := post("/v1/sparsify", "application/json",
+		`{"graph":"twitter80","alpha":0.3,"method":"gdb","seed":1}`); code != 200 || !strings.Contains(body, `"cached": true`) {
+		t.Fatalf("repeat sparsify not cached: %d %s", code, body)
+	}
+	if code, body := post("/v1/query", "application/json",
+		`{"graph":"twitter80","kind":"reliability","pairs":[[0,5],[3,9]],"samples":64,"seed":2}`); code != 200 || !strings.Contains(body, "values") {
+		t.Fatalf("query: %d %s", code, body)
+	}
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d\nstderr: %s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if out := stdout.String(); !strings.Contains(out, "shutting down") || !strings.Contains(out, "bye") {
+		t.Errorf("shutdown log: %q", out)
+	}
+}
+
+// TestInProcessExitCodes pins the exit-code contract of every tool: 2 for
+// usage errors, 1 for runtime failures, 0 for success.
+func TestInProcessExitCodes(t *testing.T) {
+	work := t.TempDir()
+	if code, _, _ := runTool(t, cli.RunGen); code != 2 {
+		t.Errorf("ugs-gen without -out: exit %d, want 2", code)
+	}
+	if code, _, _ := runTool(t, cli.RunGen, "-kind", "bogus", "-out", filepath.Join(work, "x.ugs")); code != 1 {
+		t.Errorf("ugs-gen bogus kind: exit %d, want 1", code)
+	}
+	if code, _, _ := runTool(t, cli.RunSparsify); code != 2 {
+		t.Errorf("ugs without -in: exit %d, want 2", code)
+	}
+	if code, _, _ := runTool(t, cli.RunSparsify, "-in", filepath.Join(work, "missing.ugs")); code != 1 {
+		t.Errorf("ugs missing input: exit %d, want 1", code)
+	}
+	if code, _, _ := runTool(t, cli.RunSparsify, "-bogus-flag"); code != 2 {
+		t.Errorf("ugs bogus flag: exit %d, want 2", code)
+	}
+	if code, _, _ := runTool(t, cli.RunExp); code != 2 {
+		t.Errorf("ugs-exp without ids: exit %d, want 2", code)
+	}
+	if code, _, _ := runTool(t, cli.RunExp, "nope"); code != 2 {
+		t.Errorf("ugs-exp unknown id: exit %d, want 2", code)
+	}
+	if code, out, _ := runTool(t, cli.RunExp, "-list"); code != 0 || !strings.Contains(out, "table1") {
+		t.Errorf("ugs-exp -list: exit %d, out %q", code, out)
+	}
+}
 
 var (
 	cliOnce sync.Once

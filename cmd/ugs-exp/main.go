@@ -7,83 +7,17 @@
 //	ugs-exp all                # run everything at CI scale
 //	ugs-exp table2 fig10       # run selected experiments
 //	ugs-exp -full fig6         # paper-scale parameters (slow)
+//
+// The implementation lives in internal/cli so the end-to-end tests can run
+// it in-process.
 package main
 
 import (
-	"context"
-	"flag"
-	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
-	"time"
 
-	"ugs/internal/exp"
+	"ugs/internal/cli"
 )
 
 func main() {
-	var (
-		list    = flag.Bool("list", false, "list available experiments")
-		full    = flag.Bool("full", false, "paper-scale parameters (slow)")
-		seed    = flag.Int64("seed", 42, "random seed")
-		workers = flag.Int("workers", 0, "Monte-Carlo parallelism (0 = GOMAXPROCS)")
-		scalar  = flag.Bool("scalar-queries", false, "use the scalar one-world-per-traversal estimators instead of the bit-parallel 64-world batch engine (ablation; results are bit-identical)")
-		timeout = flag.Duration("timeout", 0, "abort the batch after this duration, checked between sparsification runs (0 = unbounded)")
-	)
-	flag.Parse()
-
-	if *list {
-		for _, e := range exp.All() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
-		}
-		return
-	}
-
-	ids := flag.Args()
-	if len(ids) == 0 {
-		fmt.Fprintln(os.Stderr, "ugs-exp: specify experiment ids or \"all\" (see -list)")
-		os.Exit(2)
-	}
-
-	runCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
-		defer cancel()
-	}
-	// Once the run is cancelled (first signal or timeout), unregister the
-	// signal capture so a second Ctrl-C kills the process immediately
-	// instead of being swallowed while a Monte-Carlo phase drains.
-	go func() {
-		<-runCtx.Done()
-		stop()
-	}()
-	ctx := exp.NewContext(exp.Config{Full: *full, Seed: *seed, Workers: *workers, ScalarQueries: *scalar, Ctx: runCtx})
-	var experiments []exp.Experiment
-	if len(ids) == 1 && ids[0] == "all" {
-		experiments = exp.All()
-	} else {
-		for _, id := range ids {
-			e, ok := exp.ByID(id)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "ugs-exp: unknown experiment %q (see -list)\n", id)
-				os.Exit(2)
-			}
-			experiments = append(experiments, e)
-		}
-	}
-
-	for _, e := range experiments {
-		if err := runCtx.Err(); err != nil {
-			fmt.Fprintf(os.Stderr, "ugs-exp: aborted before %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		start := time.Now()
-		if err := e.Run(os.Stdout, ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "ugs-exp: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-	}
+	os.Exit(cli.RunExp(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -6,63 +6,17 @@
 //	ugs-gen -kind flickr -n 1000 -out flickr.txt
 //	ugs-gen -kind social -n 500 -avgdeg 18 -meanp 0.12 -out g.txt
 //	ugs-gen -kind densify -n 500 -density 0.3 -out dense.txt
+//
+// The implementation lives in internal/cli so the end-to-end tests can run
+// it in-process.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
 
-	"ugs"
+	"ugs/internal/cli"
 )
 
 func main() {
-	var (
-		kind    = flag.String("kind", "social", "generator: social, flickr, twitter, densify")
-		n       = flag.Int("n", 1000, "number of vertices")
-		avgdeg  = flag.Float64("avgdeg", 20, "average structural degree (social)")
-		meanp   = flag.Float64("meanp", 0.09, "mean edge probability")
-		density = flag.Float64("density", 0.15, "fraction of complete graph (densify)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("out", "", "output file (required)")
-	)
-	flag.Parse()
-	if *out == "" {
-		fmt.Fprintln(os.Stderr, "ugs-gen: -out is required")
-		flag.Usage()
-		os.Exit(2)
-	}
-
-	var g *ugs.Graph
-	var err error
-	switch *kind {
-	case "social":
-		g, err = ugs.GenerateSocial(ugs.SocialConfig{
-			N: *n, AvgDegree: *avgdeg, MeanProb: *meanp, Seed: *seed,
-		})
-	case "flickr":
-		g = ugs.FlickrLike(*n, *seed)
-	case "twitter":
-		g = ugs.TwitterLike(*n, *seed)
-	case "densify":
-		var base *ugs.Graph
-		base, err = ugs.GenerateSocial(ugs.SocialConfig{
-			N: *n, AvgDegree: 10, MeanProb: *meanp, Seed: *seed,
-		})
-		if err == nil {
-			g, err = ugs.Densify(base, *density, *meanp, *seed+1)
-		}
-	default:
-		err = fmt.Errorf("unknown kind %q", *kind)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ugs-gen:", err)
-		os.Exit(1)
-	}
-
-	if err := ugs.WriteGraphFile(*out, g); err != nil {
-		fmt.Fprintln(os.Stderr, "ugs-gen:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("wrote %s: %v  entropy=%.2f bits\n", *out, g, g.Entropy())
+	os.Exit(cli.RunGen(os.Args[1:], os.Stdout, os.Stderr))
 }

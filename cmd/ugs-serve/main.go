@@ -1,0 +1,40 @@
+// Command ugs-serve is a long-lived HTTP JSON service over the sparsifier
+// core: graphs load once and stay resident in CSR form, sparsified results
+// are cached (LRU + singleflight) and addressable as query targets, and
+// concurrent Monte-Carlo queries coalesce into shared 64-lane WorldBatch
+// flights. Long sparsifications run as cancellable async jobs with progress
+// polling.
+//
+// Usage:
+//
+//	ugs-serve -addr :8471 -graphs ./examples/graphs
+//
+// Endpoints (see the README "Serving" section for the full walkthrough):
+//
+//	GET    /healthz                  liveness
+//	GET    /v1/graphs                list resident graphs
+//	POST   /v1/graphs/{name}         upload a graph (text interchange format)
+//	POST   /v1/sparsify              sparsify (cached, singleflight)
+//	GET    /v1/sparsify/{id}/graph   download a sparsified result
+//	POST   /v1/query                 reliability | distance | connected
+//	POST   /v1/jobs                  async sparsify job
+//	GET    /v1/jobs/{id}             poll job state + progress
+//	DELETE /v1/jobs/{id}             cancel a job
+//	GET    /v1/stats                 cache/batcher/job counters
+//
+// SIGINT/SIGTERM shut the service down gracefully: in-flight requests
+// drain, async jobs are cancelled through their contexts and awaited.
+//
+// The implementation lives in internal/cli (flags, lifecycle) and
+// internal/serve (store, cache, batcher, jobs, handlers).
+package main
+
+import (
+	"os"
+
+	"ugs/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunServe(os.Args[1:], os.Stdout, os.Stderr))
+}

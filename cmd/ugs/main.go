@@ -11,138 +11,17 @@
 // reports edge counts, entropy and degree-discrepancy statistics before and
 // after sparsification; -progress streams per-iteration statistics to
 // stderr, and -timeout bounds the run through context cancellation.
+//
+// The implementation lives in internal/cli so the end-to-end tests can run
+// it in-process.
 package main
 
 import (
-	"context"
-	"flag"
-	"fmt"
-	"math/rand"
 	"os"
-	"os/signal"
-	"strings"
-	"syscall"
-	"time"
 
-	"ugs"
+	"ugs/internal/cli"
 )
 
 func main() {
-	var (
-		in       = flag.String("in", "", "input graph file (required)")
-		out      = flag.String("out", "", "output graph file (optional)")
-		alpha    = flag.Float64("alpha", 0.25, "sparsification ratio α ∈ (0,1)")
-		method   = flag.String("method", "gdb", "sparsifier: "+strings.Join(ugs.Methods(), ", "))
-		disc     = flag.String("discrepancy", "absolute", "objective: absolute or relative")
-		back     = flag.String("backbone", "spanning", "backbone: spanning or random")
-		k        = flag.Int("k", 1, "cut order to preserve (GDB only; -1 for k=n)")
-		h        = flag.Float64("h", 0.05, "entropy parameter in [0,1]")
-		seed     = flag.Int64("seed", 1, "random seed")
-		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = unbounded)")
-		progress = flag.Bool("progress", false, "stream per-iteration statistics to stderr")
-	)
-	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "ugs: -in is required")
-		flag.Usage()
-		os.Exit(2)
-	}
-
-	sp, err := buildSparsifier(*method, *disc, *back, *k, *h, *seed, *progress)
-	if err != nil {
-		fatal(err)
-	}
-
-	g, err := ugs.ReadGraphFile(*in)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("input:  %v  entropy=%.2f bits\n", g, g.Entropy())
-
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer cancel()
-	if *timeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-
-	start := time.Now()
-	res, err := sp.Sparsify(ctx, g, *alpha)
-	if err != nil {
-		fatal(err)
-	}
-	elapsed := time.Since(start)
-	sparse := res.Graph
-
-	rng := rand.New(rand.NewSource(*seed))
-	fmt.Printf("output: %v  entropy=%.2f bits (%.0f%% of original)\n",
-		sparse, sparse.Entropy(), 100*ugs.RelativeEntropy(sparse, g))
-	fmt.Printf("method: %s  iterations=%d\n", sp.Name(), res.Stats.Iterations)
-	fmt.Printf("degree discrepancy MAE: absolute=%.4g relative=%.4g\n",
-		ugs.MAEDegreeDiscrepancy(g, sparse, ugs.Absolute),
-		ugs.MAEDegreeDiscrepancy(g, sparse, ugs.Relative))
-	fmt.Printf("sampled cut discrepancy MAE (k≤10): %.4g\n",
-		ugs.MAECutDiscrepancy(g, sparse, 10, 100, rng))
-	fmt.Printf("elapsed: %v\n", elapsed)
-
-	if *out != "" {
-		if err := ugs.WriteGraphFile(*out, sparse); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s\n", *out)
-	}
-}
-
-// buildSparsifier translates the flag values into a registry lookup. There
-// is deliberately no per-method switch here: unknown methods fail inside
-// Lookup with the registered alternatives listed.
-func buildSparsifier(method, disc, back string, k int, h float64, seed int64, progress bool) (ugs.Sparsifier, error) {
-	d, err := ugs.ParseDiscrepancy(disc)
-	if err != nil {
-		return nil, err
-	}
-	b, err := ugs.ParseBackbone(back)
-	if err != nil {
-		return nil, err
-	}
-	opts := []ugs.Option{
-		ugs.WithSeed(seed),
-		ugs.WithDiscrepancy(d),
-		ugs.WithBackbone(b),
-		ugs.WithCutOrder(k),
-		ugs.WithEntropy(h),
-	}
-	if progress {
-		opts = append(opts, ugs.WithProgress(func(s ugs.RunStats) {
-			fmt.Fprintln(os.Stderr, progressLine(method, s))
-		}))
-	}
-	return ugs.Lookup(method, opts...)
-}
-
-// progressLine renders the RunStats fields the named method actually
-// populates: the D1 objective for gdb/emd (plus swaps for emd), pivot
-// batches for lp, ε for NI calibrations, the stretch parameter for SS.
-// Custom registrations get the generic iteration count.
-func progressLine(method string, s ugs.RunStats) string {
-	line := fmt.Sprintf("iter %d", s.Iterations)
-	switch method {
-	case "gdb":
-		return fmt.Sprintf("%s  D1=%.6g", line, s.ObjectiveD1)
-	case "emd":
-		return fmt.Sprintf("%s  D1=%.6g swaps=%d", line, s.ObjectiveD1, s.Swaps)
-	case "ni":
-		return fmt.Sprintf("%s  ε=%.4g candidates=%d", line, s.Epsilon, s.AuxEdges)
-	case "ss":
-		return fmt.Sprintf("%s  t=%d candidates=%d", line, s.StretchT, s.AuxEdges)
-	default:
-		// lp reports pivot batches; custom methods report whatever their
-		// Iterations field counts.
-		return line
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ugs:", err)
-	os.Exit(1)
+	os.Exit(cli.RunSparsify(os.Args[1:], os.Stdout, os.Stderr))
 }

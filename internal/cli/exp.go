@@ -1,0 +1,88 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ugs/internal/exp"
+)
+
+// RunExp is the ugs-exp command: regenerate the paper's tables and figures
+// on the synthetic stand-in datasets.
+func RunExp(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ugs-exp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list    = fs.Bool("list", false, "list available experiments")
+		full    = fs.Bool("full", false, "paper-scale parameters (slow)")
+		seed    = fs.Int64("seed", 42, "random seed")
+		workers = fs.Int("workers", 0, "Monte-Carlo parallelism (0 = GOMAXPROCS)")
+		scalar  = fs.Bool("scalar-queries", false, "use the scalar one-world-per-traversal estimators instead of the bit-parallel 64-world batch engine (ablation; results are bit-identical)")
+		timeout = fs.Duration("timeout", 0, "abort the batch after this duration, checked between sparsification runs (0 = unbounded)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+
+	ids := fs.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(stderr, "ugs-exp: specify experiment ids or \"all\" (see -list)")
+		return 2
+	}
+
+	runCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
+		defer cancel()
+	}
+	// Once the run is cancelled (first signal or timeout), unregister the
+	// signal capture so a second Ctrl-C kills the process immediately
+	// instead of being swallowed while a Monte-Carlo phase drains.
+	go func() {
+		<-runCtx.Done()
+		stop()
+	}()
+	ctx := exp.NewContext(exp.Config{Full: *full, Seed: *seed, Workers: *workers, ScalarQueries: *scalar, Ctx: runCtx})
+	var experiments []exp.Experiment
+	if len(ids) == 1 && ids[0] == "all" {
+		experiments = exp.All()
+	} else {
+		for _, id := range ids {
+			e, ok := exp.ByID(id)
+			if !ok {
+				fmt.Fprintf(stderr, "ugs-exp: unknown experiment %q (see -list)\n", id)
+				return 2
+			}
+			experiments = append(experiments, e)
+		}
+	}
+
+	for _, e := range experiments {
+		if err := runCtx.Err(); err != nil {
+			fmt.Fprintf(stderr, "ugs-exp: aborted before %s: %v\n", e.ID, err)
+			return 1
+		}
+		start := time.Now()
+		if err := e.Run(stdout, ctx); err != nil {
+			fmt.Fprintf(stderr, "ugs-exp: %s: %v\n", e.ID, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}

@@ -1,0 +1,107 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ugs/internal/serve"
+)
+
+// RunServe is the ugs-serve command: a long-lived HTTP JSON service over
+// the sparsifier core. It installs SIGINT/SIGTERM handling and shuts down
+// gracefully: in-flight requests drain, async jobs are cancelled through
+// their contexts and awaited.
+func RunServe(args []string, stdout, stderr io.Writer) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return RunServeContext(ctx, args, stdout, stderr)
+}
+
+// RunServeContext is RunServe under a caller-supplied lifetime context —
+// the in-process testing entry point: cancel ctx to trigger the same
+// graceful shutdown a signal would.
+func RunServeContext(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ugs-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", ":8471", "listen address (host:port; port 0 picks a free port)")
+		graphs     = fs.String("graphs", "", "directory of *.ugs / *.txt graph files to load at startup")
+		cacheSize  = fs.Int("cache", 128, "resident sparsified results (LRU entries)")
+		queryCache = fs.Int("query-cache", 1024, "cached query results (LRU entries)")
+		workers    = fs.Int("workers", 0, "Monte-Carlo parallelism per flight (0 = GOMAXPROCS)")
+		maxSamples = fs.Int("max-samples", 20000, "per-request Monte-Carlo sample cap")
+		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for requests and jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// The server base context deliberately does NOT derive from ctx: a
+	// signal must first stop the listener and drain in-flight requests
+	// (srv.Shutdown below), and only then cancel background work. A child
+	// context would abort every in-flight sparsify the instant the signal
+	// arrived, defeating the drain budget.
+	srvCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	server, err := serve.New(srvCtx, serve.Config{
+		GraphDir:          *graphs,
+		SparsifyCacheSize: *cacheSize,
+		QueryCacheSize:    *queryCache,
+		Workers:           *workers,
+		MaxSamples:        *maxSamples,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "ugs-serve:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "ugs-serve:", err)
+		return 1
+	}
+	httpSrv := &http.Server{
+		Handler:           server.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return srvCtx },
+	}
+	fmt.Fprintf(stdout, "ugs-serve: %d graphs resident, listening on http://%s\n",
+		server.Store().Len(), ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "ugs-serve:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests, cancel
+	// background work (jobs, flights) through the server context, and wait
+	// for jobs to exit.
+	fmt.Fprintln(stdout, "ugs-serve: shutting down")
+	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), *drain)
+	defer shutdownCancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "ugs-serve: shutdown:", err)
+	}
+	cancel()
+	if !server.DrainJobs(*drain) {
+		fmt.Fprintln(stderr, "ugs-serve: jobs did not drain within", *drain)
+		return 1
+	}
+	<-serveErr // Serve has returned ErrServerClosed by now
+	fmt.Fprintln(stdout, "ugs-serve: bye")
+	return 0
+}

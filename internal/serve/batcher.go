@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"ugs"
+)
+
+// Batcher coalesces concurrent SP/RL queries against the same graph into
+// shared Monte-Carlo flights. All requests with the same (graph, seed,
+// samples) form a group; a flight concatenates the group's pending pair
+// lists and evaluates them in ONE ShortestDistanceAndReliability run — one
+// mc.ReduceBatch pass whose WorldBatch fills (and mask-BFS traversals per
+// distinct source) are shared by every rider. The 64-lane amortization of
+// the bit-parallel engine therefore works across requests, not just within
+// one.
+//
+// Merging is exact, not approximate: the engine accumulates each pair's
+// counters independently and folds fixed sample blocks in index order, and
+// sample i is always drawn from the deterministic stream (seed, i) — so a
+// pair's result in a merged flight is bit-identical to a direct library
+// call for the same (graph, seed, samples), no matter which other requests
+// shared the worlds (asserted by TestCoalescedMatchesDirect).
+//
+// Scheduling is the timer-free conveyor pattern: the first request of a
+// group starts a flight immediately (no added latency at low load); requests
+// arriving while that flight runs queue up and are all served by the next
+// flight. Throughput under load rises with concurrency while each request
+// still observes at most two flight durations of latency.
+type Batcher struct {
+	// lifetime bounds flights, which deliberately outlive any individual
+	// request's context: a rider abandoning its wait must not cancel the
+	// worlds other riders are being served from.
+	lifetime context.Context
+	run      pairRunner
+	workers  int
+
+	mu     sync.Mutex
+	groups map[groupKey]*batchGroup
+
+	flights   atomic.Int64
+	requests  atomic.Int64
+	coalesced atomic.Int64
+	maxFlight atomic.Int64
+}
+
+// pairRunner evaluates the merged pair list; swapped out by tests to gate
+// flight timing deterministically.
+type pairRunner func(ctx context.Context, g *ugs.Graph, pairs []ugs.Pair, opts ugs.MCOptions) (sp, rl []float64, err error)
+
+// groupKey identifies queries that may share possible worlds: same resident
+// graph (versioned ID) and same deterministic sample stream. Workers is
+// excluded — it cannot change results.
+type groupKey struct {
+	graph   string
+	seed    int64
+	samples int
+}
+
+type batchGroup struct {
+	key     groupKey
+	g       *ugs.Graph
+	pending []*pairReq
+	active  bool
+}
+
+type pairReq struct {
+	pairs  []ugs.Pair
+	done   chan struct{}
+	sp, rl []float64
+	err    error
+}
+
+// NewBatcher returns a batcher whose flights live until lifetime is
+// cancelled and run with the given Monte-Carlo parallelism (0 = GOMAXPROCS).
+func NewBatcher(lifetime context.Context, workers int) *Batcher {
+	return &Batcher{
+		lifetime: lifetime,
+		run:      ugs.ShortestDistanceAndReliability,
+		workers:  workers,
+		groups:   make(map[groupKey]*batchGroup),
+	}
+}
+
+// PairQuery evaluates the SP and RL estimates for pairs on g, riding a
+// shared flight when other requests with the same (graphID, seed, samples)
+// are in the system. ctx bounds only this caller's wait: giving up abandons
+// the results but never the flight.
+func (b *Batcher) PairQuery(ctx context.Context, graphID string, g *ugs.Graph, pairs []ugs.Pair, seed int64, samples int) (sp, rl []float64, err error) {
+	b.requests.Add(1)
+	req := &pairReq{pairs: pairs, done: make(chan struct{})}
+	key := groupKey{graph: graphID, seed: seed, samples: samples}
+
+	b.mu.Lock()
+	grp, ok := b.groups[key]
+	if !ok {
+		grp = &batchGroup{key: key, g: g}
+		b.groups[key] = grp
+	}
+	grp.pending = append(grp.pending, req)
+	if !grp.active {
+		grp.active = true
+		go b.flightLoop(grp)
+	}
+	b.mu.Unlock()
+
+	select {
+	case <-req.done:
+		return req.sp, req.rl, req.err
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	}
+}
+
+// flightLoop drains a group: each iteration takes everything pending and
+// serves it in one merged run, until a drain finds the group empty and
+// retires it.
+func (b *Batcher) flightLoop(grp *batchGroup) {
+	for {
+		b.mu.Lock()
+		reqs := grp.pending
+		grp.pending = nil
+		if len(reqs) == 0 {
+			grp.active = false
+			delete(b.groups, grp.key)
+			b.mu.Unlock()
+			return
+		}
+		b.mu.Unlock()
+
+		b.flights.Add(1)
+		if n := int64(len(reqs)); n > 1 {
+			b.coalesced.Add(n - 1)
+		}
+		for prev := b.maxFlight.Load(); int64(len(reqs)) > prev; prev = b.maxFlight.Load() {
+			if b.maxFlight.CompareAndSwap(prev, int64(len(reqs))) {
+				break
+			}
+		}
+
+		total := 0
+		for _, r := range reqs {
+			total += len(r.pairs)
+		}
+		merged := make([]ugs.Pair, 0, total)
+		for _, r := range reqs {
+			merged = append(merged, r.pairs...)
+		}
+		opts := ugs.MCOptions{Seed: grp.key.seed, Samples: grp.key.samples, Workers: b.workers}
+		sp, rl, err := b.run(b.lifetime, grp.g, merged, opts)
+		off := 0
+		for _, r := range reqs {
+			n := len(r.pairs)
+			if err != nil {
+				r.err = err
+			} else {
+				r.sp = sp[off : off+n : off+n]
+				r.rl = rl[off : off+n : off+n]
+			}
+			off += n
+			close(r.done)
+		}
+	}
+}
+
+// BatcherStats is a point-in-time counter snapshot.
+type BatcherStats struct {
+	Flights   int64 `json:"flights"`
+	Requests  int64 `json:"requests"`
+	Coalesced int64 `json:"coalesced"`
+	MaxFlight int64 `json:"max_flight_requests"`
+}
+
+// Stats snapshots the batcher counters. Coalesced counts requests that
+// shared a flight started for (or with) another request.
+func (b *Batcher) Stats() BatcherStats {
+	return BatcherStats{
+		Flights:   b.flights.Load(),
+		Requests:  b.requests.Load(),
+		Coalesced: b.coalesced.Load(),
+		MaxFlight: b.maxFlight.Load(),
+	}
+}

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ugs"
+)
+
+// gatedBatcher wraps the real pair runner so the test controls flight
+// boundaries: the first flight blocks until released, guaranteeing that
+// requests submitted meanwhile coalesce into the second flight.
+func gatedBatcher(t *testing.T) (b *Batcher, firstStarted chan struct{}, release chan struct{}) {
+	t.Helper()
+	b = NewBatcher(context.Background(), 0)
+	real := b.run
+	firstStarted = make(chan struct{})
+	release = make(chan struct{})
+	var once sync.Once
+	b.run = func(ctx context.Context, g *ugs.Graph, pairs []ugs.Pair, opts ugs.MCOptions) ([]float64, []float64, error) {
+		gate := false
+		once.Do(func() { gate = true })
+		if gate {
+			close(firstStarted)
+			<-release
+		}
+		return real(ctx, g, pairs, opts)
+	}
+	return b, firstStarted, release
+}
+
+// sameFloats compares element-wise with NaN == NaN (distance of a
+// never-connected pair).
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] && !(math.IsNaN(a[i]) && math.IsNaN(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCoalescedMatchesDirect is the tentpole equivalence assertion: pair
+// queries served from a shared coalesced flight are bit-identical to direct
+// ugs library calls with the same (graph, seed, samples), for every rider.
+func TestCoalescedMatchesDirect(t *testing.T) {
+	g := ugs.TwitterLike(90, 3)
+	rng := rand.New(rand.NewSource(17))
+	const seed, samples = 11, 192
+	b, firstStarted, release := gatedBatcher(t)
+
+	// Four requests with distinct pair sets (overlapping pairs included).
+	reqPairs := [][]ugs.Pair{
+		ugs.RandomPairs(g.NumVertices(), 7, rng),
+		ugs.RandomPairs(g.NumVertices(), 3, rng),
+		ugs.RandomPairs(g.NumVertices(), 5, rng),
+		nil,
+	}
+	reqPairs[3] = append([]ugs.Pair{}, reqPairs[0][:2]...) // duplicates across requests
+
+	type out struct {
+		sp, rl []float64
+		err    error
+	}
+	results := make([]out, len(reqPairs))
+	var wg sync.WaitGroup
+	launch := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp, rl, err := b.PairQuery(context.Background(), "g@1", g, reqPairs[i], seed, samples)
+			results[i] = out{sp, rl, err}
+		}()
+	}
+
+	launch(0) // rides flight 1, which blocks on the gate
+	<-firstStarted
+	for i := 1; i < len(reqPairs); i++ {
+		launch(i) // queue while flight 1 is in progress → all share flight 2
+	}
+	// The queued requests must be pending before flight 1 finishes; poll
+	// the batcher state to avoid a timing assumption.
+	waitForPending(t, b, groupKey{graph: "g@1", seed: seed, samples: samples}, len(reqPairs)-1)
+	close(release)
+	wg.Wait()
+
+	for i, res := range results {
+		if res.err != nil {
+			t.Fatalf("request %d: %v", i, res.err)
+		}
+		directSP, directRL, err := ugs.ShortestDistanceAndReliability(
+			context.Background(), g, reqPairs[i], ugs.MCOptions{Seed: seed, Samples: samples})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameFloats(res.sp, directSP) {
+			t.Errorf("request %d: coalesced SP differs from direct call\n got %v\nwant %v", i, res.sp, directSP)
+		}
+		if !sameFloats(res.rl, directRL) {
+			t.Errorf("request %d: coalesced RL differs from direct call\n got %v\nwant %v", i, res.rl, directRL)
+		}
+	}
+
+	st := b.Stats()
+	if st.Flights != 2 {
+		t.Errorf("flights = %d, want 2 (one solo + one coalesced)", st.Flights)
+	}
+	if st.Coalesced != int64(len(reqPairs)-2) {
+		t.Errorf("coalesced = %d, want %d", st.Coalesced, len(reqPairs)-2)
+	}
+	if st.MaxFlight != int64(len(reqPairs)-1) {
+		t.Errorf("max flight = %d, want %d", st.MaxFlight, len(reqPairs)-1)
+	}
+	if st.Requests != int64(len(reqPairs)) {
+		t.Errorf("requests = %d, want %d", st.Requests, len(reqPairs))
+	}
+}
+
+// waitForPending blocks until the group has n pending requests.
+func waitForPending(t *testing.T, b *Batcher, key groupKey, n int) {
+	t.Helper()
+	for i := 0; ; i++ {
+		b.mu.Lock()
+		grp, ok := b.groups[key]
+		pending := 0
+		if ok {
+			pending = len(grp.pending)
+		}
+		b.mu.Unlock()
+		if pending >= n {
+			return
+		}
+		if i > 5000 {
+			t.Fatalf("pending stuck at %d, want %d", pending, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBatcherGroupsBySeedAndSamples: requests with different sample streams
+// must never share worlds, even when concurrent.
+func TestBatcherGroupsBySeedAndSamples(t *testing.T) {
+	g := ugs.TwitterLike(60, 5)
+	rng := rand.New(rand.NewSource(23))
+	pairs := ugs.RandomPairs(g.NumVertices(), 4, rng)
+	b := NewBatcher(context.Background(), 0)
+
+	type variant struct{ seed, samples int64 }
+	var wg sync.WaitGroup
+	for _, v := range []variant{{1, 64}, {2, 64}, {1, 128}} {
+		wg.Add(1)
+		go func(v variant) {
+			defer wg.Done()
+			sp, rl, err := b.PairQuery(context.Background(), "g@1", g, pairs, v.seed, int(v.samples))
+			if err != nil {
+				t.Errorf("seed=%d samples=%d: %v", v.seed, v.samples, err)
+				return
+			}
+			directSP, directRL, err := ugs.ShortestDistanceAndReliability(
+				context.Background(), g, pairs, ugs.MCOptions{Seed: v.seed, Samples: int(v.samples)})
+			if err != nil {
+				t.Errorf("direct: %v", err)
+				return
+			}
+			if !sameFloats(sp, directSP) || !sameFloats(rl, directRL) {
+				t.Errorf("seed=%d samples=%d: grouped run differs from direct", v.seed, v.samples)
+			}
+		}(v)
+	}
+	wg.Wait()
+}
+
+// TestBatcherAbandonedWaiter: a rider whose context dies gets an error
+// while the flight itself keeps serving the others.
+func TestBatcherAbandonedWaiter(t *testing.T) {
+	g := ugs.TwitterLike(60, 9)
+	rng := rand.New(rand.NewSource(31))
+	pairs := ugs.RandomPairs(g.NumVertices(), 3, rng)
+	b, firstStarted, release := gatedBatcher(t)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var leaderErr error
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = b.PairQuery(context.Background(), "g@1", g, pairs, 1, 64)
+	}()
+	<-firstStarted
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := b.PairQuery(ctx, "g@1", g, pairs, 1, 64); err != context.Canceled {
+		t.Errorf("abandoned rider: err = %v, want context.Canceled", err)
+	}
+	close(release)
+	wg.Wait()
+	if leaderErr != nil {
+		t.Errorf("leader failed after rider abandoned: %v", leaderErr)
+	}
+}

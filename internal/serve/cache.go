@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a fixed-capacity LRU of computed values with singleflight
+// admission: concurrent Do calls for the same key share one computation
+// instead of racing to compute it in parallel. It is the mechanism behind
+// the service's O(1) repeat-sparsify path — a hit returns the resident
+// result without touching the sparsifier core at all.
+//
+// A non-positive capacity disables retention (every Do recomputes) but keeps
+// the singleflight sharing, which is useful for tests and for callers that
+// only want request coalescing.
+type Cache[V any] struct {
+	capacity int
+	onEvict  func(key string, val V)
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+	inflight map[string]*flight[V]
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	shared    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheEntry[V any] struct {
+	key string
+	val V
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// NewCache returns a cache holding at most capacity values.
+func NewCache[V any](capacity int) *Cache[V] {
+	return &Cache[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*flight[V]),
+	}
+}
+
+// OnEvict installs a callback invoked (outside the cache lock) for every
+// entry dropped by LRU pressure. Install before first use.
+func (c *Cache[V]) OnEvict(fn func(key string, val V)) { c.onEvict = fn }
+
+// Get returns the cached value for key, refreshing its recency. It never
+// computes and does not join in-flight computations.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if elem, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(elem)
+		return elem.Value.(*cacheEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Do returns the value for key, computing it at most once across concurrent
+// callers: a resident entry is returned immediately (cached = true); if the
+// key is already being computed the caller waits for that flight's result;
+// otherwise the caller runs compute itself and the successful result is
+// inserted.
+//
+// compute runs without the cache lock held and should derive its lifetime
+// from a server-scoped context rather than ctx: ctx only bounds this
+// caller's wait, so a caller that gives up leaves the shared computation
+// running for the others (and for the cache). Errors are not cached.
+func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, error)) (val V, cached bool, err error) {
+	var zero V
+	c.mu.Lock()
+	if elem, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(elem)
+		v := elem.Value.(*cacheEntry[V]).val
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return v, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.shared.Add(1)
+		select {
+		case <-f.done:
+			return f.val, false, f.err
+		case <-ctx.Done():
+			return zero, false, ctx.Err()
+		}
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	f.val, f.err = compute()
+	var evicted []cacheEntry[V]
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil && c.capacity > 0 {
+		c.entries[key] = c.ll.PushFront(&cacheEntry[V]{key: key, val: f.val})
+		for c.ll.Len() > c.capacity {
+			oldest := c.ll.Back()
+			e := oldest.Value.(*cacheEntry[V])
+			c.ll.Remove(oldest)
+			delete(c.entries, e.key)
+			evicted = append(evicted, *e)
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	if c.onEvict != nil {
+		for _, e := range evicted {
+			c.evictions.Add(1)
+			c.onEvict(e.key, e.val)
+		}
+	} else {
+		c.evictions.Add(int64(len(evicted)))
+	}
+	return f.val, false, f.err
+}
+
+// Len reports the number of resident entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Shared    int64 `json:"shared"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats snapshots the cache counters. Shared counts Do calls that joined an
+// in-flight computation instead of starting their own.
+func (c *Cache[V]) Stats() CacheStats {
+	return CacheStats{
+		Size:      c.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Shared:    c.shared.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ugs"
+)
+
+// JobState is the lifecycle of an async sparsify job.
+type JobState string
+
+const (
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// maxFinishedJobs bounds how many finished (done/failed/canceled) jobs are
+// retained for polling: a long-lived service must not accumulate one map
+// entry per job ever submitted. The oldest-finished jobs are pruned first;
+// running jobs are never pruned.
+const maxFinishedJobs = 64
+
+// Jobs runs sparsifications asynchronously: submit returns immediately with
+// an ID, progress is polled, DELETE cancels through context cancellation,
+// and shutdown waits for every worker goroutine to exit (each observes the
+// server's base context, so graceful shutdown aborts long runs promptly).
+type Jobs struct {
+	base context.Context
+	wg   sync.WaitGroup
+
+	mu  sync.Mutex
+	seq int
+	m   map[string]*Job
+}
+
+// Job is one asynchronous sparsification run.
+type Job struct {
+	id     string
+	cancel context.CancelFunc
+
+	mu         sync.Mutex
+	state      JobState
+	iterations int
+	objective  float64
+	result     *SparsifyResponse
+	errMsg     string
+	created    time.Time
+	finished   time.Time
+}
+
+// NewJobs returns a job runner whose jobs live within base.
+func NewJobs(base context.Context) *Jobs {
+	return &Jobs{base: base, m: make(map[string]*Job)}
+}
+
+// Start launches compute on a fresh goroutine under a cancellable child of
+// the base context and returns the registered job. compute reports progress
+// through the callback it is handed (a ugs.WithProgress hook).
+func (j *Jobs) Start(compute func(ctx context.Context, progress func(ugs.RunStats)) (*SparsifyResponse, error)) *Job {
+	ctx, cancel := context.WithCancel(j.base)
+	j.mu.Lock()
+	j.seq++
+	job := &Job{
+		id:      fmt.Sprintf("job-%d", j.seq),
+		cancel:  cancel,
+		state:   JobRunning,
+		created: time.Now(),
+	}
+	j.m[job.id] = job
+	j.pruneLocked()
+	j.mu.Unlock()
+
+	j.wg.Add(1)
+	go func() {
+		defer j.wg.Done()
+		defer cancel()
+		res, err := compute(ctx, job.onProgress)
+		job.mu.Lock()
+		defer job.mu.Unlock()
+		job.finished = time.Now()
+		switch {
+		case err == nil:
+			job.state = JobDone
+			job.result = res
+		case ctx.Err() != nil:
+			job.state = JobCanceled
+			job.errMsg = ctx.Err().Error()
+		default:
+			job.state = JobFailed
+			job.errMsg = err.Error()
+		}
+	}()
+	return job
+}
+
+// pruneLocked drops the oldest-finished jobs beyond maxFinishedJobs.
+// Callers hold j.mu.
+func (j *Jobs) pruneLocked() {
+	var finished []*Job
+	for _, job := range j.m {
+		job.mu.Lock()
+		if job.state != JobRunning {
+			finished = append(finished, job)
+		}
+		job.mu.Unlock()
+	}
+	if len(finished) <= maxFinishedJobs {
+		return
+	}
+	sort.Slice(finished, func(a, b int) bool {
+		return finished[a].finishedAt().Before(finished[b].finishedAt())
+	})
+	for _, job := range finished[:len(finished)-maxFinishedJobs] {
+		delete(j.m, job.id)
+	}
+}
+
+func (job *Job) finishedAt() time.Time {
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	return job.finished
+}
+
+func (job *Job) onProgress(s ugs.RunStats) {
+	job.mu.Lock()
+	job.iterations = s.Iterations
+	job.objective = s.ObjectiveD1
+	job.mu.Unlock()
+}
+
+// Get returns the job with the given ID.
+func (j *Jobs) Get(id string) (*Job, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	job, ok := j.m[id]
+	return job, ok
+}
+
+// Cancel aborts a running job's context. It reports whether the job exists;
+// cancelling a finished job is a no-op.
+func (j *Jobs) Cancel(id string) bool {
+	j.mu.Lock()
+	job, ok := j.m[id]
+	j.mu.Unlock()
+	if ok {
+		job.cancel()
+	}
+	return ok
+}
+
+// Wait blocks until every job goroutine has exited or the timeout elapses,
+// reporting whether the drain completed. Cancel the base context first to
+// make running jobs exit.
+func (j *Jobs) Wait(timeout time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		j.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// JobStatus is the JSON shape of a job snapshot.
+type JobStatus struct {
+	ID       string            `json:"id"`
+	State    JobState          `json:"state"`
+	Progress JobProgress       `json:"progress"`
+	Result   *SparsifyResponse `json:"result,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Created  time.Time         `json:"created"`
+	Finished *time.Time        `json:"finished,omitempty"`
+}
+
+// JobProgress is the live iteration snapshot of a running job.
+type JobProgress struct {
+	Iterations int     `json:"iterations"`
+	Objective  float64 `json:"objective_d1"`
+}
+
+// Status snapshots the job for JSON serialization.
+func (job *Job) Status() JobStatus {
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	st := JobStatus{
+		ID:       job.id,
+		State:    job.state,
+		Progress: JobProgress{Iterations: job.iterations, Objective: job.objective},
+		Result:   job.result,
+		Error:    job.errMsg,
+		Created:  job.created,
+	}
+	if !job.finished.IsZero() {
+		f := job.finished
+		st.Finished = &f
+	}
+	return st
+}
+
+// List snapshots every job, sorted by ID.
+func (j *Jobs) List() []JobStatus {
+	j.mu.Lock()
+	jobs := make([]*Job, 0, len(j.m))
+	for _, job := range j.m {
+		jobs = append(jobs, job)
+	}
+	j.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, job := range jobs {
+		out[i] = job.Status()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}

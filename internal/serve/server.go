@@ -1,0 +1,556 @@
+// Package serve implements ugs-serve: a long-lived HTTP JSON service over
+// the sparsifier core. It keeps graphs resident in CSR form (Store), caches
+// sparsified results keyed by (graph, alpha, Spec) with singleflight
+// admission (Cache), coalesces concurrent Monte-Carlo queries into shared
+// 64-lane WorldBatch flights (Batcher), and runs long sparsifications as
+// cancellable async jobs with progress polling (Jobs).
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ugs"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// GraphDir, when non-empty, is loaded into the store at startup
+	// (every *.ugs / *.txt file).
+	GraphDir string
+	// SparsifyCacheSize bounds the resident sparsified results (default
+	// 128). Evicted results free their graph; re-requesting recomputes.
+	SparsifyCacheSize int
+	// QueryCacheSize bounds cached query results (default 1024).
+	QueryCacheSize int
+	// Workers caps Monte-Carlo parallelism per flight (0 = GOMAXPROCS).
+	Workers int
+	// MaxSamples caps per-request Monte-Carlo sample counts (default
+	// 20000).
+	MaxSamples int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SparsifyCacheSize == 0 {
+		c.SparsifyCacheSize = 128
+	}
+	if c.QueryCacheSize == 0 {
+		c.QueryCacheSize = 1024
+	}
+	if c.MaxSamples == 0 {
+		c.MaxSamples = 20000
+	}
+	return c
+}
+
+// Server is the ugs-serve request handler and its resident state.
+type Server struct {
+	cfg   Config
+	base  context.Context
+	store *Store
+	// sparse caches sparsified results keyed by derived-graph ID (the
+	// truncated SHA-256 of the full request key), so cached outputs are
+	// addressable as query targets.
+	sparse  *Cache[*sparseEntry]
+	queries *Cache[*queryEntry]
+	batcher *Batcher
+	jobs    *Jobs
+	mux     *http.ServeMux
+
+	// computes counts sparsifier runs actually executed: the cache-hit
+	// path must leave it untouched (asserted by tests).
+	computes atomic.Int64
+}
+
+type sparseEntry struct {
+	resp  SparsifyResponse
+	graph *ugs.Graph
+}
+
+type queryEntry struct {
+	sp, rl    []float64
+	connected float64
+}
+
+// New builds a Server. base bounds every background computation (flights,
+// jobs): cancel it to initiate shutdown, then DrainJobs.
+func New(base context.Context, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		base:    base,
+		store:   NewStore(),
+		sparse:  NewCache[*sparseEntry](cfg.SparsifyCacheSize),
+		queries: NewCache[*queryEntry](cfg.QueryCacheSize),
+		batcher: NewBatcher(base, cfg.Workers),
+		jobs:    NewJobs(base),
+	}
+	if cfg.GraphDir != "" {
+		if _, err := s.store.LoadDir(cfg.GraphDir); err != nil {
+			return nil, err
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
+	s.mux.HandleFunc("POST /v1/graphs/{name}", s.handlePutGraph)
+	s.mux.HandleFunc("POST /v1/sparsify", s.handleSparsify)
+	s.mux.HandleFunc("GET /v1/sparsify/{id}/graph", s.handleDownloadSparse)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s, nil
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store exposes the graph store (startup loading, tests).
+func (s *Server) Store() *Store { return s.store }
+
+// Computes reports how many sparsifier runs actually executed — the
+// counter behind the "cache hits do zero sparsifier work" guarantee.
+func (s *Server) Computes() int64 { return s.computes.Load() }
+
+// DrainJobs waits for async jobs to finish after the base context is
+// cancelled, reporting whether the drain completed within the timeout.
+func (s *Server) DrainJobs(timeout time.Duration) bool { return s.jobs.Wait(timeout) }
+
+// resolveGraph resolves a request's graph reference: a store name first,
+// then a derived (sparsified) graph ID. The returned ID is cache-key safe
+// and versioned.
+func (s *Server) resolveGraph(name string) (*ugs.Graph, string, bool) {
+	if g, id, ok := s.store.Get(name); ok {
+		return g, id, true
+	}
+	if e, ok := s.sparse.Get(name); ok {
+		return e.graph, e.resp.ID, true
+	}
+	return nil, "", false
+}
+
+// ---------------------------------------------------------------- sparsify
+
+// SparsifyRequest asks for graph reduced to alpha·|E| edges with the
+// embedded Spec's method and options.
+type SparsifyRequest struct {
+	Graph string  `json:"graph"`
+	Alpha float64 `json:"alpha"`
+	ugs.Spec
+}
+
+// SparsifyResponse describes a sparsified result. ID addresses the resident
+// output graph in later /v1/query and /v1/sparsify/{id}/graph requests.
+type SparsifyResponse struct {
+	ID              string       `json:"id"`
+	Key             string       `json:"key"`
+	Original        string       `json:"original"`
+	Alpha           float64      `json:"alpha"`
+	Graph           GraphInfo    `json:"graph"`
+	RelativeEntropy float64      `json:"relative_entropy"`
+	Stats           ugs.RunStats `json:"stats"`
+	ElapsedMS       float64      `json:"elapsed_ms"`
+	Cached          bool         `json:"cached"`
+}
+
+// requestKey builds the exact cache identity of a sparsify request and its
+// addressable ID.
+func requestKey(graphID string, alpha float64, spec ugs.Spec) (key, id string) {
+	key = graphID + "|a=" + strconv.FormatFloat(alpha, 'g', -1, 64) + "|" + spec.Key()
+	sum := sha256.Sum256([]byte(key))
+	return key, "sp-" + hex.EncodeToString(sum[:16])
+}
+
+// validateSparsify resolves and validates a sparsify request.
+func (s *Server) validateSparsify(req *SparsifyRequest) (*ugs.Graph, string, error) {
+	if req.Graph == "" {
+		return nil, "", fmt.Errorf("missing \"graph\"")
+	}
+	g, gid, ok := s.resolveGraph(req.Graph)
+	if !ok {
+		return nil, "", fmt.Errorf("unknown graph %q", req.Graph)
+	}
+	if !(req.Alpha > 0 && req.Alpha < 1) {
+		return nil, "", fmt.Errorf("alpha %v outside (0,1)", req.Alpha)
+	}
+	// Building the sparsifier validates both the option values and the
+	// method name against the registry; construction is cheap (the run
+	// happens later).
+	if _, err := req.Spec.Sparsifier(); err != nil {
+		return nil, "", err
+	}
+	return g, gid, nil
+}
+
+// sparsify runs (or reuses) the sparsification described by req. compute
+// runs under runCtx — the server base context for synchronous requests, the
+// job context for async ones — and progress, when non-nil, observes the run.
+func (s *Server) sparsify(runCtx context.Context, req *SparsifyRequest, g *ugs.Graph, gid string, progress func(ugs.RunStats)) (*SparsifyResponse, error) {
+	key, id := requestKey(gid, req.Alpha, req.Spec)
+	entry, cached, err := s.sparsifyDo(runCtx, id, key, req, g, gid, progress)
+	if err != nil {
+		return nil, err
+	}
+	resp := entry.resp
+	resp.Cached = cached
+	return &resp, nil
+}
+
+// sparsifyDo wraps the cache admission with one subtlety: a compute can be
+// owned by an async job, whose context dies when the job is cancelled. A
+// synchronous request (or another job) that merely shared that flight was
+// not itself cancelled, so on a Canceled error from a foreign owner it
+// retries — the failed flight is deregistered, and the retry recomputes
+// under this caller's own context. The loop terminates because each
+// iteration either succeeds, fails for a non-cancellation reason, or
+// observes this caller's own context cancelled.
+func (s *Server) sparsifyDo(runCtx context.Context, id, key string, req *SparsifyRequest, g *ugs.Graph, gid string, progress func(ugs.RunStats)) (*sparseEntry, bool, error) {
+	for {
+		entry, cached, err := s.sparsifyOnce(runCtx, id, key, req, g, gid, progress)
+		if errors.Is(err, context.Canceled) && runCtx.Err() == nil {
+			continue
+		}
+		return entry, cached, err
+	}
+}
+
+func (s *Server) sparsifyOnce(runCtx context.Context, id, key string, req *SparsifyRequest, g *ugs.Graph, gid string, progress func(ugs.RunStats)) (*sparseEntry, bool, error) {
+	return s.sparse.Do(runCtx, id, func() (*sparseEntry, error) {
+		var extra []ugs.Option
+		if progress != nil {
+			extra = append(extra, ugs.WithProgress(progress))
+		}
+		sp, err := req.Spec.Sparsifier(extra...)
+		if err != nil {
+			return nil, err
+		}
+		s.computes.Add(1)
+		start := time.Now()
+		res, err := sp.Sparsify(runCtx, g, req.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		info := Info(id, res.Graph)
+		return &sparseEntry{
+			graph: res.Graph,
+			resp: SparsifyResponse{
+				ID:              id,
+				Key:             key,
+				Original:        gid,
+				Alpha:           req.Alpha,
+				Graph:           info,
+				RelativeEntropy: ugs.RelativeEntropy(res.Graph, g),
+				Stats:           res.Stats,
+				ElapsedMS:       float64(time.Since(start)) / float64(time.Millisecond),
+			},
+		}, nil
+	})
+}
+
+func (s *Server) handleSparsify(w http.ResponseWriter, r *http.Request) {
+	var req SparsifyRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	g, gid, err := s.validateSparsify(&req)
+	if err != nil {
+		writeErr(w, badRequestOr404(err), err.Error())
+		return
+	}
+	resp, err := s.sparsify(s.base, &req, g, gid, nil)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDownloadSparse(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.sparse.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("no resident sparsified graph %q (evicted or never computed; re-POST /v1/sparsify)", id))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := ugs.WriteGraph(w, e.graph); err != nil {
+		// Headers are gone; nothing to do beyond logging via the error path.
+		return
+	}
+}
+
+// ------------------------------------------------------------------ query
+
+// QueryRequest evaluates a Monte-Carlo query on a resident graph (a store
+// name or a sparsified-result ID).
+type QueryRequest struct {
+	Graph string `json:"graph"`
+	// Kind is "reliability", "distance", or "connected".
+	Kind  string   `json:"kind"`
+	Pairs [][2]int `json:"pairs,omitempty"`
+	// Samples is the Monte-Carlo sample count (default 500).
+	Samples int   `json:"samples,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+}
+
+// QueryResponse carries per-pair estimates (reliability, distance) or the
+// scalar connectivity probability. Distance entries are null for pairs never
+// connected in any sampled world.
+type QueryResponse struct {
+	Kind    string     `json:"kind"`
+	Values  []*float64 `json:"values,omitempty"`
+	Value   *float64   `json:"value,omitempty"`
+	Samples int        `json:"samples"`
+	Cached  bool       `json:"cached"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	g, gid, ok := s.resolveGraph(req.Graph)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", req.Graph))
+		return
+	}
+	if req.Samples == 0 {
+		req.Samples = 500
+	}
+	if req.Samples < 1 || req.Samples > s.cfg.MaxSamples {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("samples %d outside [1, %d]", req.Samples, s.cfg.MaxSamples))
+		return
+	}
+	switch req.Kind {
+	case "reliability", "distance":
+		s.handlePairQuery(w, r, &req, g, gid)
+	case "connected":
+		s.handleConnectedQuery(w, r, &req, g, gid)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown kind %q (want reliability, distance or connected)", req.Kind))
+	}
+}
+
+func (s *Server) handlePairQuery(w http.ResponseWriter, r *http.Request, req *QueryRequest, g *ugs.Graph, gid string) {
+	if len(req.Pairs) == 0 {
+		writeErr(w, http.StatusBadRequest, "pairs required for reliability/distance queries")
+		return
+	}
+	pairs := make([]ugs.Pair, len(req.Pairs))
+	for i, p := range req.Pairs {
+		if p[0] < 0 || p[0] >= g.NumVertices() || p[1] < 0 || p[1] >= g.NumVertices() {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("pair %d endpoints (%d,%d) outside [0,%d)", i, p[0], p[1], g.NumVertices()))
+			return
+		}
+		pairs[i] = ugs.Pair{S: p[0], T: p[1]}
+	}
+	// Reliability and distance come from the same merged SP+RL pass, so
+	// they share one kind-agnostic cache entry (and, on a miss, one
+	// coalesced flight).
+	key := pairQueryKey(gid, req.Seed, req.Samples, pairs)
+	entry, cached, err := s.queries.Do(r.Context(), key, func() (*queryEntry, error) {
+		// The flight wait runs under the server context, not the
+		// request's: the compute owner's disconnect must not fail the
+		// coalesced waiters sharing this cache flight (Cache.Do contract).
+		sp, rl, err := s.batcher.PairQuery(s.base, gid, g, pairs, req.Seed, req.Samples)
+		if err != nil {
+			return nil, err
+		}
+		return &queryEntry{sp: sp, rl: rl}, nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	src := entry.rl
+	if req.Kind == "distance" {
+		src = entry.sp
+	}
+	values := make([]*float64, len(src))
+	for i, v := range src {
+		if !math.IsNaN(v) {
+			v := v
+			values[i] = &v
+		}
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{Kind: req.Kind, Values: values, Samples: req.Samples, Cached: cached})
+}
+
+func (s *Server) handleConnectedQuery(w http.ResponseWriter, r *http.Request, req *QueryRequest, g *ugs.Graph, gid string) {
+	if len(req.Pairs) != 0 {
+		writeErr(w, http.StatusBadRequest, "connected queries take no pairs")
+		return
+	}
+	key := fmt.Sprintf("cn|%s|s=%d|n=%d", gid, req.Seed, req.Samples)
+	entry, cached, err := s.queries.Do(r.Context(), key, func() (*queryEntry, error) {
+		p, err := ugs.ConnectedProbability(s.base, g, ugs.MCOptions{Seed: req.Seed, Samples: req.Samples, Workers: s.cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		return &queryEntry{connected: p}, nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	v := entry.connected
+	writeJSON(w, http.StatusOK, QueryResponse{Kind: req.Kind, Value: &v, Samples: req.Samples, Cached: cached})
+}
+
+// pairQueryKey hashes the pair list so repeat queries with identical pair
+// sets hit the cache regardless of length.
+func pairQueryKey(gid string, seed int64, samples int, pairs []ugs.Pair) string {
+	h := sha256.New()
+	var buf [16]byte
+	for _, p := range pairs {
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(p.S))
+		binary.LittleEndian.PutUint64(buf[8:16], uint64(p.T))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("pq|%s|s=%d|n=%d|%x", gid, seed, samples, h.Sum(nil)[:16])
+}
+
+// ------------------------------------------------------------------- jobs
+
+func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
+	var req SparsifyRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	g, gid, err := s.validateSparsify(&req)
+	if err != nil {
+		writeErr(w, badRequestOr404(err), err.Error())
+		return
+	}
+	job := s.jobs.Start(func(ctx context.Context, progress func(ugs.RunStats)) (*SparsifyResponse, error) {
+		return s.sparsify(ctx, &req, g, gid, progress)
+	})
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.List())
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	if !s.jobs.Cancel(r.PathValue("id")) {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "cancel requested"})
+}
+
+// ------------------------------------------------------------- graphs/misc
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.List())
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	g, _, ok := s.resolveGraph(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, Info(name, g))
+}
+
+func (s *Server) handlePutGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body := http.MaxBytesReader(w, r.Body, 256<<20)
+	g, err := s.store.AddReader(name, body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, Info(name, g))
+}
+
+// StatsResponse aggregates the service counters.
+type StatsResponse struct {
+	Graphs        int              `json:"graphs"`
+	Computes      int64            `json:"sparsifier_computes"`
+	SparsifyCache CacheStats       `json:"sparsify_cache"`
+	QueryCache    CacheStats       `json:"query_cache"`
+	Batcher       BatcherStats     `json:"batcher"`
+	Jobs          map[JobState]int `json:"jobs"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	jobs := make(map[JobState]int)
+	for _, st := range s.jobs.List() {
+		jobs[st.State]++
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Graphs:        s.store.Len(),
+		Computes:      s.computes.Load(),
+		SparsifyCache: s.sparse.Stats(),
+		QueryCache:    s.queries.Stats(),
+		Batcher:       s.batcher.Stats(),
+		Jobs:          jobs,
+	})
+}
+
+// ---------------------------------------------------------------- helpers
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// decodeJSON parses a bounded JSON body into dst, rejecting unknown fields.
+func decodeJSON[T any](w http.ResponseWriter, r *http.Request, dst *T) bool {
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// badRequestOr404 maps "unknown graph" validation failures to 404 and
+// everything else to 400.
+func badRequestOr404(err error) int {
+	if err != nil && strings.HasPrefix(err.Error(), "unknown graph") {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"ugs"
+)
+
+// Store holds the uncertain graphs the service can sparsify and query. Each
+// graph is parsed once at load (or upload) time and kept resident in its CSR
+// form, so every request against it skips parsing and adjacency construction
+// entirely — the operational premise of sparsification: pay once, query many
+// times.
+//
+// Every load of a name bumps its generation, and ID returns a versioned
+// identifier ("name@gen"). Cache keys embed the versioned ID, so re-uploading
+// a graph under an existing name can never serve results computed against
+// the old bytes.
+type Store struct {
+	mu     sync.RWMutex
+	graphs map[string]*storeEntry
+}
+
+type storeEntry struct {
+	g   *ugs.Graph
+	gen int
+}
+
+// graphNameRE constrains graph names to path- and cache-key-safe tokens.
+var graphNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{graphs: make(map[string]*storeEntry)}
+}
+
+// Add registers (or replaces) a graph under name, bumping its generation.
+func (s *Store) Add(name string, g *ugs.Graph) error {
+	if !graphNameRE.MatchString(name) {
+		return fmt.Errorf("serve: invalid graph name %q (want %s)", name, graphNameRE)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.graphs[name]; ok {
+		s.graphs[name] = &storeEntry{g: g, gen: prev.gen + 1}
+	} else {
+		s.graphs[name] = &storeEntry{g: g, gen: 1}
+	}
+	return nil
+}
+
+// AddReader parses the text interchange format from r and registers the
+// graph under name.
+func (s *Store) AddReader(name string, r io.Reader) (*ugs.Graph, error) {
+	g, err := ugs.ReadGraph(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Add(name, g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// LoadDir loads every *.ugs and *.txt file in dir (non-recursively), naming
+// each graph after its file base without the extension. It returns the
+// loaded names in sorted order; any unparsable file aborts the load.
+func (s *Store) LoadDir(dir string) ([]string, error) {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, f := range files {
+		if f.IsDir() {
+			continue
+		}
+		ext := filepath.Ext(f.Name())
+		if ext != ".ugs" && ext != ".txt" {
+			continue
+		}
+		name := strings.TrimSuffix(f.Name(), ext)
+		g, err := ugs.ReadGraphFile(filepath.Join(dir, f.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("serve: loading %s: %w", f.Name(), err)
+		}
+		if err := s.Add(name, g); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Get returns the graph registered under name together with its versioned
+// identifier.
+func (s *Store) Get(name string) (g *ugs.Graph, id string, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.graphs[name]
+	if !ok {
+		return nil, "", false
+	}
+	return e.g, fmt.Sprintf("%s@%d", name, e.gen), true
+}
+
+// Len reports the number of registered graphs.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.graphs)
+}
+
+// GraphInfo is the JSON shape describing a resident graph.
+type GraphInfo struct {
+	Name     string  `json:"name"`
+	Vertices int     `json:"vertices"`
+	Edges    int     `json:"edges"`
+	MeanProb float64 `json:"mean_prob"`
+	Entropy  float64 `json:"entropy_bits"`
+}
+
+// Info summarizes a graph for listings and responses.
+func Info(name string, g *ugs.Graph) GraphInfo {
+	return GraphInfo{
+		Name:     name,
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		MeanProb: g.MeanProb(),
+		Entropy:  g.Entropy(),
+	}
+}
+
+// List returns summaries of every registered graph, sorted by name.
+func (s *Store) List() []GraphInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	infos := make([]GraphInfo, 0, len(s.graphs))
+	for name, e := range s.graphs {
+		infos = append(infos, Info(name, e.g))
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}

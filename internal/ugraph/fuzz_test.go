@@ -2,25 +2,48 @@ package ugraph
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
-// FuzzRead exercises the text-format parser with arbitrary input: it must
-// never panic, and any graph it accepts must round-trip through Write/Read
-// to an equal graph — modulo p = 0 edges, which Write drops by contract.
+// FuzzRead exercises the text-format parser with arbitrary bytes: it must
+// either reject the input with an error or return a valid graph — never
+// panic, and never commit unbounded memory off a hostile header (the
+// maxHeaderCount guard). Any accepted graph must round-trip through
+// Write/Read to an equal graph — modulo p = 0 edges, which Write drops by
+// contract.
 func FuzzRead(f *testing.F) {
-	f.Add("3 2\n0 1 0.5\n1 2 0.25\n")
-	f.Add("# comment\n\n2 1\n0 1 1\n")
-	f.Add("3 1\n0 1 0\n") // zero-probability edge (legacy sparsifier output)
-	f.Add("0 0\n")
-	f.Add("2 1\n0 1 1e-3\n")
-	f.Add("1 0")
-	f.Add("x y\n")
-	f.Add("3 2\n0 1 0.5\n0 1 0.5\n") // duplicate
-	f.Add("99999 1\n0 1 0.5\n")
-	f.Fuzz(func(t *testing.T, input string) {
-		g, err := Read(strings.NewReader(input))
+	f.Add([]byte("3 2\n0 1 0.5\n1 2 0.25\n"))
+	f.Add([]byte("# comment\n\n2 1\n0 1 1\n"))
+	f.Add([]byte("3 1\n0 1 0\n")) // zero-probability edge (legacy sparsifier output)
+	f.Add([]byte("0 0\n"))
+	f.Add([]byte("2 1\n0 1 1e-3\n"))
+	f.Add([]byte("1 0"))
+	f.Add([]byte("x y\n"))
+	f.Add([]byte("3 2\n0 1 0.5\n0 1 0.5\n")) // duplicate
+	f.Add([]byte("99999 1\n0 1 0.5\n"))
+	f.Add([]byte("999999999999 0\n")) // hostile header: must error, not OOM
+	f.Add([]byte("3 999999999\n0 1 0.5\n"))
+	f.Add([]byte("2 1\n0 1 NaN\n"))
+	f.Add([]byte("2 1\n0 1 +Inf\n"))
+	// Seed the corpus with the committed example graphs, so mutations start
+	// from realistic well-formed inputs.
+	corpus, err := filepath.Glob(filepath.Join("..", "..", "examples", "graphs", "*.ugs"))
+	if err != nil || len(corpus) == 0 {
+		f.Fatalf("example graph corpus missing: %v (files %d)", err, len(corpus))
+	}
+	for _, path := range corpus {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		g, err := Read(bytes.NewReader(input))
 		if err != nil {
 			return // rejected input is fine; panics are not
 		}
@@ -46,4 +69,23 @@ func FuzzRead(f *testing.F) {
 			t.Fatalf("round trip not equal after dropping p=0 edges\ninput: %q", input)
 		}
 	})
+}
+
+// TestReadRejectsHostileHeaders pins the maxHeaderCount guard: headers
+// declaring absurd vertex or edge counts must error before any allocation
+// proportional to the declared sizes.
+func TestReadRejectsHostileHeaders(t *testing.T) {
+	for _, input := range []string{
+		"999999999999 0\n",
+		"2000000000 1\n0 1 0.5\n",
+		"3 999999999\n0 1 0.5\n",
+	} {
+		if _, err := Read(strings.NewReader(input)); err == nil {
+			t.Errorf("hostile header accepted: %q", input)
+		}
+	}
+	// The committed example corpus stays well inside the limit.
+	if _, err := Read(strings.NewReader("1000000 0\n")); err != nil {
+		t.Errorf("legitimate large-but-bounded header rejected: %v", err)
+	}
 }

@@ -24,6 +24,14 @@ import (
 // possible-world semantics — so Write drops such edges, guaranteeing that
 // any written graph can be re-read and re-sparsified.
 
+// maxHeaderCount bounds the vertex and edge counts a header may declare.
+// The CSR offset table is allocated from the header's vertex count before
+// any edge is read, so an adversarial one-line file declaring 2^40 vertices
+// would otherwise commit gigabytes; 2^24 vertices (a 64 MB offset table)
+// is far beyond any plausible text-format input. Programmatic construction
+// through New/Builder is not limited.
+const maxHeaderCount = 1 << 24
+
 // Write serializes g in the text interchange format. Edges whose probability
 // is exactly 0 are omitted (see the format contract above); the header's
 // edge count reflects the edges actually written.
@@ -84,6 +92,9 @@ func Read(r io.Reader) (*Graph, error) {
 	m, err := strconv.Atoi(fields[1])
 	if err != nil || m < 0 {
 		return nil, fmt.Errorf("ugraph: line %d: bad edge count %q", line, fields[1])
+	}
+	if n > maxHeaderCount || m > maxHeaderCount {
+		return nil, fmt.Errorf("ugraph: line %d: header declares %d vertices, %d edges; limit is %d", line, n, m, maxHeaderCount)
 	}
 
 	b := NewBuilder(n)

@@ -1,0 +1,114 @@
+package ugs_test
+
+// Property-based invariant tests: every registered sparsifier, on a table
+// of random graphs, must satisfy the method-independent contract of the
+// Sparsifier interface. New registrations are picked up automatically
+// through ugs.Methods().
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"ugs"
+	"ugs/internal/gen"
+)
+
+// invariantGraphs is the table of random inputs. LP solves a linear program
+// with one variable per edge, so it only runs on the graphs marked small.
+var invariantGraphs = []struct {
+	name  string
+	small bool
+	build func() *ugs.Graph
+}{
+	{"social-40", true, func() *ugs.Graph {
+		g, err := gen.Social(gen.SocialConfig{N: 40, AvgDegree: 6, MeanProb: 0.2, Seed: 101})
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}},
+	{"social-sparse-35", true, func() *ugs.Graph {
+		g, err := gen.Social(gen.SocialConfig{N: 35, AvgDegree: 4, MeanProb: 0.5, Seed: 202})
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}},
+	{"twitter-150", false, func() *ugs.Graph { return gen.TwitterLike(150, 303) }},
+	{"flickr-120", false, func() *ugs.Graph { return gen.FlickrLike(120, 404) }},
+	{"densified-60", false, func() *ugs.Graph {
+		base, err := gen.Social(gen.SocialConfig{N: 60, AvgDegree: 8, MeanProb: 0.15, Seed: 505})
+		if err != nil {
+			panic(err)
+		}
+		g, err := gen.Densify(base, 0.2, 0.15, 506)
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}},
+}
+
+// TestSparsifierInvariantsAllMethods checks, for every registered method ×
+// every table graph × two ratios:
+//
+//  1. the vertex set is preserved (same dense 0..n-1 identifiers),
+//  2. every output probability lies in [0, 1],
+//  3. the output has at most ⌈α|E|⌉ edges and strictly fewer than |E|,
+//  4. a fixed seed gives bit-identical output across two runs.
+func TestSparsifierInvariantsAllMethods(t *testing.T) {
+	ctx := context.Background()
+	for _, method := range ugs.Methods() {
+		for _, tg := range invariantGraphs {
+			if method == "lp" && !tg.small {
+				continue
+			}
+			g := tg.build()
+			for _, alpha := range []float64{0.2, 0.45} {
+				t.Run(fmt.Sprintf("%s/%s/a%.2f", method, tg.name, alpha), func(t *testing.T) {
+					t.Parallel()
+					sp, err := ugs.Lookup(method, ugs.WithSeed(7))
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := sp.Sparsify(ctx, g, alpha)
+					if err != nil {
+						t.Fatal(err)
+					}
+					out := res.Graph
+
+					if out.NumVertices() != g.NumVertices() {
+						t.Errorf("vertex set not preserved: %d != %d", out.NumVertices(), g.NumVertices())
+					}
+					for id := 0; id < out.NumEdges(); id++ {
+						if p := out.Prob(id); !(p >= 0 && p <= 1) || math.IsNaN(p) {
+							t.Fatalf("edge %d probability %v outside [0,1]", id, p)
+						}
+					}
+					if budget := int(math.Ceil(alpha * float64(g.NumEdges()))); out.NumEdges() > budget {
+						t.Errorf("edge count %d above budget ⌈α|E|⌉ = %d", out.NumEdges(), budget)
+					}
+					if out.NumEdges() >= g.NumEdges() {
+						t.Errorf("no sparsification: %d of %d edges kept", out.NumEdges(), g.NumEdges())
+					}
+					for id := 0; id < out.NumEdges(); id++ {
+						e := out.Edge(id)
+						if !g.HasEdge(e.U, e.V) {
+							t.Fatalf("output edge (%d,%d) not present in the input", e.U, e.V)
+						}
+					}
+
+					rerun, err := sp.Sparsify(ctx, g, alpha)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !res.Graph.Equal(rerun.Graph) {
+						t.Error("same seed not bit-identical across two runs")
+					}
+				})
+			}
+		}
+	}
+}
