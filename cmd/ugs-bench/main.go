@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -239,6 +240,68 @@ func main() {
 			fn   func()
 		}{"ConnectedMC/scalar", func() {
 			if _, err := ugs.ConnectedProbability(ctx, g, queryOpts(true)); err != nil {
+				fatal(err)
+			}
+		}},
+	)
+
+	// Storage benchmarks: loading the same graph from the text format
+	// (parse + CSR build) versus opening its .ugsb binary as a memory
+	// mapping — deep-validated and header-only — plus the reliability
+	// estimator over the mapped view, which must match the heap numbers
+	// (same CSR layout, different backing pages).
+	storeDir, err := os.MkdirTemp("", "ugs-bench-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(storeDir)
+	textPath := filepath.Join(storeDir, "g.ugs")
+	binPath := filepath.Join(storeDir, "g.ugsb")
+	if err := ugs.WriteGraphFile(textPath, g); err != nil {
+		fatal(err)
+	}
+	if err := ugs.WriteBinaryGraphFile(binPath, g); err != nil {
+		fatal(err)
+	}
+	mg, err := ugs.OpenMappedGraph(binPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer mg.Close()
+	benches = append(benches,
+		struct {
+			name string
+			fn   func()
+		}{"LoadText", func() {
+			if _, err := ugs.ReadGraphFile(textPath); err != nil {
+				fatal(err)
+			}
+		}},
+		struct {
+			name string
+			fn   func()
+		}{"LoadMapped", func() {
+			m, err := ugs.OpenMappedGraph(binPath)
+			if err != nil {
+				fatal(err)
+			}
+			m.Close()
+		}},
+		struct {
+			name string
+			fn   func()
+		}{"LoadMappedTrusted", func() {
+			m, err := ugs.OpenMappedGraphTrusted(binPath)
+			if err != nil {
+				fatal(err)
+			}
+			m.Close()
+		}},
+		struct {
+			name string
+			fn   func()
+		}{"ReliabilityMC/mapped", func() {
+			if _, err := ugs.Reliability(ctx, mg, pairs, queryOpts(false)); err != nil {
 				fatal(err)
 			}
 		}},

@@ -1,16 +1,24 @@
-// Command ugs sparsifies an uncertain graph file.
+// Command ugs sparsifies an uncertain graph file, and converts graphs
+// between the storage formats.
 //
 // Usage:
 //
 //	ugs -in graph.txt -out sparse.txt -alpha 0.25 -method emd
+//	ugs convert -in graph.txt -out graph.ugsb
 //
 // The method is resolved by name from the ugs registry, so every registered
 // sparsifier — including plug-ins — is reachable without this command
-// changing. The input format is documented in internal/ugraph: a header line
-// "<numVertices> <numEdges>" followed by "<u> <v> <p>" edge lines. The tool
-// reports edge counts, entropy and degree-discrepancy statistics before and
-// after sparsification; -progress streams per-iteration statistics to
-// stderr, and -timeout bounds the run through context cancellation.
+// changing. Inputs and outputs may be the text interchange format
+// (documented in internal/ugraph: a "<numVertices> <numEdges>" header line
+// followed by "<u> <v> <p>" edge lines) or the .ugsb binary CSR format
+// (documented in internal/ugsb), selected by file extension; .ugsb inputs
+// are opened as memory mappings with no parsing. The tool reports edge
+// counts, entropy and degree-discrepancy statistics before and after
+// sparsification; -progress streams per-iteration statistics to stderr, and
+// -timeout bounds the run through context cancellation.
+//
+// The "convert" verb translates between the two formats in either
+// direction, picking the target format from the output extension.
 //
 // The implementation lives in internal/cli so the end-to-end tests can run
 // it in-process.
@@ -23,5 +31,9 @@ import (
 )
 
 func main() {
-	os.Exit(cli.RunSparsify(os.Args[1:], os.Stdout, os.Stderr))
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "convert" {
+		os.Exit(cli.RunConvert(args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(cli.RunSparsify(args, os.Stdout, os.Stderr))
 }

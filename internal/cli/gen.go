@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"path/filepath"
 
 	"ugs"
 )
@@ -20,7 +21,8 @@ func RunGen(args []string, stdout, stderr io.Writer) int {
 		meanp   = fs.Float64("meanp", 0.09, "mean edge probability")
 		density = fs.Float64("density", 0.15, "fraction of complete graph (densify)")
 		seed    = fs.Int64("seed", 1, "random seed")
-		out     = fs.String("out", "", "output file (required)")
+		stream  = fs.Bool("stream", false, "stream a social graph straight to a .ugsb file in O(N) memory (million-edge scale)")
+		out     = fs.String("out", "", "output file; .ugsb writes binary (required)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -29,6 +31,26 @@ func RunGen(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ugs-gen: -out is required")
 		fs.Usage()
 		return 2
+	}
+
+	if *stream {
+		if *kind != "social" {
+			fmt.Fprintln(stderr, "ugs-gen: -stream supports -kind social only")
+			return 2
+		}
+		if filepath.Ext(*out) != ".ugsb" {
+			fmt.Fprintln(stderr, "ugs-gen: -stream writes the binary format; -out must end in .ugsb")
+			return 2
+		}
+		n, m, err := ugs.StreamSocial(ugs.SocialConfig{
+			N: *n, AvgDegree: *avgdeg, MeanProb: *meanp, Seed: *seed,
+		}, *out)
+		if err != nil {
+			fmt.Fprintln(stderr, "ugs-gen:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s: %d vertices, %d edges (%s)\n", *out, n, m, humanBytes(fileSize(*out)))
+		return 0
 	}
 
 	var g *ugs.Graph
@@ -58,7 +80,7 @@ func RunGen(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	if err := ugs.WriteGraphFile(*out, g); err != nil {
+	if err := writeGraphAuto(*out, g); err != nil {
 		fmt.Fprintln(stderr, "ugs-gen:", err)
 		return 1
 	}

@@ -33,15 +33,22 @@ func RunServeContext(ctx context.Context, args []string, stdout, stderr io.Write
 	fs := flag.NewFlagSet("ugs-serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr       = fs.String("addr", ":8471", "listen address (host:port; port 0 picks a free port)")
-		graphs     = fs.String("graphs", "", "directory of *.ugs / *.txt graph files to load at startup")
-		cacheSize  = fs.Int("cache", 128, "resident sparsified results (LRU entries)")
-		queryCache = fs.Int("query-cache", 1024, "cached query results (LRU entries)")
-		workers    = fs.Int("workers", 0, "Monte-Carlo parallelism per flight (0 = GOMAXPROCS)")
-		maxSamples = fs.Int("max-samples", 20000, "per-request Monte-Carlo sample cap")
-		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for requests and jobs")
+		addr        = fs.String("addr", ":8471", "listen address (host:port; port 0 picks a free port)")
+		graphs      = fs.String("graphs", "", "directory of *.ugsb / *.ugs / *.txt graph files to load at startup")
+		cacheSize   = fs.Int("cache", 128, "resident sparsified results (LRU entries)")
+		queryCache  = fs.Int("query-cache", 1024, "cached query results (LRU entries)")
+		workers     = fs.Int("workers", 0, "Monte-Carlo parallelism per flight (0 = GOMAXPROCS)")
+		maxSamples  = fs.Int("max-samples", 20000, "per-request Monte-Carlo sample cap")
+		storeBudget = fs.String("store-budget", "", "resident graph-bytes budget with K/M/G suffixes, e.g. 512M (empty = unlimited)")
+		convertDir  = fs.String("convert-dir", "", "directory for .ugsb sidecars of converted text graphs and uploads (default: a temp dir)")
+		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for requests and jobs")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	budget, err := parseBytes(*storeBudget)
+	if err != nil {
+		fmt.Fprintln(stderr, "ugs-serve: -store-budget:", err)
 		return 2
 	}
 
@@ -58,11 +65,14 @@ func RunServeContext(ctx context.Context, args []string, stdout, stderr io.Write
 		QueryCacheSize:    *queryCache,
 		Workers:           *workers,
 		MaxSamples:        *maxSamples,
+		StoreBudgetBytes:  budget,
+		ConvertDir:        *convertDir,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "ugs-serve:", err)
 		return 1
 	}
+	defer server.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

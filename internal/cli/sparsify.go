@@ -26,8 +26,8 @@ func RunSparsify(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ugs", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		in       = fs.String("in", "", "input graph file (required)")
-		out      = fs.String("out", "", "output graph file (optional)")
+		in       = fs.String("in", "", "input graph file, text or .ugsb (required)")
+		out      = fs.String("out", "", "output graph file; .ugsb writes binary (optional)")
 		alpha    = fs.Float64("alpha", 0.25, "sparsification ratio α ∈ (0,1)")
 		method   = fs.String("method", "gdb", "sparsifier: "+strings.Join(ugs.Methods(), ", "))
 		disc     = fs.String("discrepancy", "absolute", "objective: absolute or relative")
@@ -53,11 +53,12 @@ func RunSparsify(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	g, err := ugs.ReadGraphFile(*in)
+	g, err := loadGraphAuto(*in)
 	if err != nil {
 		fmt.Fprintln(stderr, "ugs:", err)
 		return 1
 	}
+	defer g.Close()
 	fmt.Fprintf(stdout, "input:  %v  entropy=%.2f bits\n", g, g.Entropy())
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -88,7 +89,7 @@ func RunSparsify(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "elapsed: %v\n", elapsed)
 
 	if *out != "" {
-		if err := ugs.WriteGraphFile(*out, sparse); err != nil {
+		if err := writeGraphAuto(*out, sparse); err != nil {
 			fmt.Fprintln(stderr, "ugs:", err)
 			return 1
 		}

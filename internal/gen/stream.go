@@ -1,0 +1,165 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ugs/internal/ugsb"
+)
+
+// StreamSocial generates the same family of graphs as Social — a Chung–Lu
+// power-law graph with clipped-exponential edge probabilities, bridged to a
+// single connected component — but streams the edges straight into a .ugsb
+// file instead of building the graph in memory. Sampling uses the
+// Miller–Hagberg skipping algorithm: for each vertex u the candidate
+// neighbors v > u are visited by geometric jumps sized to an upper-bound
+// probability (valid because the weight sequence is non-increasing), with a
+// q/p acceptance correction — O(N+M) expected work rather than the O(N²)
+// pair enumeration of Social. Memory is O(N) (the weight vector, the
+// writer's degree counters and a union-find); the O(M) CSR scatter happens
+// in the writer through a file mapping, so million-edge corpora never
+// materialize in the heap.
+//
+// The RNG consumption differs from Social's pair enumeration, so the two
+// generators produce different (identically distributed) graphs for the
+// same seed. The result is deterministic per (config, seed).
+func StreamSocial(cfg SocialConfig, path string) (vertices, edges int, err error) {
+	cfg = cfg.withDefaults()
+	if cfg.N < 2 {
+		return 0, 0, fmt.Errorf("gen: need at least 2 vertices, got %d", cfg.N)
+	}
+	if cfg.AvgDegree <= 0 || cfg.AvgDegree >= float64(cfg.N) {
+		return 0, 0, fmt.Errorf("gen: average degree %v out of range", cfg.AvgDegree)
+	}
+	if !(cfg.MeanProb > 0 && cfg.MeanProb <= 1) {
+		return 0, 0, fmt.Errorf("gen: mean probability %v outside (0,1]", cfg.MeanProb)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Power-law weights exactly as in Social: w_i ∝ (i+i₀)^(−1/(γ−1)),
+	// scaled so Σw equals the requested total degree. The sequence is
+	// decreasing in i, which Miller–Hagberg requires.
+	n := cfg.N
+	w := make([]float64, n)
+	var sum float64
+	beta := 1 / (cfg.Exponent - 1)
+	const i0 = 3
+	for i := range w {
+		w[i] = math.Pow(float64(i+i0), -beta)
+		sum += w[i]
+	}
+	scale := cfg.AvgDegree * float64(n) / sum
+	for i := range w {
+		w[i] *= scale
+	}
+	total := cfg.AvgDegree * float64(n) // = Σw after scaling
+
+	wtr, err := ugsb.Create(path, n)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		if err != nil {
+			wtr.Abort()
+		}
+	}()
+
+	uf := newUnionFind(n)
+	m := 0
+	add := func(u, v int) error {
+		if aerr := wtr.AddEdge(u, v, drawProb(rng, cfg.MeanProb)); aerr != nil {
+			return aerr
+		}
+		uf.union(u, v)
+		m++
+		return nil
+	}
+
+	for u := 0; u < n-1; u++ {
+		v := u + 1
+		p := math.Min(1, w[u]*w[v]/total)
+		for v < n && p > 0 {
+			if p < 1 {
+				r := rng.Float64()
+				if r == 0 {
+					break // log(0) = −∞: the jump clears the row
+				}
+				v += int(math.Log(r) / math.Log(1-p))
+			}
+			if v >= n {
+				break
+			}
+			// q ≤ p because w is non-increasing; accept with q/p to
+			// correct the upper-bound jump distribution.
+			q := math.Min(1, w[u]*w[v]/total)
+			if rng.Float64()*p < q {
+				if err = add(u, v); err != nil {
+					return 0, 0, err
+				}
+			}
+			p = q
+			v++
+		}
+	}
+
+	// Bridge every component to the largest one (the sparsification
+	// framework assumes a connected graph), as connect does for Social.
+	// Component roots stand in for random representatives; cross-component
+	// pairs cannot duplicate an existing edge.
+	largest := 0
+	for v := 1; v < n; v++ {
+		if uf.size[uf.find(v)] > uf.size[uf.find(largest)] {
+			largest = v
+		}
+	}
+	largest = uf.find(largest)
+	for v := 0; v < n; v++ {
+		if uf.find(v) == v && v != largest {
+			if err = add(v, largest); err != nil {
+				return 0, 0, err
+			}
+			largest = uf.find(largest) // the merge may have re-rooted
+		}
+	}
+
+	if err = wtr.Finalize(); err != nil {
+		return 0, 0, err
+	}
+	return n, m, nil
+}
+
+// unionFind is a weighted quick-union with path halving.
+type unionFind struct {
+	parent []int32
+	size   []int32
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != int32(x) {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = int(uf.parent[x])
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = int32(ra)
+	uf.size[ra] += uf.size[rb]
+}

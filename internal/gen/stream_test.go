@@ -1,0 +1,84 @@
+package gen
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ugs/internal/ugraph"
+)
+
+func TestStreamSocialProducesValidConnectedGraph(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.ugsb")
+	cfg := SocialConfig{N: 3000, AvgDegree: 12, MeanProb: 0.1, Seed: 5}
+	n, m, err := StreamSocial(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3000 || m == 0 {
+		t.Fatalf("n=%d m=%d", n, m)
+	}
+
+	// Full validation must pass, and the mapped view must agree with the
+	// reported counts.
+	g, err := ugraph.OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.NumVertices() != n || g.NumEdges() != m {
+		t.Fatalf("mapped counts %d/%d, want %d/%d", g.NumVertices(), g.NumEdges(), n, m)
+	}
+	if _, k := g.Components(); k != 1 {
+		t.Fatalf("graph has %d components, want 1 (bridging failed)", k)
+	}
+	// Average degree should be in the neighborhood of the target (Chung–Lu
+	// with min-clamp biases slightly; a factor-of-2 corridor catches real
+	// breakage without flaking).
+	avg := 2 * float64(m) / float64(n)
+	if avg < cfg.AvgDegree/2 || avg > cfg.AvgDegree*2 {
+		t.Fatalf("average degree %.2f far from target %v", avg, cfg.AvgDegree)
+	}
+	for _, e := range g.Edges() {
+		if !(e.P >= 0.01 && e.P <= 1) {
+			t.Fatalf("edge probability %v outside the clipped range", e.P)
+		}
+	}
+}
+
+func TestStreamSocialDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	cfg := SocialConfig{N: 500, AvgDegree: 8, MeanProb: 0.12, Seed: 7}
+	p1, p2 := filepath.Join(dir, "a.ugsb"), filepath.Join(dir, "b.ugsb")
+	if _, _, err := StreamSocial(cfg, p1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := StreamSocial(cfg, p2); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same seed produced different files")
+	}
+
+	cfg.Seed = 8
+	p3 := filepath.Join(dir, "c.ugsb")
+	if _, _, err := StreamSocial(cfg, p3); err != nil {
+		t.Fatal(err)
+	}
+	b3, err := os.ReadFile(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(b1, b3) {
+		t.Fatal("different seeds produced identical files")
+	}
+}

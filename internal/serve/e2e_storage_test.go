@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ugs"
+)
+
+// TestServeOutOfCoreMixedTraffic is the out-of-core acceptance scenario:
+// the server's graph directory holds .ugsb and text graphs whose combined
+// size exceeds the store budget, and concurrent sparsify + query traffic
+// runs against all of them. Every request must succeed — evictions swap
+// mappings, never break in-flight work — and the final stats must show the
+// budget was actually exercised.
+func TestServeOutOfCoreMixedTraffic(t *testing.T) {
+	dir := t.TempDir()
+	var total int64
+	names := []string{"m0", "m1", "m2"}
+	for i, name := range names {
+		g := ugs.FlickrLike(150, int64(i+1))
+		path := filepath.Join(dir, name+".ugsb")
+		if err := ugs.WriteBinaryGraphFile(path, g); err != nil {
+			t.Fatal(err)
+		}
+		st, _ := os.Stat(path)
+		total += st.Size()
+	}
+	// One text graph too: conversion + budget accounting must compose.
+	if err := ugs.WriteGraphFile(filepath.Join(dir, "txt.ugs"), ugs.TwitterLike(120, 9)); err != nil {
+		t.Fatal(err)
+	}
+	names = append(names, "txt")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	s, err := New(ctx, Config{
+		GraphDir:         dir,
+		StoreBudgetBytes: total / 2, // roughly 1–2 graphs resident
+		ConvertDir:       filepath.Join(dir, "sidecars"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	const workers = 6
+	const iters = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				name := names[rng.Intn(len(names))]
+				switch i % 3 {
+				case 0:
+					var resp SparsifyResponse
+					w := do(t, s, "POST", "/v1/sparsify",
+						sparsifyBody(name, 0.3, "gdb", seed), &resp)
+					if w.Code != 200 {
+						errs <- fmt.Errorf("sparsify %s: %d %s", name, w.Code, w.Body.String())
+					}
+				case 1:
+					var resp QueryResponse
+					body := map[string]any{
+						"graph": name, "kind": "reliability",
+						"pairs": [][2]int{{0, 5}, {1, 7}}, "samples": 64, "seed": seed,
+					}
+					w := do(t, s, "POST", "/v1/query", body, &resp)
+					if w.Code != 200 {
+						errs <- fmt.Errorf("query %s: %d %s", name, w.Code, w.Body.String())
+					}
+				default:
+					var resp QueryResponse
+					body := map[string]any{
+						"graph": name, "kind": "connected", "samples": 64, "seed": seed,
+					}
+					w := do(t, s, "POST", "/v1/query", body, &resp)
+					if w.Code != 200 {
+						errs <- fmt.Errorf("connected %s: %d %s", name, w.Code, w.Body.String())
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	var stats StatsResponse
+	if w := do(t, s, "GET", "/v1/stats", nil, &stats); w.Code != 200 {
+		t.Fatalf("stats: %d", w.Code)
+	}
+	if stats.Store.Evictions == 0 {
+		t.Error("no evictions: the budget was never exercised")
+	}
+	if stats.Store.Conversions == 0 {
+		t.Error("text graph was not converted to a .ugsb sidecar")
+	}
+	if stats.Store.Registered != 4 {
+		t.Errorf("registered %d graphs, want 4", stats.Store.Registered)
+	}
+	if stats.Store.Pinned != 0 {
+		t.Errorf("pins leaked: %d", stats.Store.Pinned)
+	}
+
+	// Determinism across eviction: the same query against a possibly
+	// remapped graph returns identical values (same generation → served
+	// from cache or recomputed bit-identically).
+	q := map[string]any{"graph": "m0", "kind": "connected", "samples": 64, "seed": int64(77)}
+	var a, b QueryResponse
+	if w := do(t, s, "POST", "/v1/query", q, &a); w.Code != 200 {
+		t.Fatalf("query a: %d", w.Code)
+	}
+	for _, name := range names { // churn the store
+		_, _, release, err := s.Store().Acquire(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	if w := do(t, s, "POST", "/v1/query", q, &b); w.Code != 200 {
+		t.Fatalf("query b: %d", w.Code)
+	}
+	if *a.Value != *b.Value {
+		t.Errorf("connected probability changed across eviction churn: %v != %v", *a.Value, *b.Value)
+	}
+}

@@ -39,6 +39,13 @@ type Config struct {
 	// MaxSamples caps per-request Monte-Carlo sample counts (default
 	// 20000).
 	MaxSamples int
+	// StoreBudgetBytes caps resident graph bytes in the store (0 =
+	// unlimited): beyond it, least-recently-used unpinned graphs are
+	// evicted and remapped from their .ugsb backing on demand.
+	StoreBudgetBytes int64
+	// ConvertDir holds .ugsb sidecars for converted text graphs and
+	// spilled uploads (default: a temp dir removed on Close).
+	ConvertDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -90,7 +97,7 @@ func New(base context.Context, cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		base:    base,
-		store:   NewStore(),
+		store:   NewStore(StoreConfig{BudgetBytes: cfg.StoreBudgetBytes, ConvertDir: cfg.ConvertDir}),
 		sparse:  NewCache[*sparseEntry](cfg.SparsifyCacheSize),
 		queries: NewCache[*queryEntry](cfg.QueryCacheSize),
 		batcher: NewBatcher(base, cfg.Workers),
@@ -131,17 +138,25 @@ func (s *Server) Computes() int64 { return s.computes.Load() }
 // cancelled, reporting whether the drain completed within the timeout.
 func (s *Server) DrainJobs(timeout time.Duration) bool { return s.jobs.Wait(timeout) }
 
-// resolveGraph resolves a request's graph reference: a store name first,
+// Close releases the store (mappings, sidecar directory). Call after the
+// base context is cancelled and jobs are drained.
+func (s *Server) Close() error { return s.store.Close() }
+
+// acquireGraph resolves a request's graph reference: a store name first,
 // then a derived (sparsified) graph ID. The returned ID is cache-key safe
-// and versioned.
-func (s *Server) resolveGraph(name string) (*ugs.Graph, string, bool) {
-	if g, id, ok := s.store.Get(name); ok {
-		return g, id, true
+// and versioned. On success the graph is pinned against eviction until
+// release (idempotent, never nil) is called.
+func (s *Server) acquireGraph(name string) (*ugs.Graph, string, func(), error) {
+	g, id, release, err := s.store.Acquire(name)
+	if err == nil {
+		return g, id, release, nil
 	}
 	if e, ok := s.sparse.Get(name); ok {
-		return e.graph, e.resp.ID, true
+		// Sparsified results are heap graphs owned by the result cache,
+		// not the store; no pin needed.
+		return e.graph, e.resp.ID, func() {}, nil
 	}
-	return nil, "", false
+	return nil, "", nil, err
 }
 
 // ---------------------------------------------------------------- sparsify
@@ -176,25 +191,28 @@ func requestKey(graphID string, alpha float64, spec ugs.Spec) (key, id string) {
 	return key, "sp-" + hex.EncodeToString(sum[:16])
 }
 
-// validateSparsify resolves and validates a sparsify request.
-func (s *Server) validateSparsify(req *SparsifyRequest) (*ugs.Graph, string, error) {
+// validateSparsify resolves and validates a sparsify request, pinning the
+// input graph. On success the caller owns the release.
+func (s *Server) validateSparsify(req *SparsifyRequest) (*ugs.Graph, string, func(), error) {
 	if req.Graph == "" {
-		return nil, "", fmt.Errorf("missing \"graph\"")
+		return nil, "", nil, fmt.Errorf("missing \"graph\"")
 	}
-	g, gid, ok := s.resolveGraph(req.Graph)
-	if !ok {
-		return nil, "", fmt.Errorf("unknown graph %q", req.Graph)
+	g, gid, release, err := s.acquireGraph(req.Graph)
+	if err != nil {
+		return nil, "", nil, err
 	}
 	if !(req.Alpha > 0 && req.Alpha < 1) {
-		return nil, "", fmt.Errorf("alpha %v outside (0,1)", req.Alpha)
+		release()
+		return nil, "", nil, fmt.Errorf("alpha %v outside (0,1)", req.Alpha)
 	}
 	// Building the sparsifier validates both the option values and the
 	// method name against the registry; construction is cheap (the run
 	// happens later).
 	if _, err := req.Spec.Sparsifier(); err != nil {
-		return nil, "", err
+		release()
+		return nil, "", nil, err
 	}
-	return g, gid, nil
+	return g, gid, release, nil
 }
 
 // sparsify runs (or reuses) the sparsification described by req. compute
@@ -267,11 +285,12 @@ func (s *Server) handleSparsify(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	g, gid, err := s.validateSparsify(&req)
+	g, gid, release, err := s.validateSparsify(&req)
 	if err != nil {
 		writeErr(w, badRequestOr404(err), err.Error())
 		return
 	}
+	defer release()
 	resp, err := s.sparsify(s.base, &req, g, gid, nil)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err.Error())
@@ -324,11 +343,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	g, gid, ok := s.resolveGraph(req.Graph)
-	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", req.Graph))
+	g, gid, release, err := s.acquireGraph(req.Graph)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrUnknownGraph) {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err.Error())
 		return
 	}
+	defer release()
 	if req.Samples == 0 {
 		req.Samples = 500
 	}
@@ -432,12 +456,15 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	g, gid, err := s.validateSparsify(&req)
+	g, gid, release, err := s.validateSparsify(&req)
 	if err != nil {
 		writeErr(w, badRequestOr404(err), err.Error())
 		return
 	}
+	// The pin must outlive this handler: the job goroutine reads the
+	// graph until the run finishes, so it owns the release.
 	job := s.jobs.Start(func(ctx context.Context, progress func(ugs.RunStats)) (*SparsifyResponse, error) {
+		defer release()
 		return s.sparsify(ctx, &req, g, gid, progress)
 	})
 	writeJSON(w, http.StatusAccepted, job.Status())
@@ -476,12 +503,17 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	g, _, ok := s.resolveGraph(name)
-	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", name))
+	// Describe answers from the stored summary without forcing an evicted
+	// graph resident.
+	if info, ok := s.store.Describe(name); ok {
+		writeJSON(w, http.StatusOK, info)
 		return
 	}
-	writeJSON(w, http.StatusOK, Info(name, g))
+	if e, ok := s.sparse.Get(name); ok {
+		writeJSON(w, http.StatusOK, Info(name, e.graph))
+		return
+	}
+	writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", name))
 }
 
 func (s *Server) handlePutGraph(w http.ResponseWriter, r *http.Request) {
@@ -499,6 +531,7 @@ func (s *Server) handlePutGraph(w http.ResponseWriter, r *http.Request) {
 type StatsResponse struct {
 	Graphs        int              `json:"graphs"`
 	Computes      int64            `json:"sparsifier_computes"`
+	Store         StoreStats       `json:"store"`
 	SparsifyCache CacheStats       `json:"sparsify_cache"`
 	QueryCache    CacheStats       `json:"query_cache"`
 	Batcher       BatcherStats     `json:"batcher"`
@@ -513,6 +546,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Graphs:        s.store.Len(),
 		Computes:      s.computes.Load(),
+		Store:         s.store.Stats(),
 		SparsifyCache: s.sparse.Stats(),
 		QueryCache:    s.queries.Stats(),
 		Batcher:       s.batcher.Stats(),

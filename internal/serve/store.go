@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -13,46 +14,200 @@ import (
 	"ugs"
 )
 
-// Store holds the uncertain graphs the service can sparsify and query. Each
-// graph is parsed once at load (or upload) time and kept resident in its CSR
-// form, so every request against it skips parsing and adjacency construction
-// entirely — the operational premise of sparsification: pay once, query many
-// times.
+// Store holds the uncertain graphs the service can sparsify and query, under
+// a configurable resident-bytes budget.
 //
-// Every load of a name bumps its generation, and ID returns a versioned
-// identifier ("name@gen"). Cache keys embed the versioned ID, so re-uploading
-// a graph under an existing name can never serve results computed against
-// the old bytes.
+// Graphs are backed by .ugsb files wherever possible: binary files in the
+// graph directory are opened as memory mappings (load = mmap + header check,
+// no parsing), text files are transparently converted to a .ugsb sidecar on
+// first load and then mapped, and uploaded graphs are spilled to a sidecar
+// so they too can be evicted. When the resident bytes exceed the budget, the
+// least-recently-used unpinned graph is dropped — its mapping is released
+// and the page cache reclaims the memory — and reloaded on demand by the
+// next request that names it (an mmap, not a re-parse).
+//
+// Requests access graphs through Acquire, which pins the resident mapping
+// with a refcount: an evicted graph is never unmapped while an in-flight
+// sparsify or query still reads it; the last release closes it.
+//
+// Generations survive eviction. A name's generation bumps only when its
+// bytes actually change (re-upload, or the backing file's size/mtime
+// fingerprint differing on reload), so cached sparsify and query results —
+// keyed by "name@gen" — stay coherent across evict/reload cycles.
 type Store struct {
-	mu     sync.RWMutex
-	graphs map[string]*storeEntry
+	cfg StoreConfig
+
+	mu            sync.Mutex
+	entries       map[string]*storeEntry
+	clock         uint64
+	residentBytes int64
+	loads         int64
+	evictions     int64
+	conversions   int64
+	convertDir    string
+	ownsConvert   bool
+	closed        bool
+}
+
+// StoreConfig tunes a Store.
+type StoreConfig struct {
+	// BudgetBytes caps the resident graph bytes; 0 means unlimited. The
+	// budget is enforced at admission: loading a graph evicts unpinned
+	// residents LRU-first until under budget. Pinned graphs are never
+	// evicted, so concurrent pins can transiently overshoot.
+	BudgetBytes int64
+	// ConvertDir holds .ugsb sidecars converted from text graphs and
+	// spilled uploads. Empty means a temporary directory created on first
+	// use and removed by Close.
+	ConvertDir string
 }
 
 type storeEntry struct {
-	g   *ugs.Graph
-	gen int
+	name     string
+	gen      int
+	info     GraphInfo
+	path     string // .ugsb backing file; "" = heap-only, unevictable
+	sidecar  bool   // path is store-owned (converted/spilled)
+	verified bool   // a full-validation open of fp's bytes has succeeded
+	fp       fileFP
+	res      *resident     // nil while evicted
+	loading  chan struct{} // non-nil while a reload is in flight
+	lastUse  uint64
 }
+
+// resident is the in-memory incarnation of a graph. It is separate from the
+// entry so that an evicted-but-pinned graph outlives its slot: eviction
+// marks it dropped, and the final release (refs → 0) closes the mapping.
+type resident struct {
+	g       *ugs.Graph
+	bytes   int64
+	refs    int
+	dropped bool
+}
+
+// fileFP fingerprints a backing file; a changed fingerprint on reload means
+// the bytes may differ, so the generation bumps and validation reruns.
+type fileFP struct {
+	size  int64
+	mtime int64
+}
+
+func statFP(path string) (fileFP, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return fileFP{}, err
+	}
+	return fileFP{size: st.Size(), mtime: st.ModTime().UnixNano()}, nil
+}
+
+// ErrUnknownGraph reports that no graph is registered under the given name.
+var ErrUnknownGraph = errors.New("unknown graph")
 
 // graphNameRE constrains graph names to path- and cache-key-safe tokens.
 var graphNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
 
 // NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{graphs: make(map[string]*storeEntry)}
+func NewStore(cfg StoreConfig) *Store {
+	return &Store{cfg: cfg, entries: make(map[string]*storeEntry)}
+}
+
+func (s *Store) tickLocked() uint64 {
+	s.clock++
+	return s.clock
+}
+
+// convertDirLocked returns (creating if needed) the sidecar directory.
+func (s *Store) convertDirLocked() (string, error) {
+	if s.convertDir != "" {
+		return s.convertDir, nil
+	}
+	if s.cfg.ConvertDir != "" {
+		if err := os.MkdirAll(s.cfg.ConvertDir, 0o755); err != nil {
+			return "", err
+		}
+		s.convertDir = s.cfg.ConvertDir
+		return s.convertDir, nil
+	}
+	dir, err := os.MkdirTemp("", "ugs-store-*")
+	if err != nil {
+		return "", err
+	}
+	s.convertDir, s.ownsConvert = dir, true
+	return dir, nil
+}
+
+// heapGraphBytes estimates the resident footprint of a heap CSR graph: the
+// edge records, offset table and arc array (the same sections a .ugsb file
+// holds, so heap and mapped charges are comparable).
+func heapGraphBytes(g *ugs.Graph) int64 {
+	n, m := int64(g.NumVertices()), int64(g.NumEdges())
+	return 24*m + 4*(n+1) + 32*m
 }
 
 // Add registers (or replaces) a graph under name, bumping its generation.
+// When a budget is configured the graph is spilled to a .ugsb sidecar so it
+// is evictable; if spilling fails the graph stays resident unevictably.
 func (s *Store) Add(name string, g *ugs.Graph) error {
 	if !graphNameRE.MatchString(name) {
 		return fmt.Errorf("serve: invalid graph name %q (want %s)", name, graphNameRE)
 	}
+	info := Info(name, g)
+	bytes := heapGraphBytes(g)
+
+	// Spill outside the lock: writing a large sidecar must not stall
+	// concurrent queries. The temp file is renamed into place under the
+	// lock once the generation is known.
+	var tmp string
+	if s.cfg.BudgetBytes > 0 {
+		s.mu.Lock()
+		dir, derr := s.convertDirLocked()
+		s.mu.Unlock()
+		if derr == nil {
+			if f, err := os.CreateTemp(dir, name+".*.tmp"); err == nil {
+				tmp = f.Name()
+				werr := ugs.WriteBinaryGraph(f, g)
+				if cerr := f.Close(); werr == nil {
+					werr = cerr
+				}
+				if werr != nil {
+					os.Remove(tmp)
+					tmp = ""
+				}
+			}
+		}
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if prev, ok := s.graphs[name]; ok {
-		s.graphs[name] = &storeEntry{g: g, gen: prev.gen + 1}
-	} else {
-		s.graphs[name] = &storeEntry{g: g, gen: 1}
+	if s.closed {
+		if tmp != "" {
+			os.Remove(tmp)
+		}
+		return errors.New("serve: store closed")
 	}
+	gen := 1
+	if prev, ok := s.entries[name]; ok {
+		gen = prev.gen + 1
+		s.removeEntryLocked(prev)
+	}
+	e := &storeEntry{name: name, gen: gen, info: info, lastUse: s.tickLocked()}
+	if tmp != "" {
+		final := filepath.Join(filepath.Dir(tmp), fmt.Sprintf("%s.g%d.ugsb", name, gen))
+		if err := os.Rename(tmp, final); err == nil {
+			if fp, err := statFP(final); err == nil {
+				e.path, e.sidecar, e.verified, e.fp = final, true, true, fp
+				s.conversions++
+			} else {
+				os.Remove(final)
+			}
+		} else {
+			os.Remove(tmp)
+		}
+	}
+	e.res = &resident{g: g, bytes: bytes}
+	s.entries[name] = e
+	s.residentBytes += bytes
+	s.evictLocked(e)
 	return nil
 }
 
@@ -69,57 +224,333 @@ func (s *Store) AddReader(name string, r io.Reader) (*ugs.Graph, error) {
 	return g, nil
 }
 
-// LoadDir loads every *.ugs and *.txt file in dir (non-recursively), naming
-// each graph after its file base without the extension. It returns the
-// loaded names in sorted order; any unparsable file aborts the load.
+// LoadDir loads every *.ugsb, *.ugs and *.txt file in dir (non-recursively),
+// naming each graph after its file base without the extension; a .ugsb file
+// shadows a text file of the same name. Binary files are opened as mappings
+// (fully validated once); text files are parsed, converted to a .ugsb
+// sidecar and then served from the mapping. It returns the loaded names in
+// sorted order; any unparsable file aborts the load.
 func (s *Store) LoadDir(dir string) ([]string, error) {
 	files, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	var names []string
+	// Pick one file per name, preferring the binary form.
+	rank := map[string]int{".ugsb": 3, ".ugs": 2, ".txt": 1}
+	pick := make(map[string]string)
 	for _, f := range files {
 		if f.IsDir() {
 			continue
 		}
 		ext := filepath.Ext(f.Name())
-		if ext != ".ugs" && ext != ".txt" {
+		if rank[ext] == 0 {
 			continue
 		}
 		name := strings.TrimSuffix(f.Name(), ext)
-		g, err := ugs.ReadGraphFile(filepath.Join(dir, f.Name()))
-		if err != nil {
-			return nil, fmt.Errorf("serve: loading %s: %w", f.Name(), err)
+		if prev, ok := pick[name]; ok && rank[filepath.Ext(prev)] >= rank[ext] {
+			continue
 		}
-		if err := s.Add(name, g); err != nil {
-			return nil, err
-		}
+		pick[name] = f.Name()
+	}
+	names := make([]string, 0, len(pick))
+	for name := range pick {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	for _, name := range names {
+		if err := s.loadFile(name, filepath.Join(dir, pick[name])); err != nil {
+			return nil, fmt.Errorf("serve: loading %s: %w", pick[name], err)
+		}
+	}
 	return names, nil
 }
 
-// Get returns the graph registered under name together with its versioned
-// identifier.
-func (s *Store) Get(name string) (g *ugs.Graph, id string, ok bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.graphs[name]
-	if !ok {
-		return nil, "", false
+// loadFile registers one on-disk graph: .ugsb mapped directly, text parsed
+// and converted to a mapped sidecar (falling back to an unevictable heap
+// graph if conversion fails).
+func (s *Store) loadFile(name, path string) error {
+	if !graphNameRE.MatchString(name) {
+		return fmt.Errorf("serve: invalid graph name %q (want %s)", name, graphNameRE)
 	}
-	return e.g, fmt.Sprintf("%s@%d", name, e.gen), true
+	if filepath.Ext(path) == ".ugsb" {
+		fp, err := statFP(path)
+		if err != nil {
+			return err
+		}
+		g, err := ugs.OpenMappedGraph(path) // full validation, once
+		if err != nil {
+			return err
+		}
+		return s.admitLoaded(name, &storeEntry{
+			path: path, verified: true, fp: fp, info: Info(name, g),
+		}, g, fp.size)
+	}
+
+	g, err := ugs.ReadGraphFile(path)
+	if err != nil {
+		return err
+	}
+	e := &storeEntry{info: Info(name, g)}
+	mapped, bytes, cerr := s.convertToSidecar(name, g, e)
+	if cerr == nil {
+		g = mapped
+	} else {
+		bytes = heapGraphBytes(g) // unevictable fallback
+	}
+	return s.admitLoaded(name, e, g, bytes)
 }
 
-// Len reports the number of registered graphs.
+// convertToSidecar writes g to a store-owned .ugsb and maps it, filling in
+// e's backing-file fields.
+func (s *Store) convertToSidecar(name string, g *ugs.Graph, e *storeEntry) (*ugs.Graph, int64, error) {
+	s.mu.Lock()
+	dir, err := s.convertDirLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return nil, 0, err
+	}
+	side := filepath.Join(dir, name+".g1.ugsb")
+	if err := ugs.WriteBinaryGraphFile(side, g); err != nil {
+		return nil, 0, err
+	}
+	fp, err := statFP(side)
+	if err != nil {
+		os.Remove(side)
+		return nil, 0, err
+	}
+	mapped, err := ugs.OpenMappedGraphTrusted(side)
+	if err != nil {
+		os.Remove(side)
+		return nil, 0, err
+	}
+	e.path, e.sidecar, e.verified, e.fp = side, true, true, fp
+	s.mu.Lock()
+	s.conversions++
+	s.mu.Unlock()
+	return mapped, fp.size, nil
+}
+
+// admitLoaded installs a freshly loaded entry under name (gen 1, or bumped
+// if the name already exists) and applies the budget.
+func (s *Store) admitLoaded(name string, e *storeEntry, g *ugs.Graph, bytes int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		g.Close()
+		return errors.New("serve: store closed")
+	}
+	e.name, e.gen = name, 1
+	if prev, ok := s.entries[name]; ok {
+		e.gen = prev.gen + 1
+		s.removeEntryLocked(prev)
+	}
+	e.info.Name = name
+	e.lastUse = s.tickLocked()
+	e.res = &resident{g: g, bytes: bytes}
+	s.entries[name] = e
+	s.residentBytes += bytes
+	s.loads++
+	s.evictLocked(e)
+	return nil
+}
+
+// Acquire returns the graph registered under name, pinned against eviction,
+// together with its versioned identifier. The caller must invoke release
+// (idempotent) when done with the graph; until then the mapping stays valid
+// even if the graph is evicted or replaced. Evicted graphs are reloaded
+// from their backing file — concurrent acquirers share one reload.
+func (s *Store) Acquire(name string) (g *ugs.Graph, id string, release func(), err error) {
+	s.mu.Lock()
+	for {
+		if s.closed {
+			s.mu.Unlock()
+			return nil, "", nil, errors.New("serve: store closed")
+		}
+		e, ok := s.entries[name]
+		if !ok {
+			s.mu.Unlock()
+			return nil, "", nil, fmt.Errorf("%w %q", ErrUnknownGraph, name)
+		}
+		if r := e.res; r != nil {
+			r.refs++
+			e.lastUse = s.tickLocked()
+			id := fmt.Sprintf("%s@%d", e.name, e.gen)
+			s.mu.Unlock()
+			var once sync.Once
+			return r.g, id, func() { once.Do(func() { s.release(r) }) }, nil
+		}
+		if ch := e.loading; ch != nil {
+			s.mu.Unlock()
+			<-ch
+			s.mu.Lock()
+			continue
+		}
+		if e.path == "" {
+			s.mu.Unlock()
+			return nil, "", nil, fmt.Errorf("serve: graph %q evicted with no backing file", name)
+		}
+
+		// Become the loader; other acquirers of this name wait on ch.
+		ch := make(chan struct{})
+		e.loading = ch
+		path, verified, oldFP := e.path, e.verified, e.fp
+		s.mu.Unlock()
+
+		g, fp, lerr := openBacking(path, verified, oldFP)
+
+		s.mu.Lock()
+		e.loading = nil
+		close(ch)
+		if lerr != nil {
+			s.mu.Unlock()
+			return nil, "", nil, fmt.Errorf("serve: reloading graph %q: %w", name, lerr)
+		}
+		if s.closed || s.entries[name] != e {
+			// The store closed or the name was re-registered while we
+			// loaded; discard this mapping and re-resolve from the top.
+			g.Close()
+			continue
+		}
+		if fp != oldFP {
+			// The backing bytes changed on disk: new generation so stale
+			// cached results cannot be served, refreshed summary.
+			e.gen++
+			e.info = Info(e.name, g)
+		}
+		e.fp, e.verified = fp, true
+		e.res = &resident{g: g, bytes: fp.size}
+		s.residentBytes += fp.size
+		s.loads++
+		s.evictLocked(e)
+		// Loop: the next iteration pins the resident we just installed.
+	}
+}
+
+// openBacking maps a backing file, skipping the O(|E|) validation scan when
+// an earlier open already validated exactly these bytes.
+func openBacking(path string, verified bool, old fileFP) (*ugs.Graph, fileFP, error) {
+	fp, err := statFP(path)
+	if err != nil {
+		return nil, fileFP{}, err
+	}
+	if verified && fp == old {
+		g, err := ugs.OpenMappedGraphTrusted(path)
+		return g, fp, err
+	}
+	g, err := ugs.OpenMappedGraph(path)
+	return g, fp, err
+}
+
+// release unpins r; the last release of a dropped resident closes its
+// mapping. Dropping a pin can also make the budget enforceable again (an
+// overshoot held only by pins), so eviction reruns here.
+func (s *Store) release(r *resident) {
+	s.mu.Lock()
+	r.refs--
+	closeNow := r.dropped && r.refs == 0
+	if !r.dropped && !s.closed {
+		// May drop (and close) r itself now that it is unpinned; closeNow
+		// was computed first, so that path cannot double-close.
+		s.evictLocked(nil)
+	}
+	s.mu.Unlock()
+	if closeNow {
+		r.g.Close()
+	}
+}
+
+// evictLocked drops least-recently-used unpinned residents until the budget
+// holds. keep (the entry being admitted) and pinned or backing-less entries
+// are never victims; if only those remain, the budget transiently
+// overshoots rather than failing the admission.
+func (s *Store) evictLocked(keep *storeEntry) {
+	if s.cfg.BudgetBytes <= 0 {
+		return
+	}
+	for s.residentBytes > s.cfg.BudgetBytes {
+		var victim *storeEntry
+		for _, e := range s.entries {
+			if e == keep || e.res == nil || e.res.refs > 0 || e.path == "" {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		s.dropResidentLocked(victim)
+		s.evictions++
+	}
+}
+
+// dropResidentLocked detaches an entry's resident. Unpinned mappings close
+// immediately; pinned ones are closed by their final release.
+func (s *Store) dropResidentLocked(e *storeEntry) {
+	r := e.res
+	e.res = nil
+	s.residentBytes -= r.bytes
+	r.dropped = true
+	if r.refs == 0 {
+		r.g.Close()
+	}
+}
+
+// removeEntryLocked drops an entry being replaced, deleting its store-owned
+// sidecar (safe while pinned: the mapping keeps the unlinked file alive).
+func (s *Store) removeEntryLocked(e *storeEntry) {
+	if e.res != nil {
+		s.dropResidentLocked(e)
+	}
+	if e.sidecar && e.path != "" {
+		os.Remove(e.path)
+	}
+}
+
+// Describe returns the summary of the graph registered under name without
+// loading it.
+func (s *Store) Describe(name string) (GraphInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	if !ok {
+		return GraphInfo{}, false
+	}
+	return e.info, true
+}
+
+// Len reports the number of registered graphs (resident or evicted).
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.graphs)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
 }
 
-// GraphInfo is the JSON shape describing a resident graph.
+// Close evicts every graph and removes the store-owned sidecar directory.
+// Pinned mappings are closed by their final release.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, e := range s.entries {
+		s.removeEntryLocked(e)
+	}
+	dir := ""
+	if s.ownsConvert {
+		dir = s.convertDir
+	}
+	s.mu.Unlock()
+	if dir != "" {
+		return os.RemoveAll(dir)
+	}
+	return nil
+}
+
+// GraphInfo is the JSON shape describing a registered graph.
 type GraphInfo struct {
 	Name     string  `json:"name"`
 	Vertices int     `json:"vertices"`
@@ -141,12 +572,47 @@ func Info(name string, g *ugs.Graph) GraphInfo {
 
 // List returns summaries of every registered graph, sorted by name.
 func (s *Store) List() []GraphInfo {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	infos := make([]GraphInfo, 0, len(s.graphs))
-	for name, e := range s.graphs {
-		infos = append(infos, Info(name, e.g))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	infos := make([]GraphInfo, 0, len(s.entries))
+	for _, e := range s.entries {
+		infos = append(infos, e.info)
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	return infos
+}
+
+// StoreStats aggregates the store's budget and traffic counters.
+type StoreStats struct {
+	Registered    int   `json:"registered"`
+	Resident      int   `json:"resident"`
+	Pinned        int   `json:"pinned"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	BudgetBytes   int64 `json:"budget_bytes"`
+	Loads         int64 `json:"loads"`
+	Evictions     int64 `json:"evictions"`
+	Conversions   int64 `json:"conversions"`
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{
+		Registered:    len(s.entries),
+		ResidentBytes: s.residentBytes,
+		BudgetBytes:   s.cfg.BudgetBytes,
+		Loads:         s.loads,
+		Evictions:     s.evictions,
+		Conversions:   s.conversions,
+	}
+	for _, e := range s.entries {
+		if e.res != nil {
+			st.Resident++
+			if e.res.refs > 0 {
+				st.Pinned++
+			}
+		}
+	}
+	return st
 }

@@ -1,0 +1,229 @@
+package ugraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"os"
+	"unsafe"
+
+	"ugs/internal/ugsb"
+)
+
+// This file bridges Graph to the .ugsb binary format (internal/ugsb):
+// WriteBinary serializes a graph's exact CSR state, and OpenMapped turns
+// a .ugsb file back into a read-only Graph whose edge, arc and offset
+// slices alias the file mapping directly — load is a map plus header
+// validation, with no parsing and O(1) heap.
+//
+// Zero-copy aliasing requires that the in-memory record layouts match the
+// on-disk spec: little-endian, 8-byte ints, Edge = {U,V int64, P float64}
+// (24 bytes), Arc = {To,ID int64} (16 bytes). nativeRecordLayout verifies
+// this once at startup by encoding sentinel records both ways; platforms
+// where it fails (big-endian, 32-bit int) decode the same bytes into heap
+// slices instead — slower, but byte-for-byte compatible.
+
+// nativeRecordLayout reports whether Edge, Arc and int32 have exactly the
+// on-disk record layout, making unsafe slice aliasing valid.
+var nativeRecordLayout = func() bool {
+	if unsafe.Sizeof(Edge{}) != ugsb.EdgeRecordSize || unsafe.Sizeof(Arc{}) != ugsb.ArcRecordSize {
+		return false
+	}
+	var eb [ugsb.EdgeRecordSize]byte
+	*(*Edge)(unsafe.Pointer(&eb[0])) = Edge{U: 0x0102030405060708, V: 0x1112131415161718, P: 0.73}
+	var want [ugsb.EdgeRecordSize]byte
+	ugsb.PutEdge(want[:], 0x0102030405060708, 0x1112131415161718, 0.73)
+	if eb != want {
+		return false
+	}
+	var ab [ugsb.ArcRecordSize]byte
+	*(*Arc)(unsafe.Pointer(&ab[0])) = Arc{To: 0x2122232425262728, ID: 0x3132333435363738}
+	var wantA [ugsb.ArcRecordSize]byte
+	ugsb.PutArc(wantA[:], 0x2122232425262728, 0x3132333435363738)
+	return ab == wantA
+}()
+
+// aliasSlice reinterprets b as a []T of length n, when alignment allows.
+func aliasSlice[T any](b []byte, n int) ([]T, bool) {
+	if n == 0 {
+		return nil, true
+	}
+	p := unsafe.Pointer(unsafe.SliceData(b))
+	if uintptr(p)%unsafe.Alignof(*new(T)) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*T)(p), n), true
+}
+
+// OpenMapped opens a .ugsb file as a read-only graph backed by a memory
+// mapping: the CSR accessors (Neighbors, Degree, ArcOffsets, Arcs, Edges)
+// are views over mapped file pages, so sparsifiers and the query engine
+// run directly out of the page cache and cold pages are demand-faulted.
+// The file is fully validated (checksums, offset monotonicity, record
+// bounds) before use; see OpenMappedTrusted to skip the O(|E|) scan.
+//
+// Close the returned graph to release the mapping. SetProb panics on it;
+// Clone materializes a writable heap copy.
+func OpenMapped(path string) (*Graph, error) {
+	f, err := ugsb.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return fromMapped(f)
+}
+
+// OpenMappedTrusted is OpenMapped with header-only validation: O(1)
+// regardless of graph size, for files written by this process or another
+// trusted producer (the store's converted sidecars, the gen tool).
+func OpenMappedTrusted(path string) (*Graph, error) {
+	f, err := ugsb.OpenTrusted(path)
+	if err != nil {
+		return nil, err
+	}
+	return fromMapped(f)
+}
+
+func fromMapped(f *ugsb.File) (*Graph, error) {
+	n, m := f.NumVertices(), f.NumEdges()
+	g := &Graph{n: n, readonly: true, backing: f}
+	if nativeRecordLayout {
+		edges, ok1 := aliasSlice[Edge](f.EdgeBytes(), m)
+		arcOff, ok2 := aliasSlice[int32](f.ArcOffBytes(), n+1)
+		arcs, ok3 := aliasSlice[Arc](f.ArcBytes(), 2*m)
+		if ok1 && ok2 && ok3 {
+			g.edges, g.arcOff, g.arcs = edges, arcOff, arcs
+			return g, nil
+		}
+	}
+	// Portable fallback: decode the sections into heap slices.
+	g.edges = make([]Edge, m)
+	eb := f.EdgeBytes()
+	for i := range g.edges {
+		u, v, p := ugsb.GetEdge(eb[i*ugsb.EdgeRecordSize:])
+		g.edges[i] = Edge{U: int(u), V: int(v), P: p}
+	}
+	g.arcOff = make([]int32, n+1)
+	ob := f.ArcOffBytes()
+	for i := range g.arcOff {
+		g.arcOff[i] = int32(binary.LittleEndian.Uint32(ob[i*ugsb.ArcOffSize:]))
+	}
+	g.arcs = make([]Arc, 2*m)
+	ab := f.ArcBytes()
+	for i := range g.arcs {
+		to, id := ugsb.GetArc(ab[i*ugsb.ArcRecordSize:])
+		g.arcs[i] = Arc{To: int(to), ID: int(id)}
+	}
+	return g, nil
+}
+
+// WriteBinary serializes g in the .ugsb binary format. Unlike the text
+// Write, the encoding is lossless: p = 0 edges and exact float64 bits are
+// preserved, so a written graph reopens Equal to the original.
+func WriteBinary(w io.Writer, g *Graph) error {
+	l, err := ugsb.LayoutFor(uint64(g.n), uint64(len(g.edges)))
+	if err != nil {
+		return err
+	}
+	// Pass 1: data checksum over the section bytes (streamed, no buffer
+	// of the whole file); pass 2: header then sections.
+	crc := crc32.NewIEEE()
+	if err := writeSections(crc, g); err != nil {
+		return err
+	}
+	var hdr [ugsb.HeaderSize]byte
+	ugsb.EncodeHeader(hdr[:], ugsb.Header{
+		Version:   ugsb.Version,
+		N:         uint64(g.n),
+		M:         uint64(len(g.edges)),
+		EdgesOff:  l.EdgesOff,
+		ArcOffOff: l.ArcOffOff,
+		ArcsOff:   l.ArcsOff,
+		FileSize:  l.FileSize,
+		CRCData:   crc.Sum32(),
+	})
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := writeSections(bw, g); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeSections streams the edges, arcOff (with padding) and arcs
+// sections to w. On native-layout platforms the slices are written as raw
+// bytes; otherwise records are encoded one at a time.
+func writeSections(w io.Writer, g *Graph) error {
+	if nativeRecordLayout {
+		if _, err := w.Write(rawBytes(g.edges)); err != nil {
+			return err
+		}
+		if _, err := w.Write(rawBytes(g.arcOff)); err != nil {
+			return err
+		}
+		if err := writePad(w, len(g.arcOff)*ugsb.ArcOffSize); err != nil {
+			return err
+		}
+		_, err := w.Write(rawBytes(g.arcs))
+		return err
+	}
+	var rec [ugsb.EdgeRecordSize]byte
+	for _, e := range g.edges {
+		ugsb.PutEdge(rec[:], int64(e.U), int64(e.V), e.P)
+		if _, err := w.Write(rec[:ugsb.EdgeRecordSize]); err != nil {
+			return err
+		}
+	}
+	for _, o := range g.arcOff {
+		binary.LittleEndian.PutUint32(rec[:4], uint32(o))
+		if _, err := w.Write(rec[:4]); err != nil {
+			return err
+		}
+	}
+	if err := writePad(w, len(g.arcOff)*ugsb.ArcOffSize); err != nil {
+		return err
+	}
+	for _, a := range g.arcs {
+		ugsb.PutArc(rec[:], int64(a.To), int64(a.ID))
+		if _, err := w.Write(rec[:ugsb.ArcRecordSize]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePad zero-pads the arcOff section (sectionLen bytes long) to the
+// 8-byte boundary the arcs section starts on.
+func writePad(w io.Writer, sectionLen int) error {
+	if sectionLen%8 == 0 {
+		return nil
+	}
+	pad := make([]byte, 8-sectionLen%8)
+	_, err := w.Write(pad)
+	return err
+}
+
+// rawBytes views a slice of fixed-size records as its underlying bytes.
+func rawBytes[T any](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	size := int(unsafe.Sizeof(s[0]))
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s))), len(s)*size)
+}
+
+// WriteBinaryFile serializes g to the named .ugsb file.
+func WriteBinaryFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, g); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}

@@ -15,7 +15,9 @@ package ugraph
 
 import (
 	"fmt"
+	"io"
 	"sort"
+	"sync"
 )
 
 // Edge is an undirected uncertain edge with existence probability P.
@@ -55,12 +57,20 @@ type Arc struct {
 //
 // Graph is not safe for concurrent mutation. Concurrent readers are safe as
 // long as no goroutine calls SetProb.
+//
+// A graph returned by OpenMapped is a read-only view whose CSR slices
+// alias a file mapping: SetProb panics on it, Clone materializes a
+// writable heap copy, and Close releases the mapping.
 type Graph struct {
 	n      int
-	edges  []Edge
+	edges  []Edge         // one record per undirected edge, U < V
 	arcOff []int32        // CSR row offsets: arcs of u are arcs[arcOff[u]:arcOff[u+1]]
 	arcs   []Arc          // CSR arc array, grouped by source vertex, 2|E| entries
-	index  map[uint64]int // packed (u,v) -> edge ID
+	index  map[uint64]int // packed (u,v) -> edge ID; may be built lazily
+
+	indexOnce sync.Once // guards the lazy index build for mapped graphs
+	readonly  bool      // true for mapped views: SetProb must not touch the pages
+	backing   io.Closer // the file mapping behind a mapped view, nil otherwise
 }
 
 func pairKey(u, v int) uint64 {
@@ -180,6 +190,9 @@ func (g *Graph) Prob(id int) float64 { return g.edges[id].P }
 // validation, p = 0 is allowed here: sparsification algorithms drive edge
 // probabilities to zero before discarding them.
 func (g *Graph) SetProb(id int, p float64) {
+	if g.readonly {
+		panic("ugraph: SetProb on a read-only mapped graph (Clone it first)")
+	}
 	if !(p >= 0 && p <= 1) {
 		panic(fmt.Sprintf("ugraph: SetProb(%d, %v) outside [0,1]", id, p))
 	}
@@ -187,9 +200,45 @@ func (g *Graph) SetProb(id int, p float64) {
 }
 
 // EdgeID returns the identifier of edge (u, v) and whether it exists.
+// Mapped graphs build the (u,v)→id index lazily on the first call (the
+// only O(|E|) heap cost a mapped view ever pays, and only if asked).
 func (g *Graph) EdgeID(u, v int) (int, bool) {
+	g.indexOnce.Do(g.ensureIndex)
 	id, ok := g.index[pairKey(u, v)]
 	return id, ok
+}
+
+// ensureIndex builds the pair index if construction did not provide one.
+func (g *Graph) ensureIndex() {
+	if g.index != nil {
+		return
+	}
+	idx := make(map[uint64]int, len(g.edges))
+	for i, e := range g.edges {
+		idx[pairKey(e.U, e.V)] = i
+	}
+	g.index = idx
+}
+
+// ReadOnly reports whether the graph is an immutable view (SetProb
+// panics). Graphs returned by OpenMapped are read-only.
+func (g *Graph) ReadOnly() bool { return g.readonly }
+
+// Mapped reports whether the graph's CSR arrays alias a file mapping.
+func (g *Graph) Mapped() bool { return g.backing != nil }
+
+// Close releases the file mapping behind a graph opened with OpenMapped;
+// it is a no-op for heap-resident graphs. The graph and every slice
+// obtained from its accessors are invalid afterwards.
+func (g *Graph) Close() error {
+	if g.backing == nil {
+		return nil
+	}
+	b := g.backing
+	g.backing = nil
+	g.edges, g.arcOff, g.arcs, g.index = nil, nil, nil, nil
+	g.n = 0
+	return b.Close()
 }
 
 // HasEdge reports whether the undirected edge (u, v) exists.
@@ -256,15 +305,14 @@ func (g *Graph) MeanProb() float64 {
 	return g.TotalProb() / float64(len(g.edges))
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep, writable heap copy of the graph (including of a
+// read-only mapped view). The pair index is rebuilt lazily on demand
+// rather than copied, so cloning never races a concurrent lazy build on
+// the source.
 func (g *Graph) Clone() *Graph {
 	edges := make([]Edge, len(g.edges))
 	copy(edges, g.edges)
-	idx := make(map[uint64]int, len(g.index))
-	for k, v := range g.index {
-		idx[k] = v
-	}
-	c := &Graph{n: g.n, edges: edges, index: idx}
+	c := &Graph{n: g.n, edges: edges}
 	c.buildAdjacency()
 	return c
 }

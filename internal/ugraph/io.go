@@ -24,13 +24,35 @@ import (
 // possible-world semantics — so Write drops such edges, guaranteeing that
 // any written graph can be re-read and re-sparsified.
 
-// maxHeaderCount bounds the vertex and edge counts a header may declare.
+// ReadLimits bounds the vertex and edge counts a text header may declare.
 // The CSR offset table is allocated from the header's vertex count before
-// any edge is read, so an adversarial one-line file declaring 2^40 vertices
-// would otherwise commit gigabytes; 2^24 vertices (a 64 MB offset table)
-// is far beyond any plausible text-format input. Programmatic construction
-// through New/Builder is not limited.
-const maxHeaderCount = 1 << 24
+// any edge is read, so an adversarial one-line file declaring 2^40
+// vertices would otherwise commit gigabytes. Zero fields take the strict
+// default (2^24), which is the right guard for untrusted input such as
+// HTTP uploads; trusted local files — binary-era graphs converted from
+// text — can raise the caps via ReadWithLimits or TrustedReadLimits.
+// Programmatic construction through New/Builder is not limited.
+type ReadLimits struct {
+	MaxVertices int
+	MaxEdges    int
+}
+
+// strictHeaderCount is the default cap for untrusted readers.
+const strictHeaderCount = 1 << 24
+
+// TrustedReadLimits admits anything the .ugsb binary format itself could
+// hold (2^30 vertices/edges) — for local files the operator chose to load.
+var TrustedReadLimits = ReadLimits{MaxVertices: 1 << 30, MaxEdges: 1 << 30}
+
+func (l ReadLimits) withDefaults() ReadLimits {
+	if l.MaxVertices == 0 {
+		l.MaxVertices = strictHeaderCount
+	}
+	if l.MaxEdges == 0 {
+		l.MaxEdges = strictHeaderCount
+	}
+	return l
+}
 
 // Write serializes g in the text interchange format. Edges whose probability
 // is exactly 0 are omitted (see the format contract above); the header's
@@ -57,8 +79,16 @@ func Write(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// Read parses a graph in the text interchange format.
+// Read parses a graph in the text interchange format under the strict
+// default ReadLimits — the right entry point for untrusted input.
 func Read(r io.Reader) (*Graph, error) {
+	return ReadWithLimits(r, ReadLimits{})
+}
+
+// ReadWithLimits parses a graph in the text interchange format, rejecting
+// headers that declare more vertices or edges than lim allows.
+func ReadWithLimits(r io.Reader, lim ReadLimits) (*Graph, error) {
+	lim = lim.withDefaults()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	line := 0
@@ -93,8 +123,8 @@ func Read(r io.Reader) (*Graph, error) {
 	if err != nil || m < 0 {
 		return nil, fmt.Errorf("ugraph: line %d: bad edge count %q", line, fields[1])
 	}
-	if n > maxHeaderCount || m > maxHeaderCount {
-		return nil, fmt.Errorf("ugraph: line %d: header declares %d vertices, %d edges; limit is %d", line, n, m, maxHeaderCount)
+	if n > lim.MaxVertices || m > lim.MaxEdges {
+		return nil, fmt.Errorf("ugraph: line %d: header declares %d vertices, %d edges; limits are %d, %d", line, n, m, lim.MaxVertices, lim.MaxEdges)
 	}
 
 	b := NewBuilder(n)
@@ -156,12 +186,14 @@ func WriteFile(path string, g *Graph) error {
 	return f.Close()
 }
 
-// ReadFile parses a graph from the named file.
+// ReadFile parses a graph from the named file. Local files are trusted
+// input — the operator chose to load them — so the generous
+// TrustedReadLimits apply rather than Read's strict upload caps.
 func ReadFile(path string) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Read(f)
+	return ReadWithLimits(f, TrustedReadLimits)
 }

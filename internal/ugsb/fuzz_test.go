@@ -1,0 +1,93 @@
+package ugsb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzOpen feeds arbitrary bytes to the deep-validating Open path. The
+// contract under hostile input is: an error, never a panic, never an
+// allocation driven by unvalidated header fields (allocations are bounded
+// by the real file size), and any file that passes must honor the
+// structural invariants the accessors rely on.
+func FuzzOpen(f *testing.F) {
+	// Seeds: real files from the streaming writer (valid), the committed
+	// corpus sample, and a few truncations/mutations of a valid file.
+	dir := f.TempDir()
+	mk := func(name string, n int, edges [][3]float64) []byte {
+		path := filepath.Join(dir, name)
+		w, err := Create(path, n)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, e := range edges {
+			if err := w.AddEdge(int(e[0]), int(e[1]), e[2]); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.Finalize(); err != nil {
+			f.Fatal(err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+
+	valid := mk("v.ugsb", 5, [][3]float64{{0, 1, 0.5}, {1, 2, 0.25}, {3, 4, 1}})
+	f.Add(valid)
+	f.Add(mk("e.ugsb", 2, nil)) // no edges
+	f.Add(valid[:HeaderSize])   // header only
+	f.Add(valid[:40])           // short header
+	trunc := append([]byte(nil), valid...)
+	trunc[0] = 'X'
+	f.Add(trunc) // bad magic
+	big := append([]byte(nil), valid...)
+	big[16] = 0xFF // absurd vertex count, header CRC broken
+	f.Add(big)
+
+	if sample, err := os.ReadFile(filepath.Join("..", "..", "examples", "corpus", "sample-social.ugsb")); err == nil {
+		f.Add(sample)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "f.ugsb")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		file, err := Open(path)
+		if err != nil {
+			return // rejected: fine
+		}
+		defer file.Close()
+
+		// Accepted: every invariant the mapped-graph layer assumes must
+		// hold, so walking the sections in bounds cannot fault.
+		h := file.Header()
+		n, m := file.NumVertices(), file.NumEdges()
+		if uint64(n) != h.N || uint64(m) != h.M {
+			t.Fatalf("count mismatch: %d/%d vs header %d/%d", n, m, h.N, h.M)
+		}
+		if len(file.EdgeBytes()) != m*EdgeRecordSize {
+			t.Fatalf("edge section %d bytes for %d edges", len(file.EdgeBytes()), m)
+		}
+		if len(file.ArcOffBytes()) != (n+1)*ArcOffSize {
+			t.Fatalf("arcOff section %d bytes for %d vertices", len(file.ArcOffBytes()), n)
+		}
+		if len(file.ArcBytes()) != 2*m*ArcRecordSize {
+			t.Fatalf("arc section %d bytes for %d edges", len(file.ArcBytes()), m)
+		}
+		eb := file.EdgeBytes()
+		for i := 0; i < m; i++ {
+			u, v, p := GetEdge(eb[i*EdgeRecordSize:])
+			if u < 0 || v <= u || v >= int64(n) {
+				t.Fatalf("edge %d endpoints (%d,%d) broke normalization", i, u, v)
+			}
+			if !(p >= 0 && p <= 1) {
+				t.Fatalf("edge %d probability %v", i, p)
+			}
+		}
+	})
+}

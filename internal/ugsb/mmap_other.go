@@ -1,0 +1,35 @@
+//go:build !unix
+
+package ugsb
+
+import (
+	"io"
+	"os"
+)
+
+// Fallback for platforms without syscall.Mmap: the "mapping" is a heap
+// buffer holding the file contents. Readers lose demand paging but keep
+// identical semantics; writers buffer in memory and flush on release.
+
+func mmapRead(f *os.File, size int64) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}
+
+func mmapWrite(f *os.File, size int64) ([]byte, func() error, error) {
+	if err := f.Truncate(size); err != nil {
+		return nil, nil, err
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, nil, err
+	}
+	release := func() error {
+		_, err := f.WriteAt(data, 0)
+		return err
+	}
+	return data, release, nil
+}

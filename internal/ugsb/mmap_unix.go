@@ -1,0 +1,35 @@
+//go:build unix
+
+package ugsb
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapRead maps the file read-only. The returned release function unmaps;
+// after it runs, the slice must not be touched.
+func mmapRead(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ugsb: mmap %s: %w", f.Name(), err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}
+
+// mmapWrite maps the file read-write (shared), growing it to size first.
+// The release function syncs and unmaps.
+func mmapWrite(f *os.File, size int64) ([]byte, func() error, error) {
+	if err := f.Truncate(size); err != nil {
+		return nil, nil, err
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ugsb: mmap rw %s: %w", f.Name(), err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,105 @@
+package ugsb
+
+import (
+	"fmt"
+	"os"
+)
+
+// File is an open, memory-mapped .ugsb file. Section accessors return
+// subslices of the mapping; after Close they must not be touched. A File
+// is safe for concurrent readers.
+type File struct {
+	path    string
+	data    []byte
+	release func() error
+	hdr     Header
+}
+
+// Open maps the named .ugsb file read-only and fully validates it: header
+// checks plus a sequential deep scan of every section (CRC, CSR offset
+// monotonicity, edge/arc bounds). The scan allocates nothing; its cost is
+// one read of the file at memory/disk bandwidth. Use OpenTrusted to skip
+// the scan for files this process (or another trusted producer) wrote.
+func Open(path string) (*File, error) { return open(path, true) }
+
+// OpenTrusted maps the named .ugsb file read-only with header-only
+// validation: magic, version, checksummed header fields, and section
+// bounds against the real file size. Section bytes are not inspected, so
+// opening is O(1) regardless of graph size — the out-of-core fast path
+// for files from trusted producers. A corrupt trusted file yields wrong
+// query results, not memory unsafety: all CSR indices are bounds-checked
+// by the Go runtime when used.
+func OpenTrusted(path string) (*File, error) { return open(path, false) }
+
+func open(path string, deep bool) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < HeaderSize {
+		return nil, fmt.Errorf("ugsb: %s: file too short for header: %d bytes", path, st.Size())
+	}
+	data, release, err := mmapRead(f, st.Size())
+	if err != nil {
+		return nil, err
+	}
+	hdr, err := DecodeHeader(data)
+	if err != nil {
+		release()
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	if deep {
+		if err := validateSections(data, hdr); err != nil {
+			release()
+			return nil, fmt.Errorf("%w (%s)", err, path)
+		}
+	}
+	return &File{path: path, data: data, release: release, hdr: hdr}, nil
+}
+
+// Path returns the file path the mapping was opened from.
+func (f *File) Path() string { return f.path }
+
+// Header returns the decoded header.
+func (f *File) Header() Header { return f.hdr }
+
+// NumVertices reports |V|.
+func (f *File) NumVertices() int { return int(f.hdr.N) }
+
+// NumEdges reports |E|.
+func (f *File) NumEdges() int { return int(f.hdr.M) }
+
+// Size reports the mapped file size in bytes.
+func (f *File) Size() int64 { return int64(f.hdr.FileSize) }
+
+// EdgeBytes returns the raw edges section (m × 24-byte records).
+func (f *File) EdgeBytes() []byte {
+	return f.data[f.hdr.EdgesOff : f.hdr.EdgesOff+f.hdr.M*EdgeRecordSize]
+}
+
+// ArcOffBytes returns the raw CSR row-offset section ((n+1) × 4 bytes).
+func (f *File) ArcOffBytes() []byte {
+	return f.data[f.hdr.ArcOffOff : f.hdr.ArcOffOff+(f.hdr.N+1)*ArcOffSize]
+}
+
+// ArcBytes returns the raw arcs section (2m × 16-byte records).
+func (f *File) ArcBytes() []byte {
+	return f.data[f.hdr.ArcsOff:f.hdr.FileSize]
+}
+
+// Close unmaps the file. Accessors and any slices derived from them are
+// invalid afterwards.
+func (f *File) Close() error {
+	if f.release == nil {
+		return nil
+	}
+	rel := f.release
+	f.release = nil
+	f.data = nil
+	return rel()
+}

@@ -1,0 +1,158 @@
+package ugsb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Writer streams a .ugsb file without materializing the graph: edge
+// records are appended to the file as they arrive, and Finalize builds
+// the CSR adjacency by scattering arc records directly into the mapped
+// output — heap usage is O(n) (one int32 degree counter per vertex), not
+// O(m), so million-edge corpora can be generated without a Builder.
+//
+// The caller must not add the same undirected edge twice; the writer does
+// not keep the O(m) index a duplicate check would need. (Open's deep
+// validation does not detect duplicates either — they are semantically
+// parallel edges, not a memory-safety hazard.)
+type Writer struct {
+	f    *os.File
+	bw   *bufio.Writer
+	n    int
+	m    int
+	deg  []int32
+	rec  [EdgeRecordSize]byte
+	done bool
+}
+
+// Create starts a .ugsb file for a graph with n vertices.
+func Create(path string, n int) (*Writer, error) {
+	if n < 0 || n > MaxCounts {
+		return nil, fmt.Errorf("ugsb: vertex count %d outside [0,%d]", n, MaxCounts)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(HeaderSize, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f, bw: bufio.NewWriterSize(f, 1<<20), n: n, deg: make([]int32, n)}, nil
+}
+
+// NumEdges reports the number of edges added so far.
+func (w *Writer) NumEdges() int { return w.m }
+
+// AddEdge appends the undirected edge (u, v) with probability p.
+// Endpoints are normalized to u < v; p may be exactly 0 (the binary
+// format, unlike the text one, preserves zeroed edges losslessly).
+func (w *Writer) AddEdge(u, v int, p float64) error {
+	if u < 0 || u >= w.n || v < 0 || v >= w.n {
+		return fmt.Errorf("ugsb: edge (%d,%d) endpoint out of range [0,%d)", u, v, w.n)
+	}
+	if u == v {
+		return fmt.Errorf("ugsb: self-loop at vertex %d", u)
+	}
+	if !(p >= 0 && p <= 1) {
+		return fmt.Errorf("ugsb: edge (%d,%d) probability %v outside [0,1]", u, v, p)
+	}
+	if w.m >= MaxCounts {
+		return fmt.Errorf("ugsb: edge count limit %d reached", MaxCounts)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	PutEdge(w.rec[:], int64(u), int64(v), p)
+	if _, err := w.bw.Write(w.rec[:]); err != nil {
+		return err
+	}
+	w.deg[u]++
+	w.deg[v]++
+	w.m++
+	return nil
+}
+
+// Finalize writes the CSR sections and header and closes the file. The
+// arcs section is filled by scattering through a writable mapping of the
+// output file, so the OS page cache — not the Go heap — backs the O(m)
+// working set.
+func (w *Writer) Finalize() error {
+	if w.done {
+		return fmt.Errorf("ugsb: writer already finalized")
+	}
+	w.done = true
+	defer w.f.Close()
+
+	l, err := LayoutFor(uint64(w.n), uint64(w.m))
+	if err != nil {
+		return err
+	}
+	// Row offsets: exclusive prefix sums of the degree counters. deg is
+	// reused as the scatter cursor array afterwards.
+	var buf [ArcOffSize]byte
+	sum := int32(0)
+	for u := 0; u < w.n; u++ {
+		binary.LittleEndian.PutUint32(buf[:], uint32(sum))
+		if _, err := w.bw.Write(buf[:]); err != nil {
+			return err
+		}
+		d := w.deg[u]
+		w.deg[u] = sum
+		sum += d
+	}
+	binary.LittleEndian.PutUint32(buf[:], uint32(sum))
+	if _, err := w.bw.Write(buf[:]); err != nil {
+		return err
+	}
+	for pad := l.ArcOffOff + uint64(w.n+1)*ArcOffSize; pad < l.ArcsOff; pad++ {
+		if err := w.bw.WriteByte(0); err != nil {
+			return err
+		}
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+
+	data, release, err := mmapWrite(w.f, int64(l.FileSize))
+	if err != nil {
+		return err
+	}
+	edges := data[l.EdgesOff:l.ArcOffOff]
+	arcs := data[l.ArcsOff:l.FileSize]
+	for id := 0; id < w.m; id++ {
+		u, v, _ := GetEdge(edges[id*EdgeRecordSize:])
+		PutArc(arcs[int(w.deg[u])*ArcRecordSize:], v, int64(id))
+		w.deg[u]++
+		PutArc(arcs[int(w.deg[v])*ArcRecordSize:], u, int64(id))
+		w.deg[v]++
+	}
+	EncodeHeader(data[:HeaderSize], Header{
+		Version:   Version,
+		N:         uint64(w.n),
+		M:         uint64(w.m),
+		EdgesOff:  l.EdgesOff,
+		ArcOffOff: l.ArcOffOff,
+		ArcsOff:   l.ArcsOff,
+		FileSize:  l.FileSize,
+		CRCData:   crc32.ChecksumIEEE(data[l.EdgesOff:l.FileSize]),
+	})
+	if err := release(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Abort discards a writer without finalizing, removing the partial file.
+func (w *Writer) Abort() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	name := w.f.Name()
+	w.f.Close()
+	return os.Remove(name)
+}

@@ -1,0 +1,112 @@
+package ugs_test
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"ugs"
+)
+
+// openMappedCopy round-trips g through the .ugsb binary format and opens
+// the file as a read-only mapped graph.
+func openMappedCopy(t *testing.T, g *ugs.Graph) *ugs.Graph {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.ugsb")
+	if err := ugs.WriteBinaryGraphFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ugs.OpenMappedGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// TestMappedSparsifyEquivalence runs every registered sparsifier over a
+// heap graph and its memory-mapped binary copy: the outputs must be Equal
+// edge for edge, probability bits included — a mapped view is the same
+// graph, not an approximation of it.
+func TestMappedSparsifyEquivalence(t *testing.T) {
+	g := ugs.FlickrLike(300, 7)
+	m := openMappedCopy(t, g)
+	if !g.Equal(m) {
+		t.Fatal("mapped copy differs from original before sparsifying")
+	}
+
+	for _, method := range ugs.Methods() {
+		t.Run(method, func(t *testing.T) {
+			run := func(in *ugs.Graph) (*ugs.Graph, error) {
+				sp, err := ugs.Lookup(method, ugs.WithSeed(5))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sp.Sparsify(context.Background(), in, 0.3)
+				if err != nil {
+					return nil, err
+				}
+				return res.Graph, nil
+			}
+			// The registry is process-global, so Methods() can include
+			// always-erroring methods registered by other tests: those must
+			// fail identically on both views.
+			hg, herr := run(g)
+			mg, merr := run(m)
+			if (herr == nil) != (merr == nil) {
+				t.Fatalf("%s: heap err %v, mapped err %v", method, herr, merr)
+			}
+			if herr != nil {
+				return
+			}
+			if !hg.Equal(mg) {
+				t.Fatalf("%s: heap result %v != mapped result %v", method, hg, mg)
+			}
+		})
+	}
+}
+
+// TestMappedQueryEquivalence checks that the Monte-Carlo estimators are
+// bit-identical over heap and mapped views of the same graph.
+func TestMappedQueryEquivalence(t *testing.T) {
+	g := ugs.TwitterLike(250, 11)
+	m := openMappedCopy(t, g)
+	ctx := context.Background()
+	opts := ugs.MCOptions{Seed: 3, Samples: 256}
+	pairs := ugs.RandomPairs(g.NumVertices(), 20, rand.New(rand.NewSource(99)))
+
+	hsp, hrl, err := ugs.ShortestDistanceAndReliability(ctx, g, pairs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msp, mrl, err := ugs.ShortestDistanceAndReliability(ctx, m, pairs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if hsp[i] != msp[i] && !(hsp[i] != hsp[i] && msp[i] != msp[i]) { // NaN == NaN here
+			t.Fatalf("pair %d: distance %v != %v", i, hsp[i], msp[i])
+		}
+		if hrl[i] != mrl[i] {
+			t.Fatalf("pair %d: reliability %v != %v", i, hrl[i], mrl[i])
+		}
+	}
+
+	hc, err := ugs.ConnectedProbability(ctx, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := ugs.ConnectedProbability(ctx, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc != mc {
+		t.Fatalf("connected probability %v != %v", hc, mc)
+	}
+
+	// Entropy and degree statistics read the probability bits directly.
+	if g.Entropy() != m.Entropy() || g.TotalProb() != m.TotalProb() {
+		t.Fatal("entropy/total-probability differ between heap and mapped views")
+	}
+}

@@ -82,6 +82,16 @@ var (
 	NewMaskBFS = queries.NewMaskBFS
 )
 
+// ReadLimits bounds the vertex/edge counts a text-format header may
+// declare before parsing allocates anything: the strict zero-value
+// default guards untrusted input (HTTP uploads), TrustedReadLimits admits
+// binary-era graph sizes from local files.
+type ReadLimits = ugraph.ReadLimits
+
+// TrustedReadLimits admits anything the binary format could hold; used by
+// ReadGraphFile for operator-chosen local files.
+var TrustedReadLimits = ugraph.TrustedReadLimits
+
 // Graph construction and I/O.
 var (
 	// NewGraph builds a graph from an edge list, validating endpoints and
@@ -89,12 +99,26 @@ var (
 	NewGraph = ugraph.New
 	// NewBuilder returns a Builder for a graph with n vertices.
 	NewBuilder = ugraph.NewBuilder
-	// ReadGraph parses the text interchange format.
+	// ReadGraph parses the text interchange format under the strict
+	// untrusted-input limits.
 	ReadGraph = ugraph.Read
-	// ReadGraphFile parses a graph file.
+	// ReadGraphWithLimits parses the text format under explicit limits.
+	ReadGraphWithLimits = ugraph.ReadWithLimits
+	// ReadGraphFile parses a graph file under TrustedReadLimits.
 	ReadGraphFile = ugraph.ReadFile
 	// WriteGraphFile writes a graph file.
 	WriteGraphFile = ugraph.WriteFile
+	// OpenMappedGraph opens a .ugsb binary graph as a read-only view
+	// backed by a memory mapping: load = map + validate, zero parse. The
+	// CSR accessors, sparsifiers and the query engine run directly over
+	// mapped memory. Close the graph to release the mapping.
+	OpenMappedGraph = ugraph.OpenMapped
+	// OpenMappedGraphTrusted is OpenMappedGraph with header-only
+	// validation (O(1) open) for files from trusted producers.
+	OpenMappedGraphTrusted = ugraph.OpenMappedTrusted
+	// WriteBinaryGraphFile writes a graph in the .ugsb binary format —
+	// lossless, including p = 0 edges and exact probability bits.
+	WriteBinaryGraphFile = ugraph.WriteBinaryFile
 	// EdgeEntropy is the binary entropy of one edge probability.
 	EdgeEntropy = ugraph.EdgeEntropy
 	// RelativeEntropy is H(sparse)/H(original).
@@ -103,6 +127,9 @@ var (
 
 // WriteGraph writes g in the text interchange format.
 func WriteGraph(w io.Writer, g *Graph) error { return ugraph.Write(w, g) }
+
+// WriteBinaryGraph writes g in the .ugsb binary format.
+func WriteBinaryGraph(w io.Writer, g *Graph) error { return ugraph.WriteBinary(w, g) }
 
 // Sparsification configuration (see internal/core for full documentation).
 type (
@@ -309,4 +336,7 @@ var (
 	Densify = gen.Densify
 	// ForestFire samples an induced subgraph by the forest-fire process.
 	ForestFire = gen.ForestFire
+	// StreamSocial generates a Chung–Lu power-law graph straight into a
+	// .ugsb file in O(N) memory — the million-edge corpus path.
+	StreamSocial = gen.StreamSocial
 )
