@@ -157,23 +157,37 @@ func BenchmarkWorldSamplingSeeded(b *testing.B) {
 	}
 }
 
-// BenchmarkWorldBatchSampling measures the batch engine's per-64-sample
-// primitive: fill a lane-transposed WorldBatch from 64 deterministic
-// streams (one tile transpose per 64 edges on top of the raw draws).
+// BenchmarkWorldBatchSampling measures the batch engine's fill primitive
+// at each lane width: fill a lane-transposed WorldBatch from VecLanes
+// deterministic streams (one tile transpose per 64 edges per lane word on
+// top of the raw draws).
 func BenchmarkWorldBatchSampling(b *testing.B) {
 	g := benchGraph(b)
-	wb := ugraph.NewWorldBatch(g)
-	seeds := make([]int64, 64)
-	var next int64
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for l := range seeds {
-			seeds[l] = next
-			next++
+	run := func(b *testing.B, fill func(seeds []int64), lanes int) {
+		seeds := make([]int64, lanes)
+		var next int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for l := range seeds {
+				seeds[l] = next
+				next++
+			}
+			fill(seeds)
 		}
-		g.SampleBatchSeeded(seeds, wb)
 	}
+	b.Run("64", func(b *testing.B) {
+		wb := ugs.NewWorldBatch[ugs.Vec64](g)
+		run(b, func(s []int64) { ugs.SampleWorldBatch(g, s, wb) }, 64)
+	})
+	b.Run("128", func(b *testing.B) {
+		wb := ugs.NewWorldBatch[ugs.Vec128](g)
+		run(b, func(s []int64) { ugs.SampleWorldBatch(g, s, wb) }, 128)
+	})
+	b.Run("256", func(b *testing.B) {
+		wb := ugs.NewWorldBatch[ugs.Vec256](g)
+		run(b, func(s []int64) { ugs.SampleWorldBatch(g, s, wb) }, 256)
+	})
 }
 
 func BenchmarkSparsifyGDB(b *testing.B) {
@@ -364,6 +378,26 @@ func BenchmarkAblationQueryEngine(b *testing.B) {
 			}
 		})
 	}
+	// Wide-lane widths on a budget large enough to fill 256 lanes, plus the
+	// sequential-stopping schedule against the fixed default.
+	for _, lanes := range []int{64, 128, 256} {
+		opts := mc.Options{Samples: 512, Seed: 1, Lanes: lanes}
+		b.Run(fmt.Sprintf("reliability/512x%d", lanes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ugs.Reliability(ctx, g, pairs, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("reliability/adaptive", func(b *testing.B) {
+		opts := mc.Options{Seed: 1, Target: mc.WithConfidence(0.1, 0.05)}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ugs.ReliabilityRun(ctx, g, pairs, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationStratified compares plain and stratified Monte-Carlo at

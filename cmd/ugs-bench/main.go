@@ -28,13 +28,16 @@ import (
 	"ugs/internal/ugraph"
 )
 
-// result is one benchmark's measurement.
+// result is one benchmark's measurement. SamplesUsed is reported by the
+// SamplesToTarget benchmarks, where the worlds actually drawn (not the
+// time per draw) is the quantity under test.
 type result struct {
 	Name        string  `json:"name"`
 	Iters       int     `json:"iters"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	SamplesUsed int     `json:"samples_used,omitempty"`
 }
 
 // trajectory is the emitted file format.
@@ -170,7 +173,7 @@ func main() {
 	// path — bit-identical results, different speed. ReliabilityMC keeps the
 	// PR 3 fixture (50 pairs, 50 samples) so trajectories stay comparable.
 	w := ugraph.NewWorld(g)
-	wb := ugraph.NewWorldBatch(g)
+	wb := ugraph.NewWorldBatch[ugraph.Vec64](g)
 	seed := int64(0)
 	batchSeeds := make([]int64, 64)
 	pairs := ugs.RandomPairs(g.NumVertices(), 50, rand.New(rand.NewSource(1)))
@@ -242,6 +245,85 @@ func main() {
 			if _, err := ugs.ConnectedProbability(ctx, g, queryOpts(true)); err != nil {
 				fatal(err)
 			}
+		}},
+	)
+
+	// Wide-lane benchmarks: the same estimators on a 512-sample budget at
+	// every explicit engine width. 512 samples fill 8 / 4 / 2 batches at 64
+	// / 128 / 256 lanes, so these measure how well wider vectors amortize
+	// traversal control flow and per-fill gather passes. Results are
+	// bit-identical across the three; only ns/op may differ.
+	wideOpts := func(lanes int) mc.Options {
+		return mc.Options{Samples: 512, Seed: 1, Lanes: lanes}
+	}
+	for _, lanes := range []int{64, 128, 256} {
+		lanes := lanes
+		benches = append(benches,
+			struct {
+				name string
+				fn   func()
+			}{fmt.Sprintf("ReliabilityMC/512x%d", lanes), func() {
+				if _, err := ugs.Reliability(ctx, g, pairs, wideOpts(lanes)); err != nil {
+					fatal(err)
+				}
+			}},
+			struct {
+				name string
+				fn   func()
+			}{fmt.Sprintf("ShortestDistMC/512x%d", lanes), func() {
+				if _, err := ugs.ShortestDistance(ctx, g, pairs, wideOpts(lanes)); err != nil {
+					fatal(err)
+				}
+			}},
+			struct {
+				name string
+				fn   func()
+			}{fmt.Sprintf("ConnectedMC/512x%d", lanes), func() {
+				if _, err := ugs.ConnectedProbability(ctx, g, wideOpts(lanes)); err != nil {
+					fatal(err)
+				}
+			}},
+		)
+	}
+
+	// SamplesToTarget: sequential stopping versus the fixed default budget.
+	// The adaptive run samples until every pair's reliability CI half-width
+	// is ≤ 0.1 at 95% confidence; the fixed run burns the default 500
+	// samples regardless. samples_used in the JSON records the worlds each
+	// actually drew — the adaptive acceptance number.
+	samplesUsed := map[string]int{}
+	benches = append(benches,
+		struct {
+			name string
+			fn   func()
+		}{"ReliabilitySamplesToTarget/adaptive", func() {
+			o := mc.Options{Seed: 1, Target: mc.WithConfidence(0.1, 0.05)}
+			_, info, err := ugs.ReliabilityRun(ctx, g, pairs, o)
+			if err != nil {
+				fatal(err)
+			}
+			samplesUsed["ReliabilitySamplesToTarget/adaptive"] = info.Samples
+		}},
+		struct {
+			name string
+			fn   func()
+		}{"ReliabilitySamplesToTarget/fixed", func() {
+			_, info, err := ugs.ReliabilityRun(ctx, g, pairs, mc.Options{Seed: 1})
+			if err != nil {
+				fatal(err)
+			}
+			samplesUsed["ReliabilitySamplesToTarget/fixed"] = info.Samples
+		}},
+		struct {
+			name string
+			fn   func()
+		}{"ConnectedSamplesToTarget/adaptive", func() {
+			o := mc.Options{Seed: 1, Target: mc.WithConfidence(0.05, 0.05)}
+			_, info, err := ugs.ConnectedProbabilityRun(ctx, g, o)
+			if err != nil {
+				fatal(err)
+			}
+			samplesUsed["ConnectedSamplesToTarget/adaptive"] = info.Samples
 		}},
 	)
 
@@ -319,6 +401,9 @@ func main() {
 	}
 	for _, bench := range benches {
 		r := measure(bench.name, *benchtime, bench.fn)
+		if s, ok := samplesUsed[bench.name]; ok {
+			r.SamplesUsed = s
+		}
 		traj.Benchmarks = append(traj.Benchmarks, r)
 		fmt.Printf("%-24s %10d iters  %14.0f ns/op  %12.0f B/op  %8.0f allocs/op\n",
 			r.Name, r.Iters, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)

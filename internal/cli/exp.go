@@ -10,6 +10,7 @@ import (
 	"syscall"
 	"time"
 
+	"ugs"
 	"ugs/internal/exp"
 )
 
@@ -25,8 +26,28 @@ func RunExp(args []string, stdout, stderr io.Writer) int {
 		workers = fs.Int("workers", 0, "Monte-Carlo parallelism (0 = GOMAXPROCS)")
 		scalar  = fs.Bool("scalar-queries", false, "use the scalar one-world-per-traversal estimators instead of the bit-parallel 64-world batch engine (ablation; results are bit-identical)")
 		timeout = fs.Duration("timeout", 0, "abort the batch after this duration, checked between sparsification runs (0 = unbounded)")
+		lanes   = fs.String("lanes", "auto", "batch-engine width: auto (planner), 1 (scalar ablation), 64, 128 or 256 world lanes; results are bit-identical at any width")
+		conf    = fs.String("confidence", "", "adaptive stopping target \"eps[,delta]\" for the pair estimators: sample until every CI half-width ≤ eps at confidence 1−delta (empty = fixed budgets)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	laneWidth, err := ugs.ParseLanes(*lanes)
+	if err != nil {
+		fmt.Fprintln(stderr, "ugs-exp: -lanes:", err)
+		return 2
+	}
+	if *scalar && laneWidth > 1 {
+		fmt.Fprintf(stderr, "ugs-exp: -scalar-queries contradicts -lanes %d\n", laneWidth)
+		return 2
+	}
+	confEps, confDelta, confSet, err := parseConfidence(*conf)
+	if err != nil {
+		fmt.Fprintln(stderr, "ugs-exp: -confidence:", err)
+		return 2
+	}
+	if confSet && (*scalar || laneWidth == 1) {
+		fmt.Fprintln(stderr, "ugs-exp: -confidence requires the batch engine; drop -scalar-queries / -lanes 1")
 		return 2
 	}
 
@@ -57,7 +78,10 @@ func RunExp(args []string, stdout, stderr io.Writer) int {
 		<-runCtx.Done()
 		stop()
 	}()
-	ctx := exp.NewContext(exp.Config{Full: *full, Seed: *seed, Workers: *workers, ScalarQueries: *scalar, Ctx: runCtx})
+	ctx := exp.NewContext(exp.Config{
+		Full: *full, Seed: *seed, Workers: *workers, ScalarQueries: *scalar,
+		Lanes: laneWidth, ConfEps: confEps, ConfDelta: confDelta, Ctx: runCtx,
+	})
 	var experiments []exp.Experiment
 	if len(ids) == 1 && ids[0] == "all" {
 		experiments = exp.All()

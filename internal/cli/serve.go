@@ -10,11 +10,40 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"ugs"
 	"ugs/internal/serve"
 )
+
+// parseConfidence parses a -confidence flag value "eps" or "eps,delta"
+// into a sequential-stopping target (eps half-width at confidence
+// 1−delta; delta defaults to 0.05). Empty means no target.
+func parseConfidence(s string) (eps, delta float64, ok bool, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, 0, false, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > 2 {
+		return 0, 0, false, fmt.Errorf("want \"eps\" or \"eps,delta\", got %q", s)
+	}
+	if eps, err = strconv.ParseFloat(strings.TrimSpace(parts[0]), 64); err != nil {
+		return 0, 0, false, fmt.Errorf("eps: %v", err)
+	}
+	if len(parts) == 2 {
+		if delta, err = strconv.ParseFloat(strings.TrimSpace(parts[1]), 64); err != nil {
+			return 0, 0, false, fmt.Errorf("delta: %v", err)
+		}
+	}
+	if !(eps > 0 && eps < 1) || delta < 0 || delta >= 1 {
+		return 0, 0, false, fmt.Errorf("eps %v outside (0,1) or delta %v outside [0,1)", eps, delta)
+	}
+	return eps, delta, true, nil
+}
 
 // RunServe is the ugs-serve command: a long-lived HTTP JSON service over
 // the sparsifier core. It installs SIGINT/SIGTERM handling and shuts down
@@ -42,6 +71,9 @@ func RunServeContext(ctx context.Context, args []string, stdout, stderr io.Write
 		storeBudget = fs.String("store-budget", "", "resident graph-bytes budget with K/M/G suffixes, e.g. 512M (empty = unlimited)")
 		convertDir  = fs.String("convert-dir", "", "directory for .ugsb sidecars of converted text graphs and uploads (default: a temp dir)")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for requests and jobs")
+		lanes       = fs.String("lanes", "auto", "default query engine width: auto (planner), 1 (scalar ablation), 64, 128 or 256 world lanes")
+		confidence  = fs.String("confidence", "", "default adaptive stopping target \"eps[,delta]\": sample until every estimate's CI half-width ≤ eps at confidence 1−delta (empty = fixed budgets)")
+		worldCache  = fs.String("world-cache", "64M", "sampled-world cache budget with K/M/G suffixes (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -50,6 +82,30 @@ func RunServeContext(ctx context.Context, args []string, stdout, stderr io.Write
 	if err != nil {
 		fmt.Fprintln(stderr, "ugs-serve: -store-budget:", err)
 		return 2
+	}
+	laneWidth, err := ugs.ParseLanes(*lanes)
+	if err != nil {
+		fmt.Fprintln(stderr, "ugs-serve: -lanes:", err)
+		return 2
+	}
+	var defConfidence *serve.Confidence
+	if eps, delta, ok, err := parseConfidence(*confidence); err != nil {
+		fmt.Fprintln(stderr, "ugs-serve: -confidence:", err)
+		return 2
+	} else if ok {
+		if laneWidth == 1 {
+			fmt.Fprintln(stderr, "ugs-serve: -confidence requires the batch engine; drop -lanes 1")
+			return 2
+		}
+		defConfidence = &serve.Confidence{Eps: eps, Delta: delta}
+	}
+	worldBudget, err := parseBytes(*worldCache)
+	if err != nil {
+		fmt.Fprintln(stderr, "ugs-serve: -world-cache:", err)
+		return 2
+	}
+	if worldBudget == 0 {
+		worldBudget = -1 // explicit 0 disables; Config 0 means "default"
 	}
 
 	// The server base context deliberately does NOT derive from ctx: a
@@ -67,6 +123,9 @@ func RunServeContext(ctx context.Context, args []string, stdout, stderr io.Write
 		MaxSamples:        *maxSamples,
 		StoreBudgetBytes:  budget,
 		ConvertDir:        *convertDir,
+		Lanes:             laneWidth,
+		Confidence:        defConfidence,
+		WorldCacheBytes:   worldBudget,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "ugs-serve:", err)

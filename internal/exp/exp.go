@@ -31,6 +31,15 @@ type Config struct {
 	// one-world-per-traversal path instead of the bit-parallel 64-world
 	// batch engine (the ablation; results are bit-identical either way).
 	ScalarQueries bool
+	// Lanes pins the batch-engine world width (64, 128 or 256 lanes).
+	// 0 lets the planner choose; results are bit-identical at any width.
+	Lanes int
+	// ConfEps, when > 0, switches the Monte-Carlo query phases to adaptive
+	// sequential stopping: sample until every estimate's CI half-width is
+	// ≤ ConfEps at confidence 1−ConfDelta (ConfDelta 0 means the 0.05
+	// default), capped at the scale's fixed sample budget ×16.
+	ConfEps   float64
+	ConfDelta float64
 	// Ctx, when non-nil, bounds every sparsification run: cancelling it
 	// aborts the experiment batch. Nil means context.Background().
 	Ctx context.Context

@@ -1,0 +1,126 @@
+package mc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Target is a sequential-stopping accuracy target: keep sampling until the
+// normal-approximation confidence interval of the estimate has half-width at
+// most Eps at confidence 1−Delta. Estimators that track several quantities
+// at once (per-pair reliabilities) stop when every tracked estimate meets
+// the target.
+//
+// Stopping is batch-granular and deterministic: rounds are a pure function
+// of the Target (MinSamples doubling up to MaxSamples), decisions are made
+// only between rounds from deterministic accumulators, and each round is a
+// fixed-budget engine run — so for a fixed seed the stopped sample count and
+// the estimate are reproducible across worker counts and lane widths.
+type Target struct {
+	// Eps is the confidence-interval half-width to reach, in the units of
+	// the estimate (reliability and connectivity are probabilities, so
+	// Eps 0.01 means ±1 percentage point).
+	Eps float64
+	// Delta is the allowed miss probability: 0.05 (the default) asks for a
+	// 95% confidence interval.
+	Delta float64
+	// MinSamples is the first round's budget (default 128): the normal
+	// approximation needs some mass before half-widths mean anything.
+	MinSamples int
+	// MaxSamples caps the total budget (default 131072). A run stopping at
+	// the cap reports Converged false.
+	MaxSamples int
+}
+
+// WithConfidence returns the sequential-stopping target with CI half-width
+// eps at confidence 1−delta — the Options.Target value behind the
+// "-confidence eps,delta" flags. A delta of 0 selects the default 0.05.
+func WithConfidence(eps, delta float64) *Target {
+	return &Target{Eps: eps, Delta: delta}
+}
+
+// WithDefaults returns t with zero fields replaced by their defaults.
+func (t Target) WithDefaults() Target {
+	if t.Delta == 0 {
+		t.Delta = 0.05
+	}
+	if t.MinSamples == 0 {
+		t.MinSamples = 128
+	}
+	if t.MaxSamples == 0 {
+		t.MaxSamples = 1 << 17
+	}
+	return t
+}
+
+func (t Target) validate() error {
+	d := t.WithDefaults()
+	if !(d.Eps > 0 && d.Eps < 1) {
+		return fmt.Errorf("%w: eps %v outside (0,1)", ErrConfidence, t.Eps)
+	}
+	if !(d.Delta > 0 && d.Delta < 1) {
+		return fmt.Errorf("%w: delta %v outside (0,1)", ErrConfidence, t.Delta)
+	}
+	if t.MinSamples < 0 || t.MaxSamples < 0 || d.MinSamples > d.MaxSamples {
+		return fmt.Errorf("%w: sample schedule min %d / max %d", ErrConfidence, t.MinSamples, t.MaxSamples)
+	}
+	return nil
+}
+
+// Z returns the two-sided normal quantile of the target's confidence level:
+// the CI half-width at n samples is Z·σ̂/√n. Delta 0.05 gives the familiar
+// 1.96.
+func (t Target) Z() float64 {
+	return math.Sqrt2 * math.Erfinv(1-t.WithDefaults().Delta)
+}
+
+// HalfWidth is the normal-approximation CI half-width of a Bernoulli
+// estimate with hits successes in n draws, at the target's confidence.
+func (t Target) HalfWidth(hits, n int) float64 {
+	if n == 0 {
+		return math.Inf(1)
+	}
+	p := float64(hits) / float64(n)
+	return t.Z() * math.Sqrt(p*(1-p)/float64(n))
+}
+
+// RunInfo reports what a Monte-Carlo run actually did: the worlds sampled,
+// the adaptive rounds taken (1 for fixed-budget runs), and whether a
+// sequential-stopping run met its target before MaxSamples.
+type RunInfo struct {
+	Samples   int
+	Rounds    int
+	Converged bool
+}
+
+// RunAdaptive drives a sequential-stopping run in deterministic rounds:
+// run(offset, n) must evaluate stream samples [offset, offset+n) with a
+// fixed-budget engine pass and fold them into caller-held accumulators;
+// met(total) inspects those accumulators between rounds and reports whether
+// every tracked estimate meets the target with total samples drawn. Round
+// budgets double from MinSamples and are clamped at MaxSamples, so the
+// schedule — and therefore the stopped estimate — depends only on the
+// Target and the met decisions, never on timing or Workers.
+func RunAdaptive(t *Target, run func(offset, n int) error, met func(total int) bool) (RunInfo, error) {
+	d := t.WithDefaults()
+	info := RunInfo{}
+	for info.Samples < d.MaxSamples {
+		n := d.MinSamples
+		if info.Samples > 0 {
+			n = info.Samples // double the total each round
+		}
+		if rest := d.MaxSamples - info.Samples; n > rest {
+			n = rest
+		}
+		if err := run(info.Samples, n); err != nil {
+			return RunInfo{}, err
+		}
+		info.Samples += n
+		info.Rounds++
+		if met(info.Samples) {
+			info.Converged = true
+			return info, nil
+		}
+	}
+	return info, nil
+}

@@ -3,52 +3,21 @@
 // workers in fixed blocks with deterministic per-sample seeding and
 // per-block accumulators merged in block order, so results are bit-identical
 // for every worker count; the sample path performs no locking and no
-// steady-state allocation. Exhaustive exact evaluation on tiny graphs is
-// provided as a testing oracle.
+// steady-state allocation. The batch engine is generic over the world-lane
+// width (64/128/256 lanes per traversal, see ugraph.Vec), fixed budgets can
+// be replaced by sequential-stopping targets (Target, RunAdaptive), and
+// sampled fill blocks can be shared across runs through a ugraph.FillCache.
+// Exhaustive exact evaluation on tiny graphs is provided as a testing
+// oracle.
 package mc
 
 import (
 	"context"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"ugs/internal/ugraph"
 )
-
-// Options configures a Monte-Carlo run.
-type Options struct {
-	// Samples is the number of possible worlds to draw. Default 500 (the
-	// paper's query-evaluation setting).
-	Samples int
-	// Seed makes runs reproducible. Sample i is always drawn from a
-	// deterministic function of (Seed, i), so results do not depend on
-	// scheduling or Workers.
-	Seed int64
-	// Workers is the parallelism; 0 means GOMAXPROCS.
-	Workers int
-	// Scalar forces estimators that support the bit-parallel 64-world
-	// batch engine (reliability, shortest distance, connectivity) onto the
-	// one-world-per-traversal path. It is the ablation and debugging
-	// switch: both paths are bit-identical on the same Seed, the batch
-	// path is just faster.
-	Scalar bool
-}
-
-// WithDefaults returns o with zero fields replaced by their defaults
-// (Samples 500, Workers GOMAXPROCS). It is idempotent; estimators apply it
-// once so the sample count they normalize by matches the engine's.
-func (o Options) WithDefaults() Options {
-	if o.Samples == 0 {
-		o.Samples = 500
-	}
-	if o.Workers <= 0 {
-		o.Workers = defaultWorkers()
-	}
-	return o
-}
-
-func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // sampleSeed derives the rng seed for sample i using a splitmix64-style
 // scramble, avoiding correlation between consecutive samples.
@@ -93,9 +62,9 @@ func blockDims(samples int) (size, count int) {
 // (a finished block whose predecessors are still running is parked until
 // they complete, then folded and released — so at most the out-of-order
 // suffix of accumulators is live at once, not all blocks). Sample i is
-// always drawn from the deterministic stream (opts.Seed, i), so the merged
-// result is bit-identical for every Workers value — floating-point
-// accumulation order included.
+// always drawn from the deterministic stream (opts.Seed, opts.Offset+i), so
+// the merged result is bit-identical for every Workers value —
+// floating-point accumulation order included.
 //
 // newLocal runs once per worker goroutine and provides reusable scratch
 // (e.g. a queries.Workspace); with scratch reuse the per-sample path
@@ -104,7 +73,8 @@ func blockDims(samples int) (size, count int) {
 // never on the per-sample path.
 //
 // On cancellation Reduce stops promptly (workers re-check the context every
-// cancelStride samples), returns the zero A and ctx.Err().
+// cancelStride samples), returns the zero A and ctx.Err(). Invalid options
+// (Validate) are rejected before any sampling.
 func Reduce[L, A any](ctx context.Context, g *ugraph.Graph, opts Options,
 	newLocal func() L,
 	newAcc func() A,
@@ -112,12 +82,12 @@ func Reduce[L, A any](ctx context.Context, g *ugraph.Graph, opts Options,
 	merge func(dst, src A),
 ) (A, error) {
 	var zero A
+	if err := opts.Validate(); err != nil {
+		return zero, err
+	}
 	opts = opts.WithDefaults()
 	if err := ctx.Err(); err != nil {
 		return zero, err
-	}
-	if opts.Samples < 0 {
-		return newAcc(), nil
 	}
 	size, blocks := blockDims(opts.Samples)
 	return runBlocks(ctx, blocks, opts.Workers, newAcc, merge,
@@ -134,7 +104,7 @@ func Reduce[L, A any](ctx context.Context, g *ugraph.Graph, opts Options,
 					if (i-lo)%cancelStride == 0 && cancelled() {
 						return false
 					}
-					g.SampleWorldSeeded(sampleSeed(opts.Seed, i), w)
+					g.SampleWorldSeeded(sampleSeed(opts.Seed, opts.Offset+i), w)
 					visit(i, w, local, acc)
 				}
 				return true
@@ -142,44 +112,49 @@ func Reduce[L, A any](ctx context.Context, g *ugraph.Graph, opts Options,
 		})
 }
 
-// batchCancelStride is how many 64-world batches a worker processes between
-// context checks inside one block (~4·64 samples, matching cancelStride).
+// batchCancelStride is how many batches a worker processes between context
+// checks inside one block (~4·64 samples at the narrowest width, matching
+// cancelStride).
 const batchCancelStride = 4
 
-// ReduceBatch is Reduce over 64-world batches: it draws opts.Samples
-// possible worlds in runs of up to ugraph.BatchLanes lanes and folds each
-// WorldBatch into an accumulator of type A. Lane l of the batch starting at
-// sample index s is drawn from the same deterministic stream as scalar
-// sample s+l, and blocks are fixed runs of whole batches merged in block
-// index order — so a batch kernel whose accumulator is order-insensitive
-// (integer counters, exact integer-valued sums) produces results
-// bit-identical to the scalar path for every Workers value.
+// ReduceBatch is Reduce over lane-transposed world batches of width V: it
+// draws opts.Samples possible worlds in runs of up to ugraph.VecLanes[V]
+// lanes and folds each WorldBatch into an accumulator of type A. Lane l of
+// the batch starting at sample index s is drawn from the same deterministic
+// stream as scalar sample s+l, and blocks are fixed runs of whole batches
+// merged in block index order — so a batch kernel whose accumulator is
+// order-insensitive (integer counters, exact integer-valued sums) produces
+// results bit-identical to the scalar path — and to every other width — for
+// every Workers value.
 //
 // visit receives the global index of the batch's first sample and a
 // WorldBatch that is reused by the calling goroutine (it must not be
-// retained); the final batch may be ragged (Lanes() < 64). Cancellation
-// semantics match Reduce.
-func ReduceBatch[L, A any](ctx context.Context, g *ugraph.Graph, opts Options,
+// retained); the final batch may be ragged (Lanes() < VecLanes[V]). When
+// opts.FillCache is set (with a FillID), full 64-aligned fill blocks are
+// fetched from the cache instead of re-sampled; results are identical
+// either way. Cancellation semantics match Reduce.
+func ReduceBatch[V ugraph.Vec, L, A any](ctx context.Context, g *ugraph.Graph, opts Options,
 	newLocal func() L,
 	newAcc func() A,
-	visit func(start int, wb *ugraph.WorldBatch, local L, acc A),
+	visit func(start int, wb *ugraph.WorldBatch[V], local L, acc A),
 	merge func(dst, src A),
 ) (A, error) {
 	var zero A
+	if err := opts.Validate(); err != nil {
+		return zero, err
+	}
 	opts = opts.WithDefaults()
 	if err := ctx.Err(); err != nil {
 		return zero, err
 	}
-	if opts.Samples < 0 {
-		return newAcc(), nil
-	}
-	batches := (opts.Samples + ugraph.BatchLanes - 1) / ugraph.BatchLanes
+	width := ugraph.VecLanes[V]()
+	batches := (opts.Samples + width - 1) / width
 	size, blocks := blockDims(batches)
 	return runBlocks(ctx, blocks, opts.Workers, newAcc, merge,
 		func() (runBlock func(b int, acc A, cancelled func() bool) bool) {
 			local := newLocal()
-			wb := ugraph.NewWorldBatch(g)
-			var seeds [ugraph.BatchLanes]int64
+			wb := ugraph.NewWorldBatch[V](g)
+			filler := newBatchFiller[V](g, opts)
 			return func(b int, acc A, cancelled func() bool) bool {
 				lo := b * size
 				hi := lo + size
@@ -190,20 +165,81 @@ func ReduceBatch[L, A any](ctx context.Context, g *ugraph.Graph, opts Options,
 					if (k-lo)%batchCancelStride == 0 && cancelled() {
 						return false
 					}
-					start := k * ugraph.BatchLanes
+					start := k * width
 					lanes := opts.Samples - start
-					if lanes > ugraph.BatchLanes {
-						lanes = ugraph.BatchLanes
+					if lanes > width {
+						lanes = width
 					}
-					for l := 0; l < lanes; l++ {
-						seeds[l] = sampleSeed(opts.Seed, start+l)
-					}
-					g.SampleBatchSeeded(seeds[:lanes], wb)
+					filler.fill(wb, start, lanes)
 					visit(start, wb, local, acc)
 				}
 				return true
 			}
 		})
+}
+
+// batchFiller fills one worker's WorldBatch for a batch starting at a given
+// sample index: directly via SampleBatchSeeded, or — when a FillCache is
+// configured — by assembling cached 64-lane blocks (full, 64-aligned stream
+// blocks only; ragged or unaligned lane groups are sampled fresh into
+// worker-local scratch). Both paths are bit-identical.
+type batchFiller[V ugraph.Vec] struct {
+	g       *ugraph.Graph
+	opts    Options
+	seeds   [ugraph.MaxBatchLanes]int64
+	blocks  [][]uint64 // per-word block views for LoadBlocks
+	scratch [][]uint64 // lazily allocated non-cached fills, one per word
+}
+
+func newBatchFiller[V ugraph.Vec](g *ugraph.Graph, opts Options) *batchFiller[V] {
+	words := ugraph.VecLanes[V]() / ugraph.BatchLanes
+	f := &batchFiller[V]{g: g, opts: opts}
+	if opts.FillCache != nil && opts.FillID != "" {
+		f.blocks = make([][]uint64, words)
+		f.scratch = make([][]uint64, words)
+	}
+	return f
+}
+
+func (f *batchFiller[V]) fill(wb *ugraph.WorldBatch[V], start, lanes int) {
+	if f.blocks == nil {
+		for l := 0; l < lanes; l++ {
+			f.seeds[l] = sampleSeed(f.opts.Seed, f.opts.Offset+start+l)
+		}
+		ugraph.SampleBatchSeeded(f.g, f.seeds[:lanes], wb)
+		return
+	}
+	base := f.opts.Offset + start
+	words := (lanes + ugraph.BatchLanes - 1) / ugraph.BatchLanes
+	for k := 0; k < words; k++ {
+		blo := base + k*ugraph.BatchLanes
+		bl := lanes - k*ugraph.BatchLanes
+		if bl > ugraph.BatchLanes {
+			bl = ugraph.BatchLanes
+		}
+		if bl == ugraph.BatchLanes && blo%ugraph.BatchLanes == 0 {
+			key := ugraph.FillKey{Graph: f.opts.FillID, Seed: f.opts.Seed, Block: blo / ugraph.BatchLanes}
+			f.blocks[k] = f.opts.FillCache.GetOrFill(key, func() []uint64 {
+				dst := make([]uint64, f.g.NumEdges())
+				var bs [ugraph.BatchLanes]int64
+				for l := 0; l < ugraph.BatchLanes; l++ {
+					bs[l] = sampleSeed(f.opts.Seed, blo+l)
+				}
+				ugraph.FillBlock(f.g, bs[:], dst)
+				return dst
+			})
+			continue
+		}
+		if f.scratch[k] == nil {
+			f.scratch[k] = make([]uint64, f.g.NumEdges())
+		}
+		for l := 0; l < bl; l++ {
+			f.seeds[l] = sampleSeed(f.opts.Seed, blo+l)
+		}
+		ugraph.FillBlock(f.g, f.seeds[:bl], f.scratch[k])
+		f.blocks[k] = f.scratch[k]
+	}
+	ugraph.LoadBlocks(wb, f.blocks[:words], lanes)
 }
 
 // runBlocks is the shared block engine behind Reduce and ReduceBatch:

@@ -259,7 +259,7 @@ func TestReduceBatchCoversEverySampleExactlyOnce(t *testing.T) {
 	_, err := ReduceBatch(context.Background(), g, Options{Samples: samples, Seed: 3, Workers: 7},
 		func() struct{} { return struct{}{} },
 		func() struct{} { return struct{}{} },
-		func(start int, wb *ugraph.WorldBatch, _, _ struct{}) {
+		func(start int, wb *ugraph.WorldBatch[ugraph.Vec64], _, _ struct{}) {
 			for l := 0; l < wb.Lanes(); l++ {
 				atomic.AddInt32(&seen[start+l], 1)
 			}
@@ -292,7 +292,7 @@ func TestReduceBatchLanesMatchScalarWorlds(t *testing.T) {
 	_, err = ReduceBatch(context.Background(), g, Options{Samples: samples, Seed: 9, Workers: 4},
 		func() *ugraph.World { return ugraph.NewWorld(g) },
 		func() struct{} { return struct{}{} },
-		func(start int, wb *ugraph.WorldBatch, w *ugraph.World, _ struct{}) {
+		func(start int, wb *ugraph.WorldBatch[ugraph.Vec64], w *ugraph.World, _ struct{}) {
 			for l := 0; l < wb.Lanes(); l++ {
 				wb.ExtractLane(l, w)
 				for wi, word := range w.Words() {
@@ -316,7 +316,7 @@ func TestReduceBatchBitIdenticalAcrossWorkers(t *testing.T) {
 		hits, err := ReduceBatch(context.Background(), g, Options{Samples: 777, Seed: 11, Workers: workers},
 			func() struct{} { return struct{}{} },
 			func() *int { return new(int) },
-			func(_ int, wb *ugraph.WorldBatch, _ struct{}, acc *int) {
+			func(_ int, wb *ugraph.WorldBatch[ugraph.Vec64], _ struct{}, acc *int) {
 				*acc += wb.PopCount()
 			},
 			func(dst, src *int) { *dst += *src },
@@ -342,7 +342,7 @@ func TestReduceBatchAlreadyCancelledContext(t *testing.T) {
 	_, err := ReduceBatch(ctx, g, Options{Samples: 100, Seed: 1},
 		func() struct{} { return struct{}{} },
 		func() struct{} { return struct{}{} },
-		func(int, *ugraph.WorldBatch, struct{}, struct{}) { called = true },
+		func(int, *ugraph.WorldBatch[ugraph.Vec64], struct{}, struct{}) { called = true },
 		func(_, _ struct{}) {},
 	)
 	if err != context.Canceled {
@@ -364,7 +364,7 @@ func TestReduceBatchCancelledContextStopsEarly(t *testing.T) {
 		_, err := ReduceBatch(ctx, g, Options{Samples: samples, Seed: 5, Workers: 4},
 			func() struct{} { return struct{}{} },
 			func() struct{} { return struct{}{} },
-			func(int, *ugraph.WorldBatch, struct{}, struct{}) {
+			func(int, *ugraph.WorldBatch[ugraph.Vec64], struct{}, struct{}) {
 				if visits.Add(1) == 10 {
 					cancel()
 				}

@@ -3,7 +3,6 @@ package queries
 import (
 	"context"
 	"math"
-	"math/bits"
 	"math/rand"
 	"sort"
 
@@ -28,8 +27,9 @@ func (o PageRankOptions) withDefaults() PageRankOptions {
 }
 
 // ExpectedPageRank estimates each vertex's expected PageRank over the
-// possible worlds of g. Each engine worker reuses one Workspace, so the
-// sample path does not allocate.
+// possible worlds of g. A vector-valued query: always scalar worlds (the
+// planner never routes it to the batch engine). Each engine worker reuses
+// one Workspace, so the sample path does not allocate.
 func ExpectedPageRank(ctx context.Context, g *ugraph.Graph, opts mc.Options, pr PageRankOptions) ([]float64, error) {
 	pr = pr.withDefaults()
 	return mc.MeanVectorLocal(ctx, g, opts, g.NumVertices(),
@@ -41,8 +41,9 @@ func ExpectedPageRank(ctx context.Context, g *ugraph.Graph, opts mc.Options, pr 
 }
 
 // ExpectedClusteringCoefficients estimates each vertex's expected local
-// clustering coefficient over the possible worlds of g. Each engine worker
-// reuses one Workspace, so the sample path does not allocate.
+// clustering coefficient over the possible worlds of g. A vector-valued
+// query: always scalar worlds. Each engine worker reuses one Workspace, so
+// the sample path does not allocate.
 func ExpectedClusteringCoefficients(ctx context.Context, g *ugraph.Graph, opts mc.Options) ([]float64, error) {
 	return mc.MeanVectorLocal(ctx, g, opts, g.NumVertices(),
 		func() *Workspace { return NewWorkspace(g) },
@@ -80,18 +81,27 @@ func RandomPairs(n, count int, rng *rand.Rand) []Pair {
 }
 
 // Reliability estimates, for each pair, the probability that T is reachable
-// from S (the RL query). It runs on the bit-parallel 64-world batch engine
-// unless opts.Scalar selects the per-world path; both are bit-identical.
+// from S (the RL query). It runs on the bit-parallel batch engine at the
+// width opts.Lanes selects (auto-planned by default) unless the scalar
+// ablation is requested; every width is bit-identical.
 func Reliability(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) ([]float64, error) {
-	res, err := pairStats(ctx, g, pairs, opts)
+	out, _, err := ReliabilityRun(ctx, g, pairs, opts)
+	return out, err
+}
+
+// ReliabilityRun is Reliability plus the run report: the worlds actually
+// sampled and, for sequential-stopping runs (opts.Target), the rounds taken
+// and whether the confidence target was met before MaxSamples.
+func ReliabilityRun(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) ([]float64, mc.RunInfo, error) {
+	res, info, err := pairStats(ctx, g, pairs, opts)
 	if err != nil {
-		return nil, err
+		return nil, mc.RunInfo{}, err
 	}
 	out := make([]float64, len(pairs))
 	for i, r := range res {
 		out[i] = float64(r.reachable) / float64(r.samples)
 	}
-	return out, nil
+	return out, info, nil
 }
 
 // ShortestDistance estimates, for each pair, the expected shortest-path
@@ -99,7 +109,7 @@ func Reliability(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Opt
 // worlds that connect the pair, excluding disconnecting worlds (the SP
 // query). Pairs never connected in any sample get NaN.
 func ShortestDistance(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) ([]float64, error) {
-	res, err := pairStats(ctx, g, pairs, opts)
+	res, _, err := pairStats(ctx, g, pairs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -116,12 +126,19 @@ func ShortestDistance(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts m
 
 // ShortestDistanceAndReliability computes the SP and RL estimates of both
 // queries from a single Monte-Carlo pass (one traversal per distinct source
-// per 64-world batch — or per world under opts.Scalar), which is how the
-// experiment harness evaluates them together.
+// per world batch — or per world under the scalar ablation), which is how
+// the experiment harness evaluates them together.
 func ShortestDistanceAndReliability(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) (sp, rl []float64, err error) {
-	res, err := pairStats(ctx, g, pairs, opts)
+	sp, rl, _, err = ShortestDistanceAndReliabilityRun(ctx, g, pairs, opts)
+	return sp, rl, err
+}
+
+// ShortestDistanceAndReliabilityRun is ShortestDistanceAndReliability plus
+// the run report (see ReliabilityRun).
+func ShortestDistanceAndReliabilityRun(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) (sp, rl []float64, info mc.RunInfo, err error) {
+	res, info, err := pairStats(ctx, g, pairs, opts)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, mc.RunInfo{}, err
 	}
 	sp = make([]float64, len(pairs))
 	rl = make([]float64, len(pairs))
@@ -133,7 +150,7 @@ func ShortestDistanceAndReliability(ctx context.Context, g *ugraph.Graph, pairs 
 			sp[i] = r.distSum / float64(r.reachable)
 		}
 	}
-	return sp, rl, nil
+	return sp, rl, info, nil
 }
 
 type pairResult struct {
@@ -165,28 +182,93 @@ func mergePairResults(dst, src []pairResult) {
 	}
 }
 
-// pairStats dispatches SP/RL accumulation to the bit-parallel batch engine,
-// or to the per-world scalar path when opts.Scalar requests the ablation.
-// Both paths accumulate integer-valued quantities (hit counts and sums of
-// hop distances, exact in float64), so their results are bit-identical on
-// the same seed for every Workers value.
-func pairStats(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) ([]pairResult, error) {
-	if opts.Scalar {
-		return pairStatsScalar(ctx, g, pairs, opts)
+// pairStats runs SP/RL accumulation for the pairs: a single fixed-budget
+// engine pass at the planned lane width, or — when opts.Target asks for
+// sequential stopping — deterministic doubling rounds until every pair's
+// reliability confidence interval has half-width ≤ Eps (the SP estimate is
+// a conditional mean over the same worlds, so it tightens alongside). All
+// execution paths accumulate integer-valued quantities (hit counts and sums
+// of hop distances, exact in float64), so their results are bit-identical
+// on the same seed for every Workers value and every lane width.
+func pairStats(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) ([]pairResult, mc.RunInfo, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, mc.RunInfo{}, err
 	}
-	return pairStatsBatch(ctx, g, pairs, opts)
+	if opts.Target != nil {
+		return pairStatsAdaptive(ctx, g, pairs, opts)
+	}
+	res, err := pairStatsFixed(ctx, g, pairs, opts, planLanes(g, opts, KindPair))
+	if err != nil {
+		return nil, mc.RunInfo{}, err
+	}
+	return res, mc.RunInfo{Samples: opts.WithDefaults().Samples, Rounds: 1, Converged: true}, nil
 }
 
-// pairStatsBatch runs one mask-BFS per distinct source per 64-world batch:
-// the traversal settles every lane's distance in a single pass, and the
-// per-target reachability popcount and depth sum fold 64 worlds of SP/RL
-// evidence per pair in O(1). Each engine worker reuses one MaskBFS.
-func pairStatsBatch(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) ([]pairResult, error) {
+// pairStatsFixed dispatches one fixed-budget pass to the engine width the
+// planner (or an explicit Options.Lanes) chose.
+func pairStatsFixed(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options, lanes int) ([]pairResult, error) {
+	switch lanes {
+	case 1:
+		return pairStatsScalar(ctx, g, pairs, opts)
+	case ugraph.BatchLanes:
+		return pairStatsBatch[ugraph.Vec64](ctx, g, pairs, opts)
+	case 2 * ugraph.BatchLanes:
+		return pairStatsBatch[ugraph.Vec128](ctx, g, pairs, opts)
+	default:
+		return pairStatsBatch[ugraph.Vec256](ctx, g, pairs, opts)
+	}
+}
+
+// pairStatsAdaptive drives the sequential-stopping schedule: each round is
+// a fixed-budget pass over the next stretch of the sample stream (via
+// Options.Offset, so no world is ever redrawn), and between rounds every
+// pair's Bernoulli reliability CI is checked against the target. The lane
+// width is planned once and pinned for all rounds.
+func pairStatsAdaptive(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) ([]pairResult, mc.RunInfo, error) {
+	t := opts.Target.WithDefaults()
+	lanes := planLanes(g, opts, KindPair)
+	if lanes < ugraph.BatchLanes {
+		lanes = ugraph.BatchLanes
+	}
+	acc := make([]pairResult, len(pairs))
+	run := func(offset, n int) error {
+		o := opts
+		o.Target = nil
+		o.Offset = opts.Offset + offset
+		o.Samples = n
+		o.Lanes = lanes
+		res, err := pairStatsFixed(ctx, g, pairs, o, lanes)
+		if err != nil {
+			return err
+		}
+		mergePairResults(acc, res)
+		return nil
+	}
+	met := func(total int) bool {
+		for i := range acc {
+			if t.HalfWidth(acc[i].reachable, total) > t.Eps {
+				return false
+			}
+		}
+		return true
+	}
+	info, err := mc.RunAdaptive(opts.Target, run, met)
+	if err != nil {
+		return nil, mc.RunInfo{}, err
+	}
+	return acc, info, nil
+}
+
+// pairStatsBatch runs one mask-BFS per distinct source per world batch: the
+// traversal settles every lane's distance in a single pass, and the
+// per-target reachability popcount and depth sum fold VecLanes[V] worlds of
+// SP/RL evidence per pair in O(1). Each engine worker reuses one MaskBFS.
+func pairStatsBatch[V ugraph.Vec](ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) ([]pairResult, error) {
 	bySource, sources := groupPairsBySource(pairs)
 	return mc.ReduceBatch(ctx, g, opts,
-		func() *MaskBFS { return NewMaskBFS(g.NumVertices()) },
+		func() *MaskBFS[V] { return NewMaskBFS[V](g.NumVertices()) },
 		func() []pairResult { return make([]pairResult, len(pairs)) },
-		func(_ int, wb *ugraph.WorldBatch, bfs *MaskBFS, acc []pairResult) {
+		func(_ int, wb *ugraph.WorldBatch[V], bfs *MaskBFS[V], acc []pairResult) {
 			lanes := wb.Lanes()
 			for _, s := range sources {
 				reach := bfs.ReachFrom(wb, s)
@@ -194,7 +276,7 @@ func pairStatsBatch(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.
 				for _, i := range bySource[s] {
 					t := pairs[i].T
 					acc[i].samples += lanes
-					acc[i].reachable += bits.OnesCount64(reach[t])
+					acc[i].reachable += ugraph.VecOnesCount(reach[t])
 					acc[i].distSum += float64(depthSum[t])
 				}
 			}
@@ -227,38 +309,102 @@ func pairStatsScalar(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc
 	)
 }
 
+// hitStats is the Bernoulli accumulator of the connectivity estimator.
+type hitStats struct{ hits, n int }
+
+func mergeHitStats(dst, src *hitStats) {
+	dst.hits += src.hits
+	dst.n += src.n
+}
+
 // ConnectedProbability estimates Pr[G is connected] — the introductory
 // example query of the paper (Figure 1). One mask-BFS plus an AND-sweep
-// checks 64 sampled worlds per traversal; opts.Scalar selects the one-world
-// BFS path instead (the ablation). Hit counts are integers, so the two
-// paths and every Workers value agree bit-identically.
+// checks a full lane vector of sampled worlds per traversal; the scalar
+// ablation walks one world per BFS instead. Hit counts are integers, so
+// every path, width and Workers value agrees bit-identically.
 func ConnectedProbability(ctx context.Context, g *ugraph.Graph, opts mc.Options) (float64, error) {
-	opts = opts.WithDefaults()
-	var hits *int
-	var err error
-	if opts.Scalar {
-		hits, err = mc.Reduce(ctx, g, opts,
+	p, _, err := ConnectedProbabilityRun(ctx, g, opts)
+	return p, err
+}
+
+// ConnectedProbabilityRun is ConnectedProbability plus the run report (see
+// ReliabilityRun).
+func ConnectedProbabilityRun(ctx context.Context, g *ugraph.Graph, opts mc.Options) (float64, mc.RunInfo, error) {
+	if err := opts.Validate(); err != nil {
+		return 0, mc.RunInfo{}, err
+	}
+	if opts.Target != nil {
+		return connectedAdaptive(ctx, g, opts)
+	}
+	st, err := connectedFixed(ctx, g, opts, planLanes(g, opts, KindConnectivity))
+	if err != nil {
+		return 0, mc.RunInfo{}, err
+	}
+	return float64(st.hits) / float64(st.n),
+		mc.RunInfo{Samples: st.n, Rounds: 1, Converged: true}, nil
+}
+
+func connectedFixed(ctx context.Context, g *ugraph.Graph, opts mc.Options, lanes int) (*hitStats, error) {
+	switch lanes {
+	case 1:
+		return mc.Reduce(ctx, g, opts,
 			func() *BFS { return NewBFS(g.NumVertices()) },
-			func() *int { return new(int) },
-			func(_ int, w *ugraph.World, bfs *BFS, acc *int) {
+			func() *hitStats { return &hitStats{} },
+			func(_ int, w *ugraph.World, bfs *BFS, acc *hitStats) {
+				acc.n++
 				if bfs.Connected(w) {
-					*acc++
+					acc.hits++
 				}
 			},
-			func(dst, src *int) { *dst += *src },
+			mergeHitStats,
 		)
-	} else {
-		hits, err = mc.ReduceBatch(ctx, g, opts,
-			func() *MaskBFS { return NewMaskBFS(g.NumVertices()) },
-			func() *int { return new(int) },
-			func(_ int, wb *ugraph.WorldBatch, bfs *MaskBFS, acc *int) {
-				*acc += bits.OnesCount64(bfs.ConnectedLanes(wb))
-			},
-			func(dst, src *int) { *dst += *src },
-		)
+	case ugraph.BatchLanes:
+		return connectedBatch[ugraph.Vec64](ctx, g, opts)
+	case 2 * ugraph.BatchLanes:
+		return connectedBatch[ugraph.Vec128](ctx, g, opts)
+	default:
+		return connectedBatch[ugraph.Vec256](ctx, g, opts)
 	}
+}
+
+func connectedBatch[V ugraph.Vec](ctx context.Context, g *ugraph.Graph, opts mc.Options) (*hitStats, error) {
+	return mc.ReduceBatch(ctx, g, opts,
+		func() *MaskBFS[V] { return NewMaskBFS[V](g.NumVertices()) },
+		func() *hitStats { return &hitStats{} },
+		func(_ int, wb *ugraph.WorldBatch[V], bfs *MaskBFS[V], acc *hitStats) {
+			acc.n += wb.Lanes()
+			acc.hits += ugraph.VecOnesCount(bfs.ConnectedLanes(wb))
+		},
+		mergeHitStats,
+	)
+}
+
+func connectedAdaptive(ctx context.Context, g *ugraph.Graph, opts mc.Options) (float64, mc.RunInfo, error) {
+	t := opts.Target.WithDefaults()
+	lanes := planLanes(g, opts, KindConnectivity)
+	if lanes < ugraph.BatchLanes {
+		lanes = ugraph.BatchLanes
+	}
+	acc := hitStats{}
+	run := func(offset, n int) error {
+		o := opts
+		o.Target = nil
+		o.Offset = opts.Offset + offset
+		o.Samples = n
+		o.Lanes = lanes
+		st, err := connectedFixed(ctx, g, o, lanes)
+		if err != nil {
+			return err
+		}
+		mergeHitStats(&acc, st)
+		return nil
+	}
+	met := func(total int) bool {
+		return t.HalfWidth(acc.hits, total) <= t.Eps
+	}
+	info, err := mc.RunAdaptive(opts.Target, run, met)
 	if err != nil {
-		return 0, err
+		return 0, mc.RunInfo{}, err
 	}
-	return float64(*hits) / float64(opts.Samples), nil
+	return float64(acc.hits) / float64(acc.n), info, nil
 }

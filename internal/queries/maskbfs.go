@@ -1,57 +1,58 @@
 package queries
 
 import (
-	"math/bits"
-
 	"ugs/internal/ugraph"
 )
 
-// MaskBFS is a reusable bit-parallel breadth-first search over the 64 world
-// lanes of a ugraph.WorldBatch. One level-synchronous traversal propagates a
-// per-vertex lane mask (bit l = "reached in world l") over the graph's CSR
-// adjacency, answering connectivity, reliability and hop-distance queries
-// for all lanes at once: an edge transmits exactly the frontier lanes that
-// contain it (frontier & edgeMask), and a vertex settles each lane at the
-// level it is first reached in that lane.
+// MaskBFS is a reusable bit-parallel breadth-first search over the world
+// lanes of a ugraph.WorldBatch — 64, 128 or 256 lanes depending on the
+// vector width V. One level-synchronous traversal propagates a per-vertex
+// lane mask (bit l = "reached in world l") over the graph's CSR adjacency,
+// answering connectivity, reliability and hop-distance queries for all
+// lanes at once: an edge transmits exactly the frontier lanes that contain
+// it (frontier & edgeMask), and a vertex settles each lane at the level it
+// is first reached in that lane. The vector helpers (ugraph.VecFrontier and
+// friends) instantiate to straight-line word ops, so the V=Vec64 kernel is
+// the original single-word loop and the wider widths simply carry more
+// worlds per cache line of traversal state.
 //
 // Zero steady-state allocations with a warm instance. Not safe for
 // concurrent use; create one per goroutine (the batch Monte-Carlo engine
 // creates one per worker).
-type MaskBFS struct {
-	reach    []uint64 // lanes in which each vertex has been reached
-	cur      []uint64 // frontier lanes entering the current level
-	next     []uint64 // lanes first reached during the current level
-	depthSum []int64  // Σ over reached lanes of the lane's settle depth
-	curQ     []int32  // vertices with nonzero cur bits
-	nextQ    []int32  // vertices with nonzero next bits
+type MaskBFS[V ugraph.Vec] struct {
+	reach    []V     // lanes in which each vertex has been reached
+	cur      []V     // frontier lanes entering the current level
+	next     []V     // lanes first reached during the current level
+	depthSum []int64 // Σ over reached lanes of the lane's settle depth
+	curQ     []int32 // vertices with nonzero cur bits
+	nextQ    []int32 // vertices with nonzero next bits
 
 	// Per-arc gather table in CSR arc order: each entry packs the arc's
 	// target vertex with the bound batch's lane mask of the arc's edge, so
-	// the traversal's inner loop consumes one sequential 16-byte stream
-	// instead of chasing masks[arc.ID] per arc. The gather costs one 2|E|
-	// pass per batch fill and is amortized over every traversal of that
-	// fill (one per distinct query source); cache keys make staleness
-	// impossible.
-	arcs     []packedArc
+	// the traversal's inner loop consumes one sequential stream instead of
+	// chasing masks[arc.ID] per arc. The gather costs one 2|E| pass per
+	// batch fill and is amortized over every traversal of that fill (one
+	// per distinct query source); cache keys make staleness impossible.
+	arcs     []packedArc[V]
 	boundG   *ugraph.Graph
-	boundWB  *ugraph.WorldBatch
+	boundWB  *ugraph.WorldBatch[V]
 	boundSeq uint64
 }
 
 // packedArc is one CSR arc fused with its edge's lane mask for the bound
 // batch fill.
-type packedArc struct {
-	mask uint64
+type packedArc[V ugraph.Vec] struct {
+	mask V
 	to   int32
 }
 
 // NewMaskBFS returns a mask-BFS sized for graphs with n vertices. The
 // per-arc tables are sized on first use.
-func NewMaskBFS(n int) *MaskBFS {
-	return &MaskBFS{
-		reach:    make([]uint64, n),
-		cur:      make([]uint64, n),
-		next:     make([]uint64, n),
+func NewMaskBFS[V ugraph.Vec](n int) *MaskBFS[V] {
+	return &MaskBFS[V]{
+		reach:    make([]V, n),
+		cur:      make([]V, n),
+		next:     make([]V, n),
 		depthSum: make([]int64, n),
 		curQ:     make([]int32, 0, n),
 		nextQ:    make([]int32, 0, n),
@@ -60,12 +61,12 @@ func NewMaskBFS(n int) *MaskBFS {
 
 // bind refreshes the per-arc gather table for wb's current fill (no-op
 // when already bound to this graph, batch and fill sequence).
-func (b *MaskBFS) bind(wb *ugraph.WorldBatch) {
+func (b *MaskBFS[V]) bind(wb *ugraph.WorldBatch[V]) {
 	g := wb.Graph()
 	if b.boundG != g {
 		arcs := g.Arcs()
 		if cap(b.arcs) < len(arcs) {
-			b.arcs = make([]packedArc, len(arcs))
+			b.arcs = make([]packedArc[V], len(arcs))
 		}
 		b.arcs = b.arcs[:len(arcs)]
 		b.boundG = g
@@ -74,39 +75,73 @@ func (b *MaskBFS) bind(wb *ugraph.WorldBatch) {
 	if b.boundWB != wb || b.boundSeq != wb.FillSeq() {
 		masks := wb.EdgeMasks()
 		for j, a := range g.Arcs() {
-			b.arcs[j] = packedArc{mask: masks[a.ID], to: int32(a.To)}
+			b.arcs[j] = packedArc[V]{mask: masks[a.ID], to: int32(a.To)}
 		}
 		b.boundWB, b.boundSeq = wb, wb.FillSeq()
 	}
 }
 
 // ReachFrom runs one level-synchronous traversal from src across every
-// active lane of wb. It returns the per-vertex reachability masks: bit l of
-// the result's entry v is set iff v is reachable from src in world lane l.
-// The slice is owned by the MaskBFS and overwritten by the next call; bits
-// of inactive lanes are always zero.
+// active lane of wb. It returns the per-vertex reachability masks: lane bit
+// l of the result's entry v is set iff v is reachable from src in world
+// lane l. The slice is owned by the MaskBFS and overwritten by the next
+// call; bits of inactive lanes are always zero.
 //
 // Per-lane hop distances are folded into DepthSums as each (vertex, lane)
 // settles: lane l of vertex v contributes its BFS distance the moment v is
 // first reached in lane l, which is exactly the scalar BFS distance of v in
 // world l. Unreached lanes contribute nothing (reachability masks record
 // which lanes count).
-func (b *MaskBFS) ReachFrom(wb *ugraph.WorldBatch, src int) []uint64 {
+func (b *MaskBFS[V]) ReachFrom(wb *ugraph.WorldBatch[V], src int) []V {
+	off := b.start(wb, src)
+	// The compiler only keeps arrays of length ≤ 1 in registers, so the
+	// generic level loop would bounce each multi-word vector through memory
+	// three times per arc (and even the one-word width pays for per-arc
+	// struct copies). Every width dispatches to a hand-specialized level
+	// loop (maskbfs_wide.go) that holds the frontier words in scalar locals;
+	// each is a transcription of runLevels, the generic reference the
+	// equivalence tests replay (TestMaskBFSSpecializedMatchesGeneric).
+	switch bb := any(b).(type) {
+	case *MaskBFS[ugraph.Vec64]:
+		runLevels64(bb, off)
+	case *MaskBFS[ugraph.Vec128]:
+		runLevels128(bb, off)
+	case *MaskBFS[ugraph.Vec256]:
+		runLevels256(bb, off)
+	default:
+		b.runLevels(off)
+	}
+	return b.reach
+}
+
+// start binds wb and resets the traversal state: reach/depthSum cleared,
+// src seeded in every active lane, the frontier queue holding src. It
+// returns the CSR arc offsets the level loops index arcs with.
+func (b *MaskBFS[V]) start(wb *ugraph.WorldBatch[V], src int) []int32 {
 	b.bind(wb)
-	off := wb.Graph().ArcOffsets()
-	arcs := b.arcs
-	reach, cur, next, depthSum := b.reach, b.cur, b.next, b.depthSum
+	reach := b.reach
+	var zero V
 	for v := range reach {
-		reach[v] = 0
-		depthSum[v] = 0
+		reach[v] = zero
+		b.depthSum[v] = 0
 	}
 	// Invariant between calls: cur and next are all zero (every entry set
 	// during a level is cleared when the level is consumed).
 	active := wb.ActiveMask()
 	reach[src] = active
-	cur[src] = active
-	curQ := append(b.curQ[:0], int32(src))
-	nextQ := b.nextQ[:0]
+	b.cur[src] = active
+	b.curQ = append(b.curQ[:0], int32(src))
+	b.nextQ = b.nextQ[:0]
+	return wb.Graph().ArcOffsets()
+}
+
+// runLevels is the generic level-synchronous expansion loop — the reference
+// semantics every specialized kernel must reproduce bit for bit.
+func (b *MaskBFS[V]) runLevels(off []int32) {
+	arcs := b.arcs
+	reach, cur, next, depthSum := b.reach, b.cur, b.next, b.depthSum
+	var zero V
+	curQ, nextQ := b.curQ, b.nextQ
 	n := len(reach)
 	depth := 0
 	for len(curQ) > 0 {
@@ -126,17 +161,17 @@ func (b *MaskBFS) ReachFrom(wb *ugraph.WorldBatch, src int) []uint64 {
 			for _, ui := range curQ {
 				u := int(ui)
 				fu := cur[u]
-				cur[u] = 0
+				cur[u] = zero
 				for _, a := range arcs[off[u]:off[u+1]] {
 					v := int(a.to)
-					next[v] |= fu & a.mask &^ reach[v]
+					next[v] = ugraph.VecOr(next[v], ugraph.VecFrontier(fu, a.mask, reach[v]))
 				}
 			}
-			for v, newly := range next {
-				if newly != 0 {
-					next[v] = 0
-					reach[v] |= newly
-					depthSum[v] += int64(depth) * int64(bits.OnesCount64(newly))
+			for v := range next {
+				if newly := next[v]; !ugraph.VecIsZero(newly) {
+					next[v] = zero
+					reach[v] = ugraph.VecOr(reach[v], newly)
+					depthSum[v] += int64(depth) * int64(ugraph.VecOnesCount(newly))
 					cur[v] = newly
 					nextQ = append(nextQ, int32(v))
 				}
@@ -145,14 +180,14 @@ func (b *MaskBFS) ReachFrom(wb *ugraph.WorldBatch, src int) []uint64 {
 			for _, ui := range curQ {
 				u := int(ui)
 				fu := cur[u]
-				cur[u] = 0
+				cur[u] = zero
 				for _, a := range arcs[off[u]:off[u+1]] {
 					v := int(a.to)
-					m := fu & a.mask &^ reach[v]
+					m := ugraph.VecFrontier(fu, a.mask, reach[v])
 					prev := next[v]
-					nv := prev | m
+					nv := ugraph.VecOr(prev, m)
 					next[v] = nv
-					if prev == 0 && nv != 0 {
+					if ugraph.VecIsZero(prev) && !ugraph.VecIsZero(nv) {
 						nextQ = append(nextQ, int32(v))
 					}
 				}
@@ -160,36 +195,35 @@ func (b *MaskBFS) ReachFrom(wb *ugraph.WorldBatch, src int) []uint64 {
 			for _, vi := range nextQ {
 				v := int(vi)
 				newly := next[v] // disjoint from reach[v]: masked at insertion
-				next[v] = 0
-				reach[v] |= newly
-				depthSum[v] += int64(depth) * int64(bits.OnesCount64(newly))
+				next[v] = zero
+				reach[v] = ugraph.VecOr(reach[v], newly)
+				depthSum[v] += int64(depth) * int64(ugraph.VecOnesCount(newly))
 				cur[v] = newly
 			}
 		}
 		curQ, nextQ = nextQ, curQ[:0]
 	}
 	b.curQ, b.nextQ = curQ[:0], nextQ[:0]
-	return reach
 }
 
 // DepthSums exposes the per-vertex sums of settle depths over reached lanes
 // computed by the last ReachFrom: entry v is Σ_{l reachable} dist_l(src, v).
 // Together with popcount of the reach mask this yields the conditional mean
 // shortest distance without per-lane extraction. Owned by the MaskBFS.
-func (b *MaskBFS) DepthSums() []int64 { return b.depthSum }
+func (b *MaskBFS[V]) DepthSums() []int64 { return b.depthSum }
 
 // ConnectedLanes reports the mask of lanes whose world connects all
-// vertices of the underlying graph — the 64-world generalization of
+// vertices of the underlying graph — the wide-world generalization of
 // BFS.Connected, computed by one traversal from vertex 0 and an AND-sweep
 // over the reachability masks.
-func (b *MaskBFS) ConnectedLanes(wb *ugraph.WorldBatch) uint64 {
+func (b *MaskBFS[V]) ConnectedLanes(wb *ugraph.WorldBatch[V]) V {
 	if wb.Graph().NumVertices() <= 1 {
 		return wb.ActiveMask()
 	}
 	lanes := wb.ActiveMask()
 	for _, r := range b.ReachFrom(wb, 0) {
-		lanes &= r
-		if lanes == 0 {
+		lanes = ugraph.VecAnd(lanes, r)
+		if ugraph.VecIsZero(lanes) {
 			break
 		}
 	}

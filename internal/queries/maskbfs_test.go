@@ -23,123 +23,133 @@ func randomQueryGraph(rng *rand.Rand, n int, density float64) *ugraph.Graph {
 	return b.Graph()
 }
 
-// TestMaskBFSMatchesScalarBFSPerLane pins the traversal kernel itself:
-// reachability bits and settle-depth sums of a mask-BFS must agree with a
-// scalar BFS run on each extracted lane, for full and ragged batches.
+// checkMaskBFSPerLane pins the traversal kernel at one width: reachability
+// bits and settle-depth sums of a mask-BFS must agree with a scalar BFS run
+// on each extracted lane, for full and ragged batches.
+func checkMaskBFSPerLane[V ugraph.Vec](t *testing.T, rng *rand.Rand, trial int) {
+	t.Helper()
+	g := randomQueryGraph(rng, 8+rng.Intn(30), 0.1+0.2*rng.Float64())
+	lanes := 1 + rng.Intn(ugraph.VecLanes[V]())
+	seeds := make([]int64, lanes)
+	for l := range seeds {
+		seeds[l] = rng.Int63()
+	}
+	wb := ugraph.NewWorldBatch[V](g)
+	ugraph.SampleBatchSeeded(g, seeds, wb)
+	mb := NewMaskBFS[V](g.NumVertices())
+	bfs := NewBFS(g.NumVertices())
+	w := ugraph.NewWorld(g)
+	for src := 0; src < g.NumVertices(); src += 1 + g.NumVertices()/4 {
+		reach := mb.ReachFrom(wb, src)
+		depthSum := mb.DepthSums()
+		wantReach := make([]V, g.NumVertices())
+		wantDepth := make([]int64, g.NumVertices())
+		for l := 0; l < lanes; l++ {
+			wb.ExtractLane(l, w)
+			for v, d := range bfs.Distances(w, src) {
+				if d >= 0 {
+					wantReach[v] = ugraph.VecSetBit(wantReach[v], l)
+					wantDepth[v] += int64(d)
+				}
+			}
+		}
+		for v := range wantReach {
+			if reach[v] != wantReach[v] {
+				t.Fatalf("trial %d src %d vertex %d: reach %v != scalar %v",
+					trial, src, v, reach[v], wantReach[v])
+			}
+			if depthSum[v] != wantDepth[v] {
+				t.Fatalf("trial %d src %d vertex %d: depthSum %d != scalar %d",
+					trial, src, v, depthSum[v], wantDepth[v])
+			}
+		}
+	}
+}
+
 func TestMaskBFSMatchesScalarBFSPerLane(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
-	for trial := 0; trial < 10; trial++ {
-		g := randomQueryGraph(rng, 8+rng.Intn(30), 0.1+0.2*rng.Float64())
-		lanes := 1 + rng.Intn(64)
-		seeds := make([]int64, lanes)
-		for l := range seeds {
-			seeds[l] = rng.Int63()
+	for trial := 0; trial < 8; trial++ {
+		checkMaskBFSPerLane[ugraph.Vec64](t, rng, trial)
+		checkMaskBFSPerLane[ugraph.Vec128](t, rng, trial)
+		checkMaskBFSPerLane[ugraph.Vec256](t, rng, trial)
+	}
+}
+
+func checkConnectedLanes[V ugraph.Vec](t *testing.T, rng *rand.Rand, trial int) {
+	t.Helper()
+	g := randomQueryGraph(rng, 5+rng.Intn(20), 0.3)
+	lanes := 1 + rng.Intn(ugraph.VecLanes[V]())
+	seeds := make([]int64, lanes)
+	for l := range seeds {
+		seeds[l] = rng.Int63()
+	}
+	wb := ugraph.NewWorldBatch[V](g)
+	ugraph.SampleBatchSeeded(g, seeds, wb)
+	got := NewMaskBFS[V](g.NumVertices()).ConnectedLanes(wb)
+	bfs := NewBFS(g.NumVertices())
+	w := ugraph.NewWorld(g)
+	var want V
+	for l := 0; l < lanes; l++ {
+		wb.ExtractLane(l, w)
+		if bfs.Connected(w) {
+			want = ugraph.VecSetBit(want, l)
 		}
-		wb := ugraph.NewWorldBatch(g)
-		g.SampleBatchSeeded(seeds, wb)
-		mb := NewMaskBFS(g.NumVertices())
-		bfs := NewBFS(g.NumVertices())
-		w := ugraph.NewWorld(g)
-		for src := 0; src < g.NumVertices(); src += 1 + g.NumVertices()/4 {
-			reach := mb.ReachFrom(wb, src)
-			depthSum := mb.DepthSums()
-			wantReach := make([]uint64, g.NumVertices())
-			wantDepth := make([]int64, g.NumVertices())
-			for l := 0; l < lanes; l++ {
-				wb.ExtractLane(l, w)
-				for v, d := range bfs.Distances(w, src) {
-					if d >= 0 {
-						wantReach[v] |= 1 << uint(l)
-						wantDepth[v] += int64(d)
-					}
-				}
-			}
-			for v := range wantReach {
-				if reach[v] != wantReach[v] {
-					t.Fatalf("trial %d src %d vertex %d: reach %064b != scalar %064b",
-						trial, src, v, reach[v], wantReach[v])
-				}
-				if depthSum[v] != wantDepth[v] {
-					t.Fatalf("trial %d src %d vertex %d: depthSum %d != scalar %d",
-						trial, src, v, depthSum[v], wantDepth[v])
-				}
-			}
-		}
+	}
+	if got != want {
+		t.Fatalf("trial %d: ConnectedLanes %v != scalar %v", trial, got, want)
 	}
 }
 
 func TestMaskBFSConnectedLanesMatchesScalar(t *testing.T) {
 	rng := rand.New(rand.NewSource(22))
-	for trial := 0; trial < 10; trial++ {
-		g := randomQueryGraph(rng, 5+rng.Intn(20), 0.3)
-		lanes := 1 + rng.Intn(64)
-		seeds := make([]int64, lanes)
-		for l := range seeds {
-			seeds[l] = rng.Int63()
-		}
-		wb := ugraph.NewWorldBatch(g)
-		g.SampleBatchSeeded(seeds, wb)
-		got := NewMaskBFS(g.NumVertices()).ConnectedLanes(wb)
-		bfs := NewBFS(g.NumVertices())
-		w := ugraph.NewWorld(g)
-		var want uint64
-		for l := 0; l < lanes; l++ {
-			wb.ExtractLane(l, w)
-			if bfs.Connected(w) {
-				want |= 1 << uint(l)
-			}
-		}
-		if got != want {
-			t.Fatalf("trial %d: ConnectedLanes %064b != scalar %064b", trial, got, want)
-		}
+	for trial := 0; trial < 8; trial++ {
+		checkConnectedLanes[ugraph.Vec64](t, rng, trial)
+		checkConnectedLanes[ugraph.Vec128](t, rng, trial)
+		checkConnectedLanes[ugraph.Vec256](t, rng, trial)
 	}
 }
 
-func TestMaskBFSZeroSteadyStateAllocs(t *testing.T) {
-	rng := rand.New(rand.NewSource(23))
+func checkMaskBFSAllocs[V ugraph.Vec](t *testing.T, rng *rand.Rand, width string) {
+	t.Helper()
 	g := randomQueryGraph(rng, 50, 0.2)
-	seeds := make([]int64, 64)
+	seeds := make([]int64, ugraph.VecLanes[V]())
 	for l := range seeds {
 		seeds[l] = rng.Int63()
 	}
-	wb := ugraph.NewWorldBatch(g)
-	g.SampleBatchSeeded(seeds, wb)
-	mb := NewMaskBFS(g.NumVertices())
+	wb := ugraph.NewWorldBatch[V](g)
+	ugraph.SampleBatchSeeded(g, seeds, wb)
+	mb := NewMaskBFS[V](g.NumVertices())
 	mb.ReachFrom(wb, 0)
 	for name, fn := range map[string]func(){
 		"ReachFrom":      func() { mb.ReachFrom(wb, 0) },
 		"ConnectedLanes": func() { mb.ConnectedLanes(wb) },
 	} {
 		if allocs := testing.AllocsPerRun(50, fn); allocs != 0 {
-			t.Errorf("%s allocates %.1f per call with a warm MaskBFS, want 0", name, allocs)
+			t.Errorf("%s[%s] allocates %.1f per call with a warm MaskBFS, want 0", name, width, allocs)
 		}
 	}
 }
 
-// TestBatchScalarEquivalence is the engine-level contract of the PR: the
-// mask-BFS batch path and the per-world scalar path must produce
-// bit-identical estimates for Reliability, ShortestDistance and
-// ConnectedProbability on the same seeds, across worker counts and for
-// sample counts not divisible by 64 (ragged final batch).
+func TestMaskBFSZeroSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	checkMaskBFSAllocs[ugraph.Vec64](t, rng, "64")
+	checkMaskBFSAllocs[ugraph.Vec256](t, rng, "256")
+}
+
+// TestBatchScalarEquivalence is the engine-level contract of the PR: every
+// mask-BFS batch width (64, 128, 256 and the auto-planned one) and the
+// per-world scalar path must produce bit-identical estimates for
+// Reliability, ShortestDistance and ConnectedProbability on the same seeds,
+// across worker counts and for sample counts not divisible by the lane
+// width (ragged final batch).
 func TestBatchScalarEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	g := randomQueryGraph(rng, 40, 0.12)
 	pairs := RandomPairs(g.NumVertices(), 25, rng)
 	for _, samples := range []int{1, 50, 64, 100, 130, 257} {
 		for _, workers := range []int{1, 8} {
-			base := mc.Options{Samples: samples, Seed: 77, Workers: workers}
-			scalar := base
-			scalar.Scalar = true
-
-			rlB, err := Reliability(bg(), g, pairs, base)
-			if err != nil {
-				t.Fatal(err)
-			}
+			scalar := mc.Options{Samples: samples, Seed: 77, Workers: workers, Scalar: true}
 			rlS, err := Reliability(bg(), g, pairs, scalar)
-			if err != nil {
-				t.Fatal(err)
-			}
-			spB, rlB2, err := ShortestDistanceAndReliability(bg(), g, pairs, base)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -147,29 +157,41 @@ func TestBatchScalarEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for i := range pairs {
-				if rlB[i] != rlS[i] || rlB2[i] != rlS2[i] {
-					t.Fatalf("samples=%d workers=%d pair %d: RL batch %v/%v != scalar %v/%v",
-						samples, workers, i, rlB[i], rlB2[i], rlS[i], rlS2[i])
-				}
-				spSame := spB[i] == spS[i] || (math.IsNaN(spB[i]) && math.IsNaN(spS[i]))
-				if !spSame {
-					t.Fatalf("samples=%d workers=%d pair %d: SP batch %v != scalar %v",
-						samples, workers, i, spB[i], spS[i])
-				}
-			}
-
-			cpB, err := ConnectedProbability(bg(), g, base)
-			if err != nil {
-				t.Fatal(err)
-			}
 			cpS, err := ConnectedProbability(bg(), g, scalar)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if cpB != cpS {
-				t.Fatalf("samples=%d workers=%d: ConnectedProbability batch %v != scalar %v",
-					samples, workers, cpB, cpS)
+			for _, lanes := range []int{0, 64, 128, 256} {
+				base := mc.Options{Samples: samples, Seed: 77, Workers: workers, Lanes: lanes}
+
+				rlB, err := Reliability(bg(), g, pairs, base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				spB, rlB2, err := ShortestDistanceAndReliability(bg(), g, pairs, base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range pairs {
+					if rlB[i] != rlS[i] || rlB2[i] != rlS2[i] {
+						t.Fatalf("samples=%d workers=%d lanes=%d pair %d: RL batch %v/%v != scalar %v/%v",
+							samples, workers, lanes, i, rlB[i], rlB2[i], rlS[i], rlS2[i])
+					}
+					spSame := spB[i] == spS[i] || (math.IsNaN(spB[i]) && math.IsNaN(spS[i]))
+					if !spSame {
+						t.Fatalf("samples=%d workers=%d lanes=%d pair %d: SP batch %v != scalar %v",
+							samples, workers, lanes, i, spB[i], spS[i])
+					}
+				}
+
+				cpB, err := ConnectedProbability(bg(), g, base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cpB != cpS {
+					t.Fatalf("samples=%d workers=%d lanes=%d: ConnectedProbability batch %v != scalar %v",
+						samples, workers, lanes, cpB, cpS)
+				}
 			}
 		}
 	}
@@ -244,4 +266,48 @@ func TestRandomPairsDistinctEndpoints(t *testing.T) {
 		}
 	}()
 	RandomPairs(1, 1, rng)
+}
+
+// checkSpecializedMatchesGeneric replays the generic runLevels reference on
+// the exact state ReachFrom hands its width-specialized kernel and demands
+// bit-identical reach masks and depth sums. ReachFrom's scalar-local level
+// loops (maskbfs_wide.go) exist purely for speed; any semantic drift from
+// the generic loop is a bug this catches directly, without routing through
+// the scalar-BFS oracle.
+func checkSpecializedMatchesGeneric[V ugraph.Vec](t *testing.T, rng *rand.Rand, trial int) {
+	t.Helper()
+	g := randomQueryGraph(rng, 8+rng.Intn(40), 0.05+0.3*rng.Float64())
+	lanes := 1 + rng.Intn(ugraph.VecLanes[V]())
+	seeds := make([]int64, lanes)
+	for l := range seeds {
+		seeds[l] = rng.Int63()
+	}
+	wb := ugraph.NewWorldBatch[V](g)
+	ugraph.SampleBatchSeeded(g, seeds, wb)
+	fast := NewMaskBFS[V](g.NumVertices())
+	ref := NewMaskBFS[V](g.NumVertices())
+	for src := 0; src < g.NumVertices(); src += 1 + g.NumVertices()/3 {
+		gotReach := fast.ReachFrom(wb, src)
+		off := ref.start(wb, src)
+		ref.runLevels(off)
+		for v := range gotReach {
+			if gotReach[v] != ref.reach[v] {
+				t.Fatalf("trial %d src %d vertex %d: specialized reach %v != generic %v",
+					trial, src, v, gotReach[v], ref.reach[v])
+			}
+			if fast.depthSum[v] != ref.depthSum[v] {
+				t.Fatalf("trial %d src %d vertex %d: specialized depthSum %d != generic %d",
+					trial, src, v, fast.depthSum[v], ref.depthSum[v])
+			}
+		}
+	}
+}
+
+func TestMaskBFSSpecializedMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	for trial := 0; trial < 10; trial++ {
+		checkSpecializedMatchesGeneric[ugraph.Vec64](t, rng, trial)
+		checkSpecializedMatchesGeneric[ugraph.Vec128](t, rng, trial)
+		checkSpecializedMatchesGeneric[ugraph.Vec256](t, rng, trial)
+	}
 }

@@ -1,0 +1,133 @@
+package queries
+
+import (
+	"sync"
+	"time"
+
+	"ugs/internal/ugraph"
+
+	"ugs/internal/mc"
+)
+
+// Kind classifies a query for the execution planner: pair queries
+// (reliability / shortest distance) fan one traversal out over many
+// targets, connectivity sweeps every vertex once, and vector queries
+// (PageRank, clustering) need real-valued per-world state that the
+// bit-parallel engine cannot carry.
+type Kind int
+
+const (
+	// KindPair is an s→t reachability / distance query (RL, SP).
+	KindPair Kind = iota
+	// KindConnectivity is the all-vertices-connected query.
+	KindConnectivity
+	// KindVector is a per-vertex real-valued query (PageRank, clustering
+	// coefficients); always scalar worlds.
+	KindVector
+)
+
+// Planner picks the lane width for estimator runs whose Options leave it to
+// automatic (Lanes: 0). The choice is a pure execution decision — every
+// width returns bit-identical estimates — so the planner optimizes
+// throughput only: vector kinds are forced scalar, tiny budgets skip batch
+// setup, small fixed budgets stay at one machine word, and large budgets go
+// to whichever wide width a one-time per-graph calibration probe measures
+// fastest (wider lanes amortize traversal control flow but touch more
+// bytes per arc, so the winner is a property of the graph's size and
+// structure, not a constant).
+type Planner struct {
+	mu    sync.Mutex
+	plans map[*ugraph.Graph]int
+}
+
+// DefaultPlanner serves every run that does not carry its own planner.
+var DefaultPlanner = &Planner{}
+
+// probeRounds is how many fill+traversal rounds the calibration probe times
+// per width. Two rounds keep the probe under a dozen traversals total while
+// stepping past first-touch cache effects.
+const probeRounds = 2
+
+// planLanes resolves the lane width an estimator run will execute at: the
+// explicit Options choice when one was made (Scalar / Lanes), otherwise the
+// planner's pick for this graph, query kind and sample budget. The result
+// is always one of 1, 64, 128, 256. opts must have passed Validate.
+func planLanes(g *ugraph.Graph, opts mc.Options, kind Kind) int {
+	if kind == KindVector || opts.Scalar || opts.Lanes == 1 {
+		return 1
+	}
+	if opts.Lanes != 0 {
+		return opts.Lanes
+	}
+	samples := opts.WithDefaults().Samples
+	if opts.Target != nil {
+		samples = opts.Target.WithDefaults().MaxSamples
+	}
+	// A batch fill costs one pass over the edge list regardless of how many
+	// lanes are active; a handful of worlds is cheaper drawn scalar.
+	if samples <= 8 {
+		return 1
+	}
+	// One word of lanes already covers the whole budget: wider vectors
+	// would traverse mostly-inactive lanes.
+	if samples <= ugraph.BatchLanes {
+		return ugraph.BatchLanes
+	}
+	return DefaultPlanner.wideLanes(g)
+}
+
+// PlanLanes reports the width planLanes would choose — the introspection
+// hook behind the serve stats and the README decision table.
+func PlanLanes(g *ugraph.Graph, opts mc.Options, kind Kind) int {
+	return planLanes(g, opts, kind)
+}
+
+// wideLanes returns the calibrated wide width (64, 128 or 256) for g,
+// probing on first use and caching per graph.
+func (p *Planner) wideLanes(g *ugraph.Graph) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if lanes, ok := p.plans[g]; ok {
+		return lanes
+	}
+	lanes := calibrate(g)
+	if p.plans == nil {
+		p.plans = map[*ugraph.Graph]int{}
+	}
+	p.plans[g] = lanes
+	return lanes
+}
+
+// calibrate times one fill + one source-0 traversal per width on the actual
+// graph and returns the width with the lowest per-world cost. The probe is
+// a few O(|E|) passes — noise on tiny graphs is harmless because every
+// width gives identical results — and runs once per (planner, graph).
+func calibrate(g *ugraph.Graph) int {
+	best, bestCost := ugraph.BatchLanes, probeWidth[ugraph.Vec64](g)
+	if c := probeWidth[ugraph.Vec128](g); c < bestCost {
+		best, bestCost = 2*ugraph.BatchLanes, c
+	}
+	if c := probeWidth[ugraph.Vec256](g); c < bestCost {
+		best = 4 * ugraph.BatchLanes
+	}
+	return best
+}
+
+// probeWidth measures the per-world cost of the batch engine at width V on
+// g: fill a full batch and traverse it from vertex 0, amortized over the
+// lane count.
+func probeWidth[V ugraph.Vec](g *ugraph.Graph) time.Duration {
+	lanes := ugraph.VecLanes[V]()
+	seeds := make([]int64, lanes)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	wb := ugraph.NewWorldBatch[V](g)
+	bfs := NewMaskBFS[V](g.NumVertices())
+	start := time.Now()
+	for r := 0; r < probeRounds; r++ {
+		ugraph.SampleBatchSeeded(g, seeds, wb)
+		bfs.ReachFrom(wb, 0)
+	}
+	return time.Since(start) / time.Duration(probeRounds*lanes)
+}

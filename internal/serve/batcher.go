@@ -13,9 +13,9 @@ import (
 // samples) form a group; a flight concatenates the group's pending pair
 // lists and evaluates them in ONE ShortestDistanceAndReliability run — one
 // mc.ReduceBatch pass whose WorldBatch fills (and mask-BFS traversals per
-// distinct source) are shared by every rider. The 64-lane amortization of
-// the bit-parallel engine therefore works across requests, not just within
-// one.
+// distinct source) are shared by every rider. The lane amortization of the
+// bit-parallel engine (64, 128 or 256 worlds per traversal) therefore works
+// across requests, not just within one.
 //
 // Merging is exact, not approximate: the engine accumulates each pair's
 // counters independently and folds fixed sample blocks in index order, and
@@ -51,17 +51,22 @@ type Batcher struct {
 type pairRunner func(ctx context.Context, g *ugs.Graph, pairs []ugs.Pair, opts ugs.MCOptions) (sp, rl []float64, err error)
 
 // groupKey identifies queries that may share possible worlds: same resident
-// graph (versioned ID) and same deterministic sample stream. Workers is
-// excluded — it cannot change results.
+// graph (versioned ID), same deterministic sample stream, and same engine
+// width. Workers is excluded — it cannot change results. Lanes cannot
+// either (every width is bit-identical), but it is an explicit execution
+// choice, so requests pinning different widths fly separately rather than
+// silently running at whichever width arrived first.
 type groupKey struct {
 	graph   string
 	seed    int64
 	samples int
+	lanes   int
 }
 
 type batchGroup struct {
 	key     groupKey
 	g       *ugs.Graph
+	opts    ugs.MCOptions
 	pending []*pairReq
 	active  bool
 }
@@ -85,18 +90,22 @@ func NewBatcher(lifetime context.Context, workers int) *Batcher {
 }
 
 // PairQuery evaluates the SP and RL estimates for pairs on g, riding a
-// shared flight when other requests with the same (graphID, seed, samples)
-// are in the system. ctx bounds only this caller's wait: giving up abandons
-// the results but never the flight.
-func (b *Batcher) PairQuery(ctx context.Context, graphID string, g *ugs.Graph, pairs []ugs.Pair, seed int64, samples int) (sp, rl []float64, err error) {
+// shared flight when other requests with the same (graphID, seed, samples,
+// lanes) are in the system. opts carries the fixed-budget engine options
+// (Seed, Samples, Lanes, FillCache/FillID); Workers is overridden by the
+// batcher's own setting and opts.Target must be nil — adaptive runs bypass
+// the batcher, because merging pair lists would move their stopping point.
+// ctx bounds only this caller's wait: giving up abandons the results but
+// never the flight.
+func (b *Batcher) PairQuery(ctx context.Context, graphID string, g *ugs.Graph, pairs []ugs.Pair, opts ugs.MCOptions) (sp, rl []float64, err error) {
 	b.requests.Add(1)
 	req := &pairReq{pairs: pairs, done: make(chan struct{})}
-	key := groupKey{graph: graphID, seed: seed, samples: samples}
+	key := groupKey{graph: graphID, seed: opts.Seed, samples: opts.Samples, lanes: opts.Lanes}
 
 	b.mu.Lock()
 	grp, ok := b.groups[key]
 	if !ok {
-		grp = &batchGroup{key: key, g: g}
+		grp = &batchGroup{key: key, g: g, opts: opts}
 		b.groups[key] = grp
 	}
 	grp.pending = append(grp.pending, req)
@@ -148,7 +157,8 @@ func (b *Batcher) flightLoop(grp *batchGroup) {
 		for _, r := range reqs {
 			merged = append(merged, r.pairs...)
 		}
-		opts := ugs.MCOptions{Seed: grp.key.seed, Samples: grp.key.samples, Workers: b.workers}
+		opts := grp.opts
+		opts.Workers = b.workers
 		sp, rl, err := b.run(b.lifetime, grp.g, merged, opts)
 		off := 0
 		for _, r := range reqs {

@@ -75,7 +75,7 @@ func TestCoalescedMatchesDirect(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sp, rl, err := b.PairQuery(context.Background(), "g@1", g, reqPairs[i], seed, samples)
+			sp, rl, err := b.PairQuery(context.Background(), "g@1", g, reqPairs[i], ugs.MCOptions{Seed: seed, Samples: samples})
 			results[i] = out{sp, rl, err}
 		}()
 	}
@@ -158,7 +158,7 @@ func TestBatcherGroupsBySeedAndSamples(t *testing.T) {
 		wg.Add(1)
 		go func(v variant) {
 			defer wg.Done()
-			sp, rl, err := b.PairQuery(context.Background(), "g@1", g, pairs, v.seed, int(v.samples))
+			sp, rl, err := b.PairQuery(context.Background(), "g@1", g, pairs, ugs.MCOptions{Seed: v.seed, Samples: int(v.samples)})
 			if err != nil {
 				t.Errorf("seed=%d samples=%d: %v", v.seed, v.samples, err)
 				return
@@ -190,13 +190,13 @@ func TestBatcherAbandonedWaiter(t *testing.T) {
 	var leaderErr error
 	go func() {
 		defer wg.Done()
-		_, _, leaderErr = b.PairQuery(context.Background(), "g@1", g, pairs, 1, 64)
+		_, _, leaderErr = b.PairQuery(context.Background(), "g@1", g, pairs, ugs.MCOptions{Seed: 1, Samples: 64})
 	}()
 	<-firstStarted
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, _, err := b.PairQuery(ctx, "g@1", g, pairs, 1, 64); err != context.Canceled {
+	if _, _, err := b.PairQuery(ctx, "g@1", g, pairs, ugs.MCOptions{Seed: 1, Samples: 64}); err != context.Canceled {
 		t.Errorf("abandoned rider: err = %v, want context.Canceled", err)
 	}
 	close(release)

@@ -2,8 +2,10 @@
 // the sparsifier core. It keeps graphs resident in CSR form (Store), caches
 // sparsified results keyed by (graph, alpha, Spec) with singleflight
 // admission (Cache), coalesces concurrent Monte-Carlo queries into shared
-// 64-lane WorldBatch flights (Batcher), and runs long sparsifications as
-// cancellable async jobs with progress polling (Jobs).
+// WorldBatch flights at the planned lane width (Batcher), reuses sampled
+// worlds across requests through a byte-bounded fill-block cache
+// (WorldCache), and runs long sparsifications as cancellable async jobs
+// with progress polling (Jobs).
 package serve
 
 import (
@@ -46,6 +48,17 @@ type Config struct {
 	// ConvertDir holds .ugsb sidecars for converted text graphs and
 	// spilled uploads (default: a temp dir removed on Close).
 	ConvertDir string
+	// Lanes is the default bit-parallel engine width for queries that do
+	// not set "lanes" themselves: 0 = the planner (auto), 1 = the scalar
+	// ablation, 64/128/256 = explicit WorldBatch widths.
+	Lanes int
+	// Confidence, when non-nil, makes queries adaptive by default:
+	// requests without an explicit "confidence" field run sequential
+	// stopping to this target instead of a fixed sample budget.
+	Confidence *Confidence
+	// WorldCacheBytes bounds the cross-request sampled-world cache
+	// (default 64 MiB; negative disables it).
+	WorldCacheBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +70,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSamples == 0 {
 		c.MaxSamples = 20000
+	}
+	if c.WorldCacheBytes == 0 {
+		c.WorldCacheBytes = 64 << 20
 	}
 	return c
 }
@@ -72,8 +88,12 @@ type Server struct {
 	sparse  *Cache[*sparseEntry]
 	queries *Cache[*queryEntry]
 	batcher *Batcher
-	jobs    *Jobs
-	mux     *http.ServeMux
+	// worlds is the cross-request sampled-world cache (nil when disabled):
+	// every batch-engine query hands it to the Monte-Carlo options, so
+	// fills are shared across kinds, widths and requests.
+	worlds *WorldCache
+	jobs   *Jobs
+	mux    *http.ServeMux
 
 	// computes counts sparsifier runs actually executed: the cache-hit
 	// path must leave it untouched (asserted by tests).
@@ -88,6 +108,8 @@ type sparseEntry struct {
 type queryEntry struct {
 	sp, rl    []float64
 	connected float64
+	values    []float64 // per-vertex results (pagerank, clustering)
+	info      ugs.MCRunInfo
 }
 
 // New builds a Server. base bounds every background computation (flights,
@@ -102,6 +124,9 @@ func New(base context.Context, cfg Config) (*Server, error) {
 		queries: NewCache[*queryEntry](cfg.QueryCacheSize),
 		batcher: NewBatcher(base, cfg.Workers),
 		jobs:    NewJobs(base),
+	}
+	if cfg.WorldCacheBytes > 0 {
+		s.worlds = NewWorldCache(cfg.WorldCacheBytes)
 	}
 	if cfg.GraphDir != "" {
 		if _, err := s.store.LoadDir(cfg.GraphDir); err != nil {
@@ -315,27 +340,52 @@ func (s *Server) handleDownloadSparse(w http.ResponseWriter, r *http.Request) {
 
 // ------------------------------------------------------------------ query
 
+// Confidence is an adaptive sequential-stopping request: sample until the
+// normal-approximation confidence interval of every tracked estimate has
+// half-width at most Eps at confidence 1−Delta (Delta 0 means the default
+// 0.05). The server caps the adaptive budget at Config.MaxSamples.
+type Confidence struct {
+	Eps   float64 `json:"eps"`
+	Delta float64 `json:"delta,omitempty"`
+}
+
 // QueryRequest evaluates a Monte-Carlo query on a resident graph (a store
 // name or a sparsified-result ID).
 type QueryRequest struct {
 	Graph string `json:"graph"`
-	// Kind is "reliability", "distance", or "connected".
+	// Kind is "reliability", "distance", "connected", "pagerank" or
+	// "clustering".
 	Kind  string   `json:"kind"`
 	Pairs [][2]int `json:"pairs,omitempty"`
-	// Samples is the Monte-Carlo sample count (default 500).
+	// Samples is the fixed Monte-Carlo sample count (default 500).
+	// Mutually exclusive with Confidence.
 	Samples int   `json:"samples,omitempty"`
 	Seed    int64 `json:"seed,omitempty"`
+	// Lanes selects the engine width: "auto" (the planner), "1" (the
+	// scalar ablation), "64", "128" or "256". Empty uses the server
+	// default. The width is an execution choice only — estimates are
+	// bit-identical across all of them.
+	Lanes string `json:"lanes,omitempty"`
+	// Confidence switches reliability/distance/connected queries from the
+	// fixed Samples budget to sequential stopping. Not supported for the
+	// per-vertex kinds (pagerank, clustering), which run scalar worlds.
+	Confidence *Confidence `json:"confidence,omitempty"`
 }
 
-// QueryResponse carries per-pair estimates (reliability, distance) or the
-// scalar connectivity probability. Distance entries are null for pairs never
-// connected in any sampled world.
+// QueryResponse carries per-pair estimates (reliability, distance),
+// per-vertex estimates (pagerank, clustering) or the scalar connectivity
+// probability. Distance entries are null for pairs never connected in any
+// sampled world. Samples is the count actually drawn — for adaptive runs
+// the stopped total, with Rounds and Converged reporting the schedule.
 type QueryResponse struct {
-	Kind    string     `json:"kind"`
-	Values  []*float64 `json:"values,omitempty"`
-	Value   *float64   `json:"value,omitempty"`
-	Samples int        `json:"samples"`
-	Cached  bool       `json:"cached"`
+	Kind      string     `json:"kind"`
+	Values    []*float64 `json:"values,omitempty"`
+	Value     *float64   `json:"value,omitempty"`
+	Samples   int        `json:"samples"`
+	Lanes     string     `json:"lanes,omitempty"`
+	Rounds    int        `json:"rounds,omitempty"`
+	Converged *bool      `json:"converged,omitempty"`
+	Cached    bool       `json:"cached"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -353,24 +403,64 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	if req.Samples == 0 {
-		req.Samples = 500
+
+	lanes := s.cfg.Lanes
+	if req.Lanes != "" {
+		if lanes, err = ugs.ParseLanes(req.Lanes); err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
 	}
-	if req.Samples < 1 || req.Samples > s.cfg.MaxSamples {
-		writeErr(w, http.StatusBadRequest, fmt.Sprintf("samples %d outside [1, %d]", req.Samples, s.cfg.MaxSamples))
+	conf := req.Confidence
+	if conf == nil {
+		conf = s.cfg.Confidence
+	}
+	opts := ugs.MCOptions{Seed: req.Seed, Workers: s.cfg.Workers, Lanes: lanes}
+	if conf != nil {
+		if req.Samples != 0 {
+			writeErr(w, http.StatusBadRequest, "samples and confidence are mutually exclusive (confidence decides the budget)")
+			return
+		}
+		target := ugs.WithConfidence(conf.Eps, conf.Delta)
+		// The server's sample cap bounds the adaptive budget too; keep
+		// the schedule legal when the cap is below the default MinSamples.
+		target.MaxSamples = s.cfg.MaxSamples
+		if target.MinSamples == 0 && s.cfg.MaxSamples < 128 {
+			target.MinSamples = s.cfg.MaxSamples
+		}
+		opts.Target = target
+	} else {
+		if req.Samples == 0 {
+			req.Samples = 500
+		}
+		if req.Samples < 1 || req.Samples > s.cfg.MaxSamples {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("samples %d outside [1, %d]", req.Samples, s.cfg.MaxSamples))
+			return
+		}
+		opts.Samples = req.Samples
+	}
+	if s.worlds != nil {
+		opts.FillCache = s.worlds
+		opts.FillID = gid
+	}
+	if err := opts.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
+
 	switch req.Kind {
 	case "reliability", "distance":
-		s.handlePairQuery(w, r, &req, g, gid)
+		s.handlePairQuery(w, r, &req, g, gid, opts)
 	case "connected":
-		s.handleConnectedQuery(w, r, &req, g, gid)
+		s.handleConnectedQuery(w, r, &req, g, gid, opts)
+	case "pagerank", "clustering":
+		s.handleVectorQuery(w, r, &req, g, gid, opts)
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown kind %q (want reliability, distance or connected)", req.Kind))
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown kind %q (want reliability, distance, connected, pagerank or clustering)", req.Kind))
 	}
 }
 
-func (s *Server) handlePairQuery(w http.ResponseWriter, r *http.Request, req *QueryRequest, g *ugs.Graph, gid string) {
+func (s *Server) handlePairQuery(w http.ResponseWriter, r *http.Request, req *QueryRequest, g *ugs.Graph, gid string, opts ugs.MCOptions) {
 	if len(req.Pairs) == 0 {
 		writeErr(w, http.StatusBadRequest, "pairs required for reliability/distance queries")
 		return
@@ -386,16 +476,28 @@ func (s *Server) handlePairQuery(w http.ResponseWriter, r *http.Request, req *Qu
 	// Reliability and distance come from the same merged SP+RL pass, so
 	// they share one kind-agnostic cache entry (and, on a miss, one
 	// coalesced flight).
-	key := pairQueryKey(gid, req.Seed, req.Samples, pairs)
+	key := pairQueryKey(gid, opts, pairs)
 	entry, cached, err := s.queries.Do(r.Context(), key, func() (*queryEntry, error) {
 		// The flight wait runs under the server context, not the
 		// request's: the compute owner's disconnect must not fail the
 		// coalesced waiters sharing this cache flight (Cache.Do contract).
-		sp, rl, err := s.batcher.PairQuery(s.base, gid, g, pairs, req.Seed, req.Samples)
+		if opts.Target != nil {
+			// Adaptive runs bypass the batcher: the stopping decision
+			// depends on every tracked pair, so merging this request's
+			// pairs with a stranger's would move its stopping point and
+			// break the bit-identical-to-direct-call contract. The world
+			// cache still shares the underlying fills.
+			sp, rl, info, err := ugs.ShortestDistanceAndReliabilityRun(s.base, g, pairs, opts)
+			if err != nil {
+				return nil, err
+			}
+			return &queryEntry{sp: sp, rl: rl, info: info}, nil
+		}
+		sp, rl, err := s.batcher.PairQuery(s.base, gid, g, pairs, opts)
 		if err != nil {
 			return nil, err
 		}
-		return &queryEntry{sp: sp, rl: rl}, nil
+		return &queryEntry{sp: sp, rl: rl, info: ugs.MCRunInfo{Samples: opts.Samples, Rounds: 1, Converged: true}}, nil
 	})
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err.Error())
@@ -412,33 +514,104 @@ func (s *Server) handlePairQuery(w http.ResponseWriter, r *http.Request, req *Qu
 			values[i] = &v
 		}
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{Kind: req.Kind, Values: values, Samples: req.Samples, Cached: cached})
+	writeJSON(w, http.StatusOK, queryResponse(req.Kind, opts, entry, cached, QueryResponse{Values: values}))
 }
 
-func (s *Server) handleConnectedQuery(w http.ResponseWriter, r *http.Request, req *QueryRequest, g *ugs.Graph, gid string) {
+func (s *Server) handleConnectedQuery(w http.ResponseWriter, r *http.Request, req *QueryRequest, g *ugs.Graph, gid string, opts ugs.MCOptions) {
 	if len(req.Pairs) != 0 {
 		writeErr(w, http.StatusBadRequest, "connected queries take no pairs")
 		return
 	}
-	key := fmt.Sprintf("cn|%s|s=%d|n=%d", gid, req.Seed, req.Samples)
+	key := "cn|" + scalarQueryKey(gid, opts)
 	entry, cached, err := s.queries.Do(r.Context(), key, func() (*queryEntry, error) {
-		p, err := ugs.ConnectedProbability(s.base, g, ugs.MCOptions{Seed: req.Seed, Samples: req.Samples, Workers: s.cfg.Workers})
+		p, info, err := ugs.ConnectedProbabilityRun(s.base, g, opts)
 		if err != nil {
 			return nil, err
 		}
-		return &queryEntry{connected: p}, nil
+		return &queryEntry{connected: p, info: info}, nil
 	})
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	v := entry.connected
-	writeJSON(w, http.StatusOK, QueryResponse{Kind: req.Kind, Value: &v, Samples: req.Samples, Cached: cached})
+	writeJSON(w, http.StatusOK, queryResponse(req.Kind, opts, entry, cached, QueryResponse{Value: &v}))
+}
+
+// handleVectorQuery serves the per-vertex kinds (pagerank, clustering).
+// Vector queries run scalar worlds — the planner never routes them to the
+// batch engine — and have no per-estimate CI, so confidence targets are
+// rejected rather than silently ignored.
+func (s *Server) handleVectorQuery(w http.ResponseWriter, r *http.Request, req *QueryRequest, g *ugs.Graph, gid string, opts ugs.MCOptions) {
+	if len(req.Pairs) != 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("%s queries take no pairs", req.Kind))
+		return
+	}
+	if opts.Target != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("confidence is not supported for %s queries (per-vertex estimates run scalar worlds)", req.Kind))
+		return
+	}
+	key := req.Kind + "|" + scalarQueryKey(gid, opts)
+	entry, cached, err := s.queries.Do(r.Context(), key, func() (*queryEntry, error) {
+		var (
+			values []float64
+			err    error
+		)
+		if req.Kind == "pagerank" {
+			values, err = ugs.ExpectedPageRank(s.base, g, opts, ugs.PageRankOptions{})
+		} else {
+			values, err = ugs.ExpectedClusteringCoefficients(s.base, g, opts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &queryEntry{values: values, info: ugs.MCRunInfo{Samples: opts.Samples, Rounds: 1, Converged: true}}, nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	values := make([]*float64, len(entry.values))
+	for i, v := range entry.values {
+		v := v
+		values[i] = &v
+	}
+	writeJSON(w, http.StatusOK, queryResponse(req.Kind, opts, entry, cached, QueryResponse{Values: values}))
+}
+
+// queryResponse fills the run-report fields shared by every query kind.
+// Lanes echoes the requested execution width (an ablation knob, not part
+// of the result); Converged is only meaningful for adaptive runs.
+func queryResponse(kind string, opts ugs.MCOptions, entry *queryEntry, cached bool, resp QueryResponse) QueryResponse {
+	resp.Kind = kind
+	resp.Samples = entry.info.Samples
+	resp.Lanes = ugs.FormatLanes(opts.Lanes)
+	resp.Cached = cached
+	if opts.Target != nil {
+		resp.Rounds = entry.info.Rounds
+		converged := entry.info.Converged
+		resp.Converged = &converged
+	}
+	return resp
+}
+
+// scalarQueryKey is the cache identity of a pair-free query: the versioned
+// graph, the sample stream, and — for adaptive runs — the stopping target
+// (which changes the drawn sample count, hence the estimate). Lanes and
+// Workers are deliberately excluded: every width is bit-identical, so a
+// cached result is valid for all of them.
+func scalarQueryKey(gid string, opts ugs.MCOptions) string {
+	key := fmt.Sprintf("%s|s=%d|n=%d", gid, opts.Seed, opts.Samples)
+	if t := opts.Target; t != nil {
+		key += fmt.Sprintf("|eps=%g,delta=%g,max=%d", t.Eps, t.Delta, t.MaxSamples)
+	}
+	return key
 }
 
 // pairQueryKey hashes the pair list so repeat queries with identical pair
-// sets hit the cache regardless of length.
-func pairQueryKey(gid string, seed int64, samples int, pairs []ugs.Pair) string {
+// sets hit the cache regardless of length. Like scalarQueryKey it includes
+// the adaptive target but not the lane width.
+func pairQueryKey(gid string, opts ugs.MCOptions, pairs []ugs.Pair) string {
 	h := sha256.New()
 	var buf [16]byte
 	for _, p := range pairs {
@@ -446,7 +619,7 @@ func pairQueryKey(gid string, seed int64, samples int, pairs []ugs.Pair) string 
 		binary.LittleEndian.PutUint64(buf[8:16], uint64(p.T))
 		h.Write(buf[:])
 	}
-	return fmt.Sprintf("pq|%s|s=%d|n=%d|%x", gid, seed, samples, h.Sum(nil)[:16])
+	return fmt.Sprintf("pq|%s|%x", scalarQueryKey(gid, opts), h.Sum(nil)[:16])
 }
 
 // ------------------------------------------------------------------- jobs
@@ -535,6 +708,7 @@ type StatsResponse struct {
 	SparsifyCache CacheStats       `json:"sparsify_cache"`
 	QueryCache    CacheStats       `json:"query_cache"`
 	Batcher       BatcherStats     `json:"batcher"`
+	WorldCache    WorldCacheStats  `json:"world_cache"`
 	Jobs          map[JobState]int `json:"jobs"`
 }
 
@@ -543,6 +717,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, st := range s.jobs.List() {
 		jobs[st.State]++
 	}
+	var worlds WorldCacheStats
+	if s.worlds != nil {
+		worlds = s.worlds.Stats()
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Graphs:        s.store.Len(),
 		Computes:      s.computes.Load(),
@@ -550,6 +728,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SparsifyCache: s.sparse.Stats(),
 		QueryCache:    s.queries.Stats(),
 		Batcher:       s.batcher.Stats(),
+		WorldCache:    worlds,
 		Jobs:          jobs,
 	})
 }

@@ -341,9 +341,10 @@ func TestConcurrentLoadSmoke(t *testing.T) {
 
 	const workers = 16
 	var (
-		mu       sync.Mutex
-		rlSeen   = make(map[int64][]*float64) // seed → first observed values
-		raceFail bool
+		mu           sync.Mutex
+		rlSeen       = make(map[int64][]*float64) // seed → first observed values
+		adaptiveSeen = make(map[int64][]*float64)
+		raceFail     bool
 	)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -378,6 +379,33 @@ func TestConcurrentLoadSmoke(t *testing.T) {
 				mu.Unlock()
 				var conn QueryResponse
 				if err := post("/v1/query", map[string]any{"graph": "g", "kind": "connected", "samples": 64, "seed": seed}, &conn); err != nil {
+					t.Error(err)
+					return
+				}
+				// Adaptive and per-vertex queries exercise the planner
+				// calibration probe and the world-cache under concurrency;
+				// adaptive results must be as deterministic as fixed ones.
+				var adp QueryResponse
+				err = post("/v1/query", map[string]any{
+					"graph": "g", "kind": "reliability", "pairs": reqPairs, "seed": seed,
+					"confidence": map[string]any{"eps": 0.1},
+				}, &adp)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if prev, ok := adaptiveSeen[seed]; !ok {
+					adaptiveSeen[seed] = adp.Values
+				} else {
+					for j := range prev {
+						if *prev[j] != *adp.Values[j] {
+							raceFail = true
+						}
+					}
+				}
+				mu.Unlock()
+				if err := post("/v1/query", map[string]any{"graph": "g", "kind": "pagerank", "samples": 24, "seed": seed}, nil); err != nil {
 					t.Error(err)
 					return
 				}
@@ -422,5 +450,201 @@ func TestServerShutdownCancelsFlights(t *testing.T) {
 	}
 	if !s.DrainJobs(time.Second) {
 		t.Error("jobs did not drain")
+	}
+}
+
+// TestQueryPageRankAndClustering: the per-vertex kinds must match the
+// direct library calls bit-for-bit, cache on repeat, and reject the knobs
+// that make no sense for vector queries (pairs, confidence).
+func TestQueryPageRankAndClustering(t *testing.T) {
+	s, g := newTestServer(t, Config{})
+
+	directPR, err := ugs.ExpectedPageRank(context.Background(), g,
+		ugs.MCOptions{Seed: 9, Samples: 40}, ugs.PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	directCC, err := ugs.ExpectedClusteringCoefficients(context.Background(), g,
+		ugs.MCOptions{Seed: 9, Samples: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for kind, direct := range map[string][]float64{"pagerank": directPR, "clustering": directCC} {
+		var resp QueryResponse
+		body := map[string]any{"graph": "g", "kind": kind, "samples": 40, "seed": 9}
+		if w := do(t, s, "POST", "/v1/query", body, &resp); w.Code != 200 {
+			t.Fatalf("%s: %d %s", kind, w.Code, w.Body.String())
+		}
+		if len(resp.Values) != g.NumVertices() || resp.Samples != 40 || resp.Cached {
+			t.Fatalf("%s shape: %d values samples=%d cached=%v", kind, len(resp.Values), resp.Samples, resp.Cached)
+		}
+		for v, got := range resp.Values {
+			if got == nil || *got != direct[v] {
+				t.Fatalf("%s[%d] = %v, direct %v", kind, v, got, direct[v])
+			}
+		}
+		var again QueryResponse
+		if w := do(t, s, "POST", "/v1/query", body, &again); w.Code != 200 || !again.Cached {
+			t.Errorf("%s repeat: %d cached=%v, want cache hit", kind, w.Code, again.Cached)
+		}
+
+		bad := map[string]any{"graph": "g", "kind": kind, "pairs": [][2]int{{0, 1}}}
+		if w := do(t, s, "POST", "/v1/query", bad, nil); w.Code != 400 {
+			t.Errorf("%s with pairs: %d, want 400", kind, w.Code)
+		}
+		bad = map[string]any{"graph": "g", "kind": kind, "confidence": map[string]any{"eps": 0.05}}
+		if w := do(t, s, "POST", "/v1/query", bad, nil); w.Code != 400 {
+			t.Errorf("%s with confidence: %d, want 400", kind, w.Code)
+		}
+	}
+}
+
+// TestQueryLanesAreBitIdentical: explicit widths are execution knobs only —
+// every lanes value returns the same estimates, and results are served
+// from the shared width-agnostic cache entry.
+func TestQueryLanesAreBitIdentical(t *testing.T) {
+	s, g := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(7))
+	pairs := ugs.RandomPairs(g.NumVertices(), 4, rng)
+	reqPairs := make([][2]int, len(pairs))
+	for i, p := range pairs {
+		reqPairs[i] = [2]int{p.S, p.T}
+	}
+
+	var ref QueryResponse
+	base := map[string]any{"graph": "g", "kind": "reliability", "pairs": reqPairs, "samples": 192, "seed": 3}
+	if w := do(t, s, "POST", "/v1/query", base, &ref); w.Code != 200 {
+		t.Fatalf("base query: %d %s", w.Code, w.Body.String())
+	}
+	for _, lanes := range []string{"auto", "1", "64", "128", "256"} {
+		body := map[string]any{"graph": "g", "kind": "reliability", "pairs": reqPairs, "samples": 192, "seed": 3, "lanes": lanes}
+		var resp QueryResponse
+		if w := do(t, s, "POST", "/v1/query", body, &resp); w.Code != 200 {
+			t.Fatalf("lanes=%s: %d %s", lanes, w.Code, w.Body.String())
+		}
+		if resp.Lanes != lanes {
+			t.Errorf("lanes=%s echoed as %q", lanes, resp.Lanes)
+		}
+		if !resp.Cached {
+			t.Errorf("lanes=%s: re-ran a width-agnostic cached query", lanes)
+		}
+		for i := range ref.Values {
+			if *resp.Values[i] != *ref.Values[i] {
+				t.Errorf("lanes=%s pair %d: %v != %v", lanes, i, *resp.Values[i], *ref.Values[i])
+			}
+		}
+	}
+	bad := map[string]any{"graph": "g", "kind": "reliability", "pairs": reqPairs, "lanes": "97"}
+	if w := do(t, s, "POST", "/v1/query", bad, nil); w.Code != 400 {
+		t.Errorf("lanes=97: %d, want 400", w.Code)
+	}
+	bad = map[string]any{"graph": "g", "kind": "connected", "lanes": "1", "confidence": map[string]any{"eps": 0.05}}
+	if w := do(t, s, "POST", "/v1/query", bad, nil); w.Code != 400 {
+		t.Errorf("scalar lanes + confidence: %d, want 400", w.Code)
+	}
+}
+
+// TestQueryConfidenceAdaptive: adaptive requests bypass the batcher and
+// must match a direct adaptive library call exactly — same estimates, same
+// stopped sample count — and report their run shape.
+func TestQueryConfidenceAdaptive(t *testing.T) {
+	s, g := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(11))
+	pairs := ugs.RandomPairs(g.NumVertices(), 3, rng)
+	reqPairs := make([][2]int, len(pairs))
+	for i, p := range pairs {
+		reqPairs[i] = [2]int{p.S, p.T}
+	}
+
+	target := ugs.WithConfidence(0.05, 0)
+	target.MaxSamples = s.cfg.MaxSamples // what the server itself applies
+	_, directRL, directInfo, err := ugs.ShortestDistanceAndReliabilityRun(
+		context.Background(), g, pairs, ugs.MCOptions{Seed: 21, Target: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body := map[string]any{"graph": "g", "kind": "reliability", "pairs": reqPairs, "seed": 21,
+		"confidence": map[string]any{"eps": 0.05}}
+	var resp QueryResponse
+	if w := do(t, s, "POST", "/v1/query", body, &resp); w.Code != 200 {
+		t.Fatalf("adaptive query: %d %s", w.Code, w.Body.String())
+	}
+	if resp.Samples != directInfo.Samples || resp.Rounds != directInfo.Rounds {
+		t.Errorf("run shape: samples=%d rounds=%d, direct %+v", resp.Samples, resp.Rounds, directInfo)
+	}
+	if resp.Converged == nil || *resp.Converged != directInfo.Converged {
+		t.Errorf("converged = %v, direct %v", resp.Converged, directInfo.Converged)
+	}
+	for i := range pairs {
+		if *resp.Values[i] != directRL[i] {
+			t.Errorf("adaptive RL[%d] = %v, direct %v", i, *resp.Values[i], directRL[i])
+		}
+	}
+	var again QueryResponse
+	if w := do(t, s, "POST", "/v1/query", body, &again); w.Code != 200 || !again.Cached {
+		t.Errorf("adaptive repeat: %d cached=%v, want cache hit", w.Code, again.Cached)
+	}
+
+	// Adaptive connectivity, same contract.
+	cDirect, cInfo, err := ugs.ConnectedProbabilityRun(context.Background(), g,
+		ugs.MCOptions{Seed: 4, Target: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conn QueryResponse
+	cBody := map[string]any{"graph": "g", "kind": "connected", "seed": 4,
+		"confidence": map[string]any{"eps": 0.05}}
+	if w := do(t, s, "POST", "/v1/query", cBody, &conn); w.Code != 200 {
+		t.Fatalf("adaptive connected: %d %s", w.Code, w.Body.String())
+	}
+	if conn.Value == nil || *conn.Value != cDirect || conn.Samples != cInfo.Samples {
+		t.Errorf("adaptive connected: %+v, direct %v %+v", conn, cDirect, cInfo)
+	}
+
+	// samples + confidence is nonsense: the target decides the budget.
+	bad := map[string]any{"graph": "g", "kind": "connected", "samples": 100,
+		"confidence": map[string]any{"eps": 0.05}}
+	if w := do(t, s, "POST", "/v1/query", bad, nil); w.Code != 400 {
+		t.Errorf("samples+confidence: %d, want 400", w.Code)
+	}
+	bad = map[string]any{"graph": "g", "kind": "connected", "confidence": map[string]any{"eps": 2.0}}
+	if w := do(t, s, "POST", "/v1/query", bad, nil); w.Code != 400 {
+		t.Errorf("eps=2: %d, want 400", w.Code)
+	}
+}
+
+// TestQueryWorldCacheShared: mixed query kinds over the same (graph, seed)
+// stream share sampled worlds — the second kind's fills must be cache hits,
+// visible in /v1/stats.
+func TestQueryWorldCacheShared(t *testing.T) {
+	s, g := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(13))
+	pairs := ugs.RandomPairs(g.NumVertices(), 3, rng)
+	reqPairs := make([][2]int, len(pairs))
+	for i, p := range pairs {
+		reqPairs[i] = [2]int{p.S, p.T}
+	}
+
+	if w := do(t, s, "POST", "/v1/query",
+		map[string]any{"graph": "g", "kind": "reliability", "pairs": reqPairs, "samples": 256, "seed": 8}, nil); w.Code != 200 {
+		t.Fatalf("reliability: %d", w.Code)
+	}
+	var st StatsResponse
+	do(t, s, "GET", "/v1/stats", nil, &st)
+	if st.WorldCache.Misses != 4 || st.WorldCache.Entries != 4 {
+		t.Fatalf("after one 256-sample run: %+v, want 4 filled blocks", st.WorldCache)
+	}
+	// Different kind, same stream: all four blocks come from the cache.
+	if w := do(t, s, "POST", "/v1/query",
+		map[string]any{"graph": "g", "kind": "connected", "samples": 256, "seed": 8}, nil); w.Code != 200 {
+		t.Fatalf("connected: %d", w.Code)
+	}
+	do(t, s, "GET", "/v1/stats", nil, &st)
+	if st.WorldCache.Misses != 4 {
+		t.Errorf("connectivity re-sampled worlds: %+v", st.WorldCache)
+	}
+	if st.WorldCache.Hits < 4 {
+		t.Errorf("cross-kind reuse hits = %d, want ≥ 4", st.WorldCache.Hits)
 	}
 }

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"ugs"
+)
+
+func bgCtx() context.Context { return context.Background() }
+
+func block(v uint64, n int) []uint64 {
+	b := make([]uint64, n)
+	for i := range b {
+		b[i] = v
+	}
+	return b
+}
+
+func TestWorldCacheHitsAndLRUEviction(t *testing.T) {
+	// Budget for exactly two 4-word blocks (32 bytes each).
+	c := NewWorldCache(64)
+	key := func(i int) ugs.FillKey { return ugs.FillKey{Graph: "g@1", Seed: 7, Block: i} }
+	fills := 0
+	get := func(i int) []uint64 {
+		return c.GetOrFill(key(i), func() []uint64 { fills++; return block(uint64(i), 4) })
+	}
+
+	a := get(0)
+	if got := get(0); &got[0] != &a[0] || fills != 1 {
+		t.Fatalf("repeat GetOrFill refilled (fills=%d) or returned a copy", fills)
+	}
+	get(1) // cache now holds {0, 1}, 0 least recent after...
+	get(0) // ...this touch makes 1 the LRU victim
+	get(2) // evicts 1
+	fills = 0
+	get(0) // still cached
+	get(2) // still cached
+	if fills != 0 {
+		t.Fatalf("resident blocks were refilled %d times", fills)
+	}
+	get(1) // evicted earlier: must refill
+	if fills != 1 {
+		t.Fatalf("evicted block not refilled (fills=%d)", fills)
+	}
+
+	st := c.Stats()
+	if st.Entries != 2 || st.Bytes != 64 || st.Evictions < 2 {
+		t.Errorf("stats after eviction churn: %+v", st)
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("counters not advancing: %+v", st)
+	}
+}
+
+func TestWorldCacheOverBudgetBlockServedUncached(t *testing.T) {
+	c := NewWorldCache(16) // two words of budget
+	got := c.GetOrFill(ugs.FillKey{Graph: "g@1"}, func() []uint64 { return block(9, 8) })
+	if len(got) != 8 || got[0] != 9 {
+		t.Fatalf("oversized block mangled: %v", got)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("oversized block was cached: %+v", st)
+	}
+}
+
+// TestWorldCacheConcurrent hammers overlapping keys from many goroutines
+// (the -race half of the contract): every returned slice must carry the
+// deterministic content of its key, no matter who filled it.
+func TestWorldCacheConcurrent(t *testing.T) {
+	c := NewWorldCache(1 << 12)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := ugs.FillKey{Graph: "g@1", Seed: int64(w % 2), Block: i % 17}
+				want := uint64(k.Seed)<<32 | uint64(k.Block)
+				got := c.GetOrFill(k, func() []uint64 { return block(want, 8) })
+				for _, v := range got {
+					if v != want {
+						t.Errorf("key %+v returned block of %x, want %x", k, v, want)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Hits == 0 {
+		t.Errorf("concurrent churn produced no hits: %+v", st)
+	}
+}
+
+// TestWorldCacheEndToEndBitIdentical is the integration contract: the same
+// estimator with and without the serve world cache must agree bit-for-bit,
+// and a second run over the same (graph, seed) stream must hit the cache.
+func TestWorldCacheEndToEndBitIdentical(t *testing.T) {
+	g := ugs.TwitterLike(70, 5)
+	pairs := []ugs.Pair{{S: 0, T: 40}, {S: 3, T: 9}}
+	c := NewWorldCache(1 << 20)
+	plain := ugs.MCOptions{Seed: 5, Samples: 320}
+	cachedOpts := plain
+	cachedOpts.FillCache, cachedOpts.FillID = c, "g@1"
+
+	spP, rlP, err := ugs.ShortestDistanceAndReliability(bgCtx(), g, pairs, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spC, rlC, err := ugs.ShortestDistanceAndReliability(bgCtx(), g, pairs, cachedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameFloats(spP, spC) || !sameFloats(rlP, rlC) {
+		t.Fatalf("cached run differs from plain run:\nSP %v vs %v\nRL %v vs %v", spC, spP, rlC, rlP)
+	}
+	misses := c.Stats().Misses
+	if misses == 0 {
+		t.Fatal("first cached run filled nothing")
+	}
+	// A different query kind over the same stream reuses the worlds.
+	if _, err := ugs.ConnectedProbability(bgCtx(), g, cachedOpts); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Misses != misses {
+		t.Errorf("connectivity re-sampled %d blocks the reliability run already filled", st.Misses-misses)
+	}
+	if st.Hits == 0 {
+		t.Error("cross-kind reuse produced no hits")
+	}
+}

@@ -181,7 +181,7 @@ func TestBinaryRoundTripSampling(t *testing.T) {
 	for i := range seeds {
 		seeds[i] = int64(i) * 7
 	}
-	bg, bm := NewWorldBatch(g), NewWorldBatch(m)
+	bg, bm := NewWorldBatch[Vec64](g), NewWorldBatch[Vec64](m)
 	g.SampleBatchSeeded(seeds, bg)
 	m.SampleBatchSeeded(seeds, bm)
 	for id := 0; id < g.NumEdges(); id++ {

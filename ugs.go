@@ -66,20 +66,59 @@ type (
 	Builder = ugraph.Builder
 	// World is one sampled deterministic materialization of a Graph.
 	World = ugraph.World
-	// WorldBatch holds up to 64 sampled worlds in lane-transposed form
-	// (one lane mask per edge), the representation behind the bit-parallel
-	// query engine. Fill it with Graph.SampleBatchSeeded.
-	WorldBatch = ugraph.WorldBatch
+	// Vec is the word-vector constraint of the variable-width bit-parallel
+	// engine: Vec64, Vec128 and Vec256 carry 64, 128 and 256 world lanes.
+	Vec = ugraph.Vec
+	// Vec64 is the one-word, 64-lane vector.
+	Vec64 = ugraph.Vec64
+	// Vec128 is the two-word, 128-lane vector.
+	Vec128 = ugraph.Vec128
+	// Vec256 is the four-word, 256-lane vector.
+	Vec256 = ugraph.Vec256
+	// WorldBatch holds up to VecLanes[V] sampled worlds in lane-transposed
+	// form (one lane mask per edge), the representation behind the
+	// bit-parallel query engine. Fill it with SampleWorldBatch (or
+	// Graph.SampleBatchSeeded at the 64-lane width).
+	WorldBatch[V Vec] = ugraph.WorldBatch[V]
 	// MaskBFS is the reusable bit-parallel traversal over a WorldBatch:
-	// one pass answers reachability and hop distance for all 64 lanes.
-	MaskBFS = queries.MaskBFS
+	// one pass answers reachability and hop distance for every lane.
+	MaskBFS[V Vec] = queries.MaskBFS[V]
+	// MCTarget is a sequential-stopping accuracy target (see WithConfidence).
+	MCTarget = mc.Target
+	// MCRunInfo reports what a Monte-Carlo run did: samples drawn, adaptive
+	// rounds, and whether a confidence target converged.
+	MCRunInfo = mc.RunInfo
+	// FillCache memoizes deterministic 64-lane world fills across
+	// Monte-Carlo runs (see MCOptions.FillCache): implementations must be
+	// safe for concurrent use and treat stored blocks as immutable.
+	FillCache = ugraph.FillCache
+	// FillKey identifies one cached 64-lane fill block: (content-versioned
+	// graph identity, base seed, block index).
+	FillKey = ugraph.FillKey
 )
 
+// NewWorldBatch returns an empty world batch of width V for a graph.
+func NewWorldBatch[V Vec](g *Graph) *WorldBatch[V] { return ugraph.NewWorldBatch[V](g) }
+
+// NewMaskBFS returns a mask-BFS of width V sized for n vertices.
+func NewMaskBFS[V Vec](n int) *MaskBFS[V] { return queries.NewMaskBFS[V](n) }
+
+// SampleWorldBatch redraws a batch so lane l is bit-identical to the world
+// SampleWorldSeeded(seeds[l]) produces, at every width.
+func SampleWorldBatch[V Vec](g *Graph, seeds []int64, b *WorldBatch[V]) {
+	ugraph.SampleBatchSeeded(g, seeds, b)
+}
+
 var (
-	// NewWorldBatch returns an empty world batch for a graph.
-	NewWorldBatch = ugraph.NewWorldBatch
-	// NewMaskBFS returns a mask-BFS sized for n vertices.
-	NewMaskBFS = queries.NewMaskBFS
+	// WithConfidence builds the MCOptions.Target for sequential stopping:
+	// sample until every tracked estimate's CI half-width is ≤ eps at
+	// confidence 1−delta.
+	WithConfidence = mc.WithConfidence
+	// ParseLanes resolves a -lanes flag value ("auto", "1", "64", "128",
+	// "256") to the MCOptions.Lanes encoding.
+	ParseLanes = mc.ParseLanes
+	// FormatLanes is the inverse of ParseLanes.
+	FormatLanes = mc.FormatLanes
 )
 
 // ReadLimits bounds the vertex/edge counts a text-format header may
@@ -261,10 +300,12 @@ type (
 // accumulation blocks in index order.
 //
 // Reliability, ShortestDistance{,AndReliability} and ConnectedProbability
-// run on the bit-parallel 64-world batch engine (WorldBatch + mask-BFS:
-// one traversal answers 64 sampled worlds); MCOptions.Scalar selects the
-// per-world scalar path instead. Both paths produce bit-identical
-// estimates on the same seed.
+// run on the bit-parallel batch engine (WorldBatch + mask-BFS: one
+// traversal answers a full lane vector of sampled worlds). MCOptions.Lanes
+// selects the width — 64, 128 or 256 lanes, 1 for the scalar ablation, or
+// 0 to let the planner choose — and MCOptions.Target switches from a fixed
+// sample budget to sequential stopping. Every width and both fixed and
+// adaptive schedules produce bit-identical estimates on the same seed.
 var (
 	// ExpectedPageRank estimates per-vertex expected PageRank.
 	ExpectedPageRank = queries.ExpectedPageRank
@@ -278,8 +319,16 @@ var (
 	ShortestDistance = queries.ShortestDistance
 	// ShortestDistanceAndReliability computes both in one MC pass.
 	ShortestDistanceAndReliability = queries.ShortestDistanceAndReliability
+	// ReliabilityRun is Reliability plus the run report (samples drawn,
+	// adaptive rounds, convergence).
+	ReliabilityRun = queries.ReliabilityRun
+	// ShortestDistanceAndReliabilityRun adds the run report to the one-pass
+	// SP+RL estimator.
+	ShortestDistanceAndReliabilityRun = queries.ShortestDistanceAndReliabilityRun
 	// ConnectedProbability estimates Pr[G is connected].
 	ConnectedProbability = queries.ConnectedProbability
+	// ConnectedProbabilityRun adds the run report to ConnectedProbability.
+	ConnectedProbabilityRun = queries.ConnectedProbabilityRun
 	// RandomPairs draws random query pairs.
 	RandomPairs = queries.RandomPairs
 	// ExactProbabilityOf evaluates a world predicate exactly by
