@@ -286,6 +286,57 @@ func main() {
 		)
 	}
 
+	// Multi-pair benchmarks: one SP+RL query whose pair list carries many
+	// distinct sources, the workload the multi-source kernels exist for.
+	// With fan-out auto the engine groups up to 64 sources into one shared
+	// traversal per sampled world; /persource is the FanOut:1 ablation —
+	// one traversal per source at the SAME lane width, so the pair of rows
+	// isolates the fan-out win from the lane win. The scalar-width rows
+	// (one world per traversal, where per-arc overhead dominates) are where
+	// grouping pays most; the /x64 rows measure it on the 64-lane engine,
+	// whose word-parallel traversals already amortize most per-arc cost.
+	// Results are bit-identical between each row and its ablation.
+	multiPairs := func(n int) []ugs.Pair {
+		nv := g.NumVertices()
+		ps := make([]ugs.Pair, n)
+		for i := range ps {
+			ps[i] = ugs.Pair{S: i % nv, T: (i + nv/2) % nv}
+		}
+		return ps
+	}
+	multiPairBench := func(pairs []ugs.Pair, fan, lanes int) func() {
+		opts := mc.Options{Samples: 64, Seed: 1, Lanes: lanes, FanOut: fan}
+		return func() {
+			if _, _, err := ugs.ShortestDistanceAndReliability(ctx, g, pairs, opts); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	for _, np := range []int{1, 16, 256} {
+		mp := multiPairs(np)
+		name := fmt.Sprintf("MultiPairMC/%dpairs", np)
+		benches = append(benches,
+			struct {
+				name string
+				fn   func()
+			}{name, multiPairBench(mp, 0, 1)},
+			struct {
+				name string
+				fn   func()
+			}{name + "/persource", multiPairBench(mp, 1, 1)},
+		)
+	}
+	benches = append(benches,
+		struct {
+			name string
+			fn   func()
+		}{"MultiPairMC/256pairs/x64", multiPairBench(multiPairs(256), 0, 64)},
+		struct {
+			name string
+			fn   func()
+		}{"MultiPairMC/256pairs/x64/persource", multiPairBench(multiPairs(256), 1, 64)},
+	)
+
 	// SamplesToTarget: sequential stopping versus the fixed default budget.
 	// The adaptive run samples until every pair's reliability CI half-width
 	// is ≤ 0.1 at 95% confidence; the fixed run burns the default 500

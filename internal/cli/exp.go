@@ -27,6 +27,7 @@ func RunExp(args []string, stdout, stderr io.Writer) int {
 		scalar  = fs.Bool("scalar-queries", false, "use the scalar one-world-per-traversal estimators instead of the bit-parallel 64-world batch engine (ablation; results are bit-identical)")
 		timeout = fs.Duration("timeout", 0, "abort the batch after this duration, checked between sparsification runs (0 = unbounded)")
 		lanes   = fs.String("lanes", "auto", "batch-engine width: auto (planner), 1 (scalar ablation), 64, 128 or 256 world lanes; results are bit-identical at any width")
+		fanOut  = fs.String("fan-out", "auto", "pair-query source group size: auto (planner), 1 (per-source ablation) or 2..64 sources per traversal; results are bit-identical at any fan-out")
 		conf    = fs.String("confidence", "", "adaptive stopping target \"eps[,delta]\" for the pair estimators: sample until every CI half-width ≤ eps at confidence 1−delta (empty = fixed budgets)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -39,6 +40,11 @@ func RunExp(args []string, stdout, stderr io.Writer) int {
 	}
 	if *scalar && laneWidth > 1 {
 		fmt.Fprintf(stderr, "ugs-exp: -scalar-queries contradicts -lanes %d\n", laneWidth)
+		return 2
+	}
+	fanWidth, err := ugs.ParseFanOut(*fanOut)
+	if err != nil {
+		fmt.Fprintln(stderr, "ugs-exp: -fan-out:", err)
 		return 2
 	}
 	confEps, confDelta, confSet, err := parseConfidence(*conf)
@@ -80,7 +86,7 @@ func RunExp(args []string, stdout, stderr io.Writer) int {
 	}()
 	ctx := exp.NewContext(exp.Config{
 		Full: *full, Seed: *seed, Workers: *workers, ScalarQueries: *scalar,
-		Lanes: laneWidth, ConfEps: confEps, ConfDelta: confDelta, Ctx: runCtx,
+		Lanes: laneWidth, FanOut: fanWidth, ConfEps: confEps, ConfDelta: confDelta, Ctx: runCtx,
 	})
 	var experiments []exp.Experiment
 	if len(ids) == 1 && ids[0] == "all" {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -72,6 +73,8 @@ func RunServeContext(ctx context.Context, args []string, stdout, stderr io.Write
 		convertDir  = fs.String("convert-dir", "", "directory for .ugsb sidecars of converted text graphs and uploads (default: a temp dir)")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for requests and jobs")
 		lanes       = fs.String("lanes", "auto", "default query engine width: auto (planner), 1 (scalar ablation), 64, 128 or 256 world lanes")
+		fanOut      = fs.String("fan-out", "auto", "default pair-query source group size: auto (planner), 1 (per-source ablation) or 2..64 sources per traversal")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this side listener (e.g. localhost:6060; empty = disabled)")
 		confidence  = fs.String("confidence", "", "default adaptive stopping target \"eps[,delta]\": sample until every estimate's CI half-width ≤ eps at confidence 1−delta (empty = fixed budgets)")
 		worldCache  = fs.String("world-cache", "64M", "sampled-world cache budget with K/M/G suffixes (0 disables)")
 	)
@@ -86,6 +89,11 @@ func RunServeContext(ctx context.Context, args []string, stdout, stderr io.Write
 	laneWidth, err := ugs.ParseLanes(*lanes)
 	if err != nil {
 		fmt.Fprintln(stderr, "ugs-serve: -lanes:", err)
+		return 2
+	}
+	fanWidth, err := ugs.ParseFanOut(*fanOut)
+	if err != nil {
+		fmt.Fprintln(stderr, "ugs-serve: -fan-out:", err)
 		return 2
 	}
 	var defConfidence *serve.Confidence
@@ -124,6 +132,7 @@ func RunServeContext(ctx context.Context, args []string, stdout, stderr io.Write
 		StoreBudgetBytes:  budget,
 		ConvertDir:        *convertDir,
 		Lanes:             laneWidth,
+		FanOut:            fanWidth,
 		Confidence:        defConfidence,
 		WorldCacheBytes:   worldBudget,
 	})
@@ -132,6 +141,27 @@ func RunServeContext(ctx context.Context, args []string, stdout, stderr io.Write
 		return 1
 	}
 	defer server.Close()
+
+	// The pprof endpoints ride a separate listener on their own mux, so
+	// profiling is opt-in and never reachable through the service address
+	// (the service mux stays closed-world for untrusted clients).
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "ugs-serve: -pprof:", err)
+			return 1
+		}
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Handler: pprofMux, ReadHeaderTimeout: 10 * time.Second}
+		defer pprofSrv.Close()
+		go func() { _ = pprofSrv.Serve(pln) }()
+		fmt.Fprintf(stdout, "ugs-serve: pprof on http://%s/debug/pprof/\n", pln.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -34,6 +34,11 @@ type Config struct {
 	// Lanes pins the batch-engine world width (64, 128 or 256 lanes).
 	// 0 lets the planner choose; results are bit-identical at any width.
 	Lanes int
+	// FanOut pins the pair-estimator source group size (1 = one traversal
+	// per source, the per-source ablation; 2..64 = explicit multi-source
+	// groups). 0 lets the planner choose; results are bit-identical at any
+	// fan-out.
+	FanOut int
 	// ConfEps, when > 0, switches the Monte-Carlo query phases to adaptive
 	// sequential stopping: sample until every estimate's CI half-width is
 	// ≤ ConfEps at confidence 1−ConfDelta (ConfDelta 0 means the 0.05

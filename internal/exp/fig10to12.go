@@ -57,12 +57,13 @@ func evalQueries(ctx context.Context, g *ugraph.Graph, pairs []queries.Pair, opt
 
 // mcOptions builds the Monte-Carlo engine options for a query run. SP, RL
 // and connectivity estimates ride the bit-parallel batch engine unless
-// Cfg.ScalarQueries selects the scalar ablation; Cfg.Lanes pins the width
-// and Cfg.ConfEps switches the pair estimators to sequential stopping
-// (vector queries keep the fixed budget — their per-vertex estimates have
-// no shared stopping statistic).
+// Cfg.ScalarQueries selects the scalar ablation; Cfg.Lanes pins the width,
+// Cfg.FanOut pins the multi-source group size the pair estimators batch
+// their many distinct sources into, and Cfg.ConfEps switches the pair
+// estimators to sequential stopping (vector queries keep the fixed budget —
+// their per-vertex estimates have no shared stopping statistic).
 func (c *Context) mcOptions(samples int) mc.Options {
-	o := mc.Options{Samples: samples, Seed: c.Cfg.Seed + 1000, Workers: c.Cfg.Workers, Scalar: c.Cfg.ScalarQueries, Lanes: c.Cfg.Lanes}
+	o := mc.Options{Samples: samples, Seed: c.Cfg.Seed + 1000, Workers: c.Cfg.Workers, Scalar: c.Cfg.ScalarQueries, Lanes: c.Cfg.Lanes, FanOut: c.Cfg.FanOut}
 	if c.Cfg.ConfEps > 0 {
 		t := mc.WithConfidence(c.Cfg.ConfEps, c.Cfg.ConfDelta)
 		t.MaxSamples = samples * 16

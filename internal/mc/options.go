@@ -34,6 +34,13 @@ type Options struct {
 	// select an explicit WorldBatch width. The width is an execution
 	// choice only — estimates are bit-identical across all of them.
 	Lanes int
+	// FanOut selects how many distinct query sources a pair estimator
+	// traversal carries at once: 0 is automatic (the planner probes whether
+	// grouping pays on this graph), 1 forces one traversal per source (the
+	// per-source ablation), and 2..64 pin an explicit group size. Like
+	// Lanes, it is an execution choice only — per-pair estimates are
+	// bit-identical across every fan-out.
+	FanOut int
 	// Target, when non-nil, switches supporting estimators from the fixed
 	// Samples budget to sequential stopping: batches are drawn in
 	// deterministic rounds until the normal-approximation confidence
@@ -73,7 +80,15 @@ var (
 	// ErrConfidence rejects confidence targets with out-of-range Eps,
 	// Delta or an empty sample schedule.
 	ErrConfidence = errors.New("mc: invalid confidence target")
+	// ErrSourceFanOut rejects fan-outs outside {0 (auto), 1 (per-source),
+	// 2..64}: the multi-source kernels carry at most 64 sources per pass.
+	ErrSourceFanOut = errors.New("mc: invalid source fan-out")
 )
+
+// MaxFanOut is the largest source group a multi-source traversal carries:
+// the scalar kernel packs sources into one 64-bit mask per vertex, and the
+// batch kernels size their per-vertex state arrays by it.
+const MaxFanOut = 64
 
 // Validate rejects nonsensical option combinations with typed errors
 // (wrapping the Err* sentinels above). The engine entry points call it, so
@@ -93,6 +108,9 @@ func (o Options) Validate() error {
 	}
 	if o.Scalar && o.Lanes > 1 {
 		return fmt.Errorf("%w: Scalar contradicts Lanes %d", ErrLaneWidth, o.Lanes)
+	}
+	if o.FanOut < 0 || o.FanOut > MaxFanOut {
+		return fmt.Errorf("%w: %d (want auto=0, 1, or 2..%d)", ErrSourceFanOut, o.FanOut, MaxFanOut)
 	}
 	if o.Target != nil {
 		if o.Scalar || o.Lanes == 1 {
@@ -142,4 +160,26 @@ func FormatLanes(lanes int) string {
 		return "auto"
 	}
 	return strconv.Itoa(lanes)
+}
+
+// ParseFanOut resolves a -fan-out flag value: "auto" (or "") leaves the
+// group size to the planner, "1" forces the per-source ablation, and
+// "2".."64" pin an explicit multi-source group size.
+func ParseFanOut(s string) (int, error) {
+	if s == "" || s == "auto" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 || n > MaxFanOut {
+		return 0, fmt.Errorf("%w: %q (want auto or 1..%d)", ErrSourceFanOut, s, MaxFanOut)
+	}
+	return n, nil
+}
+
+// FormatFanOut is the inverse of ParseFanOut.
+func FormatFanOut(fan int) string {
+	if fan == 0 {
+		return "auto"
+	}
+	return strconv.Itoa(fan)
 }

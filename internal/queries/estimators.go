@@ -197,16 +197,42 @@ func pairStats(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Optio
 	if opts.Target != nil {
 		return pairStatsAdaptive(ctx, g, pairs, opts)
 	}
-	res, err := pairStatsFixed(ctx, g, pairs, opts, planLanes(g, opts, KindPair))
+	lanes := planLanes(g, opts, KindPair)
+	fan := planFanOut(g, opts, countDistinctSources(pairs), lanes)
+	res, err := pairStatsFixed(ctx, g, pairs, opts, lanes, fan)
 	if err != nil {
 		return nil, mc.RunInfo{}, err
 	}
 	return res, mc.RunInfo{Samples: opts.WithDefaults().Samples, Rounds: 1, Converged: true}, nil
 }
 
-// pairStatsFixed dispatches one fixed-budget pass to the engine width the
-// planner (or an explicit Options.Lanes) chose.
-func pairStatsFixed(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options, lanes int) ([]pairResult, error) {
+// countDistinctSources is the fan-out planner's input: a group can never
+// usefully exceed the number of distinct traversal roots.
+func countDistinctSources(pairs []Pair) int {
+	seen := make(map[int]struct{}, len(pairs))
+	for _, p := range pairs {
+		seen[p.S] = struct{}{}
+	}
+	return len(seen)
+}
+
+// pairStatsFixed dispatches one fixed-budget pass to the engine width and
+// source fan-out the planner (or explicit Options) chose: fan > 1 routes
+// through the multi-source kernels, which group distinct sources into
+// fan-sized traversal passes.
+func pairStatsFixed(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options, lanes, fan int) ([]pairResult, error) {
+	if fan > 1 {
+		switch lanes {
+		case 1:
+			return pairStatsScalarMulti(ctx, g, pairs, opts, fan)
+		case ugraph.BatchLanes:
+			return pairStatsMulti[ugraph.Vec64](ctx, g, pairs, opts, fan)
+		case 2 * ugraph.BatchLanes:
+			return pairStatsMulti[ugraph.Vec128](ctx, g, pairs, opts, fan)
+		default:
+			return pairStatsMulti[ugraph.Vec256](ctx, g, pairs, opts, fan)
+		}
+	}
 	switch lanes {
 	case 1:
 		return pairStatsScalar(ctx, g, pairs, opts)
@@ -223,13 +249,16 @@ func pairStatsFixed(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.
 // a fixed-budget pass over the next stretch of the sample stream (via
 // Options.Offset, so no world is ever redrawn), and between rounds every
 // pair's Bernoulli reliability CI is checked against the target. The lane
-// width is planned once and pinned for all rounds.
+// width and source fan-out are planned once and pinned for all rounds
+// (fan-out never changes results, but pinning keeps every round on the
+// calibrated execution plan).
 func pairStatsAdaptive(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options) ([]pairResult, mc.RunInfo, error) {
 	t := opts.Target.WithDefaults()
 	lanes := planLanes(g, opts, KindPair)
 	if lanes < ugraph.BatchLanes {
 		lanes = ugraph.BatchLanes
 	}
+	fan := planFanOut(g, opts, countDistinctSources(pairs), lanes)
 	acc := make([]pairResult, len(pairs))
 	run := func(offset, n int) error {
 		o := opts
@@ -237,7 +266,8 @@ func pairStatsAdaptive(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts 
 		o.Offset = opts.Offset + offset
 		o.Samples = n
 		o.Lanes = lanes
-		res, err := pairStatsFixed(ctx, g, pairs, o, lanes)
+		o.FanOut = fan
+		res, err := pairStatsFixed(ctx, g, pairs, o, lanes, fan)
 		if err != nil {
 			return err
 		}
@@ -278,6 +308,73 @@ func pairStatsBatch[V ugraph.Vec](ctx context.Context, g *ugraph.Graph, pairs []
 					acc[i].samples += lanes
 					acc[i].reachable += ugraph.VecOnesCount(reach[t])
 					acc[i].distSum += float64(depthSum[t])
+				}
+			}
+		},
+		mergePairResults,
+	)
+}
+
+// pairStatsMulti runs one multi-source mask-BFS per fan-sized group of
+// distinct sources per world batch: the grouped traversal expands each CSR
+// arc once per level for the whole group, amortizing the arc stream and
+// level control flow across sources the way the lane transposition
+// amortizes them across worlds. Source slots never mix, so every pair's
+// reachability popcount and depth sum are the exact values the per-source
+// path (pairStatsBatch) accumulates. Each engine worker reuses one MSBFS.
+func pairStatsMulti[V ugraph.Vec](ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options, fan int) ([]pairResult, error) {
+	bySource, sources := groupPairsBySource(pairs)
+	return mc.ReduceBatch(ctx, g, opts,
+		func() *MSBFS[V] { return NewMSBFS[V](g.NumVertices(), fan) },
+		func() []pairResult { return make([]pairResult, len(pairs)) },
+		func(_ int, wb *ugraph.WorldBatch[V], ms *MSBFS[V], acc []pairResult) {
+			lanes := wb.Lanes()
+			for base := 0; base < len(sources); base += fan {
+				end := base + fan
+				if end > len(sources) {
+					end = len(sources)
+				}
+				grp := sources[base:end]
+				ms.ReachFrom(wb, grp)
+				for k, s := range grp {
+					for _, i := range bySource[s] {
+						t := pairs[i].T
+						acc[i].samples += lanes
+						acc[i].reachable += ugraph.VecOnesCount(ms.Reach(t, k))
+						acc[i].distSum += float64(ms.DepthSum(t, k))
+					}
+				}
+			}
+		},
+		mergePairResults,
+	)
+}
+
+// pairStatsScalarMulti is the scalar-world ablation of pairStatsMulti: one
+// source-bitmask BFS per fan-sized group per world, walking each present
+// arc of a level once for the whole group. Per-pair results are exactly
+// pairStatsScalar's.
+func pairStatsScalarMulti(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts mc.Options, fan int) ([]pairResult, error) {
+	bySource, sources := groupPairsBySource(pairs)
+	return mc.Reduce(ctx, g, opts,
+		func() *MSWorldBFS { return NewMSWorldBFS(g.NumVertices(), fan) },
+		func() []pairResult { return make([]pairResult, len(pairs)) },
+		func(_ int, w *ugraph.World, ms *MSWorldBFS, acc []pairResult) {
+			for base := 0; base < len(sources); base += fan {
+				end := base + fan
+				if end > len(sources) {
+					end = len(sources)
+				}
+				grp := sources[base:end]
+				ms.Run(w, grp)
+				for k, s := range grp {
+					for _, i := range bySource[s] {
+						acc[i].samples++
+						if d := ms.Dist(pairs[i].T, k); d >= 0 {
+							acc[i].reachable++
+							acc[i].distSum += float64(d)
+						}
+					}
 				}
 			}
 		},

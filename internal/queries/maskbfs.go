@@ -27,16 +27,7 @@ type MaskBFS[V ugraph.Vec] struct {
 	curQ     []int32 // vertices with nonzero cur bits
 	nextQ    []int32 // vertices with nonzero next bits
 
-	// Per-arc gather table in CSR arc order: each entry packs the arc's
-	// target vertex with the bound batch's lane mask of the arc's edge, so
-	// the traversal's inner loop consumes one sequential stream instead of
-	// chasing masks[arc.ID] per arc. The gather costs one 2|E| pass per
-	// batch fill and is amortized over every traversal of that fill (one
-	// per distinct query source); cache keys make staleness impossible.
-	arcs     []packedArc[V]
-	boundG   *ugraph.Graph
-	boundWB  *ugraph.WorldBatch[V]
-	boundSeq uint64
+	arcTable[V]
 }
 
 // packedArc is one CSR arc fused with its edge's lane mask for the bound
@@ -44,6 +35,21 @@ type MaskBFS[V ugraph.Vec] struct {
 type packedArc[V ugraph.Vec] struct {
 	mask V
 	to   int32
+}
+
+// arcTable is the per-arc gather table shared by the single- and
+// multi-source mask-BFS kernels, in CSR arc order: each entry packs the
+// arc's target vertex with the bound batch's lane mask of the arc's edge,
+// so a traversal's inner loop consumes one sequential stream instead of
+// chasing masks[arc.ID] per arc. The gather costs one 2|E| pass per batch
+// fill and is amortized over every traversal of that fill (one per distinct
+// query source, or one per source group on the multi-source engine); cache
+// keys make staleness impossible.
+type arcTable[V ugraph.Vec] struct {
+	arcs     []packedArc[V]
+	boundG   *ugraph.Graph
+	boundWB  *ugraph.WorldBatch[V]
+	boundSeq uint64
 }
 
 // NewMaskBFS returns a mask-BFS sized for graphs with n vertices. The
@@ -61,7 +67,7 @@ func NewMaskBFS[V ugraph.Vec](n int) *MaskBFS[V] {
 
 // bind refreshes the per-arc gather table for wb's current fill (no-op
 // when already bound to this graph, batch and fill sequence).
-func (b *MaskBFS[V]) bind(wb *ugraph.WorldBatch[V]) {
+func (b *arcTable[V]) bind(wb *ugraph.WorldBatch[V]) {
 	g := wb.Graph()
 	if b.boundG != g {
 		arcs := g.Arcs()

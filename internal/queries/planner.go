@@ -38,6 +38,15 @@ const (
 type Planner struct {
 	mu    sync.Mutex
 	plans map[*ugraph.Graph]int
+	fans  map[fanPlanKey]int
+}
+
+// fanPlanKey caches fan-out calibrations per (graph, lane width): the
+// trade-off between per-source and grouped traversals depends on how much
+// per-arc mask work a lane width does relative to the shared arc stream.
+type fanPlanKey struct {
+	g     *ugraph.Graph
+	lanes int
 }
 
 // DefaultPlanner serves every run that does not carry its own planner.
@@ -130,4 +139,135 @@ func probeWidth[V ugraph.Vec](g *ugraph.Graph) time.Duration {
 		bfs.ReachFrom(wb, 0)
 	}
 	return time.Since(start) / time.Duration(probeRounds*lanes)
+}
+
+// planFanOut resolves the source group size a pair-estimator run uses:
+// the explicit Options.FanOut when one was set, otherwise the planner's
+// calibrated pick for this graph and lane width. The result is clamped to
+// the number of distinct sources (a single-source query never pays group
+// overhead) and is always in 1..mc.MaxFanOut. Like the lane width, fan-out
+// is a pure execution decision — per-pair results are bit-identical across
+// every value. opts must have passed Validate.
+func planFanOut(g *ugraph.Graph, opts mc.Options, distinct, lanes int) int {
+	fan := opts.FanOut
+	if fan == 0 {
+		if distinct < 2 {
+			return 1
+		}
+		if lanes == 1 {
+			// Scalar worlds: the grouped BFS walks each present arc of a
+			// level once for all sources in the group at the cost of one
+			// extra mask word per vertex, so sharing always amortizes —
+			// take the full 64-source mask.
+			fan = mc.MaxFanOut
+		} else {
+			fan = DefaultPlanner.fanOut(g, lanes)
+		}
+	}
+	if fan > distinct {
+		fan = distinct
+	}
+	if fan < 1 {
+		fan = 1
+	}
+	return fan
+}
+
+// PlanFanOut reports the group size planFanOut would choose for a query
+// with the given number of distinct sources — the introspection hook behind
+// the serve stats and tests.
+func PlanFanOut(g *ugraph.Graph, opts mc.Options, distinct int, kind Kind) int {
+	return planFanOut(g, opts, distinct, planLanes(g, opts, kind))
+}
+
+// fanSizes lists, per lane width, the group sizes the fan-out probe tries
+// against the per-source baseline — exactly the sizes msbfs_wide.go carries
+// a hand-specialized kernel for, since the generic slot loop never beats
+// per-source traversals at wide widths.
+var fanSizes = map[int][]int{
+	ugraph.BatchLanes:     {4, 8},
+	2 * ugraph.BatchLanes: {4},
+	4 * ugraph.BatchLanes: {2},
+}
+
+// fanOut returns the calibrated source group size for (g, lanes), probing
+// on first use and caching per (graph, width).
+func (p *Planner) fanOut(g *ugraph.Graph, lanes int) int {
+	key := fanPlanKey{g: g, lanes: lanes}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fan, ok := p.fans[key]; ok {
+		return fan
+	}
+	var fan int
+	switch lanes {
+	case ugraph.BatchLanes:
+		fan = probeFanOut[ugraph.Vec64](g, fanSizes[lanes])
+	case 2 * ugraph.BatchLanes:
+		fan = probeFanOut[ugraph.Vec128](g, fanSizes[lanes])
+	default:
+		fan = probeFanOut[ugraph.Vec256](g, fanSizes[4*ugraph.BatchLanes])
+	}
+	if p.fans == nil {
+		p.fans = map[fanPlanKey]int{}
+	}
+	p.fans[key] = fan
+	return fan
+}
+
+// probeFanOut times, on one filled batch of the actual graph, a sweep of
+// per-source traversals against multi-source passes at each candidate group
+// size, from sources spread across the vertex range. Like the width probe
+// it is a handful of O(|E|) passes that runs once per (planner, graph,
+// width); a noisy pick is harmless because every fan-out gives identical
+// results.
+func probeFanOut[V ugraph.Vec](g *ugraph.Graph, sizes []int) int {
+	n := g.NumVertices()
+	nsrc := 16
+	if nsrc > n {
+		nsrc = n
+	}
+	if nsrc < 2 {
+		return 1
+	}
+	srcs := make([]int, nsrc)
+	for i := range srcs {
+		srcs[i] = i * n / nsrc
+	}
+	lanes := ugraph.VecLanes[V]()
+	seeds := make([]int64, lanes)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	wb := ugraph.NewWorldBatch[V](g)
+	ugraph.SampleBatchSeeded(g, seeds, wb)
+
+	single := NewMaskBFS[V](n)
+	start := time.Now()
+	for r := 0; r < probeRounds; r++ {
+		for _, s := range srcs {
+			single.ReachFrom(wb, s)
+		}
+	}
+	bestFan, bestCost := 1, time.Since(start)
+	for _, fan := range sizes {
+		if fan > nsrc {
+			break
+		}
+		ms := NewMSBFS[V](n, fan)
+		start = time.Now()
+		for r := 0; r < probeRounds; r++ {
+			for base := 0; base < nsrc; base += fan {
+				end := base + fan
+				if end > nsrc {
+					end = nsrc
+				}
+				ms.ReachFrom(wb, srcs[base:end])
+			}
+		}
+		if c := time.Since(start); c < bestCost {
+			bestFan, bestCost = fan, c
+		}
+	}
+	return bestFan
 }

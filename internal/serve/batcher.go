@@ -12,10 +12,13 @@ import (
 // shared Monte-Carlo flights. All requests with the same (graph, seed,
 // samples) form a group; a flight concatenates the group's pending pair
 // lists and evaluates them in ONE ShortestDistanceAndReliability run — one
-// mc.ReduceBatch pass whose WorldBatch fills (and mask-BFS traversals per
-// distinct source) are shared by every rider. The lane amortization of the
-// bit-parallel engine (64, 128 or 256 worlds per traversal) therefore works
-// across requests, not just within one.
+// mc.ReduceBatch pass whose WorldBatch fills and traversals are shared by
+// every rider. Both amortization axes of the engine therefore work across
+// requests, not just within one: each traversal answers 64, 128 or 256
+// worlds at once (lanes), and the multi-source kernels walk one shared
+// frontier for a whole group of the merged flight's distinct sources
+// (fan-out), so riders contributing different sources still split the cost
+// of one arc stream.
 //
 // Merging is exact, not approximate: the engine accumulates each pair's
 // counters independently and folds fixed sample blocks in index order, and
@@ -52,15 +55,17 @@ type pairRunner func(ctx context.Context, g *ugs.Graph, pairs []ugs.Pair, opts u
 
 // groupKey identifies queries that may share possible worlds: same resident
 // graph (versioned ID), same deterministic sample stream, and same engine
-// width. Workers is excluded — it cannot change results. Lanes cannot
-// either (every width is bit-identical), but it is an explicit execution
-// choice, so requests pinning different widths fly separately rather than
-// silently running at whichever width arrived first.
+// shape. Workers is excluded — it cannot change results. Lanes and fanout
+// cannot either (every width and source group size is bit-identical), but
+// they are explicit execution choices, so requests pinning different widths
+// or fan-outs fly separately rather than silently running at whatever shape
+// arrived first.
 type groupKey struct {
 	graph   string
 	seed    int64
 	samples int
 	lanes   int
+	fanout  int
 }
 
 type batchGroup struct {
@@ -91,16 +96,16 @@ func NewBatcher(lifetime context.Context, workers int) *Batcher {
 
 // PairQuery evaluates the SP and RL estimates for pairs on g, riding a
 // shared flight when other requests with the same (graphID, seed, samples,
-// lanes) are in the system. opts carries the fixed-budget engine options
-// (Seed, Samples, Lanes, FillCache/FillID); Workers is overridden by the
-// batcher's own setting and opts.Target must be nil — adaptive runs bypass
-// the batcher, because merging pair lists would move their stopping point.
-// ctx bounds only this caller's wait: giving up abandons the results but
-// never the flight.
+// lanes, fan-out) are in the system. opts carries the fixed-budget engine
+// options (Seed, Samples, Lanes, FanOut, FillCache/FillID); Workers is
+// overridden by the batcher's own setting and opts.Target must be nil —
+// adaptive runs bypass the batcher, because merging pair lists would move
+// their stopping point. ctx bounds only this caller's wait: giving up
+// abandons the results but never the flight.
 func (b *Batcher) PairQuery(ctx context.Context, graphID string, g *ugs.Graph, pairs []ugs.Pair, opts ugs.MCOptions) (sp, rl []float64, err error) {
 	b.requests.Add(1)
 	req := &pairReq{pairs: pairs, done: make(chan struct{})}
-	key := groupKey{graph: graphID, seed: opts.Seed, samples: opts.Samples, lanes: opts.Lanes}
+	key := groupKey{graph: graphID, seed: opts.Seed, samples: opts.Samples, lanes: opts.Lanes, fanout: opts.FanOut}
 
 	b.mu.Lock()
 	grp, ok := b.groups[key]

@@ -52,6 +52,11 @@ type Config struct {
 	// not set "lanes" themselves: 0 = the planner (auto), 1 = the scalar
 	// ablation, 64/128/256 = explicit WorldBatch widths.
 	Lanes int
+	// FanOut is the default source group size for pair queries that do
+	// not set "fan_out" themselves: 0 = the planner (auto), 1 = one
+	// traversal per source (the per-source ablation), 2..64 = explicit
+	// multi-source group sizes.
+	FanOut int
 	// Confidence, when non-nil, makes queries adaptive by default:
 	// requests without an explicit "confidence" field run sequential
 	// stopping to this target instead of a fixed sample budget.
@@ -366,6 +371,12 @@ type QueryRequest struct {
 	// default. The width is an execution choice only — estimates are
 	// bit-identical across all of them.
 	Lanes string `json:"lanes,omitempty"`
+	// FanOut selects how many distinct sources one pair-query traversal
+	// carries: "auto" (the planner), "1" (one traversal per source, the
+	// per-source ablation) or "2".."64". Empty uses the server default.
+	// Like Lanes it is an execution choice only — per-pair estimates are
+	// bit-identical across every fan-out.
+	FanOut string `json:"fan_out,omitempty"`
 	// Confidence switches reliability/distance/connected queries from the
 	// fixed Samples budget to sequential stopping. Not supported for the
 	// per-vertex kinds (pagerank, clustering), which run scalar worlds.
@@ -383,6 +394,7 @@ type QueryResponse struct {
 	Value     *float64   `json:"value,omitempty"`
 	Samples   int        `json:"samples"`
 	Lanes     string     `json:"lanes,omitempty"`
+	FanOut    string     `json:"fan_out,omitempty"`
 	Rounds    int        `json:"rounds,omitempty"`
 	Converged *bool      `json:"converged,omitempty"`
 	Cached    bool       `json:"cached"`
@@ -411,11 +423,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	fanOut := s.cfg.FanOut
+	if req.FanOut != "" {
+		if fanOut, err = ugs.ParseFanOut(req.FanOut); err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
 	conf := req.Confidence
 	if conf == nil {
 		conf = s.cfg.Confidence
 	}
-	opts := ugs.MCOptions{Seed: req.Seed, Workers: s.cfg.Workers, Lanes: lanes}
+	opts := ugs.MCOptions{Seed: req.Seed, Workers: s.cfg.Workers, Lanes: lanes, FanOut: fanOut}
 	if conf != nil {
 		if req.Samples != 0 {
 			writeErr(w, http.StatusBadRequest, "samples and confidence are mutually exclusive (confidence decides the budget)")
@@ -580,12 +599,13 @@ func (s *Server) handleVectorQuery(w http.ResponseWriter, r *http.Request, req *
 }
 
 // queryResponse fills the run-report fields shared by every query kind.
-// Lanes echoes the requested execution width (an ablation knob, not part
-// of the result); Converged is only meaningful for adaptive runs.
+// Lanes and FanOut echo the requested execution shape (ablation knobs, not
+// part of the result); Converged is only meaningful for adaptive runs.
 func queryResponse(kind string, opts ugs.MCOptions, entry *queryEntry, cached bool, resp QueryResponse) QueryResponse {
 	resp.Kind = kind
 	resp.Samples = entry.info.Samples
 	resp.Lanes = ugs.FormatLanes(opts.Lanes)
+	resp.FanOut = ugs.FormatFanOut(opts.FanOut)
 	resp.Cached = cached
 	if opts.Target != nil {
 		resp.Rounds = entry.info.Rounds
@@ -597,9 +617,9 @@ func queryResponse(kind string, opts ugs.MCOptions, entry *queryEntry, cached bo
 
 // scalarQueryKey is the cache identity of a pair-free query: the versioned
 // graph, the sample stream, and — for adaptive runs — the stopping target
-// (which changes the drawn sample count, hence the estimate). Lanes and
-// Workers are deliberately excluded: every width is bit-identical, so a
-// cached result is valid for all of them.
+// (which changes the drawn sample count, hence the estimate). Lanes, FanOut
+// and Workers are deliberately excluded: every width and source group size
+// is bit-identical, so a cached result is valid for all of them.
 func scalarQueryKey(gid string, opts ugs.MCOptions) string {
 	key := fmt.Sprintf("%s|s=%d|n=%d", gid, opts.Seed, opts.Samples)
 	if t := opts.Target; t != nil {
@@ -610,7 +630,7 @@ func scalarQueryKey(gid string, opts ugs.MCOptions) string {
 
 // pairQueryKey hashes the pair list so repeat queries with identical pair
 // sets hit the cache regardless of length. Like scalarQueryKey it includes
-// the adaptive target but not the lane width.
+// the adaptive target but neither the lane width nor the source fan-out.
 func pairQueryKey(gid string, opts ugs.MCOptions, pairs []ugs.Pair) string {
 	h := sha256.New()
 	var buf [16]byte

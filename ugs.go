@@ -119,6 +119,12 @@ var (
 	ParseLanes = mc.ParseLanes
 	// FormatLanes is the inverse of ParseLanes.
 	FormatLanes = mc.FormatLanes
+	// ParseFanOut resolves a -fan-out flag value ("auto", "1".."64") to
+	// the MCOptions.FanOut encoding: how many distinct query sources one
+	// pair-estimator traversal carries.
+	ParseFanOut = mc.ParseFanOut
+	// FormatFanOut is the inverse of ParseFanOut.
+	FormatFanOut = mc.FormatFanOut
 )
 
 // ReadLimits bounds the vertex/edge counts a text-format header may
