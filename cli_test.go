@@ -8,6 +8,7 @@ package ugs_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"io"
 	"math"
 	"net/http"
@@ -21,6 +22,7 @@ import (
 
 	"ugs"
 	"ugs/internal/cli"
+	"ugs/internal/serve"
 )
 
 // runTool invokes one of the in-process CLI entry points, returning its
@@ -391,5 +393,153 @@ func TestCLIExperiments(t *testing.T) {
 	}
 	if out, err := runCLI(t, dir, "ugs-exp"); err == nil {
 		t.Errorf("no-args accepted:\n%s", out)
+	}
+}
+
+// bootServe starts ugs-serve in-process with the given extra flags and waits
+// for its listen line, returning the base URL and the exit channel. The
+// caller cancels ctx to begin shutdown.
+func bootServe(t *testing.T, ctx context.Context, stdout, stderr *syncBuffer, extra ...string) (string, chan int) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- cli.RunServeContext(ctx, args, stdout, stderr)
+	}()
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		out := stdout.String()
+		if i := strings.Index(out, "listening on http://"); i >= 0 {
+			rest := out[i+len("listening on "):]
+			return strings.TrimSpace(rest[:strings.IndexByte(rest, '\n')]), exit
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address\nstdout: %s\nstderr: %s", out, stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeStuckJobShutdown: a job wedged in a slow fault (which ignores
+// cancellation, like a real stuck syscall) must not wedge shutdown — after
+// the -drain budget its context is force-cancelled, and after -drain-timeout
+// more the process exits anyway with code 1, reporting the stuck job.
+func TestServeStuckJobShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	base, exit := bootServe(t, ctx, &stdout, &stderr,
+		"-graphs", "examples/graphs",
+		"-faults", "job.run:slow=5s",
+		"-drain", "100ms", "-drain-timeout", "100ms")
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"graph":"twitter80","alpha":0.3,"method":"gdb","seed":1}`))
+	if err != nil {
+		t.Fatalf("create job: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		t.Fatalf("create job: %d", resp.StatusCode)
+	}
+	time.Sleep(50 * time.Millisecond) // let the job enter its stuck fault
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 1 {
+			t.Errorf("exit code %d, want 1 (stuck job reported)\nstderr: %s", code, stderr.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stuck job wedged the shutdown")
+	}
+	errs := stderr.String()
+	if !strings.Contains(errs, "forcing cancellation") || !strings.Contains(errs, "exiting anyway") {
+		t.Errorf("stderr missing forced-cancel trail: %s", errs)
+	}
+	if !strings.Contains(errs, "FAULT INJECTION ACTIVE") {
+		t.Errorf("fault injection not announced on stderr: %s", errs)
+	}
+}
+
+// TestServeChaosSmoke is the CI chaos gate: boot ugs-serve with a corrupt
+// graph (quarantined at load) and injected handler panics, hammer it with
+// mixed traffic through the retrying client, and assert that panics were all
+// recovered, the quarantine held, every failure wore the typed envelope (no
+// bare 500s), and shutdown still exits 0.
+func TestServeChaosSmoke(t *testing.T) {
+	dir := t.TempDir()
+	if err := ugs.WriteBinaryGraphFile(filepath.Join(dir, "g.ugsb"), ugs.TwitterLike(60, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.ugsb"), []byte("definitely not a ugsb header"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	base, exit := bootServe(t, ctx, &stdout, &stderr,
+		"-graphs", dir,
+		"-faults", "handler.query:panic@0.2", "-faults-seed", "7")
+
+	client := serve.NewClient(base, serve.WithRetries(2),
+		serve.WithBackoff(time.Millisecond, 10*time.Millisecond))
+	nonEnvelope := 0
+	sawEnvelope := func(err error) {
+		var apiErr *serve.APIError
+		if err == nil {
+			return
+		}
+		if !errors.As(err, &apiErr) || strings.HasPrefix(apiErr.Message, "HTTP ") {
+			nonEnvelope++
+		}
+	}
+	for i := 0; i < 40; i++ {
+		switch i % 4 {
+		case 0, 1:
+			_, err := client.Query(ctx, &serve.QueryRequest{
+				Graph: "g", Kind: "reliability", Pairs: [][2]int{{0, i % 60}},
+				Samples: 16, Seed: int64(i)})
+			sawEnvelope(err)
+		case 2:
+			// The quarantined graph: retried (it is retryable) then surfaced
+			// as a typed quarantined error, never a bare 500.
+			_, err := client.Query(ctx, &serve.QueryRequest{
+				Graph: "bad", Kind: "reliability", Pairs: [][2]int{{0, 1}}, Samples: 8})
+			if err == nil {
+				t.Fatal("quarantined graph served a result")
+			}
+			sawEnvelope(err)
+		default:
+			_, err := client.Stats(ctx)
+			sawEnvelope(err)
+		}
+	}
+	if nonEnvelope != 0 {
+		t.Errorf("%d failures were not typed envelopes", nonEnvelope)
+	}
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats after chaos: %v", err)
+	}
+	if stats.Resilience.HandlerPanics == 0 {
+		t.Error("no panics recovered at rate 0.2 over 20 queries")
+	}
+	if stats.Resilience.Quarantined < 1 || stats.Resilience.QuarantineRejects == 0 {
+		t.Errorf("quarantine not exercised: %+v", stats.Resilience)
+	}
+	if stats.Resilience.FaultsInjected == 0 {
+		t.Error("fault injector reports zero injections")
+	}
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d\nstderr: %s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"ugs"
+	"ugs/internal/faults"
 	"ugs/internal/serve"
 )
 
@@ -77,6 +78,12 @@ func RunServeContext(ctx context.Context, args []string, stdout, stderr io.Write
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this side listener (e.g. localhost:6060; empty = disabled)")
 		confidence  = fs.String("confidence", "", "default adaptive stopping target \"eps[,delta]\": sample until every estimate's CI half-width ≤ eps at confidence 1−delta (empty = fixed budgets)")
 		worldCache  = fs.String("world-cache", "64M", "sampled-world cache budget with K/M/G suffixes (0 disables)")
+		reqTimeout  = fs.Duration("request-timeout", 0, "per-request wall-clock cap for queries and sparsifications (0 = unbounded; a request's timeout_ms can only tighten it)")
+		maxCost     = fs.String("max-cost", "", "admission-control capacity in cost units (samples × graph arcs) with K/M/G suffixes, e.g. 2G (empty = no admission control)")
+		maxQueue    = fs.Int("max-queue", 64, "admission wait-queue length before shedding with 429 (negative = unbounded)")
+		drainForce  = fs.Duration("drain-timeout", 5*time.Second, "extra budget for jobs to exit after forced cancellation when the -drain budget expires")
+		faultsSpec  = fs.String("faults", "", "deterministic fault-injection spec \"point:action[=arg][@rate],...\", e.g. 'store.open:err@0.3' (testing only)")
+		faultsSeed  = fs.Int64("faults-seed", 1, "seed for the fault injector's deterministic draws")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -115,6 +122,19 @@ func RunServeContext(ctx context.Context, args []string, stdout, stderr io.Write
 	if worldBudget == 0 {
 		worldBudget = -1 // explicit 0 disables; Config 0 means "default"
 	}
+	costCap, err := parseBytes(*maxCost)
+	if err != nil {
+		fmt.Fprintln(stderr, "ugs-serve: -max-cost:", err)
+		return 2
+	}
+	injector, err := faults.Parse(*faultsSpec, *faultsSeed)
+	if err != nil {
+		fmt.Fprintln(stderr, "ugs-serve: -faults:", err)
+		return 2
+	}
+	if injector != nil {
+		fmt.Fprintf(stderr, "ugs-serve: FAULT INJECTION ACTIVE: %s (seed %d)\n", injector, *faultsSeed)
+	}
 
 	// The server base context deliberately does NOT derive from ctx: a
 	// signal must first stop the listener and drain in-flight requests
@@ -135,6 +155,10 @@ func RunServeContext(ctx context.Context, args []string, stdout, stderr io.Write
 		FanOut:            fanWidth,
 		Confidence:        defConfidence,
 		WorldCacheBytes:   worldBudget,
+		RequestTimeout:    *reqTimeout,
+		MaxCost:           costCap,
+		MaxQueue:          *maxQueue,
+		Faults:            injector,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "ugs-serve:", err)
@@ -186,10 +210,15 @@ func RunServeContext(ctx context.Context, args []string, stdout, stderr io.Write
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, drain in-flight requests, cancel
-	// background work (jobs, flights) through the server context, and wait
-	// for jobs to exit.
+	// Graceful shutdown: flip the drain gate (new requests get a typed 503
+	// while connections stay answerable), stop accepting and drain in-flight
+	// requests, cancel background work (jobs, flights) through the server
+	// context, and wait for jobs to exit. A job that ignores cancellation
+	// cannot wedge the shutdown: after the -drain budget its context is
+	// force-cancelled, and after -drain-timeout more the process exits
+	// regardless, reporting the stuck job.
 	fmt.Fprintln(stdout, "ugs-serve: shutting down")
+	server.StartDrain()
 	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), *drain)
 	defer shutdownCancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -197,8 +226,13 @@ func RunServeContext(ctx context.Context, args []string, stdout, stderr io.Write
 	}
 	cancel()
 	if !server.DrainJobs(*drain) {
-		fmt.Fprintln(stderr, "ugs-serve: jobs did not drain within", *drain)
-		return 1
+		fmt.Fprintln(stderr, "ugs-serve: jobs did not drain within", *drain, "— forcing cancellation")
+		server.CancelJobs()
+		if !server.DrainJobs(*drainForce) {
+			fmt.Fprintln(stderr, "ugs-serve: jobs still running after forced cancel; exiting anyway")
+			<-serveErr
+			return 1
+		}
 	}
 	<-serveErr // Serve has returned ErrServerClosed by now
 	fmt.Fprintln(stdout, "ugs-serve: bye")

@@ -1,0 +1,289 @@
+// Package faults is a deterministic fault-injection harness for chaos
+// testing the serving stack. Production code declares named injection
+// points — plain strings like "store.open" or "batcher.flight" — and calls
+// Check at each one; an Injector parsed from a spec decides, per hit, whether
+// to inject an error, a panic, or a latency stall at that point. The nil
+// Injector is the production default: every Check on it is a no-op compiled
+// down to one pointer test, so instrumented code pays nothing when chaos is
+// off.
+//
+// Decisions are deterministic: each point keeps its own hit counter, and the
+// verdict for hit n is a pure function of (seed, point, n) via SplitMix64.
+// Two runs with the same spec, seed and per-point call sequence inject at
+// exactly the same hits, which is what makes recovery-path tests repeatable
+// — and because counters are per point, interleaving across points does not
+// perturb any point's schedule.
+//
+// # Spec grammar
+//
+//	spec   = rule *( ";" rule )
+//	rule   = point ":" action [ "=" arg ] [ "@" rate ]
+//	action = "err" | "panic" | "slow"
+//	point  = injection-point name ([a-z0-9._-]+)
+//	arg    = Go duration (required for slow, e.g. 50ms)
+//	rate   = probability in (0, 1], default 1
+//
+// Examples:
+//
+//	store.open:err@0.3                   30% of store opens fail
+//	handler.query:panic@0.05             1-in-20 query handlers panic
+//	store.read:slow=50ms;job.run:err     50ms I/O stall, every job fails
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error, so recovery
+// paths under test can tell injected failures from real ones with errors.Is.
+var ErrInjected = errors.New("faults: injected error")
+
+// PanicPrefix starts every injected panic value, so recovery middleware
+// tests can assert the panic they caught was the injected one.
+const PanicPrefix = "faults: injected panic"
+
+// Action is what a rule does when its point fires.
+type Action int
+
+const (
+	// ActErr returns an error wrapping ErrInjected.
+	ActErr Action = iota
+	// ActPanic panics with a PanicPrefix message.
+	ActPanic
+	// ActSlow sleeps for the rule's duration, ignoring any context — it
+	// models a stuck syscall or an unresponsive disk, not a polite wait.
+	ActSlow
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActErr:
+		return "err"
+	case ActPanic:
+		return "panic"
+	default:
+		return "slow"
+	}
+}
+
+// rule is one parsed injection rule. hits counts evaluations (the decision
+// index), injected counts the hits that actually fired.
+type rule struct {
+	point    string
+	action   Action
+	rate     float64
+	delay    time.Duration
+	hits     atomic.Int64
+	injected atomic.Int64
+}
+
+// Injector decides fault injection at named points. The zero of the type is
+// a *nil pointer*: all methods are nil-safe no-ops, so callers thread a
+// possibly-nil *Injector without guards.
+type Injector struct {
+	seed  int64
+	rules map[string]*rule
+}
+
+var pointRE = regexp.MustCompile(`^[a-z0-9._-]+$`)
+
+// Parse builds an Injector from a spec (see the package grammar) and a seed.
+// An empty spec returns nil — the no-op injector.
+func Parse(spec string, seed int64) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	in := &Injector{seed: seed, rules: make(map[string]*rule)}
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		r, err := parseRule(raw)
+		if err != nil {
+			return nil, fmt.Errorf("faults: rule %q: %w", raw, err)
+		}
+		if _, dup := in.rules[r.point]; dup {
+			return nil, fmt.Errorf("faults: duplicate rules for point %q", r.point)
+		}
+		in.rules[r.point] = r
+	}
+	if len(in.rules) == 0 {
+		return nil, nil
+	}
+	return in, nil
+}
+
+func parseRule(raw string) (*rule, error) {
+	point, rest, ok := strings.Cut(raw, ":")
+	if !ok {
+		return nil, errors.New(`want "point:action[=arg][@rate]"`)
+	}
+	if !pointRE.MatchString(point) {
+		return nil, fmt.Errorf("invalid point name %q", point)
+	}
+	r := &rule{point: point, rate: 1}
+	if rest, ok = cutRate(rest, r); !ok {
+		return nil, fmt.Errorf("invalid rate in %q (want a probability in (0,1])", raw)
+	}
+	act, arg, hasArg := strings.Cut(rest, "=")
+	switch act {
+	case "err":
+		r.action = ActErr
+	case "panic":
+		r.action = ActPanic
+	case "slow":
+		r.action = ActSlow
+		if !hasArg {
+			return nil, errors.New(`slow needs a duration: "slow=50ms"`)
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad slow duration %q", arg)
+		}
+		r.delay = d
+		hasArg = false
+	default:
+		return nil, fmt.Errorf("unknown action %q (want err, panic or slow)", act)
+	}
+	if hasArg {
+		return nil, fmt.Errorf("action %q takes no argument", act)
+	}
+	return r, nil
+}
+
+// cutRate splits a trailing "@rate" off rest, storing it into r. Reports
+// false on an unparsable or out-of-range rate.
+func cutRate(rest string, r *rule) (string, bool) {
+	head, rate, ok := strings.Cut(rest, "@")
+	if !ok {
+		return rest, true
+	}
+	p, err := strconv.ParseFloat(rate, 64)
+	if err != nil || !(p > 0 && p <= 1) {
+		return "", false
+	}
+	r.rate = p
+	return head, true
+}
+
+// splitmix64 is the same mixer the Monte-Carlo engine seeds worlds with:
+// a full-avalanche hash of the counter, so consecutive hits decide
+// independently.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fnv64 hashes the point name into the decision stream, so distinct points
+// with the same seed fire on different hit schedules.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// fires decides hit n of this rule under seed.
+func (r *rule) fires(seed int64, n int64) bool {
+	if r.rate >= 1 {
+		return true
+	}
+	u := splitmix64(uint64(seed) ^ fnv64(r.point) ^ uint64(n))
+	return float64(u>>11)/(1<<53) < r.rate
+}
+
+// Check evaluates the injection point: it returns an injected error, panics,
+// or stalls according to the matching rule — or does nothing when the
+// injector is nil, the point has no rule, or this hit's deterministic draw
+// says pass. Safe for concurrent use.
+func (in *Injector) Check(point string) error {
+	if in == nil {
+		return nil
+	}
+	r, ok := in.rules[point]
+	if !ok {
+		return nil
+	}
+	n := r.hits.Add(1)
+	if !r.fires(in.seed, n) {
+		return nil
+	}
+	r.injected.Add(1)
+	switch r.action {
+	case ActErr:
+		return fmt.Errorf("%w at %s (hit %d)", ErrInjected, point, n)
+	case ActPanic:
+		panic(fmt.Sprintf("%s at %s (hit %d)", PanicPrefix, point, n))
+	default:
+		time.Sleep(r.delay)
+		return nil
+	}
+}
+
+// Enabled reports whether the injector has a rule for point, without
+// consuming a hit — for call sites that need to know up front (e.g. tests).
+func (in *Injector) Enabled(point string) bool {
+	if in == nil {
+		return false
+	}
+	_, ok := in.rules[point]
+	return ok
+}
+
+// Counts returns the number of injected faults per point (points that never
+// fired are included with 0). Nil-safe: returns nil.
+func (in *Injector) Counts() map[string]int64 {
+	if in == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(in.rules))
+	for p, r := range in.rules {
+		out[p] = r.injected.Load()
+	}
+	return out
+}
+
+// Total returns the total number of injected faults across all points.
+func (in *Injector) Total() int64 {
+	if in == nil {
+		return 0
+	}
+	var n int64
+	for _, r := range in.rules {
+		n += r.injected.Load()
+	}
+	return n
+}
+
+// String renders the parsed spec back in canonical form (sorted by point).
+func (in *Injector) String() string {
+	if in == nil {
+		return ""
+	}
+	parts := make([]string, 0, len(in.rules))
+	for _, r := range in.rules {
+		s := r.point + ":" + r.action.String()
+		if r.action == ActSlow {
+			s += "=" + r.delay.String()
+		}
+		if r.rate < 1 {
+			s += "@" + strconv.FormatFloat(r.rate, 'g', -1, 64)
+		}
+		parts = append(parts, s)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}

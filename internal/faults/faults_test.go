@@ -1,0 +1,208 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseEmpty(t *testing.T) {
+	for _, spec := range []string{"", "   ", ";", " ; ; "} {
+		in, err := Parse(spec, 1)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if in != nil {
+			t.Fatalf("Parse(%q) = %v, want nil injector", spec, in)
+		}
+	}
+}
+
+func TestParseValid(t *testing.T) {
+	in, err := Parse("store.open:err@0.3; handler.query:panic ;store.read:slow=50ms;job.run:err", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"store.open", "handler.query", "store.read", "job.run"} {
+		if !in.Enabled(p) {
+			t.Errorf("point %s not enabled", p)
+		}
+	}
+	if in.Enabled("batcher.flight") {
+		t.Error("unruled point reported enabled")
+	}
+	want := "handler.query:panic;job.run:err;store.open:err@0.3;store.read:slow=50ms"
+	if got := in.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	bad := []string{
+		"noaction",      // missing colon
+		"p:frob",        // unknown action
+		"p:err@0",       // rate must be > 0
+		"p:err@1.5",     // rate must be <= 1
+		"p:err@x",       // unparsable rate
+		"p:slow",        // slow needs a duration
+		"p:slow=banana", // bad duration
+		"p:slow=-1s",    // non-positive duration
+		"p:err=arg",     // err takes no argument
+		"P.Q:err",       // uppercase point name
+		"a:err;a:panic", // duplicate point
+		"sp ace:err",    // space in point name
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if err := in.Check("anything"); err != nil {
+		t.Fatalf("nil Check: %v", err)
+	}
+	if in.Enabled("anything") || in.Counts() != nil || in.Total() != 0 || in.String() != "" {
+		t.Fatal("nil injector not a no-op")
+	}
+}
+
+func TestErrAlwaysFires(t *testing.T) {
+	in, err := Parse("store.open:err", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		err := in.Check("store.open")
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: got %v, want ErrInjected", i, err)
+		}
+	}
+	if got := in.Counts()["store.open"]; got != 10 {
+		t.Fatalf("injected count = %d, want 10", got)
+	}
+	if in.Total() != 10 {
+		t.Fatalf("Total() = %d, want 10", in.Total())
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	in, err := Parse("handler.query:panic", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("no panic")
+		}
+		if s, ok := v.(string); !ok || !strings.HasPrefix(s, PanicPrefix) {
+			t.Fatalf("panic value %v lacks PanicPrefix", v)
+		}
+	}()
+	_ = in.Check("handler.query")
+}
+
+func TestSlowAction(t *testing.T) {
+	in, err := Parse("store.read:slow=30ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := in.Check("store.read"); err != nil {
+		t.Fatalf("slow returned error: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("slow returned after %v, want >= 30ms", d)
+	}
+}
+
+// TestDeterministicSchedule: same (spec, seed) → identical fire pattern
+// across runs, regardless of interleaving with other points.
+func TestDeterministicSchedule(t *testing.T) {
+	pattern := func(interleave bool) []bool {
+		in, err := Parse("a.b:err@0.4;c.d:err@0.9", 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for i := 0; i < 200; i++ {
+			if interleave && i%3 == 0 {
+				_ = in.Check("c.d") // extra traffic on another point
+			}
+			out = append(out, in.Check("a.b") != nil)
+		}
+		return out
+	}
+	base := pattern(false)
+	inter := pattern(true)
+	for i := range base {
+		if base[i] != inter[i] {
+			t.Fatalf("hit %d differs under interleaving: %v vs %v", i, base[i], inter[i])
+		}
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	fire := func(seed int64) int {
+		in, _ := Parse("a.b:err@0.5", seed)
+		mask := 0
+		for i := 0; i < 16; i++ {
+			if in.Check("a.b") != nil {
+				mask |= 1 << i
+			}
+		}
+		return mask
+	}
+	a, b := fire(1), fire(2)
+	if a == b {
+		t.Fatalf("seeds 1 and 2 produced identical 16-hit pattern %b", a)
+	}
+}
+
+func TestRateApproximate(t *testing.T) {
+	in, err := Parse("a.b:err@0.3", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if in.Check("a.b") != nil {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.25 || got > 0.35 {
+		t.Fatalf("rate 0.3 fired %.3f of %d hits", got, n)
+	}
+	if c := in.Counts()["a.b"]; c != int64(hits) {
+		t.Fatalf("Counts = %d, want %d", c, hits)
+	}
+}
+
+func TestConcurrentCheck(t *testing.T) {
+	in, err := Parse("a.b:err@0.5", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				_ = in.Check("a.b")
+			}
+		}()
+	}
+	wg.Wait()
+	total := in.Total()
+	if total < 3000 || total > 5000 {
+		t.Fatalf("concurrent Total() = %d, want roughly half of 8000", total)
+	}
+}

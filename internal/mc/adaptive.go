@@ -3,6 +3,7 @@ package mc
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Target is a sequential-stopping accuracy target: keep sampling until the
@@ -30,6 +31,14 @@ type Target struct {
 	// MaxSamples caps the total budget (default 131072). A run stopping at
 	// the cap reports Converged false.
 	MaxSamples int
+	// Deadline, when non-zero, bounds the run in wall-clock time: a new
+	// round is skipped if it is predicted (2× the previous round, since
+	// budgets double) to overshoot the deadline, and the run returns
+	// whatever accuracy the completed rounds achieved (Converged false).
+	// This is the graceful-degradation escape hatch: a deadline-bounded run
+	// trades the schedule's timing-independence for an answer that arrives
+	// in time, so only serving paths under pressure should set it.
+	Deadline time.Time
 }
 
 // WithConfidence returns the sequential-stopping target with CI half-width
@@ -91,6 +100,11 @@ type RunInfo struct {
 	Samples   int
 	Rounds    int
 	Converged bool
+	// AchievedEps is the widest CI half-width across the run's tracked
+	// estimates at stop, filled by adaptive estimators (0 for fixed-budget
+	// runs). For a converged run it is ≤ Target.Eps; for a degraded run it
+	// tells the client how much accuracy the answer actually carries.
+	AchievedEps float64
 }
 
 // RunAdaptive drives a sequential-stopping run in deterministic rounds:
@@ -101,10 +115,23 @@ type RunInfo struct {
 // budgets double from MinSamples and are clamped at MaxSamples, so the
 // schedule — and therefore the stopped estimate — depends only on the
 // Target and the met decisions, never on timing or Workers.
+// Deadline-bounded runs additionally stop between rounds when the deadline
+// has passed or the next round is predicted to overshoot it; at least one
+// round always runs, so a deadline-bounded query degrades to a coarse answer
+// rather than no answer.
 func RunAdaptive(t *Target, run func(offset, n int) error, met func(total int) bool) (RunInfo, error) {
 	d := t.WithDefaults()
 	info := RunInfo{}
+	var lastRound time.Duration
 	for info.Samples < d.MaxSamples {
+		if info.Rounds > 0 && !d.Deadline.IsZero() {
+			now := time.Now()
+			// The next round doubles the total, i.e. redraws as many worlds
+			// as every round so far combined: predict 2× the last duration.
+			if !now.Before(d.Deadline) || now.Add(2*lastRound).After(d.Deadline) {
+				return info, nil
+			}
+		}
 		n := d.MinSamples
 		if info.Samples > 0 {
 			n = info.Samples // double the total each round
@@ -112,9 +139,11 @@ func RunAdaptive(t *Target, run func(offset, n int) error, met func(total int) b
 		if rest := d.MaxSamples - info.Samples; n > rest {
 			n = rest
 		}
+		start := time.Now()
 		if err := run(info.Samples, n); err != nil {
 			return RunInfo{}, err
 		}
+		lastRound = time.Since(start)
 		info.Samples += n
 		info.Rounds++
 		if met(info.Samples) {

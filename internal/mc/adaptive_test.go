@@ -1,0 +1,84 @@
+package mc
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunAdaptiveDeadlineStopsEarly: with a deadline in the past after the
+// first round, the run returns the first round's samples instead of doubling
+// to MaxSamples — and still reports them (never zero rounds).
+func TestRunAdaptiveDeadlineStopsEarly(t *testing.T) {
+	target := &Target{Eps: 0.001, MinSamples: 64, MaxSamples: 1 << 16,
+		Deadline: time.Now().Add(30 * time.Millisecond)}
+	rounds := 0
+	run := func(offset, n int) error {
+		rounds++
+		time.Sleep(40 * time.Millisecond) // first round already blows the deadline
+		return nil
+	}
+	met := func(total int) bool { return false } // never converges on its own
+	info, err := RunAdaptive(target, run, met)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 1 || info.Rounds != 1 {
+		t.Fatalf("ran %d rounds (info %d), want exactly 1", rounds, info.Rounds)
+	}
+	if info.Samples != 64 {
+		t.Fatalf("samples = %d, want first-round 64", info.Samples)
+	}
+	if info.Converged {
+		t.Fatal("deadline-stopped run reported Converged")
+	}
+}
+
+// TestRunAdaptivePredictiveStop: the run skips a round predicted to
+// overshoot, even when the deadline has not yet passed.
+func TestRunAdaptivePredictiveStop(t *testing.T) {
+	target := &Target{Eps: 0.001, MinSamples: 64, MaxSamples: 1 << 16,
+		Deadline: time.Now().Add(80 * time.Millisecond)}
+	rounds := 0
+	run := func(offset, n int) error {
+		rounds++
+		time.Sleep(50 * time.Millisecond)
+		return nil
+	}
+	// After round 1 (~50ms), ~30ms headroom remains but the next round is
+	// predicted at ~100ms → stop without starting it.
+	info, err := RunAdaptive(target, run, func(int) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 1 {
+		t.Fatalf("ran %d rounds, want 1 (predictive stop)", rounds)
+	}
+	if info.Converged {
+		t.Fatal("predictively stopped run reported Converged")
+	}
+}
+
+// TestRunAdaptiveNoDeadlineUnchanged: without a deadline the schedule is the
+// pure doubling schedule, timing-independent.
+func TestRunAdaptiveNoDeadlineUnchanged(t *testing.T) {
+	target := &Target{Eps: 0.01, MinSamples: 100, MaxSamples: 1000}
+	var offsets, budgets []int
+	run := func(offset, n int) error {
+		offsets = append(offsets, offset)
+		budgets = append(budgets, n)
+		return nil
+	}
+	info, err := RunAdaptive(target, run, func(total int) bool { return total >= 400 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOff, wantN := []int{0, 100, 200}, []int{100, 100, 200}
+	for i := range wantOff {
+		if offsets[i] != wantOff[i] || budgets[i] != wantN[i] {
+			t.Fatalf("schedule offsets %v budgets %v, want %v %v", offsets, budgets, wantOff, wantN)
+		}
+	}
+	if !info.Converged || info.Samples != 400 {
+		t.Fatalf("info = %+v, want converged at 400", info)
+	}
+}

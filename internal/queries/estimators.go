@@ -286,6 +286,11 @@ func pairStatsAdaptive(ctx context.Context, g *ugraph.Graph, pairs []Pair, opts 
 	if err != nil {
 		return nil, mc.RunInfo{}, err
 	}
+	for i := range acc {
+		if hw := t.HalfWidth(acc[i].reachable, info.Samples); hw > info.AchievedEps {
+			info.AchievedEps = hw
+		}
+	}
 	return acc, info, nil
 }
 
@@ -503,5 +508,6 @@ func connectedAdaptive(ctx context.Context, g *ugraph.Graph, opts mc.Options) (f
 	if err != nil {
 		return 0, mc.RunInfo{}, err
 	}
+	info.AchievedEps = t.HalfWidth(acc.hits, info.Samples)
 	return float64(acc.hits) / float64(acc.n), info, nil
 }

@@ -2,10 +2,12 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"ugs"
+	"ugs/internal/faults"
 )
 
 // Batcher coalesces concurrent SP/RL queries against the same graph into
@@ -35,18 +37,26 @@ import (
 type Batcher struct {
 	// lifetime bounds flights, which deliberately outlive any individual
 	// request's context: a rider abandoning its wait must not cancel the
-	// worlds other riders are being served from.
+	// worlds other riders are being served from. Each flight runs under a
+	// cancellable child of lifetime, though — when EVERY rider of a running
+	// flight has abandoned it, the flight is cancelled so the Monte-Carlo
+	// engine stops at its next block boundary instead of computing answers
+	// nobody will read (that is how request deadlines propagate into merged
+	// flights at batch granularity).
 	lifetime context.Context
 	run      pairRunner
 	workers  int
+	faults   *faults.Injector
 
 	mu     sync.Mutex
 	groups map[groupKey]*batchGroup
 
-	flights   atomic.Int64
-	requests  atomic.Int64
-	coalesced atomic.Int64
-	maxFlight atomic.Int64
+	flights          atomic.Int64
+	requests         atomic.Int64
+	coalesced        atomic.Int64
+	maxFlight        atomic.Int64
+	abandonedFlights atomic.Int64
+	panics           atomic.Int64
 }
 
 // pairRunner evaluates the merged pair list; swapped out by tests to gate
@@ -76,11 +86,21 @@ type batchGroup struct {
 	active  bool
 }
 
+// flightRun tracks the riders of one running flight. live counts riders
+// still waiting on it; the last abandoning rider cancels the flight context.
+// All transitions happen under the batcher mutex.
+type flightRun struct {
+	live   int
+	cancel context.CancelFunc
+}
+
 type pairReq struct {
 	pairs  []ugs.Pair
 	done   chan struct{}
 	sp, rl []float64
 	err    error
+	grp    *batchGroup // for removal from pending on early abandon
+	flight *flightRun  // non-nil once drafted into a running flight
 }
 
 // NewBatcher returns a batcher whose flights live until lifetime is
@@ -113,6 +133,7 @@ func (b *Batcher) PairQuery(ctx context.Context, graphID string, g *ugs.Graph, p
 		grp = &batchGroup{key: key, g: g, opts: opts}
 		b.groups[key] = grp
 	}
+	req.grp = grp
 	grp.pending = append(grp.pending, req)
 	if !grp.active {
 		grp.active = true
@@ -124,7 +145,38 @@ func (b *Batcher) PairQuery(ctx context.Context, graphID string, g *ugs.Graph, p
 	case <-req.done:
 		return req.sp, req.rl, req.err
 	case <-ctx.Done():
+		b.abandon(req)
 		return nil, nil, ctx.Err()
+	}
+}
+
+// abandon detaches a rider whose context expired: removed from the pending
+// queue if not yet drafted, otherwise struck from its flight's live count —
+// and the rider whose departure empties a flight cancels it, so a merged
+// run whose every requester hit its deadline stops early instead of running
+// the full sample budget for nobody.
+func (b *Batcher) abandon(req *pairReq) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case <-req.done:
+		return // results landed while we took the lock; nothing to undo
+	default:
+	}
+	if fl := req.flight; fl != nil {
+		fl.live--
+		if fl.live == 0 {
+			fl.cancel()
+			b.abandonedFlights.Add(1)
+		}
+		return
+	}
+	pending := req.grp.pending
+	for i, r := range pending {
+		if r == req {
+			req.grp.pending = append(pending[:i], pending[i+1:]...)
+			return
+		}
 	}
 }
 
@@ -133,6 +185,7 @@ func (b *Batcher) PairQuery(ctx context.Context, graphID string, g *ugs.Graph, p
 // retires it.
 func (b *Batcher) flightLoop(grp *batchGroup) {
 	for {
+		fctx, fcancel := context.WithCancel(b.lifetime)
 		b.mu.Lock()
 		reqs := grp.pending
 		grp.pending = nil
@@ -140,7 +193,14 @@ func (b *Batcher) flightLoop(grp *batchGroup) {
 			grp.active = false
 			delete(b.groups, grp.key)
 			b.mu.Unlock()
+			fcancel()
 			return
+		}
+		// Draft the riders: from here, an expiring rider decrements live
+		// instead of leaving pending, and the last one out cancels fctx.
+		fl := &flightRun{live: len(reqs), cancel: fcancel}
+		for _, r := range reqs {
+			r.flight = fl
 		}
 		b.mu.Unlock()
 
@@ -164,7 +224,15 @@ func (b *Batcher) flightLoop(grp *batchGroup) {
 		}
 		opts := grp.opts
 		opts.Workers = b.workers
-		sp, rl, err := b.run(b.lifetime, grp.g, merged, opts)
+		sp, rl, err := b.runFlight(fctx, grp.g, merged, opts)
+		fcancel()
+		// Detach the riders before delivering: a rider whose deadline fires
+		// after this point must not touch the settled flight's counters.
+		b.mu.Lock()
+		for _, r := range reqs {
+			r.flight = nil
+		}
+		b.mu.Unlock()
 		off := 0
 		for _, r := range reqs {
 			n := len(r.pairs)
@@ -180,21 +248,46 @@ func (b *Batcher) flightLoop(grp *batchGroup) {
 	}
 }
 
+// runFlight executes one merged run with panic containment: a panicking
+// estimator (or an injected batcher.flight fault) fails this flight's riders
+// with a clean error instead of killing the process, and the conveyor keeps
+// serving subsequent flights.
+func (b *Batcher) runFlight(ctx context.Context, g *ugs.Graph, pairs []ugs.Pair, opts ugs.MCOptions) (sp, rl []float64, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			b.panics.Add(1)
+			sp, rl = nil, nil
+			err = fmt.Errorf("batcher: recovered flight panic: %v", v)
+		}
+	}()
+	if err := b.faults.Check("batcher.flight"); err != nil {
+		return nil, nil, err
+	}
+	return b.run(ctx, g, pairs, opts)
+}
+
 // BatcherStats is a point-in-time counter snapshot.
 type BatcherStats struct {
 	Flights   int64 `json:"flights"`
 	Requests  int64 `json:"requests"`
 	Coalesced int64 `json:"coalesced"`
 	MaxFlight int64 `json:"max_flight_requests"`
+	// AbandonedFlights counts flights cancelled because every rider's
+	// deadline expired; Panics counts estimator panics contained to one
+	// flight's riders.
+	AbandonedFlights int64 `json:"abandoned_flights"`
+	Panics           int64 `json:"panics"`
 }
 
 // Stats snapshots the batcher counters. Coalesced counts requests that
 // shared a flight started for (or with) another request.
 func (b *Batcher) Stats() BatcherStats {
 	return BatcherStats{
-		Flights:   b.flights.Load(),
-		Requests:  b.requests.Load(),
-		Coalesced: b.coalesced.Load(),
-		MaxFlight: b.maxFlight.Load(),
+		Flights:          b.flights.Load(),
+		Requests:         b.requests.Load(),
+		Coalesced:        b.coalesced.Load(),
+		MaxFlight:        b.maxFlight.Load(),
+		AbandonedFlights: b.abandonedFlights.Load(),
+		Panics:           b.panics.Load(),
 	}
 }

@@ -132,6 +132,39 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, error)
 	return f.val, false, f.err
 }
 
+// Replace installs val under key, overwriting any resident entry — the
+// stale-while-revalidate path: a background recompute swaps its fresh result
+// in under the same key so later hits stop serving the degraded one. The
+// displaced value (if any) is handed to the eviction callback. A no-op when
+// retention is disabled.
+func (c *Cache[V]) Replace(key string, val V) {
+	if c.capacity <= 0 {
+		return
+	}
+	var displaced *cacheEntry[V]
+	c.mu.Lock()
+	if elem, ok := c.entries[key]; ok {
+		e := elem.Value.(*cacheEntry[V])
+		displaced = &cacheEntry[V]{key: e.key, val: e.val}
+		e.val = val
+		c.ll.MoveToFront(elem)
+	} else {
+		c.entries[key] = c.ll.PushFront(&cacheEntry[V]{key: key, val: val})
+		if c.ll.Len() > c.capacity {
+			oldest := c.ll.Back()
+			e := oldest.Value.(*cacheEntry[V])
+			c.ll.Remove(oldest)
+			delete(c.entries, e.key)
+			displaced = e
+			c.evictions.Add(1)
+		}
+	}
+	c.mu.Unlock()
+	if displaced != nil && c.onEvict != nil {
+		c.onEvict(displaced.key, displaced.val)
+	}
+}
+
 // Len reports the number of resident entries.
 func (c *Cache[V]) Len() int {
 	c.mu.Lock()

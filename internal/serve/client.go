@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is the Go client for ugs-serve. It speaks the typed error envelope
+// (failures surface as *APIError, so callers branch on Code) and retries
+// retryable rejections — overloaded, quarantined, draining — with capped
+// exponential backoff and full jitter, honouring the server's Retry-After
+// hint when one is given. Only idempotent calls are ever retried: queries,
+// sparsifications (deterministic and cached server-side) and reads. Uploads
+// and job creation fail straight back to the caller.
+type Client struct {
+	base       string
+	hc         *http.Client
+	maxRetries int
+	backoff    time.Duration
+	maxBackoff time.Duration
+
+	// sleep and rng are injectable so retry schedules are testable without
+	// wall-clock waits or nondeterminism.
+	sleep func(context.Context, time.Duration) error
+	rng   func() float64
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) ClientOption { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times a retryable idempotent request is retried
+// after its first attempt (default 3; 0 disables retries).
+func WithRetries(n int) ClientOption { return func(c *Client) { c.maxRetries = n } }
+
+// WithBackoff sets the initial and maximum retry backoff (defaults 100ms
+// and 5s). The server's Retry-After hint overrides the computed backoff but
+// is still capped at max.
+func WithBackoff(initial, max time.Duration) ClientOption {
+	return func(c *Client) { c.backoff, c.maxBackoff = initial, max }
+}
+
+// NewClient builds a client for the server at base (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
+		base:       base,
+		hc:         &http.Client{},
+		maxRetries: 3,
+		backoff:    100 * time.Millisecond,
+		maxBackoff: 5 * time.Second,
+		rng:        rand.Float64,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Query runs a Monte-Carlo query.
+func (c *Client) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+	var resp QueryResponse
+	// Queries are pure reads: always safe to retry.
+	if err := c.do(ctx, http.MethodPost, "/v1/query", req, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Sparsify runs (or fetches the cached result of) a synchronous
+// sparsification. Idempotent: the server keys results by the full request,
+// so a retried request lands on the cache.
+func (c *Client) Sparsify(ctx context.Context, req *SparsifyRequest) (*SparsifyResponse, error) {
+	var resp SparsifyResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sparsify", req, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// CreateJob starts an async sparsification. Not idempotent — a retry would
+// enqueue a second job — so failures return immediately.
+func (c *Client) CreateJob(ctx context.Context, req *SparsifyRequest) (*JobStatus, error) {
+	var resp JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &resp, false); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var resp JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Graphs lists the registered graphs.
+func (c *Client) Graphs(ctx context.Context) ([]GraphInfo, error) {
+	var resp []GraphInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/graphs", nil, &resp, true); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var resp StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health probes /healthz (no retries beyond the idempotent default).
+func (c *Client) Health(ctx context.Context) error {
+	var resp map[string]string
+	return c.do(ctx, http.MethodGet, "/healthz", nil, &resp, true)
+}
+
+// retryable reports whether an APIError is worth retrying: the server said
+// "come back later", not "this request is wrong".
+func retryable(e *APIError) bool {
+	switch e.Code {
+	case CodeOverloaded, CodeQuarantined, CodeDraining:
+		return true
+	}
+	return false
+}
+
+// do runs one logical request through the retry loop. body (when non-nil) is
+// marshalled once and replayed on each attempt; out receives the decoded
+// 2xx response. Non-2xx responses decode into *APIError; only idempotent
+// requests with retryable codes (or transport errors) are retried.
+func (c *Client) do(ctx context.Context, method, path string, body, out any, idempotent bool) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	backoff := c.backoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		apiErr, err := c.once(ctx, method, path, payload, out)
+		if err == nil && apiErr == nil {
+			return nil
+		}
+		retry := idempotent
+		wait := backoff
+		switch {
+		case apiErr != nil:
+			lastErr = apiErr
+			retry = retry && retryable(apiErr)
+			// The server's hint wins over the local schedule when present.
+			if ra := time.Duration(apiErr.RetryAfterMS) * time.Millisecond; ra > 0 {
+				wait = ra
+			}
+		default:
+			lastErr = err
+			// Transport-level failure: the request may never have reached
+			// the server, so even "POST" queries are safe only when marked
+			// idempotent.
+		}
+		if !retry || attempt >= c.maxRetries || ctx.Err() != nil {
+			return lastErr
+		}
+		if wait > c.maxBackoff {
+			wait = c.maxBackoff
+		}
+		// Full jitter: sleep uniformly in [wait/2, wait] so synchronized
+		// clients spread out instead of retrying in lockstep.
+		wait = wait/2 + time.Duration(c.rng()*float64(wait/2))
+		if err := c.sleep(ctx, wait); err != nil {
+			return lastErr
+		}
+		backoff *= 2
+	}
+}
+
+// once performs a single HTTP attempt. A non-2xx status returns the decoded
+// envelope as apiErr (falling back to a synthesized APIError for non-envelope
+// bodies — which the service itself never produces).
+func (c *Client) once(ctx context.Context, method, path string, payload []byte, out any) (apiErr *APIError, err error) {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var env errorEnvelope
+		if jsonErr := json.Unmarshal(raw, &env); jsonErr == nil && env.Error.Code != "" {
+			e := env.Error
+			if e.RetryAfterMS == 0 {
+				// Header-only hint (proxies sometimes strip bodies).
+				if secs, _ := strconv.Atoi(resp.Header.Get("Retry-After")); secs > 0 {
+					e.RetryAfterMS = int64(secs) * 1000
+				}
+			}
+			return &e, nil
+		}
+		return &APIError{Code: CodeInternal,
+			Message: fmt.Sprintf("HTTP %d: %s", resp.StatusCode, truncate(string(raw), 200))}, nil
+	}
+	if out == nil {
+		return nil, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return nil, fmt.Errorf("decoding %s %s response: %w", method, path, err)
+	}
+	return nil, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// IsRetryable reports whether err is a server rejection a caller could retry
+// later (overloaded, quarantined, draining).
+func IsRetryable(err error) bool {
+	var e *APIError
+	return errors.As(err, &e) && retryable(e)
+}

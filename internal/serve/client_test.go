@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testClient wires a deterministic client to a handler: jitter pinned to the
+// upper bound (rng → 1), sleeps recorded instead of slept.
+func testClient(t *testing.T, h http.Handler, opts ...ClientOption) (*Client, *[]time.Duration) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	var slept []time.Duration
+	c := NewClient(srv.URL, opts...)
+	c.rng = func() float64 { return 1 }
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	return c, &slept
+}
+
+// TestClientRetriesOverloaded: 429 responses are retried with the server's
+// Retry-After hint, and the call succeeds once capacity frees.
+func TestClientRetriesOverloaded(t *testing.T) {
+	var calls atomic.Int64
+	c, slept := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			writeError(w, http.StatusTooManyRequests, CodeOverloaded, "full", 250*time.Millisecond)
+			return
+		}
+		writeJSON(w, http.StatusOK, StatsResponse{Graphs: 7})
+	}))
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Graphs != 7 {
+		t.Fatalf("graphs = %d, want 7", st.Graphs)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	// Retry-After 250ms beats the default 100ms schedule; jitter pinned to
+	// the upper bound keeps the full hint.
+	if len(*slept) != 2 || (*slept)[0] != 250*time.Millisecond {
+		t.Fatalf("sleeps = %v, want two 250ms waits", *slept)
+	}
+}
+
+// TestClientDoesNotRetryBadRequest: a 400 is the caller's fault; retrying
+// cannot fix it.
+func TestClientDoesNotRetryBadRequest(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "alpha out of range", 0)
+	}))
+	_, err := c.Query(context.Background(), &QueryRequest{Graph: "g", Kind: "reliability"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeBadRequest {
+		t.Fatalf("err = %v, want bad_request APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retries)", calls.Load())
+	}
+	if IsRetryable(err) {
+		t.Fatal("bad_request reported retryable")
+	}
+}
+
+// TestClientDoesNotRetryNonIdempotent: job creation is never retried, even
+// on a retryable rejection — a second attempt could enqueue a second job.
+func TestClientDoesNotRetryNonIdempotent(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "shutting down", time.Second)
+	}))
+	_, err := c.CreateJob(context.Background(), &SparsifyRequest{Graph: "g", Alpha: 0.5})
+	if !IsRetryable(err) {
+		t.Fatalf("err = %v, want retryable draining APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1 (non-idempotent)", calls.Load())
+	}
+}
+
+// TestClientBackoffDoublesAndCaps: without a server hint the local schedule
+// doubles from the initial backoff and respects the cap and retry budget.
+func TestClientBackoffDoublesAndCaps(t *testing.T) {
+	c, slept := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// No Retry-After: force the client onto its own schedule.
+		writeError(w, http.StatusServiceUnavailable, CodeQuarantined, "backing off", 0)
+	}), WithRetries(4), WithBackoff(100*time.Millisecond, 400*time.Millisecond))
+	_, err := c.Stats(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeQuarantined {
+		t.Fatalf("err = %v, want quarantined APIError", err)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 400 * time.Millisecond}
+	if len(*slept) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", *slept, want)
+	}
+	for i := range want {
+		if (*slept)[i] != want[i] {
+			t.Fatalf("sleeps = %v, want %v", *slept, want)
+		}
+	}
+}
+
+// TestClientJitterSpreadsRetries: with rng at the lower bound the wait
+// halves — synchronized clients must not retry in lockstep.
+func TestClientJitterSpreadsRetries(t *testing.T) {
+	var calls atomic.Int64
+	c, slept := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			writeError(w, http.StatusTooManyRequests, CodeOverloaded, "full", 2*time.Second)
+			return
+		}
+		writeJSON(w, http.StatusOK, StatsResponse{})
+	}))
+	c.rng = func() float64 { return 0 }
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(*slept) != 1 || (*slept)[0] != time.Second {
+		t.Fatalf("sleeps = %v, want one 1s wait (half of the 2s hint)", *slept)
+	}
+}
+
+// TestClientNonEnvelopeError: a non-JSON error body (a proxy, a crash before
+// the envelope) still surfaces as an APIError rather than a decode failure.
+func TestClientNonEnvelopeError(t *testing.T) {
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+	}))
+	_, err := c.Stats(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeInternal {
+		t.Fatalf("err = %v, want synthesized internal APIError", err)
+	}
+}

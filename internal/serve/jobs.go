@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ugs"
+	"ugs/internal/faults"
 )
 
 // JobState is the lifecycle of an async sparsify job.
@@ -31,8 +33,10 @@ const maxFinishedJobs = 64
 // and shutdown waits for every worker goroutine to exit (each observes the
 // server's base context, so graceful shutdown aborts long runs promptly).
 type Jobs struct {
-	base context.Context
-	wg   sync.WaitGroup
+	base   context.Context
+	wg     sync.WaitGroup
+	faults *faults.Injector
+	panics atomic.Int64
 
 	mu  sync.Mutex
 	seq int
@@ -80,7 +84,7 @@ func (j *Jobs) Start(compute func(ctx context.Context, progress func(ugs.RunStat
 	go func() {
 		defer j.wg.Done()
 		defer cancel()
-		res, err := compute(ctx, job.onProgress)
+		res, err := j.runJob(ctx, job, compute)
 		job.mu.Lock()
 		defer job.mu.Unlock()
 		job.finished = time.Now()
@@ -97,6 +101,23 @@ func (j *Jobs) Start(compute func(ctx context.Context, progress func(ugs.RunStat
 		}
 	}()
 	return job
+}
+
+// runJob executes compute with panic containment: a panicking sparsifier
+// (or an injected job.run fault) fails this one job instead of killing the
+// process — the job goroutine is outside any HTTP handler, so without this
+// recover a single panic would take down the whole service.
+func (j *Jobs) runJob(ctx context.Context, job *Job, compute func(ctx context.Context, progress func(ugs.RunStats)) (*SparsifyResponse, error)) (res *SparsifyResponse, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			j.panics.Add(1)
+			res, err = nil, fmt.Errorf("job %s: recovered panic: %v", job.id, v)
+		}
+	}()
+	if err := j.faults.Check("job.run"); err != nil {
+		return nil, err
+	}
+	return compute(ctx, job.onProgress)
 }
 
 // pruneLocked drops the oldest-finished jobs beyond maxFinishedJobs.
@@ -153,6 +174,24 @@ func (j *Jobs) Cancel(id string) bool {
 	}
 	return ok
 }
+
+// CancelAll force-cancels every running job's own context — the shutdown
+// backstop when cancelling the base context was not enough (a compute that
+// derived further child contexts, or a caller that never cancelled base).
+func (j *Jobs) CancelAll() {
+	j.mu.Lock()
+	jobs := make([]*Job, 0, len(j.m))
+	for _, job := range j.m {
+		jobs = append(jobs, job)
+	}
+	j.mu.Unlock()
+	for _, job := range jobs {
+		job.cancel()
+	}
+}
+
+// Panics reports the number of job panics recovered.
+func (j *Jobs) Panics() int64 { return j.panics.Load() }
 
 // Wait blocks until every job goroutine has exited or the timeout elapses,
 // reporting whether the drain completed. Cancel the base context first to

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOverloaded is returned by Limiter.Acquire when the wait queue is full:
+// the server is saturated and the request should be shed, not parked.
+var ErrOverloaded = errors.New("overloaded: admission queue full")
+
+// Limiter is a weighted-concurrency admission controller: each request
+// declares a cost (for queries, samples × lanes × graph arcs — the work the
+// Monte-Carlo engine will actually stream) and Acquire admits it when the
+// outstanding cost fits the capacity. Requests that do not fit park in a
+// bounded FIFO queue; when the queue is full they are shed immediately with
+// ErrOverloaded so the client can back off, instead of piling up goroutines
+// until memory or tail latency gives out.
+//
+// Admission is strictly FIFO — a cheap request never barges past a queued
+// expensive one, so heavy adaptive queries cannot be starved by a stream of
+// point lookups. A cost larger than the whole capacity is clamped to it:
+// oversized work is admitted (alone) when the limiter fully drains rather
+// than rejected forever.
+type Limiter struct {
+	capacity int64
+	maxQueue int
+
+	mu      sync.Mutex
+	inUse   int64
+	waiters *list.List // of *limiterWaiter, FIFO
+
+	admitted  int64
+	shed      int64
+	cancelled int64
+	queuedAcc int64 // total requests that ever queued (for stats)
+
+	// ewmaWait tracks a decaying mean of recent queue waits, feeding the
+	// Retry-After hint handed to shed clients.
+	ewmaWait time.Duration
+}
+
+type limiterWaiter struct {
+	cost  int64
+	ready chan struct{}
+	since time.Time
+}
+
+// NewLimiter builds a limiter admitting up to capacity units of outstanding
+// cost with at most maxQueue requests waiting. capacity <= 0 disables
+// limiting entirely (Acquire always admits); maxQueue < 0 means an unbounded
+// queue (never shed).
+func NewLimiter(capacity int64, maxQueue int) *Limiter {
+	return &Limiter{capacity: capacity, maxQueue: maxQueue, waiters: list.New()}
+}
+
+// Acquire admits cost units of work, blocking in FIFO order until capacity
+// frees, ctx is done, or the queue is full (ErrOverloaded). On success the
+// caller must call the returned release exactly once when the work finishes.
+func (l *Limiter) Acquire(ctx context.Context, cost int64) (release func(), err error) {
+	if l == nil || l.capacity <= 0 {
+		return func() {}, nil
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	if cost > l.capacity {
+		cost = l.capacity
+	}
+
+	l.mu.Lock()
+	// Admit immediately only when capacity fits AND nobody is ahead of us —
+	// the no-barging rule that keeps admission FIFO.
+	if l.waiters.Len() == 0 && l.inUse+cost <= l.capacity {
+		l.inUse += cost
+		l.admitted++
+		l.mu.Unlock()
+		return l.releaseFunc(cost), nil
+	}
+	if l.maxQueue >= 0 && l.waiters.Len() >= l.maxQueue {
+		l.shed++
+		l.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	w := &limiterWaiter{cost: cost, ready: make(chan struct{}), since: time.Now()}
+	elem := l.waiters.PushBack(w)
+	l.queuedAcc++
+	l.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		// Admitted by a releaser, which already accounted our cost.
+		l.mu.Lock()
+		l.noteWait(time.Since(w.since))
+		l.mu.Unlock()
+		return l.releaseFunc(cost), nil
+	case <-ctx.Done():
+		l.mu.Lock()
+		select {
+		case <-w.ready:
+			// Lost the race: a release admitted us between ctx firing and
+			// taking the lock. Hand the capacity straight back.
+			l.inUse -= cost
+			l.admitNextLocked()
+		default:
+			l.waiters.Remove(elem)
+			l.cancelled++
+		}
+		l.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+func (l *Limiter) releaseFunc(cost int64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			l.mu.Lock()
+			l.inUse -= cost
+			l.admitNextLocked()
+			l.mu.Unlock()
+		})
+	}
+}
+
+// admitNextLocked admits queued waiters in FIFO order while they fit.
+func (l *Limiter) admitNextLocked() {
+	for e := l.waiters.Front(); e != nil; e = l.waiters.Front() {
+		w := e.Value.(*limiterWaiter)
+		if l.inUse+w.cost > l.capacity {
+			return // head doesn't fit; nobody behind it may barge
+		}
+		l.inUse += w.cost
+		l.admitted++
+		l.waiters.Remove(e)
+		close(w.ready)
+	}
+}
+
+// noteWait folds a completed queue wait into the decaying mean (α = 1/4).
+func (l *Limiter) noteWait(d time.Duration) {
+	if l.ewmaWait == 0 {
+		l.ewmaWait = d
+		return
+	}
+	l.ewmaWait += (d - l.ewmaWait) / 4
+}
+
+// Pressure reports saturation in [0, +∞): outstanding plus queued cost over
+// capacity. ≥ 1 means the limiter is full and new work queues; the server
+// starts degrading adaptive budgets well before that (see degradePressure).
+func (l *Limiter) Pressure() float64 {
+	if l == nil || l.capacity <= 0 {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	queued := int64(0)
+	for e := l.waiters.Front(); e != nil; e = e.Next() {
+		queued += e.Value.(*limiterWaiter).cost
+	}
+	return float64(l.inUse+queued) / float64(l.capacity)
+}
+
+// RetryAfter suggests how long a shed client should wait before retrying:
+// the recent mean queue wait, clamped to [1s, 30s].
+func (l *Limiter) RetryAfter() time.Duration {
+	if l == nil {
+		return time.Second
+	}
+	l.mu.Lock()
+	d := l.ewmaWait
+	l.mu.Unlock()
+	if d < time.Second {
+		return time.Second
+	}
+	if d > 30*time.Second {
+		return 30 * time.Second
+	}
+	return d
+}
+
+// LimiterStats is a point-in-time snapshot for /v1/stats.
+type LimiterStats struct {
+	Capacity  int64   `json:"capacity"`
+	InUse     int64   `json:"in_use"`
+	Queued    int     `json:"queued"`
+	MaxQueue  int     `json:"max_queue"`
+	Admitted  int64   `json:"admitted"`
+	Shed      int64   `json:"shed"`
+	Cancelled int64   `json:"cancelled_waits"`
+	EverQueue int64   `json:"total_queued"`
+	Pressure  float64 `json:"pressure"`
+}
+
+// Stats snapshots the limiter. Nil-safe (an unlimited server reports zeroes).
+func (l *Limiter) Stats() LimiterStats {
+	if l == nil || l.capacity <= 0 {
+		return LimiterStats{}
+	}
+	l.mu.Lock()
+	queued := int64(0)
+	n := 0
+	for e := l.waiters.Front(); e != nil; e = e.Next() {
+		queued += e.Value.(*limiterWaiter).cost
+		n++
+	}
+	s := LimiterStats{
+		Capacity:  l.capacity,
+		InUse:     l.inUse,
+		Queued:    n,
+		MaxQueue:  l.maxQueue,
+		Admitted:  l.admitted,
+		Shed:      l.shed,
+		Cancelled: l.cancelled,
+		EverQueue: l.queuedAcc,
+		Pressure:  float64(l.inUse+queued) / float64(l.capacity),
+	}
+	l.mu.Unlock()
+	return s
+}

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustAcquire(t *testing.T, l *Limiter, cost int64) func() {
+	t.Helper()
+	rel, err := l.Acquire(context.Background(), cost)
+	if err != nil {
+		t.Fatalf("Acquire(%d): %v", cost, err)
+	}
+	return rel
+}
+
+func TestLimiterAdmitsWithinCapacity(t *testing.T) {
+	l := NewLimiter(10, 0)
+	r1 := mustAcquire(t, l, 4)
+	r2 := mustAcquire(t, l, 6)
+	if got := l.Stats().InUse; got != 10 {
+		t.Fatalf("InUse = %d, want 10", got)
+	}
+	r1()
+	r1() // release is idempotent
+	r2()
+	if got := l.Stats().InUse; got != 0 {
+		t.Fatalf("InUse after release = %d, want 0", got)
+	}
+	if got := l.Stats().Admitted; got != 2 {
+		t.Fatalf("Admitted = %d, want 2", got)
+	}
+}
+
+func TestLimiterShedsWhenQueueFull(t *testing.T) {
+	l := NewLimiter(1, 0) // no queue at all
+	rel := mustAcquire(t, l, 1)
+	defer rel()
+	if _, err := l.Acquire(context.Background(), 1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("got %v, want ErrOverloaded", err)
+	}
+	if got := l.Stats().Shed; got != 1 {
+		t.Fatalf("Shed = %d, want 1", got)
+	}
+}
+
+func TestLimiterQueueFIFO(t *testing.T) {
+	// Capacity equals one request's cost, so waiters are admitted strictly
+	// one at a time: each admission is observable in queue order.
+	l := NewLimiter(2, 10)
+	rel := mustAcquire(t, l, 2)
+
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Stagger entry so queue order is deterministic.
+			time.Sleep(time.Duration(i) * 20 * time.Millisecond)
+			r := mustAcquire(t, l, 2)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			r()
+		}(i)
+	}
+	time.Sleep(120 * time.Millisecond) // let all three queue
+	rel()
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("admission order %v, want [0 1 2]", order)
+		}
+	}
+}
+
+// A cheap request must not barge past a queued expensive one.
+func TestLimiterNoBarging(t *testing.T) {
+	l := NewLimiter(10, 10)
+	rel := mustAcquire(t, l, 8) // 2 units free
+
+	bigDone := make(chan struct{})
+	go func() {
+		r := mustAcquire(t, l, 10) // queues: does not fit
+		close(bigDone)
+		r()
+	}()
+	time.Sleep(50 * time.Millisecond) // big request is queued
+
+	// Cost 2 fits the free capacity but must wait behind the big one.
+	smallDone := make(chan struct{})
+	go func() {
+		r := mustAcquire(t, l, 2)
+		close(smallDone)
+		r()
+	}()
+	select {
+	case <-smallDone:
+		t.Fatal("small request barged past queued big request")
+	case <-time.After(80 * time.Millisecond):
+	}
+
+	rel() // big admitted first, then small
+	<-bigDone
+	<-smallDone
+}
+
+func TestLimiterCancelWhileQueued(t *testing.T) {
+	l := NewLimiter(1, 5)
+	rel := mustAcquire(t, l, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := l.Acquire(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	st := l.Stats()
+	if st.Cancelled != 1 || st.Queued != 0 {
+		t.Fatalf("Cancelled=%d Queued=%d, want 1, 0", st.Cancelled, st.Queued)
+	}
+	rel()
+	// Capacity must be fully available again.
+	mustAcquire(t, l, 1)()
+}
+
+func TestLimiterOversizedCostClamped(t *testing.T) {
+	l := NewLimiter(5, 5)
+	rel, err := l.Acquire(context.Background(), 1_000_000)
+	if err != nil {
+		t.Fatalf("oversized request rejected: %v", err)
+	}
+	if got := l.Stats().InUse; got != 5 {
+		t.Fatalf("InUse = %d, want clamped 5", got)
+	}
+	rel()
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	var l *Limiter
+	rel, err := l.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	if p := l.Pressure(); p != 0 {
+		t.Fatalf("nil Pressure = %v", p)
+	}
+	l0 := NewLimiter(0, 0)
+	rel, err = l0.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+}
+
+func TestLimiterPressure(t *testing.T) {
+	l := NewLimiter(10, 10)
+	if p := l.Pressure(); p != 0 {
+		t.Fatalf("idle pressure = %v", p)
+	}
+	rel := mustAcquire(t, l, 5)
+	if p := l.Pressure(); p != 0.5 {
+		t.Fatalf("pressure = %v, want 0.5", p)
+	}
+	rel()
+}

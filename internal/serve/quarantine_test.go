@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ugs"
+	"ugs/internal/faults"
+)
+
+// writeCorruptUgsb writes a file with a .ugsb extension that cannot pass
+// header validation.
+func writeCorruptUgsb(t *testing.T, dir, name string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte("definitely not a ugsb header"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestQuarantineBootSurvivesCorruptFile: a corrupt .ugsb must not abort
+// LoadDir; the healthy graphs serve, the corrupt name is quarantined with a
+// typed error, and the file is NOT re-validated per request while under
+// backoff.
+func TestQuarantineBootSurvivesCorruptFile(t *testing.T) {
+	dir, _ := writeUgsbDir(t, 2)
+	writeCorruptUgsb(t, dir, "bad.ugsb")
+
+	s := NewStore(StoreConfig{QuarantineBase: time.Hour})
+	t.Cleanup(func() { s.Close() })
+	names, err := s.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Fatalf("registered %v, want 3 names", names)
+	}
+
+	// Healthy graphs serve normally.
+	_, _, release, err := s.Acquire("g0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+
+	// The corrupt one rejects with the typed quarantine error, repeatedly,
+	// without extra load attempts (failures stays 1 under backoff).
+	for i := 0; i < 5; i++ {
+		_, _, _, err := s.Acquire("bad")
+		if !errors.Is(err, ErrQuarantined) {
+			t.Fatalf("acquire %d: got %v, want ErrQuarantined", i, err)
+		}
+		var qe *QuarantineError
+		if !errors.As(err, &qe) {
+			t.Fatalf("error %v is not a *QuarantineError", err)
+		}
+		if qe.Failures != 1 {
+			t.Fatalf("failures = %d, want 1 (no re-probe under backoff)", qe.Failures)
+		}
+		if !qe.Until.After(time.Now()) {
+			t.Fatalf("until %v not in the future", qe.Until)
+		}
+	}
+	st := s.Stats()
+	if st.LoadFailures != 1 || st.Quarantined != 1 || st.QuarantineRejects != 5 {
+		t.Fatalf("stats = %+v, want 1 failure, 1 quarantined, 5 rejects", st)
+	}
+}
+
+// TestQuarantineBackoffDoublesAndRecovers: each failed probe doubles the
+// backoff; once the file is healthy again a probe clears the quarantine.
+func TestQuarantineBackoffDoublesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	path := writeCorruptUgsb(t, dir, "flaky.ugsb")
+
+	s := NewStore(StoreConfig{QuarantineBase: time.Second, QuarantineMax: 8 * time.Second})
+	t.Cleanup(func() { s.Close() })
+	now := time.Unix(1_000_000, 0)
+	s.now = func() time.Time { return now }
+	if _, err := s.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Probe at t+1s, t+3s, t+7s: each fails against the same bytes and
+	// doubles the window (1s → 2s → 4s).
+	wantBackoff := []time.Duration{2 * time.Second, 4 * time.Second}
+	for i, wait := range []time.Duration{time.Second, 3 * time.Second} {
+		now = now.Add(wait)
+		_, _, _, err := s.Acquire("flaky")
+		var qe *QuarantineError
+		if !errors.As(err, &qe) {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+		if qe.Failures != i+2 {
+			t.Fatalf("probe %d: failures = %d, want %d", i, qe.Failures, i+2)
+		}
+		if got := qe.Until.Sub(now); got != wantBackoff[i] {
+			t.Fatalf("probe %d: backoff = %v, want %v", i, got, wantBackoff[i])
+		}
+	}
+
+	// Repair the file. The changed fingerprint clears quarantine without
+	// waiting out the backoff.
+	if err := ugs.WriteBinaryGraphFile(path, ugs.FlickrLike(60, 7)); err != nil {
+		t.Fatal(err)
+	}
+	g, id, release, err := s.Acquire("flaky")
+	if err != nil {
+		t.Fatalf("acquire after repair: %v", err)
+	}
+	if g.NumVertices() == 0 || id == "" {
+		t.Fatal("empty graph after recovery")
+	}
+	release()
+	if st := s.Stats(); st.Quarantined != 0 {
+		t.Fatalf("still quarantined after recovery: %+v", st)
+	}
+}
+
+// TestQuarantineBackoffCap: backoff stops doubling at QuarantineMax.
+func TestQuarantineBackoffCap(t *testing.T) {
+	s := NewStore(StoreConfig{QuarantineBase: time.Second, QuarantineMax: 4 * time.Second})
+	t.Cleanup(func() { s.Close() })
+	if got := s.quarBackoff(10); got != 4*time.Second {
+		t.Fatalf("quarBackoff(10) = %v, want cap 4s", got)
+	}
+}
+
+// TestQuarantineViaFaultInjection: with store.open erring on every load, a
+// post-eviction reload quarantines the graph even though its bytes are fine.
+func TestQuarantineViaFaultInjection(t *testing.T) {
+	dir, size := writeUgsbDir(t, 2)
+	inj, err := faults.Parse("store.open:err@0.5", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(StoreConfig{BudgetBytes: size + size/2, // fits 1 of 2
+		QuarantineBase: time.Millisecond, Faults: inj})
+	t.Cleanup(func() { s.Close() })
+	if _, err := s.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Churn acquires across both names: evictions force reloads through the
+	// flaky open; every failure must surface as ErrQuarantined and every
+	// recovery must serve the graph.
+	var failures, successes int
+	for i := 0; i < 60; i++ {
+		name := "g0"
+		if i%2 == 1 {
+			name = "g1"
+		}
+		_, _, release, err := s.Acquire(name)
+		switch {
+		case err == nil:
+			successes++
+			release()
+		case errors.Is(err, ErrQuarantined):
+			failures++
+			time.Sleep(2 * time.Millisecond) // let the tiny backoff lapse
+		default:
+			t.Fatalf("acquire %s: unexpected error %v", name, err)
+		}
+	}
+	if failures == 0 || successes == 0 {
+		t.Fatalf("failures=%d successes=%d, want both > 0", failures, successes)
+	}
+	if st := s.Stats(); st.LoadFailures == 0 {
+		t.Fatalf("stats shows no load failures: %+v", st)
+	}
+}
+
+// TestAcquireCtxHonorsDeadlineDuringSlowLoad: a caller waiting behind a slow
+// reload gives up when its context expires; the loader itself finishes and
+// serves later callers.
+func TestAcquireCtxHonorsDeadlineDuringSlowLoad(t *testing.T) {
+	dir, size := writeUgsbDir(t, 2)
+	inj, err := faults.Parse("store.read:slow=300ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(StoreConfig{BudgetBytes: size + size/2, Faults: inj})
+	t.Cleanup(func() { s.Close() })
+	if _, err := s.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// g0 was evicted when g1 loaded (budget fits one): re-acquiring it goes
+	// through the slow open.
+	loaderDone := make(chan error, 1)
+	go func() {
+		_, _, release, err := s.Acquire("g0")
+		if err == nil {
+			release()
+		}
+		loaderDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // loader is inside the 300ms stall
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, _, err = s.AcquireCtx(ctx, "g0")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter got %v, want DeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > 200*time.Millisecond {
+		t.Fatalf("waiter blocked %v despite 50ms deadline", waited)
+	}
+	if err := <-loaderDone; err != nil {
+		t.Fatalf("loader failed: %v", err)
+	}
+}

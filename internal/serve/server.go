@@ -19,11 +19,11 @@ import (
 	"math"
 	"net/http"
 	"strconv"
-	"strings"
 	"sync/atomic"
 	"time"
 
 	"ugs"
+	"ugs/internal/faults"
 )
 
 // Config tunes a Server.
@@ -64,6 +64,28 @@ type Config struct {
 	// WorldCacheBytes bounds the cross-request sampled-world cache
 	// (default 64 MiB; negative disables it).
 	WorldCacheBytes int64
+	// RequestTimeout caps how long any single query/sparsify request may
+	// run (0 = unbounded). A request's own timeout_ms can only tighten it.
+	RequestTimeout time.Duration
+	// MaxCost enables admission control: the limiter admits up to MaxCost
+	// units of outstanding work, where a query costs samples × arcs (the
+	// edge-stream length of its Monte-Carlo run). 0 disables limiting.
+	MaxCost int64
+	// MaxQueue bounds how many requests may wait for admission before the
+	// limiter sheds with 429 (default 64 when MaxCost is set; negative =
+	// unbounded queue).
+	MaxQueue int
+	// DegradePressure is the limiter saturation (inUse+queued over
+	// capacity) beyond which adaptive queries shrink their sample budget
+	// and answer degraded instead of queueing at full cost (default 0.75).
+	DegradePressure float64
+	// QuarantineBase and QuarantineMax tune the store's load-failure
+	// backoff (defaults 1s / 60s).
+	QuarantineBase time.Duration
+	QuarantineMax  time.Duration
+	// Faults enables deterministic fault injection at the serving stack's
+	// named points (nil = production no-op).
+	Faults *faults.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +100,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WorldCacheBytes == 0 {
 		c.WorldCacheBytes = 64 << 20
+	}
+	if c.MaxCost > 0 && c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.DegradePressure == 0 {
+		c.DegradePressure = 0.75
 	}
 	return c
 }
@@ -96,13 +124,34 @@ type Server struct {
 	// worlds is the cross-request sampled-world cache (nil when disabled):
 	// every batch-engine query hands it to the Monte-Carlo options, so
 	// fills are shared across kinds, widths and requests.
-	worlds *WorldCache
-	jobs   *Jobs
-	mux    *http.ServeMux
+	worlds  *WorldCache
+	jobs    *Jobs
+	limiter *Limiter
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in drain gate + panic recovery
+
+	// draining flips when shutdown begins: new work is rejected with a
+	// typed 503 (health checks still answer) while in-flight requests
+	// finish under the drain budget.
+	draining atomic.Bool
 
 	// computes counts sparsifier runs actually executed: the cache-hit
 	// path must leave it untouched (asserted by tests).
 	computes atomic.Int64
+
+	resilience resilienceCounters
+}
+
+// resilienceCounters are the server-level overload/failure counters surfaced
+// in /v1/stats (the limiter, store, batcher and jobs keep their own).
+type resilienceCounters struct {
+	handlerPanics atomic.Int64 // panics recovered by the HTTP middleware
+	timeouts      atomic.Int64 // requests that ended deadline_exceeded
+	degraded      atomic.Int64 // degraded (non-converged adaptive) answers served
+	staleServed   atomic.Int64 // cache hits on degraded entries (stale-while-revalidate)
+	revalidations atomic.Int64 // background full-budget recomputes started
+	retries       atomic.Int64 // compute retries after a foreign owner's cancellation
+	drainRejected atomic.Int64 // requests rejected because shutdown had begun
 }
 
 type sparseEntry struct {
@@ -115,6 +164,11 @@ type queryEntry struct {
 	connected float64
 	values    []float64 // per-vertex results (pagerank, clustering)
 	info      ugs.MCRunInfo
+	// revalidating guards the stale-while-revalidate path: at most one
+	// background full-budget recompute per degraded entry. Set permanently
+	// on entries that cannot improve (the budget cap, not pressure, stopped
+	// them) so hits don't respawn doomed recomputes.
+	revalidating atomic.Bool
 }
 
 // New builds a Server. base bounds every background computation (flights,
@@ -122,13 +176,19 @@ type queryEntry struct {
 func New(base context.Context, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		base:    base,
-		store:   NewStore(StoreConfig{BudgetBytes: cfg.StoreBudgetBytes, ConvertDir: cfg.ConvertDir}),
+		cfg:  cfg,
+		base: base,
+		store: NewStore(StoreConfig{BudgetBytes: cfg.StoreBudgetBytes, ConvertDir: cfg.ConvertDir,
+			QuarantineBase: cfg.QuarantineBase, QuarantineMax: cfg.QuarantineMax, Faults: cfg.Faults}),
 		sparse:  NewCache[*sparseEntry](cfg.SparsifyCacheSize),
 		queries: NewCache[*queryEntry](cfg.QueryCacheSize),
 		batcher: NewBatcher(base, cfg.Workers),
 		jobs:    NewJobs(base),
+	}
+	s.batcher.faults = cfg.Faults
+	s.jobs.faults = cfg.Faults
+	if cfg.MaxCost > 0 {
+		s.limiter = NewLimiter(cfg.MaxCost, cfg.MaxQueue)
 	}
 	if cfg.WorldCacheBytes > 0 {
 		s.worlds = NewWorldCache(cfg.WorldCacheBytes)
@@ -151,11 +211,37 @@ func New(base context.Context, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.handler = recoverPanics(http.HandlerFunc(s.serveGated), func(v any, stack []byte) {
+		s.resilience.handlerPanics.Add(1)
+	})
 	return s, nil
 }
 
-// Handler returns the HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// serveGated is the drain gate in front of the mux: once shutdown begins,
+// new work is turned away with a typed 503 so load balancers fail over,
+// while /healthz keeps answering (it reports the draining state).
+func (s *Server) serveGated(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() && r.URL.Path != "/healthz" {
+		s.resilience.drainRejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining for shutdown", time.Second)
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// Handler returns the HTTP handler: the route mux wrapped in the drain gate
+// and panic-recovery middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// StartDrain flips the server into draining mode: subsequent requests are
+// rejected with 503/draining while already-admitted ones run to completion.
+// Call before http.Server.Shutdown so clients and balancers see an explicit
+// signal instead of hanging connections.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// CancelJobs force-cancels every running async job — the shutdown backstop
+// behind -drain-timeout when cancelling the base context did not drain them.
+func (s *Server) CancelJobs() { s.jobs.CancelAll() }
 
 // Store exposes the graph store (startup loading, tests).
 func (s *Server) Store() *Store { return s.store }
@@ -175,9 +261,10 @@ func (s *Server) Close() error { return s.store.Close() }
 // acquireGraph resolves a request's graph reference: a store name first,
 // then a derived (sparsified) graph ID. The returned ID is cache-key safe
 // and versioned. On success the graph is pinned against eviction until
-// release (idempotent, never nil) is called.
-func (s *Server) acquireGraph(name string) (*ugs.Graph, string, func(), error) {
-	g, id, release, err := s.store.Acquire(name)
+// release (idempotent, never nil) is called. ctx bounds any backing-file
+// load the acquisition triggers.
+func (s *Server) acquireGraph(ctx context.Context, name string) (*ugs.Graph, string, func(), error) {
+	g, id, release, err := s.store.AcquireCtx(ctx, name)
 	if err == nil {
 		return g, id, release, nil
 	}
@@ -189,6 +276,31 @@ func (s *Server) acquireGraph(name string) (*ugs.Graph, string, func(), error) {
 	return nil, "", nil, err
 }
 
+// joinContext returns a context cancelled when either a or b is done, so a
+// computation can be bounded by the request deadline AND the server lifetime
+// at once — shutdown still cancels in-flight work that set no deadline.
+func joinContext(a, b context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(a)
+	stop := context.AfterFunc(b, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// requestCtx derives a request's compute context: the tighter of the
+// server-wide RequestTimeout and the request's own timeout_ms (which can only
+// tighten, never extend), joined with the server base context.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.RequestTimeout
+	if t := time.Duration(timeoutMS) * time.Millisecond; timeoutMS > 0 && (timeout <= 0 || t < timeout) {
+		timeout = t
+	}
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		joined, jcancel := joinContext(ctx, s.base)
+		return joined, func() { jcancel(); cancel() }
+	}
+	return joinContext(r.Context(), s.base)
+}
+
 // ---------------------------------------------------------------- sparsify
 
 // SparsifyRequest asks for graph reduced to alpha·|E| edges with the
@@ -196,6 +308,10 @@ func (s *Server) acquireGraph(name string) (*ugs.Graph, string, func(), error) {
 type SparsifyRequest struct {
 	Graph string  `json:"graph"`
 	Alpha float64 `json:"alpha"`
+	// TimeoutMS bounds this request in wall-clock milliseconds. The server's
+	// -request-timeout can only be tightened by it, never extended. Ignored
+	// for async jobs (their lifecycle is the job's, not the request's).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	ugs.Spec
 }
 
@@ -223,11 +339,11 @@ func requestKey(graphID string, alpha float64, spec ugs.Spec) (key, id string) {
 
 // validateSparsify resolves and validates a sparsify request, pinning the
 // input graph. On success the caller owns the release.
-func (s *Server) validateSparsify(req *SparsifyRequest) (*ugs.Graph, string, func(), error) {
+func (s *Server) validateSparsify(ctx context.Context, req *SparsifyRequest) (*ugs.Graph, string, func(), error) {
 	if req.Graph == "" {
 		return nil, "", nil, fmt.Errorf("missing \"graph\"")
 	}
-	g, gid, release, err := s.acquireGraph(req.Graph)
+	g, gid, release, err := s.acquireGraph(ctx, req.Graph)
 	if err != nil {
 		return nil, "", nil, err
 	}
@@ -260,17 +376,39 @@ func (s *Server) sparsify(runCtx context.Context, req *SparsifyRequest, g *ugs.G
 }
 
 // sparsifyDo wraps the cache admission with one subtlety: a compute can be
-// owned by an async job, whose context dies when the job is cancelled. A
-// synchronous request (or another job) that merely shared that flight was
-// not itself cancelled, so on a Canceled error from a foreign owner it
-// retries — the failed flight is deregistered, and the retry recomputes
-// under this caller's own context. The loop terminates because each
-// iteration either succeeds, fails for a non-cancellation reason, or
+// owned by an async job whose context dies when the job is cancelled, or by
+// a request whose deadline expired mid-run. A caller that merely shared that
+// flight was not itself cancelled, so on a cancellation error from a foreign
+// owner it retries — the failed flight is deregistered, and the retry
+// recomputes under this caller's own context. The loop terminates because
+// each iteration either succeeds, fails for a non-cancellation reason, or
 // observes this caller's own context cancelled.
 func (s *Server) sparsifyDo(runCtx context.Context, id, key string, req *SparsifyRequest, g *ugs.Graph, gid string, progress func(ugs.RunStats)) (*sparseEntry, bool, error) {
 	for {
 		entry, cached, err := s.sparsifyOnce(runCtx, id, key, req, g, gid, progress)
-		if errors.Is(err, context.Canceled) && runCtx.Err() == nil {
+		if foreignCancel(err) && runCtx.Err() == nil {
+			s.resilience.retries.Add(1)
+			continue
+		}
+		return entry, cached, err
+	}
+}
+
+// foreignCancel reports whether err is a context cancellation — which, when
+// the caller's own context is still alive, must have come from another
+// flight owner's deadline or disconnect.
+func foreignCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// queryDo mirrors sparsifyDo for the query cache: a coalesced waiter whose
+// own context is still alive retries a flight killed by its owner's deadline
+// or disconnect, becoming the new owner under its own context.
+func (s *Server) queryDo(ctx context.Context, key string, compute func() (*queryEntry, error)) (*queryEntry, bool, error) {
+	for {
+		entry, cached, err := s.queries.Do(ctx, key, compute)
+		if foreignCancel(err) && ctx.Err() == nil {
+			s.resilience.retries.Add(1)
 			continue
 		}
 		return entry, cached, err
@@ -315,18 +453,61 @@ func (s *Server) handleSparsify(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	g, gid, release, err := s.validateSparsify(&req)
+	if err := s.cfg.Faults.Check("handler.sparsify"); err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error(), 0)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	g, gid, release, err := s.validateSparsify(ctx, &req)
 	if err != nil {
-		writeErr(w, badRequestOr404(err), err.Error())
+		s.writeRequestErr(w, err)
 		return
 	}
 	defer release()
-	resp, err := s.sparsify(s.base, &req, g, gid, nil)
+	lrelease, err := s.limiter.Acquire(ctx, sparsifyCost(g))
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err.Error())
+		s.writeAdmitErr(w, err)
+		return
+	}
+	defer lrelease()
+	resp, err := s.sparsify(ctx, &req, g, gid, nil)
+	if err != nil {
+		s.writeComputeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// sparsifyCost charges a synchronous sparsify run as a heavyweight query:
+// the gradient-descent and expectation rounds stream the whole edge list
+// many times, modelled here as a fixed large sample budget.
+const sparsifyCostSamples = 1000
+
+func sparsifyCost(g *ugs.Graph) int64 {
+	return sparsifyCostSamples * graphArcs(g)
+}
+
+// queryCost is a query's admission weight: the Monte-Carlo engine streams
+// every arc once per sampled world, so cost = samples × arcs. Adaptive runs
+// are charged their worst-case budget (the degraded budget once the server
+// is under pressure).
+func queryCost(g *ugs.Graph, opts ugs.MCOptions) int64 {
+	samples := opts.Samples
+	if opts.Target != nil {
+		samples = opts.Target.MaxSamples
+	}
+	if samples < 1 {
+		samples = 1
+	}
+	return int64(samples) * graphArcs(g)
+}
+
+func graphArcs(g *ugs.Graph) int64 {
+	if arcs := int64(2 * g.NumEdges()); arcs > 0 {
+		return arcs
+	}
+	return 1
 }
 
 func (s *Server) handleDownloadSparse(w http.ResponseWriter, r *http.Request) {
@@ -381,6 +562,10 @@ type QueryRequest struct {
 	// fixed Samples budget to sequential stopping. Not supported for the
 	// per-vertex kinds (pagerank, clustering), which run scalar worlds.
 	Confidence *Confidence `json:"confidence,omitempty"`
+	// TimeoutMS bounds this request in wall-clock milliseconds. The server's
+	// -request-timeout can only be tightened by it, never extended. Adaptive
+	// queries degrade to a coarser answer rather than time out.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // QueryResponse carries per-pair estimates (reliability, distance),
@@ -397,7 +582,13 @@ type QueryResponse struct {
 	FanOut    string     `json:"fan_out,omitempty"`
 	Rounds    int        `json:"rounds,omitempty"`
 	Converged *bool      `json:"converged,omitempty"`
-	Cached    bool       `json:"cached"`
+	// Degraded marks an adaptive answer that stopped short of its accuracy
+	// target (overload shrank the budget, the deadline cut the rounds, or
+	// the budget cap hit first); AchievedEps reports the CI half-width the
+	// answer actually carries so the client can decide whether it suffices.
+	Degraded    bool    `json:"degraded,omitempty"`
+	AchievedEps float64 `json:"achieved_eps,omitempty"`
+	Cached      bool    `json:"cached"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -405,13 +596,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	g, gid, release, err := s.acquireGraph(req.Graph)
+	if err := s.cfg.Faults.Check("handler.query"); err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error(), 0)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	g, gid, release, err := s.acquireGraph(ctx, req.Graph)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, ErrUnknownGraph) {
-			status = http.StatusNotFound
-		}
-		writeErr(w, status, err.Error())
+		s.writeAcquireErr(w, err)
 		return
 	}
 	defer release()
@@ -467,19 +660,58 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// keyOpts is the request's cache identity (the full adaptive budget, no
+	// deadline); runOpts is what this execution actually does — possibly a
+	// deadline-bounded, pressure-shrunk budget. Keeping them apart means a
+	// degraded answer lands under the key later full-budget requests hit, so
+	// stale-while-revalidate can swap in the fresh result.
+	keyOpts, runOpts := opts, opts
+	if opts.Target != nil {
+		t := *opts.Target
+		if dl, ok := ctx.Deadline(); ok {
+			// Back the engine deadline off the request's so encoding and
+			// writing the degraded answer still fit inside it.
+			t.Deadline = dl.Add(-min(200*time.Millisecond, time.Until(dl)/10))
+		}
+		if s.limiter != nil && s.limiter.Pressure() >= s.cfg.DegradePressure {
+			shrunk := t.MaxSamples / 4
+			if shrunk < degradedMinSamples {
+				shrunk = degradedMinSamples
+			}
+			if t.MinSamples > 0 && shrunk < t.MinSamples {
+				shrunk = t.MinSamples
+			}
+			if shrunk < t.MaxSamples {
+				t.MaxSamples = shrunk
+			}
+		}
+		runOpts.Target = &t
+	}
+	lrelease, err := s.limiter.Acquire(ctx, queryCost(g, runOpts))
+	if err != nil {
+		s.writeAdmitErr(w, err)
+		return
+	}
+	defer lrelease()
+
 	switch req.Kind {
 	case "reliability", "distance":
-		s.handlePairQuery(w, r, &req, g, gid, opts)
+		s.handlePairQuery(ctx, w, &req, g, gid, runOpts, keyOpts)
 	case "connected":
-		s.handleConnectedQuery(w, r, &req, g, gid, opts)
+		s.handleConnectedQuery(ctx, w, &req, g, gid, runOpts, keyOpts)
 	case "pagerank", "clustering":
-		s.handleVectorQuery(w, r, &req, g, gid, opts)
+		s.handleVectorQuery(ctx, w, &req, g, gid, runOpts)
 	default:
 		writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown kind %q (want reliability, distance, connected, pagerank or clustering)", req.Kind))
 	}
 }
 
-func (s *Server) handlePairQuery(w http.ResponseWriter, r *http.Request, req *QueryRequest, g *ugs.Graph, gid string, opts ugs.MCOptions) {
+// degradedMinSamples floors the pressure-shrunk adaptive budget: below this
+// the normal-approximation CI is meaningless and the answer is noise, so the
+// server never degrades past it.
+const degradedMinSamples = 128
+
+func (s *Server) handlePairQuery(ctx context.Context, w http.ResponseWriter, req *QueryRequest, g *ugs.Graph, gid string, runOpts, keyOpts ugs.MCOptions) {
 	if len(req.Pairs) == 0 {
 		writeErr(w, http.StatusBadRequest, "pairs required for reliability/distance queries")
 		return
@@ -495,33 +727,32 @@ func (s *Server) handlePairQuery(w http.ResponseWriter, r *http.Request, req *Qu
 	// Reliability and distance come from the same merged SP+RL pass, so
 	// they share one kind-agnostic cache entry (and, on a miss, one
 	// coalesced flight).
-	key := pairQueryKey(gid, opts, pairs)
-	entry, cached, err := s.queries.Do(r.Context(), key, func() (*queryEntry, error) {
-		// The flight wait runs under the server context, not the
-		// request's: the compute owner's disconnect must not fail the
-		// coalesced waiters sharing this cache flight (Cache.Do contract).
+	key := pairQueryKey(gid, keyOpts, pairs)
+	compute := func(ctx context.Context, g *ugs.Graph, opts ugs.MCOptions) (*queryEntry, error) {
 		if opts.Target != nil {
 			// Adaptive runs bypass the batcher: the stopping decision
 			// depends on every tracked pair, so merging this request's
 			// pairs with a stranger's would move its stopping point and
 			// break the bit-identical-to-direct-call contract. The world
 			// cache still shares the underlying fills.
-			sp, rl, info, err := ugs.ShortestDistanceAndReliabilityRun(s.base, g, pairs, opts)
+			sp, rl, info, err := ugs.ShortestDistanceAndReliabilityRun(ctx, g, pairs, opts)
 			if err != nil {
 				return nil, err
 			}
 			return &queryEntry{sp: sp, rl: rl, info: info}, nil
 		}
-		sp, rl, err := s.batcher.PairQuery(s.base, gid, g, pairs, opts)
+		sp, rl, err := s.batcher.PairQuery(ctx, gid, g, pairs, opts)
 		if err != nil {
 			return nil, err
 		}
 		return &queryEntry{sp: sp, rl: rl, info: ugs.MCRunInfo{Samples: opts.Samples, Rounds: 1, Converged: true}}, nil
-	})
+	}
+	entry, cached, err := s.queryDo(ctx, key, func() (*queryEntry, error) { return compute(ctx, g, runOpts) })
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err.Error())
+		s.writeComputeErr(w, err)
 		return
 	}
+	s.maybeRevalidate(key, req.Graph, gid, keyOpts, entry, cached, compute)
 	src := entry.rl
 	if req.Kind == "distance" {
 		src = entry.sp
@@ -533,35 +764,80 @@ func (s *Server) handlePairQuery(w http.ResponseWriter, r *http.Request, req *Qu
 			values[i] = &v
 		}
 	}
-	writeJSON(w, http.StatusOK, queryResponse(req.Kind, opts, entry, cached, QueryResponse{Values: values}))
+	writeJSON(w, http.StatusOK, s.queryResponse(req.Kind, runOpts, entry, cached, QueryResponse{Values: values}))
 }
 
-func (s *Server) handleConnectedQuery(w http.ResponseWriter, r *http.Request, req *QueryRequest, g *ugs.Graph, gid string, opts ugs.MCOptions) {
+func (s *Server) handleConnectedQuery(ctx context.Context, w http.ResponseWriter, req *QueryRequest, g *ugs.Graph, gid string, runOpts, keyOpts ugs.MCOptions) {
 	if len(req.Pairs) != 0 {
 		writeErr(w, http.StatusBadRequest, "connected queries take no pairs")
 		return
 	}
-	key := "cn|" + scalarQueryKey(gid, opts)
-	entry, cached, err := s.queries.Do(r.Context(), key, func() (*queryEntry, error) {
-		p, info, err := ugs.ConnectedProbabilityRun(s.base, g, opts)
+	key := "cn|" + scalarQueryKey(gid, keyOpts)
+	compute := func(ctx context.Context, g *ugs.Graph, opts ugs.MCOptions) (*queryEntry, error) {
+		p, info, err := ugs.ConnectedProbabilityRun(ctx, g, opts)
 		if err != nil {
 			return nil, err
 		}
 		return &queryEntry{connected: p, info: info}, nil
-	})
+	}
+	entry, cached, err := s.queryDo(ctx, key, func() (*queryEntry, error) { return compute(ctx, g, runOpts) })
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err.Error())
+		s.writeComputeErr(w, err)
 		return
 	}
+	s.maybeRevalidate(key, req.Graph, gid, keyOpts, entry, cached, compute)
 	v := entry.connected
-	writeJSON(w, http.StatusOK, queryResponse(req.Kind, opts, entry, cached, QueryResponse{Value: &v}))
+	writeJSON(w, http.StatusOK, s.queryResponse(req.Kind, runOpts, entry, cached, QueryResponse{Value: &v}))
+}
+
+// maybeRevalidate is the stale-while-revalidate trigger: a cache hit on a
+// degraded entry was served immediately (stale), and at most one background
+// recompute per entry runs the query at its full budget under the server
+// lifetime — no request deadline, no shrunk samples — then swaps the fresh
+// result in under the same key.
+func (s *Server) maybeRevalidate(key, name, gid string, keyOpts ugs.MCOptions, entry *queryEntry, cached bool, compute func(context.Context, *ugs.Graph, ugs.MCOptions) (*queryEntry, error)) {
+	if !cached || keyOpts.Target == nil || entry.info.Converged {
+		return
+	}
+	s.resilience.staleServed.Add(1)
+	if !entry.revalidating.CompareAndSwap(false, true) {
+		return
+	}
+	s.resilience.revalidations.Add(1)
+	go func() {
+		// Reacquire by name: the stale entry must not pin the graph for the
+		// whole recompute, and a graph replaced since (new gid) invalidates
+		// the key anyway.
+		g, id, release, err := s.acquireGraph(s.base, name)
+		if err != nil {
+			entry.revalidating.Store(false)
+			return
+		}
+		defer release()
+		if id != gid {
+			entry.revalidating.Store(false)
+			return
+		}
+		fresh, err := compute(s.base, g, keyOpts)
+		if err != nil || fresh == nil {
+			entry.revalidating.Store(false)
+			return
+		}
+		if !fresh.info.Converged {
+			// Still short of the target at the full budget (the MaxSamples
+			// cap bites): mark it revalidating so later hits don't spin up
+			// a doomed recompute each time.
+			fresh.revalidating.Store(true)
+		}
+		s.queries.Replace(key, fresh)
+	}()
 }
 
 // handleVectorQuery serves the per-vertex kinds (pagerank, clustering).
 // Vector queries run scalar worlds — the planner never routes them to the
 // batch engine — and have no per-estimate CI, so confidence targets are
 // rejected rather than silently ignored.
-func (s *Server) handleVectorQuery(w http.ResponseWriter, r *http.Request, req *QueryRequest, g *ugs.Graph, gid string, opts ugs.MCOptions) {
+func (s *Server) handleVectorQuery(ctx context.Context, w http.ResponseWriter, req *QueryRequest, g *ugs.Graph, gid string, opts ugs.MCOptions) {
 	if len(req.Pairs) != 0 {
 		writeErr(w, http.StatusBadRequest, fmt.Sprintf("%s queries take no pairs", req.Kind))
 		return
@@ -571,15 +847,15 @@ func (s *Server) handleVectorQuery(w http.ResponseWriter, r *http.Request, req *
 		return
 	}
 	key := req.Kind + "|" + scalarQueryKey(gid, opts)
-	entry, cached, err := s.queries.Do(r.Context(), key, func() (*queryEntry, error) {
+	entry, cached, err := s.queryDo(ctx, key, func() (*queryEntry, error) {
 		var (
 			values []float64
 			err    error
 		)
 		if req.Kind == "pagerank" {
-			values, err = ugs.ExpectedPageRank(s.base, g, opts, ugs.PageRankOptions{})
+			values, err = ugs.ExpectedPageRank(ctx, g, opts, ugs.PageRankOptions{})
 		} else {
-			values, err = ugs.ExpectedClusteringCoefficients(s.base, g, opts)
+			values, err = ugs.ExpectedClusteringCoefficients(ctx, g, opts)
 		}
 		if err != nil {
 			return nil, err
@@ -587,7 +863,7 @@ func (s *Server) handleVectorQuery(w http.ResponseWriter, r *http.Request, req *
 		return &queryEntry{values: values, info: ugs.MCRunInfo{Samples: opts.Samples, Rounds: 1, Converged: true}}, nil
 	})
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err.Error())
+		s.writeComputeErr(w, err)
 		return
 	}
 	values := make([]*float64, len(entry.values))
@@ -595,13 +871,15 @@ func (s *Server) handleVectorQuery(w http.ResponseWriter, r *http.Request, req *
 		v := v
 		values[i] = &v
 	}
-	writeJSON(w, http.StatusOK, queryResponse(req.Kind, opts, entry, cached, QueryResponse{Values: values}))
+	writeJSON(w, http.StatusOK, s.queryResponse(req.Kind, opts, entry, cached, QueryResponse{Values: values}))
 }
 
 // queryResponse fills the run-report fields shared by every query kind.
 // Lanes and FanOut echo the requested execution shape (ablation knobs, not
-// part of the result); Converged is only meaningful for adaptive runs.
-func queryResponse(kind string, opts ugs.MCOptions, entry *queryEntry, cached bool, resp QueryResponse) QueryResponse {
+// part of the result); Converged is only meaningful for adaptive runs. An
+// adaptive answer that stopped short of its target is flagged degraded and
+// counted.
+func (s *Server) queryResponse(kind string, opts ugs.MCOptions, entry *queryEntry, cached bool, resp QueryResponse) QueryResponse {
 	resp.Kind = kind
 	resp.Samples = entry.info.Samples
 	resp.Lanes = ugs.FormatLanes(opts.Lanes)
@@ -611,6 +889,11 @@ func queryResponse(kind string, opts ugs.MCOptions, entry *queryEntry, cached bo
 		resp.Rounds = entry.info.Rounds
 		converged := entry.info.Converged
 		resp.Converged = &converged
+		if !converged {
+			resp.Degraded = true
+			resp.AchievedEps = entry.info.AchievedEps
+			s.resilience.degraded.Add(1)
+		}
 	}
 	return resp
 }
@@ -649,9 +932,9 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	g, gid, release, err := s.validateSparsify(&req)
+	g, gid, release, err := s.validateSparsify(r.Context(), &req)
 	if err != nil {
-		writeErr(w, badRequestOr404(err), err.Error())
+		s.writeRequestErr(w, err)
 		return
 	}
 	// The pin must outlive this handler: the job goroutine reads the
@@ -730,6 +1013,51 @@ type StatsResponse struct {
 	Batcher       BatcherStats     `json:"batcher"`
 	WorldCache    WorldCacheStats  `json:"world_cache"`
 	Jobs          map[JobState]int `json:"jobs"`
+	Limiter       LimiterStats     `json:"limiter"`
+	Resilience    ResilienceStats  `json:"resilience"`
+}
+
+// ResilienceStats gathers every overload/failure counter across the serving
+// stack in one place, so one /v1/stats read answers "is this server
+// degrading, shedding, or eating faults right now".
+type ResilienceStats struct {
+	Shed              int64 `json:"shed"`
+	Timeouts          int64 `json:"timeouts"`
+	Degraded          int64 `json:"degraded"`
+	StaleServed       int64 `json:"stale_served"`
+	Revalidations     int64 `json:"revalidations"`
+	Retries           int64 `json:"retries"`
+	DrainRejected     int64 `json:"drain_rejected"`
+	HandlerPanics     int64 `json:"handler_panics"`
+	BatcherPanics     int64 `json:"batcher_panics"`
+	JobPanics         int64 `json:"job_panics"`
+	AbandonedFlights  int64 `json:"abandoned_flights"`
+	Quarantined       int   `json:"quarantined"`
+	QuarantineRejects int64 `json:"quarantine_rejects"`
+	LoadFailures      int64 `json:"load_failures"`
+	FaultsInjected    int64 `json:"faults_injected"`
+}
+
+func (s *Server) resilienceStats() ResilienceStats {
+	store := s.store.Stats()
+	batcher := s.batcher.Stats()
+	return ResilienceStats{
+		Shed:              s.limiter.Stats().Shed,
+		Timeouts:          s.resilience.timeouts.Load(),
+		Degraded:          s.resilience.degraded.Load(),
+		StaleServed:       s.resilience.staleServed.Load(),
+		Revalidations:     s.resilience.revalidations.Load(),
+		Retries:           s.resilience.retries.Load(),
+		DrainRejected:     s.resilience.drainRejected.Load(),
+		HandlerPanics:     s.resilience.handlerPanics.Load(),
+		BatcherPanics:     batcher.Panics,
+		JobPanics:         s.jobs.Panics(),
+		AbandonedFlights:  batcher.AbandonedFlights,
+		Quarantined:       store.Quarantined,
+		QuarantineRejects: store.QuarantineRejects,
+		LoadFailures:      store.LoadFailures,
+		FaultsInjected:    s.cfg.Faults.Total(),
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -750,6 +1078,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Batcher:       s.batcher.Stats(),
 		WorldCache:    worlds,
 		Jobs:          jobs,
+		Limiter:       s.limiter.Stats(),
+		Resilience:    s.resilienceStats(),
 	})
 }
 
@@ -763,8 +1093,82 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeErr emits the typed envelope with the code implied by the status —
+// the shorthand for validation-shaped failures.
 func writeErr(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+	var code ErrorCode
+	switch status {
+	case http.StatusBadRequest:
+		code = CodeBadRequest
+	case http.StatusNotFound:
+		code = CodeNotFound
+	case http.StatusGatewayTimeout:
+		code = CodeDeadline
+	default:
+		code = CodeInternal
+	}
+	writeError(w, status, code, msg, 0)
+}
+
+// writeAcquireErr maps graph-acquisition failures onto their typed codes: an
+// unknown name and a quarantined one are deliberately the same envelope
+// shape, differing only in code and Retry-After.
+func (s *Server) writeAcquireErr(w http.ResponseWriter, err error) {
+	var qe *QuarantineError
+	switch {
+	case errors.As(err, &qe):
+		writeError(w, http.StatusServiceUnavailable, CodeQuarantined, err.Error(), time.Until(qe.Until))
+	case errors.Is(err, ErrUnknownGraph):
+		writeError(w, http.StatusNotFound, CodeUnknownGraph, err.Error(), 0)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.resilience.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, CodeDeadline, err.Error(), 0)
+	default:
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error(), 0)
+	}
+}
+
+// writeRequestErr maps sparsify-validation failures: store errors keep their
+// typed codes, anything else is the caller's fault.
+func (s *Server) writeRequestErr(w http.ResponseWriter, err error) {
+	var qe *QuarantineError
+	if errors.As(err, &qe) || errors.Is(err, ErrUnknownGraph) || errors.Is(err, context.DeadlineExceeded) {
+		s.writeAcquireErr(w, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error(), 0)
+}
+
+// writeAdmitErr reports a request that failed admission: shed by the limiter
+// (retryable 429) or dead on its own context before capacity freed.
+func (s *Server) writeAdmitErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrOverloaded) {
+		writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+			"server overloaded: admission queue full", s.limiter.RetryAfter())
+		return
+	}
+	s.writeCtxErr(w, err)
+}
+
+// writeComputeErr reports a computation that failed after admission.
+func (s *Server) writeComputeErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.writeCtxErr(w, err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, CodeInternal, err.Error(), 0)
+}
+
+// writeCtxErr reports a request whose context died: its deadline expired
+// (504), or it was cancelled — which, for a response anyone will still read,
+// means server shutdown (503 draining; a disconnected client reads nothing).
+func (s *Server) writeCtxErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.resilience.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, CodeDeadline, "request deadline exceeded", 0)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, CodeDraining, "request cancelled: "+err.Error(), time.Second)
 }
 
 // decodeJSON parses a bounded JSON body into dst, rejecting unknown fields.
@@ -777,13 +1181,4 @@ func decodeJSON[T any](w http.ResponseWriter, r *http.Request, dst *T) bool {
 		return false
 	}
 	return true
-}
-
-// badRequestOr404 maps "unknown graph" validation failures to 404 and
-// everything else to 400.
-func badRequestOr404(err error) int {
-	if err != nil && strings.HasPrefix(err.Error(), "unknown graph") {
-		return http.StatusNotFound
-	}
-	return http.StatusBadRequest
 }

@@ -445,8 +445,8 @@ func TestServerShutdownCancelsFlights(t *testing.T) {
 	}
 	cancel()
 	w := do(t, s, "POST", "/v1/sparsify", sparsifyBody("g", 0.3, "emd", 1), nil)
-	if w.Code != 500 {
-		t.Errorf("sparsify after shutdown: %d, want 500", w.Code)
+	if w.Code != 503 {
+		t.Errorf("sparsify after shutdown: %d, want 503 (draining)", w.Code)
 	}
 	if !s.DrainJobs(time.Second) {
 		t.Error("jobs did not drain")

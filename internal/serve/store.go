@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -10,8 +11,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"ugs"
+	"ugs/internal/faults"
 )
 
 // Store holds the uncertain graphs the service can sparsify and query, under
@@ -36,12 +39,15 @@ import (
 // keyed by "name@gen" — stay coherent across evict/reload cycles.
 type Store struct {
 	cfg StoreConfig
+	now func() time.Time // injectable clock for quarantine tests
 
 	mu            sync.Mutex
 	entries       map[string]*storeEntry
 	clock         uint64
 	residentBytes int64
 	loads         int64
+	loadFailures  int64
+	quarRejects   int64
 	evictions     int64
 	conversions   int64
 	convertDir    string
@@ -60,6 +66,14 @@ type StoreConfig struct {
 	// spilled uploads. Empty means a temporary directory created on first
 	// use and removed by Close.
 	ConvertDir string
+	// QuarantineBase and QuarantineMax bound the exponential backoff for
+	// load-failure quarantine: after the n-th consecutive failure a name is
+	// quarantined for min(Base·2ⁿ⁻¹, Max). Zero means 1s and 60s.
+	QuarantineBase time.Duration
+	QuarantineMax  time.Duration
+	// Faults optionally injects deterministic failures at the store.open
+	// and store.read points (nil = no injection).
+	Faults *faults.Injector
 }
 
 type storeEntry struct {
@@ -72,8 +86,43 @@ type storeEntry struct {
 	fp       fileFP
 	res      *resident     // nil while evicted
 	loading  chan struct{} // non-nil while a reload is in flight
+	quar     *quarantineState
 	lastUse  uint64
 }
+
+// quarantineState is the negative cache for a name whose backing file is
+// failing to load: while now < until, Acquire rejects without touching the
+// file (a corrupt .ugsb is not re-validated per request). The fingerprint
+// recorded at the last failure lets a fixed file clear quarantine early —
+// if a stat shows different bytes on disk, the next Acquire probes
+// immediately instead of waiting out the backoff.
+type quarantineState struct {
+	failures int
+	lastErr  error
+	until    time.Time
+	fp       fileFP // fingerprint at the last failed probe (zero if unstattable)
+}
+
+// ErrQuarantined reports that a graph's backing file is failing to load and
+// the name is under backoff. Returned wrapped in a *QuarantineError.
+var ErrQuarantined = errors.New("graph quarantined")
+
+// QuarantineError carries the quarantine details the server needs to build a
+// typed 503 with Retry-After.
+type QuarantineError struct {
+	Name     string
+	Failures int
+	Until    time.Time
+	Err      error // the last load failure
+}
+
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("graph %q quarantined after %d load failure(s), retry after %s: %v",
+		e.Name, e.Failures, e.Until.Format(time.RFC3339), e.Err)
+}
+
+// Unwrap makes errors.Is(err, ErrQuarantined) hold.
+func (e *QuarantineError) Unwrap() error { return ErrQuarantined }
 
 // resident is the in-memory incarnation of a graph. It is separate from the
 // entry so that an evicted-but-pinned graph outlives its slot: eviction
@@ -108,7 +157,34 @@ var graphNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
 
 // NewStore returns an empty store.
 func NewStore(cfg StoreConfig) *Store {
-	return &Store{cfg: cfg, entries: make(map[string]*storeEntry)}
+	if cfg.QuarantineBase <= 0 {
+		cfg.QuarantineBase = time.Second
+	}
+	if cfg.QuarantineMax <= 0 {
+		cfg.QuarantineMax = time.Minute
+	}
+	return &Store{cfg: cfg, now: time.Now, entries: make(map[string]*storeEntry)}
+}
+
+// quarBackoff is the quarantine duration after the n-th consecutive failure.
+func (s *Store) quarBackoff(failures int) time.Duration {
+	d := s.cfg.QuarantineBase
+	for i := 1; i < failures && d < s.cfg.QuarantineMax; i++ {
+		d *= 2
+	}
+	if d > s.cfg.QuarantineMax {
+		d = s.cfg.QuarantineMax
+	}
+	return d
+}
+
+// ioFaults evaluates the store's fault-injection points, in order: an open
+// failure, then a read stall (or failure). No-ops without an injector.
+func (s *Store) ioFaults() error {
+	if err := s.cfg.Faults.Check("store.open"); err != nil {
+		return err
+	}
+	return s.cfg.Faults.Check("store.read")
 }
 
 func (s *Store) tickLocked() uint64 {
@@ -228,8 +304,11 @@ func (s *Store) AddReader(name string, r io.Reader) (*ugs.Graph, error) {
 // naming each graph after its file base without the extension; a .ugsb file
 // shadows a text file of the same name. Binary files are opened as mappings
 // (fully validated once); text files are parsed, converted to a .ugsb
-// sidecar and then served from the mapping. It returns the loaded names in
-// sorted order; any unparsable file aborts the load.
+// sidecar and then served from the mapping. It returns the registered names
+// in sorted order. A file that fails to load does NOT abort the boot: its
+// name is registered in quarantine (requests get a typed rejection with a
+// backoff hint) and re-probed per the quarantine schedule — a flaky or
+// corrupt file must not take down the healthy rest of the corpus.
 func (s *Store) LoadDir(dir string) ([]string, error) {
 	files, err := os.ReadDir(dir)
 	if err != nil {
@@ -258,8 +337,12 @@ func (s *Store) LoadDir(dir string) ([]string, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if err := s.loadFile(name, filepath.Join(dir, pick[name])); err != nil {
-			return nil, fmt.Errorf("serve: loading %s: %w", pick[name], err)
+		path := filepath.Join(dir, pick[name])
+		if err := s.loadFile(name, path); err != nil {
+			if !graphNameRE.MatchString(name) {
+				return nil, fmt.Errorf("serve: loading %s: %w", pick[name], err)
+			}
+			s.admitQuarantined(name, path, err)
 		}
 	}
 	return names, nil
@@ -271,6 +354,9 @@ func (s *Store) LoadDir(dir string) ([]string, error) {
 func (s *Store) loadFile(name, path string) error {
 	if !graphNameRE.MatchString(name) {
 		return fmt.Errorf("serve: invalid graph name %q (want %s)", name, graphNameRE)
+	}
+	if err := s.ioFaults(); err != nil {
+		return err
 	}
 	if filepath.Ext(path) == ".ugsb" {
 		fp, err := statFP(path)
@@ -354,17 +440,54 @@ func (s *Store) admitLoaded(name string, e *storeEntry, g *ugs.Graph, bytes int6
 	return nil
 }
 
+// admitQuarantined registers name with no resident graph and an active
+// quarantine: the backing file failed to load at boot, so requests get the
+// typed rejection until a probe (per the backoff schedule, or a changed
+// file) succeeds.
+func (s *Store) admitQuarantined(name, path string, lerr error) {
+	fp, _ := statFP(path) // zero on stat error: any later stat differs → probe
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	gen := 1
+	if prev, ok := s.entries[name]; ok {
+		gen = prev.gen + 1
+		s.removeEntryLocked(prev)
+	}
+	e := &storeEntry{name: name, gen: gen, path: path, lastUse: s.tickLocked()}
+	e.info = GraphInfo{Name: name}
+	e.quar = &quarantineState{failures: 1, lastErr: lerr, until: s.now().Add(s.quarBackoff(1)), fp: fp}
+	s.loadFailures++
+	s.entries[name] = e
+}
+
 // Acquire returns the graph registered under name, pinned against eviction,
 // together with its versioned identifier. The caller must invoke release
 // (idempotent) when done with the graph; until then the mapping stays valid
 // even if the graph is evicted or replaced. Evicted graphs are reloaded
 // from their backing file — concurrent acquirers share one reload.
 func (s *Store) Acquire(name string) (g *ugs.Graph, id string, release func(), err error) {
+	return s.AcquireCtx(context.Background(), name)
+}
+
+// AcquireCtx is Acquire bounded by ctx: a caller whose deadline expires
+// while another goroutine's reload is in flight stops waiting (the reload
+// itself continues for the survivors). Names under quarantine are rejected
+// with a *QuarantineError without touching the backing file, except when a
+// stat shows the bytes changed on disk — then the quarantine clears and
+// this caller probes immediately.
+func (s *Store) AcquireCtx(ctx context.Context, name string) (g *ugs.Graph, id string, release func(), err error) {
 	s.mu.Lock()
 	for {
 		if s.closed {
 			s.mu.Unlock()
 			return nil, "", nil, errors.New("serve: store closed")
+		}
+		if err := ctx.Err(); err != nil {
+			s.mu.Unlock()
+			return nil, "", nil, err
 		}
 		e, ok := s.entries[name]
 		if !ok {
@@ -381,13 +504,28 @@ func (s *Store) Acquire(name string) (g *ugs.Graph, id string, release func(), e
 		}
 		if ch := e.loading; ch != nil {
 			s.mu.Unlock()
-			<-ch
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				return nil, "", nil, ctx.Err()
+			}
 			s.mu.Lock()
 			continue
 		}
 		if e.path == "" {
 			s.mu.Unlock()
 			return nil, "", nil, fmt.Errorf("serve: graph %q evicted with no backing file", name)
+		}
+		if q := e.quar; q != nil && s.now().Before(q.until) {
+			// Under backoff: reject without opening the file — unless the
+			// bytes on disk changed, which clears the quarantine early.
+			if fp, ferr := statFP(e.path); ferr != nil || fp == q.fp {
+				qerr := &QuarantineError{Name: name, Failures: q.failures, Until: q.until, Err: q.lastErr}
+				s.quarRejects++
+				s.mu.Unlock()
+				return nil, "", nil, qerr
+			}
+			e.quar = nil
 		}
 
 		// Become the loader; other acquirers of this name wait on ch.
@@ -396,14 +534,29 @@ func (s *Store) Acquire(name string) (g *ugs.Graph, id string, release func(), e
 		path, verified, oldFP := e.path, e.verified, e.fp
 		s.mu.Unlock()
 
-		g, fp, lerr := openBacking(path, verified, oldFP)
+		g, fp, bytes, lerr := s.reopenBacking(path, verified, oldFP)
 
 		s.mu.Lock()
 		e.loading = nil
 		close(ch)
 		if lerr != nil {
+			// Failed probe: extend (or open) the quarantine with doubled
+			// backoff, stamped with the failing fingerprint so a repaired
+			// file is probed immediately.
+			failures := 1
+			if e.quar != nil {
+				failures = e.quar.failures + 1
+			}
+			q := &quarantineState{failures: failures, lastErr: lerr, fp: fp,
+				until: s.now().Add(s.quarBackoff(failures))}
+			if s.entries[name] == e {
+				e.quar = q
+			}
+			s.loadFailures++
+			s.quarRejects++
 			s.mu.Unlock()
-			return nil, "", nil, fmt.Errorf("serve: reloading graph %q: %w", name, lerr)
+			return nil, "", nil, &QuarantineError{Name: name, Failures: q.failures, Until: q.until,
+				Err: fmt.Errorf("serve: reloading graph %q: %w", name, lerr)}
 		}
 		if s.closed || s.entries[name] != e {
 			// The store closed or the name was re-registered while we
@@ -411,34 +564,49 @@ func (s *Store) Acquire(name string) (g *ugs.Graph, id string, release func(), e
 			g.Close()
 			continue
 		}
+		e.quar = nil // healthy again
 		if fp != oldFP {
 			// The backing bytes changed on disk: new generation so stale
 			// cached results cannot be served, refreshed summary.
 			e.gen++
 			e.info = Info(e.name, g)
 		}
-		e.fp, e.verified = fp, true
-		e.res = &resident{g: g, bytes: fp.size}
-		s.residentBytes += fp.size
+		e.fp, e.verified = fp, filepath.Ext(path) == ".ugsb"
+		e.res = &resident{g: g, bytes: bytes}
+		s.residentBytes += bytes
 		s.loads++
 		s.evictLocked(e)
 		// Loop: the next iteration pins the resident we just installed.
 	}
 }
 
-// openBacking maps a backing file, skipping the O(|E|) validation scan when
-// an earlier open already validated exactly these bytes.
-func openBacking(path string, verified bool, old fileFP) (*ugs.Graph, fileFP, error) {
+// reopenBacking loads a backing file, skipping the O(|E|) validation scan
+// when an earlier open already validated exactly these bytes. Text backings
+// (a quarantined-at-boot .ugs/.txt that later heals) are re-parsed onto the
+// heap. The returned fp is valid whenever the stat succeeded, even if the
+// open then failed — quarantine records it for change detection.
+func (s *Store) reopenBacking(path string, verified bool, old fileFP) (*ugs.Graph, fileFP, int64, error) {
+	if err := s.ioFaults(); err != nil {
+		fp, _ := statFP(path)
+		return nil, fp, 0, err
+	}
 	fp, err := statFP(path)
 	if err != nil {
-		return nil, fileFP{}, err
+		return nil, fileFP{}, 0, err
+	}
+	if filepath.Ext(path) != ".ugsb" {
+		g, err := ugs.ReadGraphFile(path)
+		if err != nil {
+			return nil, fp, 0, err
+		}
+		return g, fp, heapGraphBytes(g), nil
 	}
 	if verified && fp == old {
 		g, err := ugs.OpenMappedGraphTrusted(path)
-		return g, fp, err
+		return g, fp, fp.size, err
 	}
 	g, err := ugs.OpenMappedGraph(path)
-	return g, fp, err
+	return g, fp, fp.size, err
 }
 
 // release unpins r; the last release of a dropped resident closes its
@@ -590,8 +758,13 @@ type StoreStats struct {
 	ResidentBytes int64 `json:"resident_bytes"`
 	BudgetBytes   int64 `json:"budget_bytes"`
 	Loads         int64 `json:"loads"`
+	LoadFailures  int64 `json:"load_failures"`
 	Evictions     int64 `json:"evictions"`
 	Conversions   int64 `json:"conversions"`
+	// Quarantined counts names currently under load-failure backoff;
+	// QuarantineRejects counts requests turned away by the negative cache.
+	Quarantined       int   `json:"quarantined"`
+	QuarantineRejects int64 `json:"quarantine_rejects"`
 }
 
 // Stats snapshots the store counters.
@@ -599,19 +772,25 @@ func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := StoreStats{
-		Registered:    len(s.entries),
-		ResidentBytes: s.residentBytes,
-		BudgetBytes:   s.cfg.BudgetBytes,
-		Loads:         s.loads,
-		Evictions:     s.evictions,
-		Conversions:   s.conversions,
+		Registered:        len(s.entries),
+		ResidentBytes:     s.residentBytes,
+		BudgetBytes:       s.cfg.BudgetBytes,
+		Loads:             s.loads,
+		LoadFailures:      s.loadFailures,
+		Evictions:         s.evictions,
+		Conversions:       s.conversions,
+		QuarantineRejects: s.quarRejects,
 	}
+	now := s.now()
 	for _, e := range s.entries {
 		if e.res != nil {
 			st.Resident++
 			if e.res.refs > 0 {
 				st.Pinned++
 			}
+		}
+		if e.quar != nil && now.Before(e.quar.until) {
+			st.Quarantined++
 		}
 	}
 	return st
