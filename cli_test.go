@@ -9,9 +9,11 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -541,5 +543,84 @@ func TestServeChaosSmoke(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("server did not shut down")
+	}
+}
+
+// TestCLIPatch drives the "ugs patch" verb in both modes: local file → file,
+// and against a live server through the retrying client.
+func TestCLIPatch(t *testing.T) {
+	work := t.TempDir()
+	graphFile := filepath.Join(work, "g.ugs")
+	outFile := filepath.Join(work, "patched.ugsb")
+	editsFile := filepath.Join(work, "edits.txt")
+
+	g := ugs.TwitterLike(50, 4)
+	if err := ugs.WriteGraphFile(graphFile, g); err != nil {
+		t.Fatal(err)
+	}
+	e0, e1 := g.Edge(0), g.Edge(1)
+	edits := fmt.Sprintf("# reweight one edge, drop another\nreweight %d %d 0.25\ndelete %d %d\n",
+		e0.U, e0.V, e1.U, e1.V)
+	if err := os.WriteFile(editsFile, []byte(edits), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Local mode.
+	code, out, errOut := runTool(t, cli.RunPatch, "-in", graphFile, "-out", outFile, "-edits", editsFile)
+	if code != 0 {
+		t.Fatalf("patch exit %d\nstderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "2 edit(s) applied") {
+		t.Errorf("patch stdout: %q", out)
+	}
+	pg, err := ugs.OpenMappedGraph(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg.Close()
+	if id, ok := pg.EdgeID(e0.U, e0.V); !ok || pg.Prob(id) != 0.25 {
+		t.Error("reweight not applied to output file")
+	}
+	if pg.HasEdge(e1.U, e1.V) || pg.NumEdges() != g.NumEdges()-1 {
+		t.Error("delete not applied to output file")
+	}
+
+	// Usage and validation failures.
+	if code, _, _ := runTool(t, cli.RunPatch, "-edits", editsFile); code != 2 {
+		t.Errorf("missing -in/-out: exit %d", code)
+	}
+	badEdits := filepath.Join(work, "bad.txt")
+	if err := os.WriteFile(badEdits, []byte("upsert 0 1 0.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errs := runTool(t, cli.RunPatch, "-in", graphFile, "-out", outFile, "-edits", badEdits); code != 1 || !strings.Contains(errs, "unknown edit op") {
+		t.Errorf("bad edits: exit %d stderr %q", code, errs)
+	}
+
+	// Server mode, with optimistic concurrency.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := serve.New(ctx, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Store().Add("g", g); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	code, out, errOut = runTool(t, cli.RunPatch,
+		"-server", ts.URL, "-graph", "g", "-expect-version", "1", "-edits", editsFile)
+	if code != 0 {
+		t.Fatalf("server patch exit %d\nstderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "version 2") {
+		t.Errorf("server patch stdout: %q", out)
+	}
+	// Replay with the now-stale precondition: typed conflict, exit 1.
+	if code, _, errs := runTool(t, cli.RunPatch,
+		"-server", ts.URL, "-graph", "g", "-expect-version", "1", "-edits", editsFile); code != 1 || !strings.Contains(errs, "conflict") {
+		t.Errorf("stale expect-version: exit %d stderr %q", code, errs)
 	}
 }

@@ -18,7 +18,10 @@
 // -timeout bounds the run through context cancellation.
 //
 // The "convert" verb translates between the two formats in either
-// direction, picking the target format from the output extension.
+// direction, picking the target format from the output extension. The
+// "patch" verb applies an atomic edge-edit batch (insert/delete/reweight
+// lines) to a local graph file, or — with -server — to a graph stored in a
+// running ugs-serve via PATCH /v1/graphs/{name}/edges.
 //
 // The implementation lives in internal/cli so the end-to-end tests can run
 // it in-process.
@@ -32,8 +35,13 @@ import (
 
 func main() {
 	args := os.Args[1:]
-	if len(args) > 0 && args[0] == "convert" {
-		os.Exit(cli.RunConvert(args[1:], os.Stdout, os.Stderr))
+	if len(args) > 0 {
+		switch args[0] {
+		case "convert":
+			os.Exit(cli.RunConvert(args[1:], os.Stdout, os.Stderr))
+		case "patch":
+			os.Exit(cli.RunPatch(args[1:], os.Stdout, os.Stderr))
+		}
 	}
 	os.Exit(cli.RunSparsify(args, os.Stdout, os.Stderr))
 }

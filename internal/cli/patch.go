@@ -1,0 +1,151 @@
+package cli
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ugs"
+	"ugs/internal/serve"
+)
+
+// parseEdits reads the text edit-batch format from r: one edit per line,
+// "insert <u> <v> <p>", "reweight <u> <v> <p>" or "delete <u> <v>", with
+// blank lines and '#' comments ignored.
+func parseEdits(r io.Reader) ([]ugs.EdgeEdit, error) {
+	var edits []ugs.EdgeEdit
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		op, err := ugs.ParseEditOp(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		want := 4
+		if op == ugs.EditDelete {
+			want = 3
+		}
+		if len(fields) != want {
+			return nil, fmt.Errorf("line %d: %s takes %d fields, got %d", line, op, want, len(fields))
+		}
+		u, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: vertex %q: %v", line, fields[1], err)
+		}
+		v, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: vertex %q: %v", line, fields[2], err)
+		}
+		ed := ugs.EdgeEdit{Op: op, U: u, V: v}
+		if want == 4 {
+			if ed.P, err = strconv.ParseFloat(fields[3], 64); err != nil {
+				return nil, fmt.Errorf("line %d: probability %q: %v", line, fields[3], err)
+			}
+		}
+		edits = append(edits, ed)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(edits) == 0 {
+		return nil, fmt.Errorf("no edits")
+	}
+	return edits, nil
+}
+
+// RunPatch is the "ugs patch" verb: apply one atomic edge-edit batch, either
+// to a running ugs-serve instance (-server, via PATCH
+// /v1/graphs/{name}/edges) or to a local graph file (-in/-out). The batch
+// comes from -edits (a file, or "-" for stdin) in the text format parseEdits
+// documents.
+func RunPatch(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ugs patch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		editsPath = fs.String("edits", "", `edit batch file, "-" for stdin (required); lines: insert|reweight <u> <v> <p>, delete <u> <v>`)
+		server    = fs.String("server", "", "ugs-serve base URL; patches the named stored graph")
+		graph     = fs.String("graph", "", "stored graph name (server mode, required)")
+		expect    = fs.Int("expect-version", 0, "apply only if the stored graph is at this version (0 = unconditional)")
+		in        = fs.String("in", "", "input graph file, text or .ugsb (local mode, required)")
+		out       = fs.String("out", "", "output graph file (local mode, required)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "ugs patch:", err)
+		return 1
+	}
+	if *editsPath == "" {
+		fmt.Fprintln(stderr, "ugs patch: -edits is required")
+		fs.Usage()
+		return 2
+	}
+	var src io.Reader = os.Stdin
+	if *editsPath != "-" {
+		f, err := os.Open(*editsPath)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	edits, err := parseEdits(src)
+	if err != nil {
+		return fail(fmt.Errorf("%s: %w", *editsPath, err))
+	}
+
+	if *server != "" {
+		if *graph == "" {
+			fmt.Fprintln(stderr, "ugs patch: -graph is required with -server")
+			return 2
+		}
+		specs := make([]serve.EditSpec, len(edits))
+		for i, ed := range edits {
+			specs[i] = serve.EditSpec{Op: ed.Op.String(), U: ed.U, V: ed.V, P: ed.P}
+		}
+		resp, err := serve.NewClient(*server).Patch(context.Background(), *graph,
+			&serve.PatchRequest{Edits: specs, ExpectVersion: *expect})
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "patched %s: version %d, %d edit(s) applied, %d vertices, %d edges\n",
+			resp.Graph, resp.Version, resp.Applied, resp.Info.Vertices, resp.Info.Edges)
+		return 0
+	}
+
+	if *in == "" || *out == "" {
+		fmt.Fprintln(stderr, "ugs patch: -in and -out are required (or -server and -graph)")
+		fs.Usage()
+		return 2
+	}
+	g, err := loadGraphAuto(*in)
+	if err != nil {
+		return fail(err)
+	}
+	defer g.Close()
+	res, err := ugs.ApplyEdits(g, edits)
+	if err != nil {
+		return fail(err)
+	}
+	if err := writeGraphAuto(*out, res.Graph); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "patched %s -> %s: %d edit(s) applied (%d inserted), %d vertices, %d edges\n",
+		*in, *out, len(edits), len(res.InsertedIDs), res.Graph.NumVertices(), res.Graph.NumEdges())
+	return 0
+}

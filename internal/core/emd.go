@@ -67,6 +67,23 @@ func EMD(ctx context.Context, g *ugraph.Graph, backbone []int, opts EMDOptions) 
 	opts.defaults(g.NumVertices())
 	t := newTracker(g, backbone)
 	bb := append([]int(nil), backbone...)
+	stats, err := emdRun(ctx, t, &bb, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := t.finalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, stats, nil
+}
+
+// emdRun is the E+M optimization loop over an existing tracker and backbone
+// id list, both mutated in place. Split out of EMD so the dynamic sparsifier
+// can run it and keep the tracker (and the final backbone) for later repairs.
+// opts must already have defaults applied.
+func emdRun(ctx context.Context, t *tracker, bb *[]int, opts EMDOptions) (*RunStats, error) {
+	g := t.g
 	h := effectiveH(opts.H)
 
 	mOpts := GDBOptions{
@@ -87,22 +104,22 @@ func EMD(ctx context.Context, g *ugraph.Graph, backbone []int, opts EMDOptions) 
 	prev := t.objectiveD1(opts.Discrepancy)
 	for stats.Iterations < opts.MaxRounds {
 		if err := ctx.Err(); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		if opts.NaiveEPhase {
-			stats.Swaps += ePhaseNaive(t, &bb, opts.Discrepancy, h)
+			stats.Swaps += ePhaseNaive(t, bb, opts.Discrepancy, h)
 		} else {
-			stats.Swaps += ePhase(t, &bb, opts.Discrepancy, h, st)
+			stats.Swaps += ePhase(t, bb, opts.Discrepancy, h, st)
 		}
 		// M-phase re-optimizes from the original probabilities of the new
 		// backbone, exactly as GDB(G, G'_b, h) would (Algorithm 2, lines
 		// 1–3).
-		for _, id := range bb {
+		for _, id := range *bb {
 			t.setProb(id, g.Prob(id))
 		}
-		mStats, err := gdbSweeps(ctx, t, bb, mOpts)
+		mStats, err := gdbSweeps(ctx, t, *bb, mOpts)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		stats.EdgeVisits += mStats.EdgeVisits
 		stats.Iterations++
@@ -116,11 +133,7 @@ func EMD(ctx context.Context, g *ugraph.Graph, backbone []int, opts EMDOptions) 
 		prev = d1
 	}
 	stats.ObjectiveD1 = t.objectiveD1(opts.Discrepancy)
-	out, err := t.finalize()
-	if err != nil {
-		return nil, nil, err
-	}
-	return out, stats, nil
+	return stats, nil
 }
 
 // ePhaseState carries the E-phase's data structures across EMD rounds so

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"ugs/internal/ugraph"
+)
+
+// DynOptions configures a Dynamic sparsifier. Only the degree-preserving
+// methods are supported (MethodGDB and MethodEMD, both at k = 1): the k-cut
+// rules read global state that an incremental repair cannot re-dirty
+// precisely.
+type DynOptions struct {
+	// Method is MethodGDB (default) or MethodEMD.
+	Method Method
+	// Discrepancy selects the δA or δR objective. Default Absolute.
+	Discrepancy Discrepancy
+	// Backbone selects the initial backbone construction. Default
+	// BackboneSpanning.
+	Backbone Backbone
+	// H, Tau and MaxIters tune the initial optimization exactly as in
+	// Options (MaxIters bounds GDB sweeps or EMD rounds). Zero values
+	// select the usual defaults.
+	H        float64
+	Tau      float64
+	MaxIters int
+	// RepairSweeps bounds the worklist sweeps one Repair call runs — the
+	// bounded-work-per-update knob of the dynamic sparsifier. Default 8.
+	RepairSweeps int
+	// Seed drives the initial backbone randomization.
+	Seed int64
+	// BGI tunes the spanning backbone construction.
+	BGI BGIOptions
+}
+
+func (o *DynOptions) defaults() {
+	if o.RepairSweeps == 0 {
+		o.RepairSweeps = 8
+	}
+}
+
+// Dynamic is an incrementally repairable sparsifier: it owns the current
+// base graph, the backbone membership and the D1 tracker of its last
+// optimization, and updates all three under streaming edge-edit batches
+// without re-running from scratch.
+//
+// The dynamic pipeline is deterministic replay semantics: the state after any
+// sequence of edit batches is a pure function of (initial graph, DynOptions,
+// the ordered batches). Repair reproduces — bit for bit — what a from-scratch
+// rebuild of the same pipeline state would compute: rebuild the post-edit
+// graph, carry each surviving edge's current probability, apply the same
+// backbone maintenance rule, build a fresh tracker and run the same capped
+// sweeps densely. The differential suite in repair_test.go enforces exactly
+// that equivalence. Repair is therefore a bounded-work maintenance step, not
+// a full re-optimization; when edits have drifted the graph far from the
+// state the initial backbone was built for, a fresh sparsification remains
+// the quality-recovery path.
+//
+// Dynamic is not safe for concurrent use.
+type Dynamic struct {
+	opts     DynOptions
+	alpha    float64
+	g        *ugraph.Graph
+	t        *tracker
+	backbone []int // always sorted ascending; the sweep order of repairs
+}
+
+// RepairStats reports one Repair call.
+type RepairStats struct {
+	// Edits is the batch size applied.
+	Edits int
+	// Structural reports whether the batch changed the edge set.
+	Structural bool
+	// BackboneAdded and BackboneRemoved count membership maintenance: edges
+	// pulled in to refill the α·|E| budget and edges evicted over it (a
+	// deleted backbone edge leaves implicitly and is not counted).
+	BackboneAdded, BackboneRemoved int
+	// DirtyVertices counts vertices whose discrepancy state changed — the
+	// worklist region the repair sweeps start from.
+	DirtyVertices int
+	// Sweeps and EdgeVisits report the bounded re-optimization actually
+	// performed (Sweeps ≤ DynOptions.RepairSweeps).
+	Sweeps, EdgeVisits int
+	// ObjectiveD1 is the exact objective after the repair.
+	ObjectiveD1 float64
+}
+
+// NewDynamic builds the initial sparsified state: backbone construction plus
+// a full GDB or EMD optimization, with the tracker kept for later repairs.
+//
+// The backbone is sorted ascending before optimizing, giving the dynamic
+// pipeline a canonical sweep order that backbone maintenance preserves across
+// repairs; initial results can therefore differ (in float ulps) from a plain
+// Sparsify call, which sweeps in construction order.
+func NewDynamic(ctx context.Context, g *ugraph.Graph, alpha float64, opts DynOptions) (*Dynamic, error) {
+	opts.defaults()
+	if opts.Method != MethodGDB && opts.Method != MethodEMD {
+		return nil, fmt.Errorf("core: dynamic sparsification supports gdb and emd only (got %v)", opts.Method)
+	}
+	backbone, err := BuildBackbone(g, alpha, Options{Backbone: opts.Backbone, Seed: opts.Seed, BGI: opts.BGI})
+	if err != nil {
+		return nil, err
+	}
+	sort.Ints(backbone)
+	t := newTracker(g, backbone)
+	switch opts.Method {
+	case MethodGDB:
+		gOpts := GDBOptions{Discrepancy: opts.Discrepancy, K: 1, H: opts.H, Tau: opts.Tau, MaxIters: opts.MaxIters}
+		gOpts.defaults(g.NumVertices())
+		if _, err := gdbSweeps(ctx, t, backbone, gOpts); err != nil {
+			return nil, err
+		}
+	case MethodEMD:
+		eOpts := EMDOptions{Discrepancy: opts.Discrepancy, H: opts.H, Tau: opts.Tau, MaxRounds: opts.MaxIters}
+		eOpts.defaults(g.NumVertices())
+		if _, err := emdRun(ctx, t, &backbone, eOpts); err != nil {
+			return nil, err
+		}
+		// ePhase rebuilds the list ascending each round, but a zero-round
+		// run (MaxRounds exhausted immediately) keeps the input order; keep
+		// the canonical order unconditionally.
+		sort.Ints(backbone)
+	}
+	return &Dynamic{opts: opts, alpha: alpha, g: g, t: t, backbone: backbone}, nil
+}
+
+// Graph returns the current (post-edit) base graph. Callers must not mutate
+// it.
+func (d *Dynamic) Graph() *ugraph.Graph { return d.g }
+
+// Backbone returns a copy of the current backbone edge ids (ascending, in
+// the current graph's id space).
+func (d *Dynamic) Backbone() []int { return append([]int(nil), d.backbone...) }
+
+// Prob returns the current sparsified probability of edge id (0 outside the
+// backbone).
+func (d *Dynamic) Prob(id int) float64 { return d.t.cur[id] }
+
+// ObjectiveD1 returns the exact current objective.
+func (d *Dynamic) ObjectiveD1() float64 { return d.t.objectiveD1(d.opts.Discrepancy) }
+
+// Sparsified materializes the current sparsified uncertain graph.
+func (d *Dynamic) Sparsified() (*ugraph.Graph, error) { return d.t.finalize() }
+
+// Repair applies one edit batch to the base graph and restores the
+// sparsified state with bounded work: carry per-edge state across the edit,
+// maintain the backbone budget deterministically, re-dirty exactly the
+// vertices whose discrepancy state changed, and re-run up to RepairSweeps
+// worklist sweeps from the existing tracker. The batch is atomic — a
+// validation error leaves the state untouched.
+func (d *Dynamic) Repair(ctx context.Context, edits []ugraph.EdgeEdit) (*RepairStats, error) {
+	res, err := ugraph.ApplyEdits(d.g, edits)
+	if err != nil {
+		return nil, err
+	}
+	stats := &RepairStats{Edits: len(edits), Structural: res.Structural}
+	t := d.t
+	if res.Structural {
+		d.remap(res)
+	} else {
+		// Reweight-only: ids are stable, only the target probabilities moved.
+		for id, e := range res.Graph.Edges() {
+			t.origP[id] = e.P
+		}
+	}
+	d.g = res.Graph
+	t.g = res.Graph
+
+	stats.BackboneAdded, stats.BackboneRemoved = d.maintainBackbone()
+	stats.DirtyVertices = t.resyncAfterEdits()
+
+	sOpts := GDBOptions{Discrepancy: d.opts.Discrepancy, K: 1, H: d.opts.H, Tau: d.opts.Tau,
+		MaxIters: d.opts.RepairSweeps}
+	sOpts.defaults(d.g.NumVertices())
+	sOpts.MaxIters = d.opts.RepairSweeps // defaults() must not widen the cap
+	run, err := gdbSweeps(ctx, t, d.backbone, sOpts)
+	if err != nil {
+		return nil, err
+	}
+	stats.Sweeps, stats.EdgeVisits, stats.ObjectiveD1 = run.Iterations, run.EdgeVisits, run.ObjectiveD1
+	return stats, nil
+}
+
+// remap rebuilds the tracker's per-edge arrays in the post-edit id space:
+// surviving edges carry their probability, membership and visit stamp across
+// the compaction; inserted edges start outside the backbone with stamp 0
+// (always dirty if later pulled in).
+func (d *Dynamic) remap(res *ugraph.EditResult) {
+	t := d.t
+	ng := res.Graph
+	m := ng.NumEdges()
+	eu := make([]int32, m)
+	ev := make([]int32, m)
+	origP := make([]float64, m)
+	cur := make([]float64, m)
+	inB := make([]bool, m)
+	visit := make([]int64, m)
+	for id, e := range ng.Edges() {
+		eu[id], ev[id] = int32(e.U), int32(e.V)
+		origP[id] = e.P
+	}
+	nBackbone := 0
+	for old, nw := range res.OldToNew {
+		if nw < 0 {
+			continue
+		}
+		cur[nw] = t.cur[old]
+		visit[nw] = t.visitStamp[old]
+		if t.inBackbone[old] {
+			inB[nw] = true
+			nBackbone++
+		}
+	}
+	t.eu, t.ev, t.origP, t.cur, t.inBackbone, t.visitStamp = eu, ev, origP, cur, inB, visit
+	t.nBackbone = nBackbone
+}
+
+// maintainBackbone restores the α·|E| edge budget after an edit batch with a
+// deterministic, history-independent rule: deleted members are already gone;
+// a deficit is refilled from non-members in descending probability (ties to
+// the lower id), each entering at its graph probability; a surplus evicts
+// members in ascending probability (ties to the higher id). Membership is
+// otherwise stable — reweights and budget-neutral batches cause no churn.
+// Probabilities are written directly (no incremental bookkeeping): the
+// subsequent resyncAfterEdits rebuilds every accumulator from scratch, so
+// repaired numeric state is bit-identical to a fresh tracker's.
+func (d *Dynamic) maintainBackbone() (added, removed int) {
+	t := d.t
+	m := d.g.NumEdges()
+	target := TargetEdges(d.g, d.alpha)
+	if target < 1 {
+		target = 1
+	}
+	if target > m {
+		target = m
+	}
+	switch {
+	case t.nBackbone < target:
+		cand := make([]int, 0, m-t.nBackbone)
+		for id := 0; id < m; id++ {
+			if !t.inBackbone[id] {
+				cand = append(cand, id)
+			}
+		}
+		sort.Slice(cand, func(a, b int) bool {
+			pa, pb := t.origP[cand[a]], t.origP[cand[b]]
+			if pa != pb {
+				return pa > pb
+			}
+			return cand[a] < cand[b]
+		})
+		for _, id := range cand[:target-t.nBackbone] {
+			t.inBackbone[id] = true
+			t.cur[id] = t.origP[id]
+			added++
+		}
+		t.nBackbone = target
+	case t.nBackbone > target:
+		members := make([]int, 0, t.nBackbone)
+		for id := 0; id < m; id++ {
+			if t.inBackbone[id] {
+				members = append(members, id)
+			}
+		}
+		sort.Slice(members, func(a, b int) bool {
+			pa, pb := t.origP[members[a]], t.origP[members[b]]
+			if pa != pb {
+				return pa < pb
+			}
+			return members[a] > members[b]
+		})
+		for _, id := range members[:t.nBackbone-target] {
+			t.inBackbone[id] = false
+			t.cur[id] = 0
+			removed++
+		}
+		t.nBackbone = target
+	}
+	// Rebuild the canonical ascending sweep order from membership.
+	d.backbone = d.backbone[:0]
+	for id := 0; id < m; id++ {
+		if t.inBackbone[id] {
+			d.backbone = append(d.backbone, id)
+		}
+	}
+	return added, removed
+}
+
+// resyncAfterEdits rebuilds every numeric accumulator from scratch and
+// re-dirties exactly the vertices whose state changed; it returns the dirty
+// count. This is the keystone of the repair ≡ from-scratch guarantee, in two
+// halves:
+//
+// Bit-identity. Incremental patching (origDeg[u] += Δp and friends) would
+// leave accumulators ulps away from a fresh tracker's, and an ulp is enough
+// to flip a discrete branch (the entropy cap, the [0,1] clamp) into a
+// macroscopically different probability sequence. Instead every accumulator
+// is recomputed with the exact float expressions, in the exact order, that
+// building a fresh tracker over the post-edit graph and replaying the carried
+// probabilities (ascending id, via setProb from zero) would use — so the
+// repaired tracker and a from-scratch one agree on every bit.
+//
+// Worklist exactness. A sweep may skip an edge only if its recomputed step
+// would provably be zero: the k = 1 step is a pure function of the endpoint
+// discrepancies, and an unstamped vertex has bit-identical origDeg and curDeg
+// before and after the resync, so a skipped edge recomputes exactly the
+// zero step of its last visit. Stamping precisely the changed vertices (not
+// just the edited region) also covers resync-induced ulp shifts on vertices
+// whose accumulation history differed from the fresh ascending order.
+func (t *tracker) resyncAfterEdits() int {
+	n := t.n
+	newOrig := t.g.ExpectedDegrees()
+	newCur := make([]float64, n)
+	var missing float64
+	for id := range t.cur {
+		if c := t.cur[id]; c != 0 {
+			newCur[t.eu[id]] += c
+			newCur[t.ev[id]] += c
+		}
+		missing += t.origP[id] - t.cur[id]
+	}
+	t.tick++
+	dirty := 0
+	for u := 0; u < n; u++ {
+		if newOrig[u] != t.origDeg[u] || newCur[u] != t.curDeg[u] {
+			t.vertStamp[u] = t.tick
+			dirty++
+		}
+	}
+	t.origDeg, t.curDeg = newOrig, newCur
+	for u := 0; u < n; u++ {
+		t.invSq[u] = 0
+		if d := t.origDeg[u]; d > 0 {
+			t.invSq[u] = 1 / (d * d)
+		}
+	}
+	t.missing = missing
+	t.massStamp = t.tick
+	t.objectiveD1(Absolute) // exact-resync both D1 accumulators
+	return dirty
+}

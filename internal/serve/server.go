@@ -203,6 +203,7 @@ func New(base context.Context, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
 	s.mux.HandleFunc("POST /v1/graphs/{name}", s.handlePutGraph)
+	s.mux.HandleFunc("PATCH /v1/graphs/{name}/edges", s.handlePatchGraph)
 	s.mux.HandleFunc("POST /v1/sparsify", s.handleSparsify)
 	s.mux.HandleFunc("GET /v1/sparsify/{id}/graph", s.handleDownloadSparse)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)

@@ -50,6 +50,7 @@ type Store struct {
 	quarRejects   int64
 	evictions     int64
 	conversions   int64
+	patches       int64
 	convertDir    string
 	ownsConvert   bool
 	closed        bool
@@ -88,7 +89,22 @@ type storeEntry struct {
 	loading  chan struct{} // non-nil while a reload is in flight
 	quar     *quarantineState
 	lastUse  uint64
+	// log holds the edit batches applied since path was last written: the
+	// backing file plus the log reconstructs the current generation, so
+	// patched graphs stay evictable. Compaction rewrites the sidecar and
+	// resets the log every patchCompactBatches batches.
+	log ugs.EditLog
 }
+
+// patchCompactBatches is how many patch batches accumulate against one
+// backing file before the store rewrites the sidecar and resets the log
+// (bounding replay work on reload).
+const patchCompactBatches = 4
+
+// ErrPatchConflict reports that a patch lost a race: the graph it was
+// prepared against was replaced, reloaded with changed bytes, or is not at
+// the version the caller demanded.
+var ErrPatchConflict = errors.New("patch conflict")
 
 // quarantineState is the negative cache for a name whose backing file is
 // failing to load: while now < until, Acquire rejects without touching the
@@ -298,6 +314,134 @@ func (s *Store) AddReader(name string, r io.Reader) (*ugs.Graph, error) {
 		return nil, err
 	}
 	return g, nil
+}
+
+// Patch applies one atomic edit batch to the graph registered under name and
+// bumps its generation, so every cached result keyed by "name@gen" — sparsify
+// plans, query answers, world-cache fill blocks — is unreachable for the
+// patched graph. It returns the post-patch summary and generation.
+//
+// expectGen, when non-zero, is an optimistic-concurrency precondition: the
+// patch applies only if the graph is currently at that generation, otherwise
+// ErrPatchConflict. The edits are validated and applied outside the store
+// lock against a pinned snapshot; if the entry changed in the meantime (a
+// re-upload, a concurrent reload with changed bytes) the patch also fails
+// with ErrPatchConflict rather than silently applying to the wrong bytes.
+//
+// A patched graph stays evictable: the edit batch is appended to the entry's
+// log, and a reload replays the log over the backing file. Every
+// patchCompactBatches batches the store compacts — rewrites the sidecar at
+// the current generation and resets the log.
+func (s *Store) Patch(ctx context.Context, name string, edits []ugs.EdgeEdit, expectGen int) (GraphInfo, int, error) {
+	g, _, release, err := s.AcquireCtx(ctx, name)
+	if err != nil {
+		return GraphInfo{}, 0, err
+	}
+	defer release()
+
+	// Evaluate the version precondition before validating the edits: a
+	// stale client's batch may well be invalid against the newer state, and
+	// it should learn about the race (409), not about validation artifacts
+	// of applying its batch to bytes it never saw (400).
+	if expectGen != 0 {
+		s.mu.Lock()
+		e, ok := s.entries[name]
+		if ok && e.gen != expectGen {
+			gen := e.gen
+			s.mu.Unlock()
+			return GraphInfo{}, 0, fmt.Errorf("%w: graph %q is at version %d, patch expects %d", ErrPatchConflict, name, gen, expectGen)
+		}
+		s.mu.Unlock()
+	}
+
+	// Validate + apply outside the lock: a large structural batch rebuilds
+	// the CSR and must not stall concurrent acquires.
+	res, err := ugs.ApplyEdits(g, edits)
+	if err != nil {
+		return GraphInfo{}, 0, err
+	}
+	ng := res.Graph
+	bytes := heapGraphBytes(ng)
+
+	s.mu.Lock()
+	e, ok := s.entries[name]
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		return GraphInfo{}, 0, errors.New("serve: store closed")
+	case !ok || e.res == nil || e.res.g != g:
+		// The name was re-registered, or evicted and reloaded from changed
+		// bytes, after we pinned our snapshot.
+		s.mu.Unlock()
+		return GraphInfo{}, 0, fmt.Errorf("%w: graph %q changed while the patch was prepared", ErrPatchConflict, name)
+	case expectGen != 0 && expectGen != e.gen:
+		gen := e.gen
+		s.mu.Unlock()
+		return GraphInfo{}, 0, fmt.Errorf("%w: graph %q is at version %d, patch expects %d", ErrPatchConflict, name, gen, expectGen)
+	}
+	s.dropResidentLocked(e) // our pin keeps the old mapping alive until release
+	e.gen++
+	e.info = Info(name, ng)
+	e.res = &resident{g: ng, bytes: bytes}
+	e.lastUse = s.tickLocked()
+	s.residentBytes += bytes
+	s.patches++
+	var compactPin *resident
+	if e.path != "" {
+		e.log.Append(edits)
+		if e.log.Batches() >= patchCompactBatches {
+			compactPin = e.res
+			compactPin.refs++ // keep ng resident while the sidecar is written
+		}
+	}
+	info, gen := e.info, e.gen
+	s.evictLocked(e)
+	s.mu.Unlock()
+
+	if compactPin != nil {
+		s.compactEntry(name, e, ng, gen)
+		s.release(compactPin)
+	}
+	return info, gen, nil
+}
+
+// compactEntry rewrites an entry's backing sidecar at generation gen and
+// resets its patch log, bounding future reload-replay work. Failures are
+// silently tolerated: the old base + log remain a valid reconstruction. The
+// swap is abandoned if the entry moved on (replaced, or patched again —
+// whichever patch crosses the threshold next re-compacts).
+func (s *Store) compactEntry(name string, e *storeEntry, g *ugs.Graph, gen int) {
+	s.mu.Lock()
+	dir, derr := s.convertDirLocked()
+	s.mu.Unlock()
+	if derr != nil {
+		return
+	}
+	side := filepath.Join(dir, fmt.Sprintf("%s.g%d.ugsb", name, gen))
+	if err := ugs.WriteBinaryGraphFile(side, g); err != nil {
+		os.Remove(side)
+		return
+	}
+	fp, err := statFP(side)
+	if err != nil {
+		os.Remove(side)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.entries[name] != e || e.gen != gen {
+		os.Remove(side)
+		return
+	}
+	oldPath, oldOwned := e.path, e.sidecar
+	e.path, e.sidecar, e.verified, e.fp = side, true, true, fp
+	e.log.Reset()
+	s.conversions++
+	if oldOwned && oldPath != "" && oldPath != side {
+		// Safe while a concurrent reload still has the old file open: the
+		// mapping keeps the unlinked inode alive.
+		os.Remove(oldPath)
+	}
 }
 
 // LoadDir loads every *.ugsb, *.ugs and *.txt file in dir (non-recursively),
@@ -532,9 +676,24 @@ func (s *Store) AcquireCtx(ctx context.Context, name string) (g *ugs.Graph, id s
 		ch := make(chan struct{})
 		e.loading = ch
 		path, verified, oldFP := e.path, e.verified, e.fp
+		pending := e.log.Snapshot() // patches applied since path was written
 		s.mu.Unlock()
 
 		g, fp, bytes, lerr := s.reopenBacking(path, verified, oldFP)
+		if lerr == nil && len(pending) > 0 {
+			// The backing file is the pre-patch base: replay the patch log
+			// to reconstruct the current generation. The replayed graph is
+			// heap-resident, so the base mapping can be released at once. A
+			// replay failure means base + log no longer cohere (the file
+			// changed under the log) — quarantine, like any corrupt backing.
+			patched, rerr := ugs.ReplayEdits(g, pending)
+			g.Close()
+			if rerr != nil {
+				g, lerr = nil, rerr
+			} else {
+				g, bytes = patched, heapGraphBytes(patched)
+			}
+		}
 
 		s.mu.Lock()
 		e.loading = nil
@@ -761,6 +920,8 @@ type StoreStats struct {
 	LoadFailures  int64 `json:"load_failures"`
 	Evictions     int64 `json:"evictions"`
 	Conversions   int64 `json:"conversions"`
+	// Patches counts applied edit batches across all graphs.
+	Patches int64 `json:"patches"`
 	// Quarantined counts names currently under load-failure backoff;
 	// QuarantineRejects counts requests turned away by the negative cache.
 	Quarantined       int   `json:"quarantined"`
@@ -779,6 +940,7 @@ func (s *Store) Stats() StoreStats {
 		LoadFailures:      s.loadFailures,
 		Evictions:         s.evictions,
 		Conversions:       s.conversions,
+		Patches:           s.patches,
 		QuarantineRejects: s.quarRejects,
 	}
 	now := s.now()

@@ -1,0 +1,295 @@
+package ugraph
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func editTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	return MustNew(6, []Edge{
+		{U: 0, V: 1, P: 0.9},
+		{U: 1, V: 2, P: 0.5},
+		{U: 2, V: 3, P: 0.25},
+		{U: 3, V: 4, P: 0.8},
+		{U: 0, V: 4, P: 0.4},
+	})
+}
+
+func TestApplyEditsReweightOnly(t *testing.T) {
+	g := editTestGraph(t)
+	res, err := ApplyEdits(g, []EdgeEdit{
+		{Op: EditReweight, U: 1, V: 0, P: 0.1}, // reversed endpoints must resolve
+		{Op: EditReweight, U: 2, V: 3, P: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Structural || res.OldToNew != nil || len(res.InsertedIDs) != 0 {
+		t.Fatalf("reweight-only batch reported structural=%v oldToNew=%v inserted=%v",
+			res.Structural, res.OldToNew, res.InsertedIDs)
+	}
+	if g.Prob(0) != 0.9 || g.Prob(2) != 0.25 {
+		t.Fatalf("input graph was modified: %v", g.Edges())
+	}
+	ng := res.Graph
+	if ng.Prob(0) != 0.1 || ng.Prob(2) != 1 || ng.Prob(1) != 0.5 {
+		t.Fatalf("unexpected result probabilities: %v", ng.Edges())
+	}
+	// Identifiers are stable and the CSR adjacency is shared with the input.
+	if &ng.arcs[0] != &g.arcs[0] {
+		t.Error("reweight-only result should share the input's arc array")
+	}
+	if id, ok := ng.EdgeID(0, 1); !ok || id != 0 {
+		t.Fatalf("EdgeID(0,1) = %d,%v; want 0,true", id, ok)
+	}
+}
+
+func TestApplyEditsStructural(t *testing.T) {
+	g := editTestGraph(t)
+	res, err := ApplyEdits(g, []EdgeEdit{
+		{Op: EditDelete, U: 1, V: 2},
+		{Op: EditInsert, U: 5, V: 0, P: 0.7},
+		{Op: EditReweight, U: 3, V: 4, P: 0.6},
+		{Op: EditInsert, U: 2, V: 5, P: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Structural {
+		t.Fatal("batch with insert/delete must be structural")
+	}
+	want := MustNew(6, []Edge{
+		{U: 0, V: 1, P: 0.9},
+		{U: 2, V: 3, P: 0.25},
+		{U: 3, V: 4, P: 0.6},
+		{U: 0, V: 4, P: 0.4},
+		{U: 0, V: 5, P: 0.7},
+		{U: 2, V: 5, P: 0.3},
+	})
+	if !res.Graph.Equal(want) {
+		t.Fatalf("result %v\nwant %v", res.Graph.Edges(), want.Edges())
+	}
+	wantMap := []int32{0, -1, 1, 2, 3}
+	for i, w := range wantMap {
+		if res.OldToNew[i] != w {
+			t.Fatalf("OldToNew = %v; want %v", res.OldToNew, wantMap)
+		}
+	}
+	if len(res.InsertedIDs) != 2 || res.InsertedIDs[0] != 4 || res.InsertedIDs[1] != 5 {
+		t.Fatalf("InsertedIDs = %v; want [4 5]", res.InsertedIDs)
+	}
+	// The input graph is untouched.
+	if g.NumEdges() != 5 || !g.HasEdge(1, 2) {
+		t.Fatalf("input graph was modified: %v", g.Edges())
+	}
+	// The rebuilt adjacency must be coherent.
+	if res.Graph.Degree(5) != 2 || res.Graph.Degree(1) != 1 {
+		t.Fatalf("degrees after rebuild: deg(5)=%d deg(1)=%d", res.Graph.Degree(5), res.Graph.Degree(1))
+	}
+}
+
+func TestApplyEditsValidation(t *testing.T) {
+	g := editTestGraph(t)
+	cases := []struct {
+		name  string
+		edits []EdgeEdit
+	}{
+		{"empty batch", nil},
+		{"endpoint out of range", []EdgeEdit{{Op: EditInsert, U: 0, V: 6, P: 0.5}}},
+		{"negative endpoint", []EdgeEdit{{Op: EditDelete, U: -1, V: 2}}},
+		{"self-loop", []EdgeEdit{{Op: EditInsert, U: 3, V: 3, P: 0.5}}},
+		{"duplicate pair", []EdgeEdit{
+			{Op: EditReweight, U: 0, V: 1, P: 0.5},
+			{Op: EditReweight, U: 1, V: 0, P: 0.6},
+		}},
+		{"insert existing", []EdgeEdit{{Op: EditInsert, U: 0, V: 1, P: 0.5}}},
+		{"delete missing", []EdgeEdit{{Op: EditDelete, U: 0, V: 2}}},
+		{"reweight missing", []EdgeEdit{{Op: EditReweight, U: 0, V: 2, P: 0.5}}},
+		{"reweight to zero", []EdgeEdit{{Op: EditReweight, U: 0, V: 1, P: 0}}},
+		{"probability above one", []EdgeEdit{{Op: EditInsert, U: 0, V: 2, P: 1.5}}},
+		{"probability NaN", []EdgeEdit{{Op: EditReweight, U: 0, V: 1, P: nan()}}},
+		{"unknown op", []EdgeEdit{{Op: EditOp(99), U: 0, V: 1, P: 0.5}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := ApplyEdits(g, tc.edits)
+			if err == nil {
+				t.Fatalf("want error, got result with %d edges", res.Graph.NumEdges())
+			}
+			var ee *EditError
+			if !errors.As(err, &ee) {
+				t.Fatalf("error %v is not an *EditError", err)
+			}
+		})
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestApplyEditsMapped(t *testing.T) {
+	g := editTestGraph(t)
+	path := filepath.Join(t.TempDir(), "g.ugsb")
+	if err := WriteBinaryFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	mg, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ApplyEdits(mg, []EdgeEdit{{Op: EditReweight, U: 0, V: 1, P: 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The result must not alias the mapping: closing it must leave the
+	// result fully usable.
+	if err := mg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.Prob(0) != 0.2 || res.Graph.Degree(0) != 2 {
+		t.Fatalf("post-close result corrupt: %v", res.Graph.Edges())
+	}
+	res.Graph.SetProb(0, 0.5) // must not panic: the copy is writable
+}
+
+// TestApplyEditsMatchesRebuild cross-checks random batches against a naive
+// reconstruction through the Builder.
+func TestApplyEditsMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 30
+	for trial := 0; trial < 50; trial++ {
+		// Random base graph.
+		b := NewBuilder(n)
+		type rec struct {
+			u, v int
+			p    float64
+		}
+		var recs []rec
+		have := make(map[uint64]int)
+		for len(recs) < 60 {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if _, ok := have[pairKey(u, v)]; ok {
+				continue
+			}
+			p := 0.05 + 0.95*rng.Float64()
+			have[pairKey(u, v)] = len(recs)
+			recs = append(recs, rec{u, v, p})
+			if err := b.AddEdge(u, v, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g := b.Graph()
+
+		// Random valid batch.
+		var edits []EdgeEdit
+		touched := make(map[uint64]bool)
+		for len(edits) < 1+rng.Intn(16) {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v || touched[pairKey(u, v)] {
+				continue
+			}
+			touched[pairKey(u, v)] = true
+			_, exists := have[pairKey(u, v)]
+			p := 0.05 + 0.95*rng.Float64()
+			switch {
+			case !exists:
+				edits = append(edits, EdgeEdit{Op: EditInsert, U: u, V: v, P: p})
+			case rng.Intn(2) == 0:
+				edits = append(edits, EdgeEdit{Op: EditDelete, U: u, V: v})
+			default:
+				edits = append(edits, EdgeEdit{Op: EditReweight, U: u, V: v, P: p})
+			}
+		}
+		res, err := ApplyEdits(g, edits)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Naive reconstruction: survivors in order, then inserts.
+		del := make(map[uint64]bool)
+		rew := make(map[uint64]float64)
+		var ins []rec
+		for _, ed := range edits {
+			switch ed.Op {
+			case EditDelete:
+				del[pairKey(ed.U, ed.V)] = true
+			case EditReweight:
+				rew[pairKey(ed.U, ed.V)] = ed.P
+			case EditInsert:
+				ins = append(ins, rec{ed.U, ed.V, ed.P})
+			}
+		}
+		nb := NewBuilder(n)
+		for _, r := range recs {
+			k := pairKey(r.u, r.v)
+			if del[k] {
+				continue
+			}
+			p := r.p
+			if np, ok := rew[k]; ok {
+				p = np
+			}
+			if err := nb.AddEdge(r.u, r.v, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, r := range ins {
+			if err := nb.AddEdge(r.u, r.v, r.p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if want := nb.Graph(); !res.Graph.Equal(want) {
+			t.Fatalf("trial %d: ApplyEdits disagrees with rebuild\ngot  %v\nwant %v",
+				trial, res.Graph.Edges(), want.Edges())
+		}
+		// OldToNew consistency: every surviving id maps onto the same pair.
+		for old, nw := range res.OldToNew {
+			if nw < 0 {
+				continue
+			}
+			oe, ne := g.Edge(old), res.Graph.Edge(int(nw))
+			if oe.U != ne.U || oe.V != ne.V {
+				t.Fatalf("OldToNew[%d]=%d maps (%d,%d) onto (%d,%d)", old, nw, oe.U, oe.V, ne.U, ne.V)
+			}
+		}
+	}
+}
+
+func TestEditLogReplay(t *testing.T) {
+	g := editTestGraph(t)
+	var log EditLog
+	b1 := []EdgeEdit{{Op: EditReweight, U: 0, V: 1, P: 0.33}}
+	b2 := []EdgeEdit{{Op: EditDelete, U: 2, V: 3}, {Op: EditInsert, U: 1, V: 5, P: 0.9}}
+	log.Append(b1)
+	log.Append(b2)
+	if log.Batches() != 2 || log.Edits() != 3 {
+		t.Fatalf("log = %d batches / %d edits; want 2/3", log.Batches(), log.Edits())
+	}
+	replayed, err := log.Replay(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := ApplyEdits(g, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ApplyEdits(r1.Graph, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed.Equal(r2.Graph) {
+		t.Fatalf("replay %v\nwant %v", replayed.Edges(), r2.Graph.Edges())
+	}
+	log.Reset()
+	if log.Batches() != 0 || log.Edits() != 0 {
+		t.Fatal("Reset did not empty the log")
+	}
+}

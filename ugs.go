@@ -170,6 +170,57 @@ var (
 	RelativeEntropy = ugraph.RelativeEntropy
 )
 
+// Streaming edge updates (dynamic uncertain graphs).
+type (
+	// EdgeEdit is one streaming update: insert, delete or reweight an
+	// undirected edge. Endpoint order does not matter.
+	EdgeEdit = ugraph.EdgeEdit
+	// EditOp enumerates the edit operations; its String form ("insert",
+	// "delete", "reweight") round-trips through ParseEditOp.
+	EditOp = ugraph.EditOp
+	// EditError reports why an edit batch was rejected (batches are atomic).
+	EditError = ugraph.EditError
+	// EditResult is ApplyEdits' outcome: the post-edit graph plus the
+	// old-to-new edge id mapping.
+	EditResult = ugraph.EditResult
+	// EditLog accumulates applied batches so a base graph plus the log
+	// reconstructs the current graph (the patch log behind evict/reload).
+	EditLog = ugraph.EditLog
+	// Dynamic is an incrementally repairable sparsifier: Repair applies an
+	// edit batch and restores the sparsified state with bounded work,
+	// reproducing what a from-scratch replay of the same pipeline would
+	// compute.
+	Dynamic = core.Dynamic
+	// DynOptions configures NewDynamic (GDB or EMD at k = 1 only).
+	DynOptions = core.DynOptions
+	// RepairStats reports one Repair call: dirty region size, sweeps run,
+	// backbone churn and the resulting objective.
+	RepairStats = core.RepairStats
+)
+
+// Edit operations.
+const (
+	// EditInsert adds a new edge with probability P.
+	EditInsert = ugraph.EditInsert
+	// EditDelete removes an existing edge.
+	EditDelete = ugraph.EditDelete
+	// EditReweight replaces an existing edge's probability with P.
+	EditReweight = ugraph.EditReweight
+)
+
+var (
+	// ApplyEdits applies an atomic edit batch to a graph, returning the
+	// post-edit graph and the id mapping; the input is never modified.
+	ApplyEdits = ugraph.ApplyEdits
+	// ParseEditOp resolves "insert", "delete" or "reweight".
+	ParseEditOp = ugraph.ParseEditOp
+	// ReplayEdits applies a sequence of edit batches in order.
+	ReplayEdits = ugraph.ReplayEdits
+	// NewDynamic builds the initial sparsified state of a dynamic
+	// sparsifier, keeping the optimizer state for later Repair calls.
+	NewDynamic = core.NewDynamic
+)
+
 // WriteGraph writes g in the text interchange format.
 func WriteGraph(w io.Writer, g *Graph) error { return ugraph.Write(w, g) }
 
